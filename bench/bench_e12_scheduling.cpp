@@ -1,0 +1,109 @@
+/**
+ * @file
+ * E12: the microcoded scheduler (paper section 3.2.4).
+ *
+ * "a scheduler which enables any number of concurrent processes to
+ * be executed together, sharing the processor time.  This removes
+ * the need for a software kernel" and "the implementation of
+ * concurrency is very efficient": process start/end cost a handful
+ * of cycles and the aggregate throughput of N concurrent processes
+ * stays flat as N grows.
+ */
+
+#include "base/format.hh"
+#include "isa/cycles.hh"
+
+#include "util.hh"
+
+using namespace transputer;
+using namespace transputer::bench;
+
+namespace
+{
+
+/** Cycles to start one process and join it again (startp + endp x2). */
+int64_t
+spawnJoinCost()
+{
+    AsmRig with;
+    with.run("start:\n"
+             "  ldc 2\n stl 11\n  ldap succ\n stl 10\n"
+             "  ldc child - c0\n  ldlp -40\n  startp\n"
+             "c0:\n  ldlp 10\n endp\n"
+             "child:\n  ldlp 50\n endp\n"
+             "succ:\n  ajw -10\n stopp\n");
+    AsmRig base;
+    base.run("start:\n"
+             "  ldc 2\n stl 11\n  ldap succ\n stl 10\n"
+             "succ:\n stopp\n");
+    return static_cast<int64_t>(with.cpu.cycles() - base.cpu.cycles());
+}
+
+/**
+ * Aggregate throughput (increments/ms) of n low-priority spinners
+ * sharing the processor through the timeslicer.
+ */
+double
+spinnerThroughput(int n)
+{
+    core::Config cfg;
+    cfg.onchipBytes = 32768;
+    AsmRig rig(cfg);
+    // one loop body; n processes run the same code with distinct
+    // workspaces (their counter is workspace slot 1)
+    rig.load("p: ldl 1\n adc 1\n stl 1\n j p\n");
+    auto &m = rig.cpu.memory();
+    const auto &s = rig.cpu.shape();
+    rig.cpu.boot(rig.img.symbol("p"), rig.wptr0);
+    m.writeWord(s.index(rig.wptr0, 1), 0);
+    for (int i = 1; i < n; ++i) {
+        const Word w = s.index(rig.wptr0, 16 * i);
+        m.writeWord(s.index(w, 1), 0);
+        rig.cpu.addProcess(rig.img.symbol("p"), w, 1);
+    }
+    const Tick limit = 40'000'000; // 40 ms
+    rig.queue.runUntil(limit);
+    double total = 0;
+    for (int i = 0; i < n; ++i) {
+        const Word w = s.index(rig.wptr0, 16 * i);
+        total += m.readWord(s.index(w, 1));
+    }
+    return total / (limit / 1e6);
+}
+
+} // namespace
+
+int
+main()
+{
+    heading("E12: scheduler costs (paper section 3.2.4)");
+
+    std::cout << "startp: " << isa::cycles::op(isa::Op::STARTP)
+              << " cycles; endp: " << isa::cycles::op(isa::Op::ENDP)
+              << " cycles; stopp: " << isa::cycles::op(isa::Op::STOPP)
+              << " cycles; runp: " << isa::cycles::op(isa::Op::RUNP)
+              << " cycles\n";
+    std::cout << "measured spawn+join of one extra process "
+              "(start/end instructions + setup): "
+              << spawnJoinCost() << " cycles\n";
+    std::cout << "a timesliced context switch touches only Iptr and "
+              "Wptr (\"the evaluation stack\nhas no useful contents\" "
+              "at descheduling points): "
+              << isa::cycles::contextSwitch << " cycles + one word "
+              "written\n\n";
+
+    heading("E12b: N concurrent processes, aggregate throughput");
+    Table t({12, 22, 16});
+    t.row("processes", "increments per ms", "vs 1 process");
+    t.rule();
+    const double one = spinnerThroughput(1);
+    for (int n : {1, 2, 4, 8, 16, 32, 64}) {
+        const double tp = n == 1 ? one : spinnerThroughput(n);
+        t.row(n, tp, fmt("{}%", static_cast<int>(100.0 * tp / one)));
+    }
+    t.rule();
+    std::cout << "flat aggregate throughput: scheduling any number "
+              "of processes costs almost\nnothing -- the paper's "
+              "\"no need for a software kernel\"\n";
+    return 0;
+}

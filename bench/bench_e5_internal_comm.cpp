@@ -1,0 +1,103 @@
+/**
+ * @file
+ * E5: internal channel communication cost (paper section 3.2.10).
+ *
+ * "A communication primitive communicating a block of size n bytes
+ * requires only one byte of program, and on average the maximum of
+ * (24, 21+(8*n/wordlength)) cycles (including the scheduling
+ * overhead)."  Measured as the per-process average of a two-process
+ * rendezvous through a memory-word channel, swept over message sizes
+ * and both word lengths.
+ */
+
+#include "isa/cycles.hh"
+
+#include "util.hh"
+
+using namespace transputer;
+using namespace transputer::bench;
+
+namespace
+{
+
+/** Average per-process cycles for one n-byte internal rendezvous. */
+double
+measure(int n, const WordShape &shape)
+{
+    core::Config cfg;
+    cfg.shape = shape;
+    cfg.onchipBytes = 8192;
+    // B's workspace sits far enough below A's that B's receive
+    // buffer (starting at its slot 30) never reaches A's frame
+    const int words = n / shape.bytes;
+    const int gap = 50 + words;
+    auto program = [&](bool with_comm) {
+        std::string s =
+            "start:\n"
+            "  mint\n stl 20\n"
+            "  ldap procb\n ldlp -" + std::to_string(gap) +
+            "\n stnl -1\n"
+            "  ldlp -" + std::to_string(gap) +
+            "\n ldc 1\n or\n runp\n";
+        const std::string a_part = "  ldlp 30\n ldlp 20\n ldc " +
+                                   std::to_string(n) + "\n out\n";
+        if (with_comm)
+            s += a_part;
+        s += "  stopp\n";
+        if (!with_comm) {
+            // unexecuted padding keeps the ldap-to-procb distance
+            // (and hence its prefix length) identical
+            const auto pad =
+                tasm::assemble(a_part, shape.mostNeg, shape);
+            s += "  .space " + std::to_string(pad.bytes.size()) + "\n";
+        }
+        s += "procb:\n";
+        if (with_comm)
+            s += "  ldlp 30\n ldlp " + std::to_string(gap + 20) +
+                 "\n ldc " + std::to_string(n) + "\n in\n";
+        s += "  stopp\n";
+        return s;
+    };
+    AsmRig with(cfg);
+    with.run(program(true));
+    AsmRig without(cfg);
+    without.run(program(false));
+    const auto delta = static_cast<int64_t>(with.cpu.cycles() -
+                                            without.cpu.cycles());
+    // subtract the set-up loads on both sides exactly: ldlp/ldc cost
+    // one cycle per encoded byte (prefixes included), so their cycle
+    // cost equals their assembled length
+    const auto loads = tasm::assemble(
+        "ldlp 30\nldlp 20\nldc " + std::to_string(n) +
+            "\nldlp 30\nldlp " + std::to_string(gap + 20) + "\nldc " +
+            std::to_string(n) + "\n",
+        shape.mostNeg, shape);
+    return static_cast<double>(
+               delta - static_cast<int64_t>(loads.bytes.size())) /
+           2.0;
+}
+
+} // namespace
+
+int
+main()
+{
+    heading("E5: internal channel cost (paper section 3.2.10)");
+    std::cout << "formula: max(24, 21 + 8n/wordlength) cycles per "
+              "process, on average\n\n";
+
+    Table t({8, 14, 14, 14, 14});
+    t.row("bytes", "paper (32b)", "meas. (32b)", "paper (16b)",
+          "meas. (16b)");
+    t.rule();
+    for (int n : {4, 8, 16, 32, 64, 128, 256}) {
+        t.row(n, isa::cycles::commFormula(word32, n),
+              measure(n, word32),
+              isa::cycles::commFormula(word16, n),
+              measure(n, word16));
+    }
+    t.rule();
+    std::cout << "\"only one byte of program\": the out/in operations "
+              "encode in a single byte each\n";
+    return 0;
+}

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * E9: transputer-to-transputer message latency (paper section 4.2).
+ *
+ * "It takes about 6 microseconds to send a 4 byte message from one
+ * transputer to another."  Measured end-to-end (output instruction
+ * issued to inputting process resumed), swept over message sizes,
+ * plus the per-hop cost over a store-and-forward pipeline -- the
+ * quantity behind the paper's "about 150 microseconds to transmit a
+ * search request to the whole array" across 24 links.
+ */
+
+#include "base/format.hh"
+#include "net/occam_boot.hh"
+
+#include "util.hh"
+
+using namespace transputer;
+using namespace transputer::bench;
+
+namespace
+{
+
+void
+boot(net::Network &net, int node, const std::string &src)
+{
+    auto &t = net.node(node);
+    const auto img =
+        tasm::assemble(src, t.memory().memStart(), t.shape());
+    net.load(node, img);
+    t.boot(img.symbol("start"),
+           t.shape().index(
+               t.shape().wordAlign(img.end() + t.shape().bytes - 1),
+               128));
+}
+
+/** One-way latency of one n-byte message over one link. */
+double
+oneHop(int n)
+{
+    net::Network net;
+    core::Config cfg;
+    cfg.onchipBytes = 8192;
+    const int a = net.addTransputer(cfg);
+    const int b = net.addTransputer(cfg);
+    net.connect(a, net::dir::east, b, net::dir::west);
+    // both sides settle first (timer sleep), then the sender
+    // timestamps by construction: the message starts at a known tick
+    boot(net, a,
+         fmt("start:\n  mint\n ldnlp 1\n stl 1\n"
+             "  ldtimer\n adc 2\n tin\n"
+             "  ldlp 40\n ldl 1\n ldc {}\n out\n stopp\n",
+             n));
+    boot(net, b,
+         fmt("start:\n  mint\n ldnlp 7\n stl 1\n"
+             "  ldlp 40\n ldl 1\n ldc {}\n in\n stopp\n", n));
+    const Tick t = net.run();
+    // the sender wakes from tin at 3 * 64 us (low-priority clock)
+    const Tick start = 3 * 64 * 1000;
+    return static_cast<double>(t - start) / 1000.0;
+}
+
+/** Latency for one 4-byte message crossing k store-and-forward hops. */
+double
+pipelineLatency(int hops)
+{
+    net::Network net;
+    auto ids = net::buildPipeline(net, hops + 1);
+    // first node sends after settling; middle nodes forward; the
+    // last node receives and stops
+    net::bootOccamSource(net, ids[0],
+                         "CHAN out:\n"
+                         "PLACE out AT LINK1OUT:\n"
+                         "VAR t:\n"
+                         "SEQ\n"
+                         "  TIME ? t\n"
+                         "  TIME ? AFTER t + 2\n"
+                         "  out ! 99\n");
+    for (int i = 1; i < hops; ++i)
+        net::bootOccamSource(net, ids[i],
+                             "CHAN in, out:\n"
+                             "PLACE in AT LINK3IN:\n"
+                             "PLACE out AT LINK1OUT:\n"
+                             "VAR x:\n"
+                             "SEQ\n"
+                             "  in ? x\n"
+                             "  out ! x\n");
+    net::bootOccamSource(net, ids[hops],
+                         "CHAN in:\n"
+                         "PLACE in AT LINK3IN:\n"
+                         "VAR x:\n"
+                         "in ? x\n");
+    const Tick t = net.run();
+    const Tick start = 3 * 64 * 1000;
+    return static_cast<double>(t - start) / 1000.0;
+}
+
+} // namespace
+
+int
+main()
+{
+    heading("E9: message latency (paper section 4.2: \"about 6 "
+            "microseconds\" for 4 bytes)");
+
+    Table t({10, 16, 22});
+    t.row("bytes", "latency (us)", "paper");
+    t.rule();
+    for (int n : {1, 4, 16, 64, 256})
+        t.row(n, oneHop(n), n == 4 ? "~6 us" : "");
+    t.rule();
+    std::cout << "wire time alone is n x 1.1 us per byte + 0.2 us "
+              "final acknowledge;\ninstruction and scheduling "
+              "overhead accounts for the rest\n";
+
+    heading("E9b: store-and-forward pipeline (occam forwarders)");
+    Table p({8, 16, 18, 26});
+    p.row("hops", "latency (us)", "us per hop", "paper");
+    p.rule();
+    for (int hops : {1, 2, 4, 8}) {
+        const double us = pipelineLatency(hops);
+        p.row(hops, us, us / hops,
+              hops == 8 ? "-> ~150us over 24 links" : "");
+    }
+    p.rule();
+    std::cout << "the paper's 150 us flood estimate is 24 links x "
+              "~6 us per store-and-forward hop\n";
+    return 0;
+}

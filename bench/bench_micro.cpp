@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Host-side microbenchmarks of the emulator itself (google-benchmark):
+ * emulated instructions per second, event-queue operation rate, and
+ * link byte throughput.  These bound how large a network the
+ * co-simulation can handle; the paper-facing results live in the
+ * bench_e* harnesses.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/transputer.hh"
+#include "link/link.hh"
+#include "net/network.hh"
+#include "sim/event_queue.hh"
+#include "tasm/assembler.hh"
+
+using namespace transputer;
+
+namespace
+{
+
+void
+BM_EventQueue(benchmark::State &state)
+{
+    sim::EventQueue q;
+    int64_t n = 0;
+    for (auto _ : state) {
+        q.scheduleIn(1, [&n] { ++n; });
+        q.runOne();
+    }
+    benchmark::DoNotOptimize(n);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventQueue);
+
+void
+BM_EmulatedArithmetic(benchmark::State &state)
+{
+    sim::EventQueue q;
+    core::Transputer cpu(q, {});
+    const auto img = tasm::assemble("p: ldl 1\n adc 1\n stl 1\n"
+                                    " ldl 2\n ldl 1\n add\n stl 2\n"
+                                    " j p\n",
+                                    cpu.memory().memStart(),
+                                    cpu.shape());
+    cpu.memory().load(img.origin, img.bytes.data(), img.bytes.size());
+    cpu.boot(img.symbol("p"),
+             cpu.shape().index(img.end() + 64 * 4, 0));
+    uint64_t before = cpu.instructions();
+    for (auto _ : state) {
+        // run one scheduling batch
+        q.runOne();
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(cpu.instructions() - before));
+}
+BENCHMARK(BM_EmulatedArithmetic);
+
+void
+BM_LinkBytes(benchmark::State &state)
+{
+    for (auto _ : state) {
+        state.PauseTiming();
+        net::Network net;
+        core::Config cfg;
+        cfg.onchipBytes = 16384;
+        const int a = net.addTransputer(cfg);
+        const int b = net.addTransputer(cfg);
+        net.connect(a, net::dir::east, b, net::dir::west);
+        auto boot = [&](int node, const std::string &src) {
+            auto &t = net.node(node);
+            const auto img = tasm::assemble(
+                src, t.memory().memStart(), t.shape());
+            net.load(node, img);
+            t.boot(img.symbol("start"),
+                   t.shape().index(t.shape().wordAlign(img.end() + 3),
+                                   128));
+        };
+        boot(a, "start:\n mint\n ldnlp 1\n stl 1\n"
+                " ldlp 40\n ldl 1\n ldc 8192\n out\n stopp\n");
+        boot(b, "start:\n mint\n ldnlp 7\n stl 1\n"
+                " ldlp 40\n ldl 1\n ldc 8192\n in\n stopp\n");
+        state.ResumeTiming();
+        net.run();
+    }
+    state.SetBytesProcessed(state.iterations() * 8192);
+}
+BENCHMARK(BM_LinkBytes);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * The personal workstation of paper section 4.1 (Figure 6).
+ *
+ * Three functionally-distributed transputers connected by standard
+ * links: an applications processor, a disk-system transputer and a
+ * graphics-display transputer.  Each runs its own occam program; the
+ * disk and display hardware hang off further links as peripherals
+ * (the paper: these transputers "can be replaced by transputer based
+ * device controllers as they become available").
+ *
+ * The application reads a "file" (one disk block), draws its contents
+ * as pixels on the display, and reports a checksum on the console.
+ */
+
+#include <iostream>
+
+#include "net/network.hh"
+#include "net/occam_boot.hh"
+#include "net/peripherals.hh"
+
+using namespace transputer;
+using namespace transputer::net;
+
+int
+main()
+{
+    Network net;
+    const int app = net.addTransputer({}, "app");
+    const int disk = net.addTransputer({}, "disk");
+    const int gfx = net.addTransputer({}, "gfx");
+
+    // Figure 6 wiring: app east -> disk, app south -> gfx
+    net.connect(app, dir::east, disk, dir::west);
+    net.connect(app, dir::south, gfx, dir::north);
+
+    ConsoleSink console(net.queue(), link::WireConfig{});
+    net.attachPeripheral(app, 0, console);
+    BlockDevice drive(net.queue(), link::WireConfig{});
+    net.attachPeripheral(disk, 1, drive);
+    FrameBuffer display(net.queue(), link::WireConfig{}, 16, 8);
+    net.attachPeripheral(gfx, 1, display);
+
+    // put a 512-byte "image file" in block 7 of the drive
+    auto &block = drive.block(7);
+    for (size_t i = 0; i < block.size(); ++i)
+        block[i] = static_cast<uint8_t>((i * 5 + 11) & 0xFF);
+
+    // the applications processor (the user's program)
+    bootOccamSource(net, app,
+        "DEF nwords = 128:\n"
+        "CHAN out, disk.req, disk.rsp, gfx.cmd:\n"
+        "PLACE out AT LINK0OUT:\n"
+        "PLACE disk.req AT LINK1OUT:\n"
+        "PLACE disk.rsp AT LINK1IN:\n"
+        "PLACE gfx.cmd AT LINK2OUT:\n"
+        "VAR buf[nwords], sum:\n"
+        "SEQ\n"
+        "  disk.req ! 7\n"                 // open the file
+        "  SEQ i = [0 FOR nwords]\n"
+        "    disk.rsp ? buf[i]\n"
+        "  sum := 0\n"
+        "  SEQ i = [0 FOR nwords]\n"
+        "    sum := sum + buf[i]\n"
+        "  SEQ i = [0 FOR nwords]\n"       // draw the low bytes
+        "    SEQ\n"
+        "      gfx.cmd ! i \\ 16\n"
+        "      gfx.cmd ! i / 16\n"
+        "      gfx.cmd ! buf[i] /\\ #FF\n"
+        "  out ! sum\n");
+
+    // the disk-system transputer: a tiny file server
+    bootOccamSource(net, disk,
+        "CHAN req, rsp, dcmd, ddata:\n"
+        "PLACE req AT LINK3IN:\n"
+        "PLACE rsp AT LINK3OUT:\n"
+        "PLACE dcmd AT LINK1OUT:\n"
+        "PLACE ddata AT LINK1IN:\n"
+        "VAR blockno, w:\n"
+        "WHILE TRUE\n"
+        "  SEQ\n"
+        "    req ? blockno\n"
+        "    dcmd ! 0\n"                   // read command
+        "    dcmd ! blockno\n"
+        "    SEQ i = [0 FOR 128]\n"
+        "      SEQ\n"
+        "        ddata ? w\n"
+        "        rsp ! w\n");
+
+    // the graphics transputer: forwards draw commands to the display
+    bootOccamSource(net, gfx,
+        "CHAN in, dev:\n"
+        "PLACE in AT LINK0IN:\n"
+        "PLACE dev AT LINK1OUT:\n"
+        "VAR x, y, c:\n"
+        "WHILE TRUE\n"
+        "  SEQ\n"
+        "    in ? x\n"
+        "    in ? y\n"
+        "    in ? c\n"
+        "    dev ! x\n"
+        "    dev ! y\n"
+        "    dev ! c\n");
+
+    const Tick t = net.run(200'000'000); // 200 ms is ample
+
+    std::cout << "=== workstation run ===\n";
+    std::cout << "disk reads:   " << drive.reads() << "\n";
+    std::cout << "pixels drawn: " << display.plots() << "\n";
+
+    uint32_t expect_sum = 0;
+    for (size_t i = 0; i < block.size(); i += 4) {
+        uint32_t w = 0;
+        for (int j = 3; j >= 0; --j)
+            w = (w << 8) | block[i + j];
+        expect_sum += w;
+    }
+    const auto words = console.words(4);
+    std::cout << "app checksum: "
+              << (words.empty() ? 0 : words[0])
+              << " (expected " << expect_sum << ")\n";
+
+    std::cout << "display:\n";
+    for (int y = 0; y < display.height(); ++y) {
+        for (int x = 0; x < display.width(); ++x)
+            std::cout << (display.pixel(x, y) & 0x40 ? '#' : '.');
+        std::cout << "\n";
+    }
+    std::cout << "finished at " << t / 1'000'000.0 << " ms simulated\n";
+
+    // the app sends one (x, y, colour) triple per file word: 128
+    const bool ok = words.size() == 1 && words[0] == expect_sum &&
+                    display.plots() == 128 && drive.reads() == 1;
+    std::cout << (ok ? "OK" : "FAILED") << "\n";
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,157 @@
+#include "apps/dbsearch.hh"
+
+#include "base/format.hh"
+#include "net/occam_boot.hh"
+
+namespace transputer::apps
+{
+
+namespace
+{
+
+/** Synthetic record key for record i of node id (host-side copy). */
+Word
+recordKey(int id, int i, int key_space)
+{
+    return static_cast<Word>((id * 31 + i * 7) % key_space);
+}
+
+} // namespace
+
+DbSearch::DbSearch(const DbSearchConfig &cfg)
+    : cfg_(cfg), net_(std::make_unique<net::Network>())
+{
+    nodes_ = net::buildGrid(*net_, cfg_.width, cfg_.height, cfg_.node);
+    // the host injects/collects through the corner's north link
+    host_ = std::make_unique<net::ConsoleSink>(net_->queue(),
+                                               link::WireConfig{});
+    net_->attachPeripheral(nodes_[0], net::dir::north, *host_);
+    const int bpw = cfg_.node.shape.bytes;
+    host_->onByte = [this, bpw](uint8_t b) {
+        pendingBytes_.push_back(b);
+        if (pendingBytes_.size() == static_cast<size_t>(bpw)) {
+            Word v = 0;
+            for (int j = bpw - 1; j >= 0; --j)
+                v = (v << 8) | pendingBytes_[static_cast<size_t>(j)];
+            pendingBytes_.clear();
+            answers_.push_back(DbAnswer{v, net_->queue().now()});
+        }
+    };
+
+    for (int y = 0; y < cfg_.height; ++y)
+        for (int x = 0; x < cfg_.width; ++x)
+            net::bootOccamSource(*net_, nodes_[nodeId(x, y)],
+                                 nodeProgram(x, y));
+
+    // let every node build its records and block on its request
+    // channel, so query timings measure the search, not the set-up
+    net_->run();
+}
+
+DbSearch::~DbSearch() = default;
+
+std::string
+DbSearch::nodeProgram(int x, int y) const
+{
+    // spanning tree: requests travel east along row 0 and south down
+    // every column; answers merge along the reverse edges
+    const bool has_east = (y == 0 && x + 1 < cfg_.width);
+    const bool has_south = (y + 1 < cfg_.height);
+    // parent: row-0 nodes look west (the corner looks north, at the
+    // host); others look north
+    const int parent =
+        (y > 0) ? net::dir::north
+                : (x > 0 ? net::dir::west : net::dir::north);
+    const int id = nodeId(x, y);
+
+    std::string p;
+    p += fmt("DEF nrec = {}:\n", cfg_.recordsPerNode);
+    p += "CHAN up.in, up.out:\n";
+    p += fmt("PLACE up.in AT LINK{}IN:\n", parent);
+    p += fmt("PLACE up.out AT LINK{}OUT:\n", parent);
+    if (has_east) {
+        p += "CHAN east.out, east.in:\n";
+        p += fmt("PLACE east.out AT LINK{}OUT:\n", net::dir::east);
+        p += fmt("PLACE east.in AT LINK{}IN:\n", net::dir::east);
+    }
+    if (has_south) {
+        p += "CHAN south.out, south.in:\n";
+        p += fmt("PLACE south.out AT LINK{}OUT:\n", net::dir::south);
+        p += fmt("PLACE south.in AT LINK{}IN:\n", net::dir::south);
+    }
+    // Two concurrent processes per node, so that requests pipeline
+    // through the array (paper: "requests can be pipelined through
+    // the system"): the searcher forwards the request and scans the
+    // local partition; the merger combines the local count with the
+    // children's answers and passes the sum upstream.  The internal
+    // channel between them is the only coupling, so the searcher can
+    // accept the next request while the merge of the previous one is
+    // still in flight.
+    p += "CHAN local:\n"
+         "VAR rec[nrec]:\n"
+         "SEQ\n"
+         "  SEQ i = [0 FOR nrec]\n";
+    p += fmt("    rec[i] := (({} * 31) + (i * 7)) \\ {}\n", id,
+             cfg_.keySpace);
+    p += "  PAR\n"
+         "    VAR key, cnt:\n"
+         "    WHILE TRUE\n"
+         "      SEQ\n"
+         "        up.in ? key\n";
+    // forward the request before searching locally, so the flood and
+    // the local searches overlap (the paper's "simultaneously")
+    if (has_east)
+        p += "        east.out ! key\n";
+    if (has_south)
+        p += "        south.out ! key\n";
+    p += "        cnt := 0\n"
+         "        SEQ i = [0 FOR nrec]\n"
+         "          IF\n"
+         "            rec[i] = key\n"
+         "              cnt := cnt + 1\n"
+         "            TRUE\n"
+         "              SKIP\n"
+         "        local ! cnt\n"
+         "    VAR m, c:\n"
+         "    WHILE TRUE\n"
+         "      SEQ\n"
+         "        local ? m\n";
+    if (has_east)
+        p += "        east.in ? c\n"
+             "        m := m + c\n";
+    if (has_south)
+        p += "        south.in ? c\n"
+             "        m := m + c\n";
+    p += "        up.out ! m\n";
+    return p;
+}
+
+Word
+DbSearch::expectedCount(Word key) const
+{
+    Word total = 0;
+    for (int id = 0; id < cfg_.width * cfg_.height; ++id)
+        for (int i = 0; i < cfg_.recordsPerNode; ++i)
+            if (recordKey(id, i, cfg_.keySpace) == key)
+                ++total;
+    return total;
+}
+
+void
+DbSearch::inject(Word key)
+{
+    injectTimes_.push_back(net_->queue().now());
+    host_->sendWord(key, cfg_.node.shape.bytes);
+}
+
+void
+DbSearch::runUntilAnswers(size_t n, Tick limit)
+{
+    auto &q = net_->queue();
+    while (answers_.size() < n && q.now() < limit) {
+        if (!q.runOne())
+            break;
+    }
+}
+
+} // namespace transputer::apps

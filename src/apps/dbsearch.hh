@@ -1,0 +1,103 @@
+/**
+ * @file
+ * The concurrent database search of paper section 4.2 (Figure 8).
+ *
+ * A w x h array of transputers each holds a partition of a database
+ * in its local memory.  A search request enters at one corner, is
+ * forwarded along a spanning tree of the array ("forwarded to any
+ * connected transputer which has not yet received the request") while
+ * each transputer searches its own records, and the answers merge
+ * back to the corner.  Requests pipeline: a further request can be
+ * input before the previous answer has come out.
+ *
+ * Every node runs a generated occam program; the host injects query
+ * keys through a link peripheral on the corner node and collects the
+ * match counts.  Records are synthetic (deterministic per node) so
+ * the expected counts are computable host-side.
+ */
+
+#ifndef TRANSPUTER_APPS_DBSEARCH_HH
+#define TRANSPUTER_APPS_DBSEARCH_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/network.hh"
+#include "net/peripherals.hh"
+
+namespace transputer::apps
+{
+
+/** Configuration of the search array. */
+struct DbSearchConfig
+{
+    int width = 4;           ///< Figure 8 uses a 4 x 4 square array
+    int height = 4;
+    int recordsPerNode = 200;///< paper: "each transputer can hold 200"
+    int keySpace = 50;       ///< synthetic keys lie in [0, keySpace)
+    core::Config node;       ///< per-node part configuration
+};
+
+/** One collected answer. */
+struct DbAnswer
+{
+    Word count;  ///< number of matching records in the whole array
+    Tick when;   ///< simulation time the answer arrived at the host
+};
+
+/** The running search array. */
+class DbSearch
+{
+  public:
+    explicit DbSearch(const DbSearchConfig &cfg);
+    ~DbSearch();
+
+    net::Network &network() { return *net_; }
+    const DbSearchConfig &config() const { return cfg_; }
+
+    /** Longest path from the corner, in links (paper: 24 for 128). */
+    int longestPath() const { return cfg_.width + cfg_.height - 2; }
+
+    /** Total records across the array. */
+    int
+    totalRecords() const
+    {
+        return cfg_.width * cfg_.height * cfg_.recordsPerNode;
+    }
+
+    /** Number of matches the whole array should report for key. */
+    Word expectedCount(Word key) const;
+
+    /** Queue a query key into the corner node. */
+    void inject(Word key);
+
+    /** Time at which the n-th injected query entered the wire. */
+    Tick injectTime(size_t n) const { return injectTimes_.at(n); }
+
+    /**
+     * Run the simulation until the given number of answers arrived
+     * (or the time limit passes).
+     */
+    void runUntilAnswers(size_t n, Tick limit = 60'000'000'000);
+
+    const std::vector<DbAnswer> &answers() const { return answers_; }
+
+    /** The generated occam program of node (x, y) (for inspection). */
+    std::string nodeProgram(int x, int y) const;
+
+  private:
+    int nodeId(int x, int y) const { return y * cfg_.width + x; }
+
+    DbSearchConfig cfg_;
+    std::unique_ptr<net::Network> net_;
+    std::vector<int> nodes_;
+    std::unique_ptr<net::ConsoleSink> host_;
+    std::vector<DbAnswer> answers_;
+    std::vector<Tick> injectTimes_;
+    std::vector<uint8_t> pendingBytes_;
+};
+
+} // namespace transputer::apps
+
+#endif // TRANSPUTER_APPS_DBSEARCH_HH

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Minimal string formatting helpers (GCC 12 lacks std::format).
+ *
+ * csprintf(fmt, args...) substitutes each "%" occurrence... no: we
+ * keep it simpler and safer than printf: fmt uses "{}" placeholders,
+ * each replaced by the ostream rendering of the next argument.
+ * Unmatched placeholders/arguments are rendered literally/appended,
+ * so a malformed call never crashes.
+ */
+
+#ifndef TRANSPUTER_BASE_FORMAT_HH
+#define TRANSPUTER_BASE_FORMAT_HH
+
+#include <cstdint>
+#include <iomanip>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace transputer
+{
+
+namespace format_detail
+{
+
+inline void
+appendRest(std::ostringstream &os, std::string_view fmt)
+{
+    os << fmt;
+}
+
+template <typename T, typename... Rest>
+void
+appendRest(std::ostringstream &os, std::string_view fmt, const T &v,
+           const Rest &...rest)
+{
+    const auto pos = fmt.find("{}");
+    if (pos == std::string_view::npos) {
+        os << fmt << ' ' << v;
+        appendRest(os, std::string_view{}, rest...);
+        return;
+    }
+    os << fmt.substr(0, pos) << v;
+    appendRest(os, fmt.substr(pos + 2), rest...);
+}
+
+} // namespace format_detail
+
+/** Format a string with "{}" placeholders. */
+template <typename... Args>
+std::string
+fmt(std::string_view f, const Args &...args)
+{
+    std::ostringstream os;
+    format_detail::appendRest(os, f, args...);
+    return os.str();
+}
+
+/** Render a value as a fixed-width hexadecimal string (no 0x). */
+inline std::string
+hexWord(uint32_t v, int digits = 8)
+{
+    std::ostringstream os;
+    os << std::hex << std::uppercase << std::setfill('0')
+       << std::setw(digits) << v;
+    return os.str();
+}
+
+} // namespace transputer
+
+#endif // TRANSPUTER_BASE_FORMAT_HH

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Error reporting in the gem5 spirit.
+ *
+ * panic()  - an internal invariant of the simulator is broken (a bug in
+ *            this library).  Throws SimPanic.
+ * fatal()  - the simulation cannot continue because of a user-level
+ *            error (bad program, bad configuration).  Throws SimFatal.
+ * warn()   - something dubious but survivable; written to stderr once.
+ *
+ * Exceptions (not abort()) are used so that a host application
+ * embedding the emulator, and the test suite, can recover.
+ */
+
+#ifndef TRANSPUTER_BASE_LOGGING_HH
+#define TRANSPUTER_BASE_LOGGING_HH
+
+#include <iostream>
+#include <stdexcept>
+#include <string>
+
+#include "base/format.hh"
+
+namespace transputer
+{
+
+/** Thrown by panic(): a simulator-internal invariant was violated. */
+class SimPanic : public std::logic_error
+{
+  public:
+    explicit SimPanic(const std::string &what) : std::logic_error(what) {}
+};
+
+/** Thrown by fatal(): a user-level error (bad program or config). */
+class SimFatal : public std::runtime_error
+{
+  public:
+    explicit SimFatal(const std::string &what) : std::runtime_error(what) {}
+};
+
+template <typename... Args>
+[[noreturn]] void
+panic(std::string_view f, const Args &...args)
+{
+    throw SimPanic(fmt(f, args...));
+}
+
+template <typename... Args>
+[[noreturn]] void
+fatal(std::string_view f, const Args &...args)
+{
+    throw SimFatal(fmt(f, args...));
+}
+
+template <typename... Args>
+void
+warn(std::string_view f, const Args &...args)
+{
+    std::cerr << "warn: " << fmt(f, args...) << "\n";
+}
+
+/** panic() unless the given invariant holds. */
+#define TRANSPUTER_ASSERT(cond, ...)                                        \
+    do {                                                                    \
+        if (!(cond))                                                        \
+            ::transputer::panic("assertion failed: " #cond " " __VA_ARGS__);\
+    } while (0)
+
+} // namespace transputer
+
+#endif // TRANSPUTER_BASE_LOGGING_HH

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Deterministic pseudo-random numbers for workload generators and
+ * property tests.  xoshiro-style 64-bit generator; seeded explicitly
+ * so every experiment is reproducible.
+ */
+
+#ifndef TRANSPUTER_BASE_RANDOM_HH
+#define TRANSPUTER_BASE_RANDOM_HH
+
+#include <cstdint>
+
+namespace transputer
+{
+
+/** A small, fast, deterministic PRNG (splitmix64-seeded xorshift*). */
+class Random
+{
+  public:
+    explicit Random(uint64_t seed = 0x9E3779B97F4A7C15ull)
+    {
+        // splitmix64 scramble so that small seeds give good streams
+        uint64_t z = seed + 0x9E3779B97F4A7C15ull;
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+        state_ = z ^ (z >> 31);
+        if (state_ == 0)
+            state_ = 0x2545F4914F6CDD1Dull;
+    }
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    next()
+    {
+        state_ ^= state_ >> 12;
+        state_ ^= state_ << 25;
+        state_ ^= state_ >> 27;
+        return state_ * 0x2545F4914F6CDD1Dull;
+    }
+
+    /** Uniform integer in [0, bound). bound must be nonzero. */
+    uint64_t
+    below(uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t
+    range(int64_t lo, int64_t hi)
+    {
+        return lo + static_cast<int64_t>(
+            below(static_cast<uint64_t>(hi - lo + 1)));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    real()
+    {
+        return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /** Bernoulli draw with probability p. */
+    bool
+    chance(double p)
+    {
+        return real() < p;
+    }
+
+  private:
+    uint64_t state_;
+};
+
+} // namespace transputer
+
+#endif // TRANSPUTER_BASE_RANDOM_HH

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Tiny statistics accumulators used by the CPU model, the link
+ * engines and the benchmark harnesses.
+ */
+
+#ifndef TRANSPUTER_BASE_STATS_HH
+#define TRANSPUTER_BASE_STATS_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace transputer
+{
+
+/** Accumulates count / sum / min / max / mean of a sample stream. */
+class SampleStat
+{
+  public:
+    void
+    add(double v)
+    {
+        count_ += 1;
+        sum_ += v;
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+
+    void
+    reset()
+    {
+        *this = SampleStat{};
+    }
+
+    uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+
+  private:
+    uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/** Collects raw samples so percentiles can be reported. */
+class Distribution
+{
+  public:
+    void add(double v) { samples_.push_back(v); }
+    size_t count() const { return samples_.size(); }
+
+    double
+    percentile(double p)
+    {
+        if (samples_.empty())
+            return 0.0;
+        std::sort(samples_.begin(), samples_.end());
+        const double rank = p / 100.0 *
+            static_cast<double>(samples_.size() - 1);
+        const auto lo = static_cast<size_t>(rank);
+        const auto hi = std::min(lo + 1, samples_.size() - 1);
+        const double frac = rank - static_cast<double>(lo);
+        return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+    }
+
+    double max() { return percentile(100.0); }
+    double min() { return percentile(0.0); }
+
+    double
+    mean() const
+    {
+        double s = 0.0;
+        for (double v : samples_)
+            s += v;
+        return samples_.empty() ? 0.0
+                                : s / static_cast<double>(samples_.size());
+    }
+
+  private:
+    std::vector<double> samples_;
+};
+
+} // namespace transputer
+
+#endif // TRANSPUTER_BASE_STATS_HH

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every transputer module.
+ *
+ * The transputer's memory address space is a signed linear space
+ * (paper section 3.2.2): pointers run from the most negative integer,
+ * through zero, to the most positive integer.  We carry all machine
+ * words as uint32_t and reinterpret as signed where the architecture
+ * demands signed comparison.  16-bit parts (T222 class) mask every
+ * word to 16 bits; the word-width is a runtime property so that one
+ * binary image can be executed on either word length (the paper's
+ * word-length-independence property).
+ */
+
+#ifndef TRANSPUTER_BASE_TYPES_HH
+#define TRANSPUTER_BASE_TYPES_HH
+
+#include <cstdint>
+
+namespace transputer
+{
+
+/** A machine word, masked to the part's word width. */
+using Word = uint32_t;
+
+/** Signed view of a machine word (after widening/sign extension). */
+using SWord = int32_t;
+
+/** Simulated time in ticks; one tick is one nanosecond. */
+using Tick = int64_t;
+
+/** Ticks per microsecond. */
+constexpr Tick ticksPerUs = 1000;
+
+/** The largest representable tick (no event pending, etc.). */
+constexpr Tick maxTick = INT64_MAX;
+
+/**
+ * Static description of a word width.  Exactly two instances exist,
+ * for the 32-bit (T424/T414 class) and 16-bit (T222 class) parts.
+ */
+struct WordShape
+{
+    /** Bits per word: 32 or 16. */
+    int bits;
+    /** Bytes per word: 4 or 2. */
+    int bytes;
+    /** log2(bytes): the width of a pointer's byte selector. */
+    int byteSelectBits;
+    /** All-ones mask for a word. */
+    Word mask;
+    /** Most negative integer == MostNeg == NotProcess. */
+    Word mostNeg;
+    /** Most positive integer. */
+    Word mostPos;
+
+    /** Mask a raw 32-bit value down to this word width. */
+    Word
+    truncate(uint64_t v) const
+    {
+        return static_cast<Word>(v) & mask;
+    }
+
+    /** Sign-extend a word of this width into a host int64. */
+    int64_t
+    toSigned(Word v) const
+    {
+        const uint64_t m = uint64_t{1} << (bits - 1);
+        const uint64_t x = v & mask;
+        return static_cast<int64_t>((x ^ m) - m);
+    }
+
+    /** True if the word's sign bit is set. */
+    bool
+    isNeg(Word v) const
+    {
+        return (v & mostNeg) != 0;
+    }
+
+    /** Word-align a pointer (strip the byte selector). */
+    Word
+    wordAlign(Word p) const
+    {
+        return p & ~static_cast<Word>(bytes - 1);
+    }
+
+    /** Extract a pointer's byte selector. */
+    int
+    byteSelect(Word p) const
+    {
+        return static_cast<int>(p & static_cast<Word>(bytes - 1));
+    }
+
+    /** Index a word pointer: base + n words (n signed). */
+    Word
+    index(Word base, int64_t n) const
+    {
+        return truncate(static_cast<uint64_t>(
+            static_cast<int64_t>(base) + n * bytes));
+    }
+};
+
+/** The 32-bit word shape (T424/T414 class). */
+constexpr WordShape word32{32, 4, 2, 0xFFFFFFFFu, 0x80000000u, 0x7FFFFFFFu};
+
+/** The 16-bit word shape (T222 class). */
+constexpr WordShape word16{16, 2, 1, 0x0000FFFFu, 0x00008000u, 0x00007FFFu};
+
+} // namespace transputer
+
+#endif // TRANSPUTER_BASE_TYPES_HH

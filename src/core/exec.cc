@@ -1,0 +1,885 @@
+/**
+ * @file
+ * Instruction execution: the thirteen direct functions, the two
+ * prefixing functions, and the indirect operations (paper sections
+ * 3.2.5 - 3.2.9).
+ */
+
+#include <ostream>
+
+#include "base/format.hh"
+#include "core/transputer.hh"
+#include "isa/cycles.hh"
+#include "isa/disasm.hh"
+#include "isa/encoding.hh"
+
+namespace transputer::core
+{
+
+using isa::Fn;
+using isa::Op;
+namespace cyc = transputer::isa::cycles;
+
+namespace
+{
+
+/** Signed range check for a host-width intermediate result. */
+bool
+overflows(const WordShape &s, int64_t v)
+{
+    return v > s.toSigned(s.mostPos) || v < s.toSigned(s.mostNeg);
+}
+
+} // namespace
+
+uint8_t
+Transputer::fetchByte()
+{
+    // instruction fetch is word-granular (section 3.2.5: "as memory
+    // is word accessed, a 32 bit transputer will receive four
+    // instructions for every fetch"); off-chip code therefore pays
+    // its wait states once per word of instructions, not per byte
+    if (!mem_.isOnChip(iptr_)) {
+        const Word w = shape_.wordAlign(iptr_);
+        if (w != lastFetchWord_) {
+            chargeCycles(mem_.accessWaits(iptr_));
+            lastFetchWord_ = w;
+        }
+    }
+    const uint8_t b = mem_.readByte(iptr_);
+    iptr_ = shape_.truncate(iptr_ + 1);
+    return b;
+}
+
+void
+Transputer::executeOne()
+{
+    lastInstrStart_ = time_;
+    lastInstrInterruptible_ = false;
+    inExec_ = true;
+    if (trace_) {
+        uint8_t buf[8];
+        for (int i = 0; i < 8; ++i)
+            buf[i] = mem_.readByte(shape_.truncate(iptr_ + i));
+        const auto d = isa::decode(buf, sizeof(buf), 0, shape_);
+        std::string text = d.isOperation && isa::opDefined(d.operand)
+            ? std::string(isa::opName(static_cast<Op>(d.operand)))
+            : fmt("{} #{}", isa::fnName(d.fn), hexWord(d.operand, 4));
+        *trace_ << name_ << " t=" << time_ << " I=" << hexWord(iptr_)
+                << " W=" << hexWord(wptr_) << " A=" << hexWord(areg_)
+                << " B=" << hexWord(breg_) << " C=" << hexWord(creg_)
+                << "  " << text << "\n";
+    }
+    const uint8_t b = fetchByte();
+    ++instructions_;
+    const Fn fn = static_cast<Fn>(b >> 4);
+    ++fnCounts_[b >> 4];
+    oreg_ = shape_.truncate(oreg_ | (b & 0x0F));
+    switch (fn) {
+      case Fn::PFIX:
+        oreg_ = shape_.truncate(oreg_ << 4);
+        chargeCycles(1);
+        break;
+      case Fn::NFIX:
+        oreg_ = shape_.truncate(~oreg_ << 4);
+        chargeCycles(1);
+        break;
+      case Fn::OPR: {
+        const Word op = oreg_;
+        oreg_ = 0;
+        execOp(op);
+        break;
+      }
+      default: {
+        const Word operand = oreg_;
+        oreg_ = 0;
+        execDirect(fn, operand);
+        break;
+      }
+    }
+    inExec_ = false;
+    if (errorFlag_ && haltOnError_)
+        state_ = CpuState::Halted;
+}
+
+void
+Transputer::execDirect(Fn fn, Word operand)
+{
+    const int64_t sop = shape_.toSigned(operand);
+    switch (fn) {
+      case Fn::J:
+        chargeCycles(cyc::direct(fn));
+        iptr_ = shape_.truncate(iptr_ + operand);
+        timesliceCheck(); // a descheduling point (section 3.2.4)
+        break;
+
+      case Fn::LDLP:
+        chargeCycles(cyc::direct(fn));
+        push(shape_.index(wptr_, sop));
+        break;
+
+      case Fn::LDNL:
+        chargeCycles(cyc::direct(fn));
+        areg_ = readWord(shape_.index(shape_.wordAlign(areg_), sop));
+        break;
+
+      case Fn::LDC:
+        chargeCycles(cyc::direct(fn));
+        push(operand);
+        break;
+
+      case Fn::LDNLP:
+        chargeCycles(cyc::direct(fn));
+        areg_ = shape_.index(areg_, sop);
+        break;
+
+      case Fn::LDL:
+        chargeCycles(cyc::direct(fn));
+        push(readWord(shape_.index(wptr_, sop)));
+        break;
+
+      case Fn::ADC: {
+        chargeCycles(cyc::direct(fn));
+        const int64_t r = shape_.toSigned(areg_) + sop;
+        if (overflows(shape_, r))
+            setError();
+        areg_ = shape_.truncate(static_cast<uint64_t>(r));
+        break;
+      }
+
+      case Fn::CALL: {
+        chargeCycles(cyc::direct(fn));
+        const Word w = shape_.index(wptr_, -4);
+        writeWord(shape_.index(w, 0), iptr_);
+        writeWord(shape_.index(w, 1), areg_);
+        writeWord(shape_.index(w, 2), breg_);
+        writeWord(shape_.index(w, 3), creg_);
+        areg_ = iptr_; // return address available to the callee
+        wptr_ = w;
+        iptr_ = shape_.truncate(iptr_ + operand);
+        break;
+      }
+
+      case Fn::CJ:
+        if (areg_ == 0) {
+            chargeCycles(cyc::direct(fn, true));
+            iptr_ = shape_.truncate(iptr_ + operand);
+        } else {
+            chargeCycles(cyc::direct(fn, false));
+            pop();
+        }
+        break;
+
+      case Fn::AJW:
+        chargeCycles(cyc::direct(fn));
+        wptr_ = shape_.index(wptr_, sop);
+        break;
+
+      case Fn::EQC:
+        chargeCycles(cyc::direct(fn));
+        areg_ = (areg_ == operand) ? 1 : 0;
+        break;
+
+      case Fn::STL:
+        chargeCycles(cyc::direct(fn));
+        writeWord(shape_.index(wptr_, sop), pop());
+        break;
+
+      case Fn::STNL: {
+        chargeCycles(cyc::direct(fn));
+        const Word addr = shape_.index(shape_.wordAlign(areg_), sop);
+        writeWord(addr, breg_);
+        areg_ = creg_;
+        break;
+      }
+
+      case Fn::PFIX:
+      case Fn::NFIX:
+      case Fn::OPR:
+        panic("prefix/opr reached execDirect");
+    }
+}
+
+void
+Transputer::execOp(Word operation)
+{
+    if (!isa::opDefined(operation))
+        fatal("{}: undefined operation #{} at iptr #{}", name_,
+              hexWord(operation, 4), hexWord(iptr_));
+    const Op op = static_cast<Op>(operation);
+    chargeCycles(cyc::op(op));
+    const int bits = shape_.bits;
+
+    switch (op) {
+      case Op::REV:
+        std::swap(areg_, breg_);
+        break;
+
+      case Op::LB:
+        areg_ = readByte(areg_);
+        break;
+
+      case Op::BSUB:
+        areg_ = shape_.truncate(areg_ + breg_);
+        breg_ = creg_;
+        break;
+
+      case Op::ENDP: {
+        // Areg points at the (successor Iptr, count) pair
+        const Word p = shape_.wordAlign(areg_);
+        const Word count = readWord(shape_.index(p, 1));
+        if (count == 1) {
+            // last component: continue as the successor process
+            wptr_ = p;
+            iptr_ = readWord(shape_.index(p, 0));
+        } else {
+            writeWord(shape_.index(p, 1), shape_.truncate(count - 1));
+            descheduleCurrent(false); // this component terminates
+        }
+        break;
+      }
+
+      case Op::DIFF:
+        areg_ = shape_.truncate(breg_ - areg_);
+        breg_ = creg_;
+        break;
+
+      case Op::ADD: {
+        const int64_t r = shape_.toSigned(breg_) + shape_.toSigned(areg_);
+        if (overflows(shape_, r))
+            setError();
+        areg_ = shape_.truncate(static_cast<uint64_t>(r));
+        breg_ = creg_;
+        break;
+      }
+
+      case Op::GCALL:
+        std::swap(areg_, iptr_);
+        break;
+
+      case Op::IN: {
+        const Word count = areg_, chan = breg_, ptr = creg_;
+        channelIn(count, chan, ptr);
+        break;
+      }
+
+      case Op::PROD:
+        chargeCycles(cyc::prod(areg_));
+        areg_ = shape_.truncate(static_cast<uint64_t>(breg_) *
+                                static_cast<uint64_t>(areg_));
+        breg_ = creg_;
+        break;
+
+      case Op::GT:
+        areg_ = shape_.toSigned(breg_) > shape_.toSigned(areg_) ? 1 : 0;
+        breg_ = creg_;
+        break;
+
+      case Op::WSUB:
+        areg_ = shape_.index(areg_, shape_.toSigned(breg_));
+        breg_ = creg_;
+        break;
+
+      case Op::OUT: {
+        const Word count = areg_, chan = breg_, ptr = creg_;
+        channelOut(count, chan, ptr);
+        break;
+      }
+
+      case Op::SUB: {
+        const int64_t r = shape_.toSigned(breg_) - shape_.toSigned(areg_);
+        if (overflows(shape_, r))
+            setError();
+        areg_ = shape_.truncate(static_cast<uint64_t>(r));
+        breg_ = creg_;
+        break;
+      }
+
+      case Op::STARTP: {
+        const Word w = shape_.wordAlign(areg_);
+        wsWrite(w, ws::iptr, shape_.truncate(iptr_ + breg_));
+        scheduleProcess(w | static_cast<Word>(pri_));
+        pop();
+        pop();
+        break;
+      }
+
+      case Op::OUTBYTE: {
+        // A = channel, B = byte value (the channel is loaded last)
+        const Word chan = areg_;
+        writeWord(wptr_, breg_ & 0xFF); // Wptr[0] is the byte buffer
+        channelOut(1, chan, wptr_);
+        break;
+      }
+
+      case Op::OUTWORD: {
+        const Word chan = areg_;
+        writeWord(wptr_, breg_);
+        channelOut(static_cast<Word>(shape_.bytes), chan, wptr_);
+        break;
+      }
+
+      case Op::SETERR:
+        setError();
+        break;
+
+      case Op::RESETCH: {
+        const Word chan = areg_;
+        if (ChannelPort *port = portFor(chan)) {
+            port->reset();
+            areg_ = notProcess();
+        } else {
+            areg_ = readWord(chan);
+            writeWord(chan, notProcess());
+        }
+        break;
+      }
+
+      case Op::CSUB0:
+        // A = limit, B = index: error unless index in [0, limit)
+        if (breg_ >= areg_)
+            setError();
+        areg_ = breg_;
+        breg_ = creg_;
+        break;
+
+      case Op::STOPP:
+        descheduleCurrent(true);
+        break;
+
+      case Op::LADD: {
+        const int64_t r = shape_.toSigned(breg_) +
+                          shape_.toSigned(areg_) +
+                          static_cast<int64_t>(creg_ & 1);
+        if (overflows(shape_, r))
+            setError();
+        areg_ = shape_.truncate(static_cast<uint64_t>(r));
+        break;
+      }
+
+      case Op::STLB:
+        bptr_[1] = shape_.wordAlign(areg_);
+        pop();
+        break;
+
+      case Op::STHF:
+        fptr_[0] = areg_ == notProcess() ? areg_
+                                         : shape_.wordAlign(areg_);
+        pop();
+        break;
+
+      case Op::NORM: {
+        // double word (hi = Breg, lo = Areg) shifted left until the
+        // top bit of hi is set; Creg receives the shift distance
+        uint64_t v = (static_cast<uint64_t>(breg_) << bits) | areg_;
+        int places = 0;
+        if (v == 0) {
+            places = 2 * bits;
+        } else {
+            const uint64_t top = uint64_t{1} << (2 * bits - 1);
+            while (!(v & top)) {
+                v <<= 1;
+                ++places;
+            }
+        }
+        chargeCycles(cyc::norm(places));
+        areg_ = shape_.truncate(v);
+        breg_ = shape_.truncate(v >> bits);
+        creg_ = shape_.truncate(static_cast<uint64_t>(places));
+        break;
+      }
+
+      case Op::LDIV: {
+        chargeCycles(cyc::ldiv(shape_));
+        // unsigned (Creg:Breg) / Areg -> quotient Areg, rem Breg
+        if (creg_ >= areg_) {
+            setError(); // quotient would not fit in a word
+            areg_ = 0;
+            breg_ = 0;
+        } else {
+            const uint64_t dividend =
+                (static_cast<uint64_t>(creg_) << bits) | breg_;
+            const uint64_t d = areg_;
+            areg_ = shape_.truncate(dividend / d);
+            breg_ = shape_.truncate(dividend % d);
+        }
+        break;
+      }
+
+      case Op::LDPI:
+        areg_ = shape_.truncate(iptr_ + areg_);
+        break;
+
+      case Op::STLF:
+        fptr_[1] = areg_ == notProcess() ? areg_
+                                         : shape_.wordAlign(areg_);
+        pop();
+        break;
+
+      case Op::XDBLE:
+        creg_ = breg_;
+        breg_ = shape_.isNeg(areg_) ? shape_.mask : 0;
+        break;
+
+      case Op::LDPRI:
+        push(static_cast<Word>(pri_));
+        break;
+
+      case Op::REM: {
+        chargeCycles(cyc::rem(shape_));
+        if (areg_ == 0 ||
+            (areg_ == shape_.mask && breg_ == shape_.mostNeg)) {
+            setError();
+            areg_ = 0;
+        } else {
+            const int64_t r = shape_.toSigned(breg_) %
+                              shape_.toSigned(areg_);
+            areg_ = shape_.truncate(static_cast<uint64_t>(r));
+        }
+        breg_ = creg_;
+        break;
+      }
+
+      case Op::RET:
+        iptr_ = readWord(wptr_);
+        wptr_ = shape_.index(wptr_, 4);
+        break;
+
+      case Op::LEND: {
+        // Breg -> control block {index, count}; Areg = bytes back
+        const Word ctrl = shape_.wordAlign(breg_);
+        const Word count =
+            shape_.truncate(readWord(shape_.index(ctrl, 1)) - 1);
+        writeWord(shape_.index(ctrl, 1), count);
+        if (shape_.toSigned(count) > 0) {
+            chargeCycles(5); // 10 total on the looping path
+            writeWord(ctrl,
+                      shape_.truncate(readWord(ctrl) + 1)); // index++
+            iptr_ = shape_.truncate(iptr_ - areg_);
+            timesliceCheck(); // a descheduling point
+        }
+        break;
+      }
+
+      case Op::LDTIMER:
+        push(clockReg(pri_));
+        break;
+
+      case Op::TESTERR:
+        push(errorFlag_ ? 0 : 1);
+        errorFlag_ = false;
+        break;
+
+      case Op::TESTPRANAL:
+        push(0);
+        break;
+
+      case Op::TIN: {
+        const Word t = areg_;
+        pop();
+        if (timeAfter(pri_, shape_.truncate(t + 1))) {
+            break; // already past
+        }
+        chargeCycles(22); // 30 total on the waiting path
+        wsWrite(wptr_, ws::time, shape_.truncate(t + 1));
+        timerInsert(pri_, wptr_, shape_.truncate(t + 1));
+        descheduleCurrent(true);
+        break;
+      }
+
+      case Op::DIV: {
+        chargeCycles(cyc::div(shape_));
+        if (areg_ == 0 ||
+            (areg_ == shape_.mask && breg_ == shape_.mostNeg)) {
+            setError();
+            areg_ = 0;
+        } else {
+            const int64_t q = shape_.toSigned(breg_) /
+                              shape_.toSigned(areg_);
+            areg_ = shape_.truncate(static_cast<uint64_t>(q));
+        }
+        breg_ = creg_;
+        break;
+      }
+
+      case Op::DIST: {
+        // A = offset, B = guard, C = time
+        const Word offset = areg_, guard = breg_, t = creg_;
+        bool fired = false;
+        if (guard != 0) {
+            const Word tlink = wsRead(wptr_, ws::tlink);
+            if (tlink != timeSet() && tlink != timeNotSet())
+                timerRemove(pri_, wptr_); // still on the timer queue
+            if (timeAfter(pri_, shape_.truncate(t + 1)) &&
+                readWord(wptr_) == noneSelected()) {
+                writeWord(wptr_, offset);
+                fired = true;
+            }
+        }
+        areg_ = fired ? 1 : 0;
+        breg_ = creg_;
+        break;
+      }
+
+      case Op::DISC: {
+        // A = offset, B = guard, C = channel
+        const Word offset = areg_, guard = breg_, chan = creg_;
+        bool ready = false;
+        if (guard != 0)
+            ready = disableChannel(chan);
+        bool fired = false;
+        if (ready && readWord(wptr_) == noneSelected()) {
+            writeWord(wptr_, offset);
+            fired = true;
+        }
+        areg_ = fired ? 1 : 0;
+        breg_ = creg_;
+        break;
+      }
+
+      case Op::DISS: {
+        // A = offset, B = guard
+        const Word offset = areg_, guard = breg_;
+        bool fired = false;
+        if (guard != 0 && readWord(wptr_) == noneSelected()) {
+            writeWord(wptr_, offset);
+            fired = true;
+        }
+        areg_ = fired ? 1 : 0;
+        breg_ = creg_;
+        break;
+      }
+
+      case Op::LMUL: {
+        chargeCycles(cyc::lmul(shape_));
+        const uint64_t r = static_cast<uint64_t>(breg_) *
+                           static_cast<uint64_t>(areg_) + creg_;
+        areg_ = shape_.truncate(r);
+        breg_ = shape_.truncate(r >> bits);
+        break;
+      }
+
+      case Op::NOT:
+        areg_ = shape_.truncate(~areg_);
+        break;
+
+      case Op::XOR:
+        areg_ = breg_ ^ areg_;
+        breg_ = creg_;
+        break;
+
+      case Op::BCNT:
+        areg_ = shape_.truncate(static_cast<uint64_t>(areg_) *
+                                shape_.bytes);
+        break;
+
+      case Op::LSHR: {
+        const Word count = areg_;
+        const int n = static_cast<int>(
+            std::min<Word>(count, static_cast<Word>(2 * bits)));
+        chargeCycles(cyc::longShift(static_cast<Word>(n)));
+        uint64_t v = (static_cast<uint64_t>(creg_) << bits) | breg_;
+        v = n >= 2 * bits ? 0 : v >> n;
+        areg_ = shape_.truncate(v);
+        breg_ = shape_.truncate(v >> bits);
+        break;
+      }
+
+      case Op::LSHL: {
+        const Word count = areg_;
+        const int n = static_cast<int>(
+            std::min<Word>(count, static_cast<Word>(2 * bits)));
+        chargeCycles(cyc::longShift(static_cast<Word>(n)));
+        uint64_t v = (static_cast<uint64_t>(creg_) << bits) | breg_;
+        v = n >= 2 * bits ? 0 : v << n;
+        if (bits < 32)
+            v &= (uint64_t{1} << (2 * bits)) - 1;
+        areg_ = shape_.truncate(v);
+        breg_ = shape_.truncate(v >> bits);
+        break;
+      }
+
+      case Op::LSUM: {
+        const uint64_t r = static_cast<uint64_t>(breg_) + areg_ +
+                           (creg_ & 1);
+        areg_ = shape_.truncate(r);
+        breg_ = shape_.truncate(r >> bits) & 1;
+        break;
+      }
+
+      case Op::LSUB: {
+        const int64_t r = shape_.toSigned(breg_) -
+                          shape_.toSigned(areg_) -
+                          static_cast<int64_t>(creg_ & 1);
+        if (overflows(shape_, r))
+            setError();
+        areg_ = shape_.truncate(static_cast<uint64_t>(r));
+        break;
+      }
+
+      case Op::RUNP: {
+        const Word w = areg_;
+        pop();
+        scheduleProcess(w);
+        break;
+      }
+
+      case Op::XWORD: {
+        // A = sign-bit power of two, B = part-word value
+        const Word power = areg_;
+        const Word mask = shape_.truncate(2 * power - 1);
+        Word v = breg_ & mask;
+        if (v & power)
+            v = shape_.truncate(v | ~mask);
+        areg_ = v;
+        breg_ = creg_;
+        break;
+      }
+
+      case Op::SB:
+        writeByte(areg_, static_cast<uint8_t>(breg_ & 0xFF));
+        pop();
+        pop();
+        break;
+
+      case Op::GAJW: {
+        const Word t = areg_;
+        areg_ = wptr_;
+        wptr_ = shape_.wordAlign(t);
+        break;
+      }
+
+      case Op::SAVEL:
+        writeWord(shape_.index(shape_.wordAlign(areg_), 0), fptr_[1]);
+        writeWord(shape_.index(shape_.wordAlign(areg_), 1), bptr_[1]);
+        pop();
+        break;
+
+      case Op::SAVEH:
+        writeWord(shape_.index(shape_.wordAlign(areg_), 0), fptr_[0]);
+        writeWord(shape_.index(shape_.wordAlign(areg_), 1), bptr_[0]);
+        pop();
+        break;
+
+      case Op::WCNT: {
+        const Word p = areg_;
+        creg_ = breg_;
+        breg_ = static_cast<Word>(shape_.byteSelect(p));
+        areg_ = shape_.truncate(static_cast<uint64_t>(
+            shape_.toSigned(p) >> shape_.byteSelectBits));
+        break;
+      }
+
+      case Op::SHR: {
+        const Word count = areg_;
+        const int n = static_cast<int>(
+            std::min<Word>(count, static_cast<Word>(2 * bits)));
+        chargeCycles(cyc::shift(static_cast<Word>(n)));
+        areg_ = n >= bits ? 0 : shape_.truncate(breg_ >> n);
+        breg_ = creg_;
+        break;
+      }
+
+      case Op::SHL: {
+        const Word count = areg_;
+        const int n = static_cast<int>(
+            std::min<Word>(count, static_cast<Word>(2 * bits)));
+        chargeCycles(cyc::shift(static_cast<Word>(n)));
+        areg_ = n >= bits
+                    ? 0
+                    : shape_.truncate(static_cast<uint64_t>(breg_)
+                                      << n);
+        breg_ = creg_;
+        break;
+      }
+
+      case Op::MINT:
+        push(shape_.mostNeg);
+        break;
+
+      case Op::ALT:
+        wsWrite(wptr_, ws::state, enabling());
+        break;
+
+      case Op::ALTWT:
+        writeWord(wptr_, noneSelected());
+        if (wsRead(wptr_, ws::state) == readyAlt())
+            break;
+        chargeCycles(12); // 17 total on the waiting path
+        wsWrite(wptr_, ws::state, waitingAlt());
+        descheduleCurrent(true);
+        break;
+
+      case Op::ALTEND:
+        iptr_ = shape_.truncate(iptr_ + readWord(wptr_));
+        break;
+
+      case Op::AND:
+        areg_ = breg_ & areg_;
+        breg_ = creg_;
+        break;
+
+      case Op::ENBT: {
+        // A = guard, B = time
+        const Word guard = areg_, t = breg_;
+        if (guard != 0) {
+            const Word tlink = wsRead(wptr_, ws::tlink);
+            if (tlink == timeNotSet()) {
+                wsWrite(wptr_, ws::tlink, timeSet());
+                wsWrite(wptr_, ws::time, t);
+            } else if (shape_.toSigned(shape_.truncate(
+                           t - wsRead(wptr_, ws::time))) < 0) {
+                wsWrite(wptr_, ws::time, t); // earlier deadline
+            }
+        }
+        breg_ = creg_;
+        break;
+      }
+
+      case Op::ENBC: {
+        // A = guard, B = channel
+        const Word guard = areg_, chan = breg_;
+        if (guard != 0)
+            enableChannel(chan);
+        breg_ = creg_;
+        break;
+      }
+
+      case Op::ENBS:
+        if (areg_ != 0)
+            wsWrite(wptr_, ws::state, readyAlt());
+        break;
+
+      case Op::MOVE: {
+        // A = count, B = destination, C = source
+        const Word count = areg_, dst = breg_, src = creg_;
+        chargeCycles(cyc::move(shape_, count));
+        lastInstrInterruptible_ = true;
+        copyMessage(dst, src, count);
+        pop();
+        pop();
+        pop();
+        break;
+      }
+
+      case Op::OR:
+        areg_ = breg_ | areg_;
+        breg_ = creg_;
+        break;
+
+      case Op::CSNGL: {
+        // A = lo, B = hi: check the pair is a sign-extended single
+        const Word expect = shape_.isNeg(areg_) ? shape_.mask : 0;
+        if (breg_ != expect)
+            setError();
+        breg_ = creg_;
+        break;
+      }
+
+      case Op::CCNT1:
+        // A = limit, B = count: error if count == 0 or count > limit
+        if (breg_ == 0 || breg_ > areg_)
+            setError();
+        areg_ = breg_;
+        breg_ = creg_;
+        break;
+
+      case Op::TALT:
+        wsWrite(wptr_, ws::state, enabling());
+        wsWrite(wptr_, ws::tlink, timeNotSet());
+        break;
+
+      case Op::LDIFF: {
+        const uint64_t bb = breg_, aa = areg_, borrow = creg_ & 1;
+        const uint64_t r = bb - aa - borrow;
+        areg_ = shape_.truncate(r);
+        breg_ = (bb < aa + borrow) ? 1 : 0;
+        break;
+      }
+
+      case Op::STHB:
+        bptr_[0] = shape_.wordAlign(areg_);
+        pop();
+        break;
+
+      case Op::TALTWT: {
+        writeWord(wptr_, noneSelected());
+        lastInstrInterruptible_ = true;
+        if (wsRead(wptr_, ws::state) == readyAlt())
+            break;
+        const Word tlink = wsRead(wptr_, ws::tlink);
+        if (tlink == timeSet()) {
+            const Word t = wsRead(wptr_, ws::time);
+            if (timeAfter(pri_, shape_.truncate(t + 1))) {
+                wsWrite(wptr_, ws::state, readyAlt());
+                break;
+            }
+            // queue on the timer list until the earliest deadline
+            wsWrite(wptr_, ws::time, shape_.truncate(t + 1));
+            timerInsert(pri_, wptr_, shape_.truncate(t + 1));
+        }
+        chargeCycles(10);
+        wsWrite(wptr_, ws::state, waitingAlt());
+        descheduleCurrent(true);
+        break;
+      }
+
+      case Op::SUM:
+        areg_ = shape_.truncate(breg_ + areg_);
+        breg_ = creg_;
+        break;
+
+      case Op::MUL: {
+        chargeCycles(cyc::mul(shape_));
+        const int64_t r = shape_.toSigned(breg_) * shape_.toSigned(areg_);
+        if (overflows(shape_, r))
+            setError();
+        areg_ = shape_.truncate(static_cast<uint64_t>(r));
+        breg_ = creg_;
+        break;
+      }
+
+      case Op::STTIMER:
+        timerBase_ = time_;
+        timerOffset_[0] = areg_;
+        timerOffset_[1] = areg_;
+        timersRunning_ = true;
+        pop();
+        break;
+
+      case Op::STOPERR:
+        if (errorFlag_)
+            descheduleCurrent(true);
+        break;
+
+      case Op::CWORD: {
+        // A = sign-bit power of two, B = value: error unless value
+        // representable in the part word
+        const int64_t a = shape_.toSigned(areg_);
+        const int64_t v = shape_.toSigned(breg_);
+        if (v >= a || v < -a)
+            setError();
+        areg_ = breg_;
+        breg_ = creg_;
+        break;
+      }
+
+      case Op::CLRHALTERR:
+        haltOnError_ = false;
+        break;
+
+      case Op::SETHALTERR:
+        haltOnError_ = true;
+        break;
+
+      case Op::TESTHALTERR:
+        push(haltOnError_ ? 1 : 0);
+        break;
+
+      case Op::DUP:
+        push(areg_);
+        break;
+    }
+}
+
+} // namespace transputer::core

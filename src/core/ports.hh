@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The boundary between the CPU core and external channels.
+ *
+ * The paper (section 3.2.10): input message / output message use the
+ * address of the channel to determine whether it is internal or
+ * external, so one instruction sequence works for both.  When the CPU
+ * decodes a reserved link (or event) address it forwards the request
+ * to the attached ChannelPort instead of running the memory-word
+ * protocol.  Link engines and peripherals implement this interface;
+ * they complete transfers in simulated time and wake the process via
+ * the owning Transputer's completion hooks.
+ */
+
+#ifndef TRANSPUTER_CORE_PORTS_HH
+#define TRANSPUTER_CORE_PORTS_HH
+
+#include "base/types.hh"
+
+namespace transputer::core
+{
+
+/** CPU-side view of one direction of an external channel. */
+class ChannelPort
+{
+  public:
+    virtual ~ChannelPort() = default;
+
+    /**
+     * A process executed an output on this channel and has been
+     * descheduled; transfer count bytes from memory at pointer, then
+     * wake wdesc via Transputer::completeOutput().
+     */
+    virtual void requestOutput(Word wdesc, Word pointer, Word count) = 0;
+
+    /**
+     * A process executed an input on this channel and has been
+     * descheduled; deposit count bytes at pointer, then wake wdesc
+     * via Transputer::completeInput().
+     */
+    virtual void requestInput(Word wdesc, Word pointer, Word count) = 0;
+
+    /**
+     * ALT support: a process is enabling this (input) channel.
+     * @return true if data is already waiting (guard ready now);
+     *         otherwise remember wdesc and call
+     *         Transputer::altReady(wdesc) when data arrives.
+     */
+    virtual bool enableInput(Word wdesc) = 0;
+
+    /**
+     * ALT support: the process is disabling this channel.
+     * Clears any waiter registered by enableInput.
+     * @return true if the guard is ready (data waiting).
+     */
+    virtual bool disableInput() = 0;
+
+    /** resetch was executed on this channel. */
+    virtual void reset() = 0;
+};
+
+} // namespace transputer::core
+
+#endif // TRANSPUTER_CORE_PORTS_HH

@@ -1,0 +1,423 @@
+#include "core/transputer.hh"
+
+#include <algorithm>
+#include <ostream>
+
+#include "base/format.hh"
+#include "isa/cycles.hh"
+
+namespace transputer::core
+{
+
+Transputer::Transputer(sim::EventQueue &queue, const Config &cfg,
+                       std::string name)
+    : name_(std::move(name)), cfg_(cfg), shape_(cfg.shape),
+      queue_(queue),
+      mem_(cfg.shape, cfg.onchipBytes, cfg.externalBytes,
+           cfg.externalWaits)
+{
+    fptr_[0] = fptr_[1] = notProcess();
+    bptr_[0] = bptr_[1] = notProcess();
+    wptr_ = notProcess();
+    eventWaiter_ = notProcess();
+    eventAltWaiter_ = notProcess();
+    // hardware reset leaves the channel control words empty
+    for (int i = 0; i < 4; ++i) {
+        mem_.writeWord(mem_.linkOutAddr(i), notProcess());
+        mem_.writeWord(mem_.linkInAddr(i), notProcess());
+    }
+    mem_.writeWord(mem_.eventAddr(), notProcess());
+    mem_.writeWord(mem_.tptrLocAddr(0), notProcess());
+    mem_.writeWord(mem_.tptrLocAddr(1), notProcess());
+}
+
+Word
+Transputer::wdesc() const
+{
+    if (wptr_ == notProcess())
+        return notProcess();
+    return wptr_ | static_cast<Word>(pri_);
+}
+
+void
+Transputer::attachOutputPort(int link, ChannelPort *port)
+{
+    TRANSPUTER_ASSERT(link >= 0 && link < 4);
+    outPorts_[link] = port;
+}
+
+void
+Transputer::attachInputPort(int link, ChannelPort *port)
+{
+    TRANSPUTER_ASSERT(link >= 0 && link < 4);
+    inPorts_[link] = port;
+}
+
+void
+Transputer::boot(Word iptr, Word wptr, int pri)
+{
+    TRANSPUTER_ASSERT(wptr_ == notProcess(), "already booted");
+    time_ = std::max(time_, queue_.now());
+    iptr_ = iptr;
+    wptr_ = shape_.wordAlign(wptr);
+    pri_ = pri;
+    areg_ = breg_ = creg_ = oreg_ = 0;
+    // a boot ROM would execute sttimer; do it for the program
+    timersRunning_ = true;
+    timerBase_ = time_;
+    timerOffset_[0] = timerOffset_[1] = 0;
+    sliceStartCycles_ = static_cast<int64_t>(cycles_);
+    state_ = CpuState::Running;
+    scheduleStep();
+}
+
+void
+Transputer::addProcess(Word iptr, Word wptr, int pri)
+{
+    const Word w = shape_.wordAlign(wptr);
+    wsWrite(w, ws::iptr, iptr);
+    scheduleProcess(w | static_cast<Word>(pri));
+}
+
+void
+Transputer::completeOutput(Word wdesc)
+{
+    scheduleProcess(wdesc);
+}
+
+void
+Transputer::completeInput(Word wdesc)
+{
+    scheduleProcess(wdesc);
+}
+
+void
+Transputer::altReady(Word wdesc)
+{
+    const Word w = shape_.wordAlign(wdesc);
+    const Word st = wsRead(w, ws::state);
+    if (st == readyAlt())
+        return;
+    wsWrite(w, ws::state, readyAlt());
+    if (st == waitingAlt())
+        scheduleProcess(wdesc);
+}
+
+void
+Transputer::eventSignal()
+{
+    if (eventWaiter_ != notProcess()) {
+        const Word w = eventWaiter_;
+        eventWaiter_ = notProcess();
+        scheduleProcess(w);
+    } else if (eventAltWaiter_ != notProcess()) {
+        const Word w = eventAltWaiter_;
+        ++eventPending_;
+        altReady(w);
+    } else {
+        ++eventPending_;
+    }
+}
+
+Word
+Transputer::clockReg(int pri) const
+{
+    return clockAt(pri, time_);
+}
+
+// ---------------------------------------------------------------------
+// event-loop integration
+// ---------------------------------------------------------------------
+
+void
+Transputer::scheduleStep()
+{
+    if (stepScheduled_)
+        return;
+    stepScheduled_ = true;
+    queue_.schedule(std::max(time_, queue_.now()),
+                    [this] { stepHandler(); });
+}
+
+void
+Transputer::stepHandler()
+{
+    stepScheduled_ = false;
+    if (state_ != CpuState::Running)
+        return;
+    int batch = 0;
+    while (state_ == CpuState::Running && batch < cfg_.maxBatch) {
+        if (preemptPending_)
+            serviceInterrupt();
+        if (state_ != CpuState::Running)
+            break;
+        // yield once local time passes the next pending event so the
+        // co-simulation stays exact; equality still executes (other
+        // agents' step events at the same tick would livelock us)
+        if (time_ > queue_.nextTime())
+            break;
+        executeOne();
+        ++batch;
+    }
+    if (state_ == CpuState::Running)
+        scheduleStep();
+}
+
+void
+Transputer::wakeIfIdle()
+{
+    if (state_ != CpuState::Idle)
+        return;
+    time_ = std::max(time_, queue_.now());
+    state_ = CpuState::Running;
+    pickNext();
+    if (state_ == CpuState::Running)
+        scheduleStep();
+}
+
+void
+Transputer::chargeCycles(int64_t n)
+{
+    cycles_ += static_cast<uint64_t>(n);
+    time_ += n * cfg_.cyclePeriod;
+}
+
+void
+Transputer::setError()
+{
+    errorFlag_ = true;
+}
+
+// ---------------------------------------------------------------------
+// evaluation stack and memory helpers
+// ---------------------------------------------------------------------
+
+void
+Transputer::push(Word v)
+{
+    creg_ = breg_;
+    breg_ = areg_;
+    areg_ = v;
+}
+
+Word
+Transputer::pop()
+{
+    const Word v = areg_;
+    areg_ = breg_;
+    breg_ = creg_;
+    return v;
+}
+
+Word
+Transputer::readWord(Word addr)
+{
+    chargeCycles(mem_.accessWaits(addr));
+    return mem_.readWord(addr);
+}
+
+void
+Transputer::writeWord(Word addr, Word v)
+{
+    chargeCycles(mem_.accessWaits(addr));
+    mem_.writeWord(addr, v);
+}
+
+uint8_t
+Transputer::readByte(Word addr)
+{
+    chargeCycles(mem_.accessWaits(addr));
+    return mem_.readByte(addr);
+}
+
+void
+Transputer::writeByte(Word addr, uint8_t v)
+{
+    chargeCycles(mem_.accessWaits(addr));
+    mem_.writeByte(addr, v);
+}
+
+Word
+Transputer::wsRead(Word wptr, int slot)
+{
+    return readWord(shape_.index(wptr, slot));
+}
+
+void
+Transputer::wsWrite(Word wptr, int slot, Word v)
+{
+    writeWord(shape_.index(wptr, slot), v);
+}
+
+// ---------------------------------------------------------------------
+// scheduler (paper section 3.2.4, Figure 3)
+// ---------------------------------------------------------------------
+
+void
+Transputer::enqueueProcess(Word wdesc)
+{
+    const int p = static_cast<int>(wdesc & 1);
+    const Word w = shape_.wordAlign(wdesc);
+    if (fptr_[p] == notProcess()) {
+        fptr_[p] = w;
+        bptr_[p] = w;
+    } else {
+        wsWrite(bptr_[p], ws::link, w);
+        bptr_[p] = w;
+    }
+}
+
+void
+Transputer::scheduleProcess(Word wdesc)
+{
+    enqueueProcess(wdesc);
+    const int p = static_cast<int>(wdesc & 1);
+    if (state_ == CpuState::Idle) {
+        wakeIfIdle();
+    } else if (state_ == CpuState::Running && p == 0 && pri_ == 1 &&
+               !preemptPending_) {
+        preemptPending_ = true;
+        // a wake caused by the CPU's own instruction (runp/startp of a
+        // high-priority descriptor) is "ready" at CPU time; an
+        // external wake (link/timer event) is ready at the event time.
+        hpReadyTick_ = inExec_ ? time_ : queue_.now();
+    }
+}
+
+void
+Transputer::descheduleCurrent(bool save_iptr)
+{
+    TRANSPUTER_ASSERT(wptr_ != notProcess());
+    if (save_iptr)
+        wsWrite(wptr_, ws::iptr, iptr_);
+    wptr_ = notProcess();
+    pickNext();
+}
+
+void
+Transputer::timesliceCheck()
+{
+    if (pri_ != 1 || wptr_ == notProcess())
+        return;
+    if (static_cast<int64_t>(cycles_) - sliceStartCycles_ <
+        cfg_.timesliceCycles)
+        return;
+    if (fptr_[1] == notProcess())
+        return; // nobody else to run
+    // move to the back of the low-priority list
+    wsWrite(wptr_, ws::iptr, iptr_);
+    enqueueProcess(wptr_ | 1u);
+    wptr_ = notProcess();
+    chargeCycles(isa::cycles::contextSwitch);
+    pickNext();
+}
+
+void
+Transputer::pickNext()
+{
+    TRANSPUTER_ASSERT(wptr_ == notProcess());
+    if (fptr_[0] != notProcess()) {
+        const Word w = fptr_[0];
+        fptr_[0] = (w == bptr_[0]) ? notProcess()
+                                   : wsRead(w, ws::link);
+        wptr_ = w;
+        pri_ = 0;
+        iptr_ = wsRead(w, ws::iptr);
+        state_ = CpuState::Running;
+        return;
+    }
+    if (lowSaved_) {
+        restoreLowContext();
+        return;
+    }
+    if (fptr_[1] != notProcess()) {
+        const Word w = fptr_[1];
+        fptr_[1] = (w == bptr_[1]) ? notProcess()
+                                   : wsRead(w, ws::link);
+        wptr_ = w;
+        pri_ = 1;
+        iptr_ = wsRead(w, ws::iptr);
+        sliceStartCycles_ = static_cast<int64_t>(cycles_);
+        state_ = CpuState::Running;
+        return;
+    }
+    state_ = CpuState::Idle;
+}
+
+void
+Transputer::serviceInterrupt()
+{
+    preemptPending_ = false;
+    if (pri_ != 1 || wptr_ == notProcess() || fptr_[0] == notProcess())
+        return;
+    // If the instruction that overlapped the wake was interruptible,
+    // the architectural switch began at the wake point and the
+    // displaced tail of the instruction is repaid when the
+    // low-priority process resumes (paper section 3.2.4).
+    Tick arch_switch_done;
+    const Tick cp = cfg_.cyclePeriod;
+    if (lastInstrInterruptible_ && hpReadyTick_ >= lastInstrStart_ &&
+        hpReadyTick_ <= time_) {
+        arch_switch_done =
+            hpReadyTick_ + isa::cycles::switchLowToHigh * cp;
+        lowDebtTicks_ += time_ - hpReadyTick_;
+    } else {
+        arch_switch_done = time_ + isa::cycles::switchLowToHigh * cp;
+    }
+    chargeCycles(isa::cycles::switchLowToHigh);
+    preemptLatency_.add(
+        static_cast<double>(arch_switch_done - hpReadyTick_) /
+        static_cast<double>(cp));
+    saveLowContext();
+    wptr_ = notProcess();
+    pickNext();
+    TRANSPUTER_ASSERT(pri_ == 0);
+}
+
+void
+Transputer::saveLowContext()
+{
+    TRANSPUTER_ASSERT(!lowSaved_);
+    writeWord(mem_.intSaveAddr(0), wdesc());
+    writeWord(mem_.intSaveAddr(1), iptr_);
+    writeWord(mem_.intSaveAddr(2), areg_);
+    writeWord(mem_.intSaveAddr(3), breg_);
+    writeWord(mem_.intSaveAddr(4), creg_);
+    writeWord(mem_.intSaveAddr(5), oreg_);
+    writeWord(mem_.intSaveAddr(6), errorFlag_ ? 1 : 0);
+    oreg_ = 0;
+    lowSaved_ = true;
+}
+
+void
+Transputer::restoreLowContext()
+{
+    TRANSPUTER_ASSERT(lowSaved_);
+    lowSaved_ = false;
+    const Word saved = readWord(mem_.intSaveAddr(0));
+    wptr_ = shape_.wordAlign(saved);
+    pri_ = 1;
+    iptr_ = readWord(mem_.intSaveAddr(1));
+    areg_ = readWord(mem_.intSaveAddr(2));
+    breg_ = readWord(mem_.intSaveAddr(3));
+    creg_ = readWord(mem_.intSaveAddr(4));
+    oreg_ = readWord(mem_.intSaveAddr(5));
+    errorFlag_ = readWord(mem_.intSaveAddr(6)) != 0;
+    chargeCycles(isa::cycles::switchHighToLow);
+    // the repaid debt is the tail of an interrupted interruptible
+    // instruction: a further high-priority wake landing inside it
+    // must still see the low switch latency, not the whole tail
+    if (lowDebtTicks_ > 0) {
+        lastInstrStart_ = time_;
+        lastInstrInterruptible_ = true;
+        time_ += lowDebtTicks_;
+        lowDebtTicks_ = 0;
+    }
+    // NB: the timeslice clock is NOT reset here -- the slice period
+    // is wall-clock time, so time spent interrupted still counts
+    // against the resumed process (otherwise frequent interrupts
+    // would starve the other low-priority processes of rotation)
+    state_ = CpuState::Running;
+}
+
+} // namespace transputer::core

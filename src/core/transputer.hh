@@ -1,0 +1,324 @@
+/**
+ * @file
+ * The transputer CPU core (paper section 3).
+ *
+ * Implements the I1 instruction set on the six-register machine of
+ * Figure 2 (Wptr, Iptr, Oreg and the A/B/C evaluation stack), the
+ * microcoded two-priority process scheduler of section 3.2.4 and
+ * Figure 3, internal channels, the ALT mechanism, and the two
+ * incrementing-clock timers of section 2.2.2.  External channels
+ * (links and the event pin) are delegated to attached ChannelPorts.
+ *
+ * Timing: the CPU owns a local clock (in simulation ticks) advanced
+ * by the per-instruction costs in isa/cycles.hh.  It participates in
+ * the network's discrete-event co-simulation by executing batches of
+ * instructions between queue events and never running past the next
+ * pending event by more than one instruction; long instructions
+ * (block move / message transfers) are interruptible, so a
+ * high-priority wake during one is honoured from the wake point and
+ * the displaced low-priority cycles are repaid on resumption -- this
+ * is how the paper's 58-cycle latency bound arises.
+ */
+
+#ifndef TRANSPUTER_CORE_TRANSPUTER_HH
+#define TRANSPUTER_CORE_TRANSPUTER_HH
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "base/stats.hh"
+#include "base/types.hh"
+#include "isa/opcodes.hh"
+#include "mem/memory.hh"
+#include "core/ports.hh"
+#include "sim/event_queue.hh"
+
+namespace transputer::core
+{
+
+/** Workspace slot offsets below Wptr (section 3.2.4). */
+namespace ws
+{
+constexpr int iptr = -1;    ///< saved instruction pointer
+constexpr int link = -2;    ///< next process on a scheduling list
+constexpr int state = -3;   ///< ALT state / saved buffer pointer
+constexpr int tlink = -4;   ///< timer queue link
+constexpr int time = -5;    ///< timer wake-up time
+} // namespace ws
+
+/** Static configuration of one transputer part. */
+struct Config
+{
+    WordShape shape = word32;      ///< 32-bit (T424) or 16-bit (T222)
+    Word onchipBytes = 4096;       ///< T424: 4 KB on-chip RAM
+    Word externalBytes = 0;        ///< off-chip RAM above on-chip
+    int externalWaits = 3;         ///< extra cycles per off-chip access
+    Tick cyclePeriod = 50;         ///< ns per processor cycle (20 MHz)
+    int64_t timesliceCycles = 20480; ///< ~1 ms low-priority timeslice
+    int maxBatch = 8192;           ///< instructions per event-loop turn
+};
+
+/** Execution state of the whole part. */
+enum class CpuState
+{
+    Idle,    ///< no runnable process; waiting for an external wake
+    Running, ///< executing instructions
+    Halted,  ///< stopped by error with halt-on-error set
+};
+
+/**
+ * One transputer: processor + memory + scheduler + timers, with up to
+ * four links and an event pin attached via ChannelPorts.
+ */
+class Transputer
+{
+  public:
+    Transputer(sim::EventQueue &queue, const Config &cfg,
+               std::string name = "tp");
+
+    const std::string &name() const { return name_; }
+    const WordShape &shape() const { return shape_; }
+    const Config &config() const { return cfg_; }
+    mem::Memory &memory() { return mem_; }
+    const mem::Memory &memory() const { return mem_; }
+    sim::EventQueue &queue() { return queue_; }
+
+    /** @name Setup */
+    ///@{
+    /** Attach the output side of link n (0..3). */
+    void attachOutputPort(int link, ChannelPort *port);
+    /** Attach the input side of link n (0..3). */
+    void attachInputPort(int link, ChannelPort *port);
+    /** True if link n's input side has an attached wire. */
+    bool
+    hasInputPort(int link) const
+    {
+        return inPorts_[static_cast<size_t>(link)] != nullptr;
+    }
+
+    /**
+     * Make (iptr, wptr) the current process and start executing.
+     * Also starts the timers (as a boot ROM would via sttimer).
+     */
+    void boot(Word iptr, Word wptr, int pri = 1);
+
+    /** Add a further ready process to a scheduling list. */
+    void addProcess(Word iptr, Word wptr, int pri = 1);
+    ///@}
+
+    /** @name Link/peripheral completion hooks (called by ports) */
+    ///@{
+    /** An output transfer finished; wake the producing process. */
+    void completeOutput(Word wdesc);
+    /** An input transfer finished; wake the consuming process. */
+    void completeInput(Word wdesc);
+    /** Data arrived for a process ALT-waiting on an external channel. */
+    void altReady(Word wdesc);
+    /** Pulse the event pin (section 2.2.2's external stimulus). */
+    void eventSignal();
+    ///@}
+
+    /** @name Observation */
+    ///@{
+    CpuState state() const { return state_; }
+    bool idle() const { return state_ == CpuState::Idle; }
+    bool halted() const { return state_ == CpuState::Halted; }
+    Word areg() const { return areg_; }
+    Word breg() const { return breg_; }
+    Word creg() const { return creg_; }
+    Word oreg() const { return oreg_; }
+    Word iptr() const { return iptr_; }
+    /** Word-aligned workspace pointer of the current process. */
+    Word wptr() const { return wptr_; }
+    /** Process descriptor (Wptr | priority) or NotProcess. */
+    Word wdesc() const;
+    int priority() const { return pri_; }
+    bool errorFlag() const { return errorFlag_; }
+    bool haltOnError() const { return haltOnError_; }
+    Tick localTime() const { return time_; }
+    uint64_t cycles() const { return cycles_; }
+    uint64_t instructions() const { return instructions_; }
+    Word notProcess() const { return shape_.mostNeg; }
+
+    /** Dynamic per-opcode execution counts (for the MIPS bench). */
+    const std::array<uint64_t, 16> &fnCounts() const { return fnCounts_; }
+
+    /**
+     * Latency samples, in cycles, from a high-priority process
+     * becoming ready while low-priority code runs to its first
+     * instruction issuing (the paper's "interrupt latency").
+     */
+    Distribution &preemptLatency() { return preemptLatency_; }
+
+    /** Stream to trace every executed instruction to (nullptr: off). */
+    void setTrace(std::ostream *os) { trace_ = os; }
+    ///@}
+
+    /** @name Architectural constants (word-shape dependent) */
+    ///@{
+    Word enabling() const { return shape_.truncate(shape_.mostNeg + 1); }
+    Word waitingAlt() const { return shape_.truncate(shape_.mostNeg + 2); }
+    Word readyAlt() const { return shape_.truncate(shape_.mostNeg + 3); }
+    Word timeSet() const { return shape_.truncate(shape_.mostNeg + 1); }
+    Word timeNotSet() const { return shape_.truncate(shape_.mostNeg + 2); }
+    Word noneSelected() const { return shape_.mask; } // -1
+    ///@}
+
+    /** Read the priority-pri clock register (1 us / 64 us ticks). */
+    Word clockReg(int pri) const;
+
+  private:
+    friend class ExecContext;
+
+    /** @name Event-loop integration */
+    ///@{
+    void scheduleStep();
+    void stepHandler();
+    void executeOne();
+    void wakeIfIdle();
+    ///@}
+
+    /** @name Instruction execution (exec.cc) */
+    ///@{
+    uint8_t fetchByte();
+    void execDirect(isa::Fn fn, Word operand);
+    void execOp(Word operation);
+    ///@}
+
+    /** @name Evaluation stack */
+    ///@{
+    void push(Word v);
+    Word pop();
+    ///@}
+
+    /** @name Memory helpers (charge wait states) */
+    ///@{
+    Word readWord(Word addr);
+    void writeWord(Word addr, Word v);
+    uint8_t readByte(Word addr);
+    void writeByte(Word addr, uint8_t v);
+    /** Read a below-workspace slot of a process. */
+    Word wsRead(Word wptr, int slot);
+    void wsWrite(Word wptr, int slot, Word v);
+    ///@}
+
+    /** @name Scheduler (scheduler.cc) */
+    ///@{
+    void enqueueProcess(Word wdesc);
+    /** runp semantics: enqueue, preempt or wake as appropriate. */
+    void scheduleProcess(Word wdesc);
+    /** Save Iptr (optionally) and switch to the next ready process. */
+    void descheduleCurrent(bool save_iptr);
+    /** Timeslice check at j/lend descheduling points. */
+    void timesliceCheck();
+    void pickNext();
+    void serviceInterrupt();
+    void saveLowContext();
+    void restoreLowContext();
+    void chargeCycles(int64_t n);
+    void setError();
+    ///@}
+
+    /** @name Channels (channel.cc) */
+    ///@{
+    /** Port index for a reserved channel address, or -1 if internal. */
+    int portIndexFor(Word chan_addr) const;
+    ChannelPort *portFor(Word chan_addr) const;
+    bool isEventChannel(Word chan_addr) const;
+    void channelIn(Word count, Word chan, Word ptr);
+    void channelOut(Word count, Word chan, Word ptr);
+    void internalIn(Word count, Word chan, Word ptr);
+    void internalOut(Word count, Word chan, Word ptr);
+    void copyMessage(Word dst, Word src, Word count);
+    void enableChannel(Word chan);
+    bool disableChannel(Word chan);
+    void eventIn();
+    bool enableEvent();
+    bool disableEvent();
+    ///@}
+
+    /** @name Timers (timer.cc) */
+    ///@{
+    /** Clock value at an absolute tick for a priority. */
+    Word clockAt(int pri, Tick t) const;
+    /** Earliest tick at which clockReg(pri) reaches time value tv. */
+    Tick tickFor(int pri, Word tv) const;
+    /** True if clock has reached (AFTER-or-at) time value tv. */
+    bool timeAfter(int pri, Word tv) const;
+    void timerInsert(int pri, Word wptr, Word tv);
+    void timerRemove(int pri, Word wptr);
+    void timerExpire();
+    void armTimerEvent();
+    ///@}
+
+    const std::string name_;
+    const Config cfg_;
+    const WordShape shape_;
+    sim::EventQueue &queue_;
+    mem::Memory mem_;
+
+    // register file (Figure 2)
+    Word iptr_ = 0;
+    Word wptr_ = 0;       ///< word-aligned; NotProcess when no process
+    Word areg_ = 0, breg_ = 0, creg_ = 0, oreg_ = 0;
+    int pri_ = 1;
+
+    // scheduling lists (Figure 3): front/back per priority
+    Word fptr_[2], bptr_[2];
+
+    // error handling
+    bool errorFlag_ = false;
+    bool haltOnError_ = false;
+
+    // timers
+    bool timersRunning_ = false;
+    Tick timerBase_ = 0;       ///< tick at which sttimer ran
+    Word timerOffset_[2] = {0, 0};
+    sim::EventId timerEvent_ = sim::invalidEventId;
+
+    // interrupted low-priority process (shadow registers live in the
+    // reserved memory save area; this flag says they are valid)
+    bool lowSaved_ = false;
+    Tick lowDebtTicks_ = 0;    ///< interrupted-instruction tail to repay
+
+    // instruction fetch buffer (word-granular off-chip fetch)
+    Word lastFetchWord_ = 0xFFFFFFFFu;
+
+    // preemption bookkeeping
+    bool inExec_ = false;      ///< inside executeOne (for wake timing)
+    bool preemptPending_ = false;
+    Tick hpReadyTick_ = 0;
+    Tick lastInstrStart_ = 0;
+    bool lastInstrInterruptible_ = false;
+
+    // event-loop state
+    CpuState state_ = CpuState::Idle;
+    bool stepScheduled_ = false;
+    Tick time_ = 0;
+    uint64_t cycles_ = 0;
+    uint64_t instructions_ = 0;
+    int64_t sliceStartCycles_ = 0;
+
+    // external channels: out 0..3, in 0..3
+    std::array<ChannelPort *, 4> outPorts_{};
+    std::array<ChannelPort *, 4> inPorts_{};
+
+    // event pin channel
+    int eventPending_ = 0;
+    Word eventWaiter_;         ///< wdesc blocked on event, or NotProcess
+    Word eventAltWaiter_;      ///< wdesc ALT-enabled on event
+    bool eventInAlt_ = false;
+
+    // statistics
+    std::array<uint64_t, 16> fnCounts_{};
+    Distribution preemptLatency_;
+
+    std::ostream *trace_ = nullptr;
+};
+
+} // namespace transputer::core
+
+#endif // TRANSPUTER_CORE_TRANSPUTER_HH

@@ -1,0 +1,79 @@
+#include "isa/disasm.hh"
+
+#include <sstream>
+
+#include "base/format.hh"
+#include "isa/encoding.hh"
+
+namespace transputer::isa
+{
+
+namespace
+{
+
+std::string
+renderOperand(const WordShape &shape, Word operand)
+{
+    const int64_t sv = shape.toSigned(operand);
+    if (sv >= -4096 && sv <= 4096)
+        return fmt("{}", sv);
+    return fmt("#{}", hexWord(operand, shape.bytes * 2));
+}
+
+std::string
+render(const Decoded &d, Word next_addr, const WordShape &shape)
+{
+    if (d.isOperation) {
+        if (opDefined(d.operand))
+            return std::string(opName(static_cast<Op>(d.operand)));
+        return fmt("opr {}", renderOperand(shape, d.operand));
+    }
+    if (d.fn == Fn::J || d.fn == Fn::CJ || d.fn == Fn::CALL) {
+        // render relative target as an absolute address too
+        const Word target = shape.truncate(next_addr + d.operand);
+        return fmt("{} {}  ; -> #{}", fnName(d.fn),
+                   renderOperand(shape, d.operand),
+                   hexWord(target, shape.bytes * 2));
+    }
+    return fmt("{} {}", fnName(d.fn), renderOperand(shape, d.operand));
+}
+
+} // namespace
+
+std::vector<DisasmLine>
+disassemble(const uint8_t *bytes, size_t size, Word base,
+            const WordShape &shape)
+{
+    std::vector<DisasmLine> lines;
+    size_t pos = 0;
+    while (pos < size) {
+        const Decoded d = decode(bytes, size, pos, shape);
+        DisasmLine line;
+        line.address = shape.truncate(base + pos);
+        line.raw.assign(bytes + pos, bytes + pos + d.length);
+        const Word next = shape.truncate(base + pos + d.length);
+        line.text = render(d, next, shape);
+        lines.push_back(std::move(line));
+        pos += d.length;
+    }
+    return lines;
+}
+
+std::string
+listing(const std::vector<DisasmLine> &lines)
+{
+    std::ostringstream os;
+    for (const auto &l : lines) {
+        os << hexWord(l.address) << "  ";
+        std::string raw;
+        for (uint8_t b : l.raw)
+            raw += hexWord(b, 2) + " ";
+        os << raw;
+        for (size_t i = raw.size(); i < 16; ++i)
+            os << ' ';
+        os << ' ' << l.text << '\n';
+    }
+    return os.str();
+}
+
+} // namespace transputer::isa

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Disassembler for I1 byte streams.
+ *
+ * Prefix chains are folded into a single listed instruction with the
+ * accumulated operand, the way a programmer reads transputer code;
+ * the raw bytes of the chain are shown alongside.
+ */
+
+#ifndef TRANSPUTER_ISA_DISASM_HH
+#define TRANSPUTER_ISA_DISASM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+#include "isa/opcodes.hh"
+
+namespace transputer::isa
+{
+
+/** One disassembled instruction. */
+struct DisasmLine
+{
+    Word address;              ///< address of the first (prefix) byte
+    std::vector<uint8_t> raw;  ///< raw bytes incl. prefixes
+    std::string text;          ///< e.g. "ldc 0x754" or "opr add"
+};
+
+/**
+ * Disassemble a byte range.
+ * @param base address of bytes[0] (used for the listing and for
+ *        rendering jump targets as absolute addresses).
+ */
+std::vector<DisasmLine> disassemble(const uint8_t *bytes, size_t size,
+                                    Word base, const WordShape &shape);
+
+/** Render a full listing, one instruction per line. */
+std::string listing(const std::vector<DisasmLine> &lines);
+
+} // namespace transputer::isa
+
+#endif // TRANSPUTER_ISA_DISASM_HH

@@ -1,0 +1,83 @@
+#include "isa/encoding.hh"
+
+#include "base/logging.hh"
+
+namespace transputer::isa
+{
+
+namespace
+{
+
+/**
+ * The classic recursive prefixing algorithm: positive residues chain
+ * through pfix, negative ones through nfix on the complement.
+ */
+void
+emitPrefixed(std::vector<uint8_t> &out, Fn fn, int64_t e)
+{
+    if (e >= 0 && e < 16) {
+        out.push_back(instructionByte(fn, static_cast<uint8_t>(e)));
+    } else if (e >= 16) {
+        emitPrefixed(out, Fn::PFIX, e >> 4);
+        out.push_back(instructionByte(fn, static_cast<uint8_t>(e & 0xF)));
+    } else {
+        emitPrefixed(out, Fn::NFIX, (~e) >> 4);
+        out.push_back(instructionByte(fn, static_cast<uint8_t>(e & 0xF)));
+    }
+}
+
+} // namespace
+
+int
+emit(std::vector<uint8_t> &out, Fn fn, int64_t operand)
+{
+    const size_t before = out.size();
+    emitPrefixed(out, fn, operand);
+    return static_cast<int>(out.size() - before);
+}
+
+int
+emitOp(std::vector<uint8_t> &out, Op op)
+{
+    return emit(out, Fn::OPR, static_cast<int64_t>(op));
+}
+
+int
+encodedLength(int64_t operand)
+{
+    std::vector<uint8_t> tmp;
+    return emit(tmp, Fn::LDC, operand);
+}
+
+int
+encodedOpLength(Op op)
+{
+    std::vector<uint8_t> tmp;
+    return emitOp(tmp, op);
+}
+
+Decoded
+decode(const uint8_t *bytes, size_t size, size_t pos,
+       const WordShape &shape)
+{
+    Word oreg = 0;
+    const size_t start = pos;
+    while (true) {
+        if (pos >= size)
+            panic("decode ran off the end of the byte stream");
+        const uint8_t b = bytes[pos++];
+        const Fn fn = static_cast<Fn>(b >> 4);
+        const Word data = b & 0x0F;
+        if (fn == Fn::PFIX) {
+            oreg = shape.truncate((oreg | data) << 4);
+        } else if (fn == Fn::NFIX) {
+            oreg = shape.truncate(~(oreg | data) << 4);
+        } else {
+            oreg = shape.truncate(oreg | data);
+            return Decoded{fn, oreg, static_cast<int>(pos - start),
+                           fn == Fn::OPR};
+        }
+    }
+}
+
+} // namespace transputer::isa

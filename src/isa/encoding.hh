@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Instruction encoding: operand prefixing (paper section 3.2.7).
+ *
+ * pfix loads its 4 data bits into the operand register and shifts it
+ * up four places; nfix additionally complements it first.  Any signed
+ * operand can therefore be built as a chain of prefixes followed by
+ * the final instruction byte, independent of the word length.  The
+ * encoder here always produces the canonical minimal chain the paper
+ * describes (operands -256..255 need at most one prefix byte).
+ */
+
+#ifndef TRANSPUTER_ISA_ENCODING_HH
+#define TRANSPUTER_ISA_ENCODING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/types.hh"
+#include "isa/opcodes.hh"
+
+namespace transputer::isa
+{
+
+/**
+ * Append the minimal prefix chain + instruction for fn with the given
+ * signed operand to out.
+ * @return the number of bytes emitted.
+ */
+int emit(std::vector<uint8_t> &out, Fn fn, int64_t operand);
+
+/** Append an indirect operation (OPR, prefixing as needed). */
+int emitOp(std::vector<uint8_t> &out, Op op);
+
+/** Number of bytes emit() would produce for this operand. */
+int encodedLength(int64_t operand);
+
+/** Number of bytes emitOp() would produce. */
+int encodedOpLength(Op op);
+
+/**
+ * One decoded instruction: the final function byte plus the operand
+ * accumulated through any preceding prefixes.
+ */
+struct Decoded
+{
+    Fn fn;             ///< function code of the final byte
+    Word operand;      ///< full accumulated operand (word-masked)
+    int length;        ///< bytes consumed, including prefixes
+    bool isOperation;  ///< true if fn == OPR and the operand is an Op
+};
+
+/**
+ * Decode one complete instruction (prefix chain included) starting at
+ * position pos of the byte stream.  The operand accumulates into a
+ * word of the given shape, mirroring the hardware's operand register.
+ */
+Decoded decode(const uint8_t *bytes, size_t size, size_t pos,
+               const WordShape &shape);
+
+} // namespace transputer::isa
+
+#endif // TRANSPUTER_ISA_ENCODING_HH

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * The I1 instruction set (paper section 3.2).
+ *
+ * Every instruction is one byte: a 4-bit function code and a 4-bit
+ * data value (Figure 4).  Thirteen function codes are direct
+ * functions; pfix/nfix extend operands to any length (section 3.2.7);
+ * the sixteenth, opr, interprets its operand as an operation on the
+ * evaluation stack (section 3.2.8).  Operation encodings follow the
+ * historical T414 numbering so that the most frequent operations fit
+ * without a prefix and nothing needs more than one.
+ */
+
+#ifndef TRANSPUTER_ISA_OPCODES_HH
+#define TRANSPUTER_ISA_OPCODES_HH
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace transputer::isa
+{
+
+/** The sixteen function codes (high nibble of every instruction). */
+enum class Fn : uint8_t
+{
+    J     = 0x0,  ///< jump (relative; descheduling point)
+    LDLP  = 0x1,  ///< load local pointer
+    PFIX  = 0x2,  ///< prefix
+    LDNL  = 0x3,  ///< load non-local
+    LDC   = 0x4,  ///< load constant
+    LDNLP = 0x5,  ///< load non-local pointer
+    NFIX  = 0x6,  ///< negative prefix
+    LDL   = 0x7,  ///< load local
+    ADC   = 0x8,  ///< add constant (checked)
+    CALL  = 0x9,  ///< call
+    CJ    = 0xA,  ///< conditional jump
+    AJW   = 0xB,  ///< adjust workspace
+    EQC   = 0xC,  ///< equals constant
+    STL   = 0xD,  ///< store local
+    STNL  = 0xE,  ///< store non-local
+    OPR   = 0xF,  ///< operate (indirect functions)
+};
+
+/** Indirect operations (operand of OPR), T414 numbering. */
+enum class Op : uint16_t
+{
+    REV         = 0x00, ///< reverse top of stack
+    LB          = 0x01, ///< load byte
+    BSUB        = 0x02, ///< byte subscript
+    ENDP        = 0x03, ///< end process (PAR join)
+    DIFF        = 0x04, ///< unchecked subtract
+    ADD         = 0x05, ///< checked add
+    GCALL       = 0x06, ///< general call (swap Areg and Iptr)
+    IN          = 0x07, ///< input message
+    PROD        = 0x08, ///< unchecked multiply (log-time)
+    GT          = 0x09, ///< signed greater-than
+    WSUB        = 0x0A, ///< word subscript
+    OUT         = 0x0B, ///< output message
+    SUB         = 0x0C, ///< checked subtract
+    STARTP      = 0x0D, ///< start process
+    OUTBYTE     = 0x0E, ///< output single byte
+    OUTWORD     = 0x0F, ///< output single word
+    SETERR      = 0x10, ///< set error flag
+    RESETCH     = 0x12, ///< reset channel
+    CSUB0       = 0x13, ///< check subscript from 0
+    STOPP       = 0x15, ///< stop process
+    LADD        = 0x16, ///< long add (with carry in)
+    STLB        = 0x17, ///< store low-priority queue back pointer
+    STHF        = 0x18, ///< store high-priority queue front pointer
+    NORM        = 0x19, ///< normalise double word
+    LDIV        = 0x1A, ///< long divide
+    LDPI        = 0x1B, ///< load pointer to instruction
+    STLF        = 0x1C, ///< store low-priority queue front pointer
+    XDBLE       = 0x1D, ///< extend single to double
+    LDPRI       = 0x1E, ///< load current priority
+    REM         = 0x1F, ///< checked remainder
+    RET         = 0x20, ///< return
+    LEND        = 0x21, ///< loop end (descheduling point)
+    LDTIMER     = 0x22, ///< load timer (read clock)
+    TESTERR     = 0x29, ///< test and clear error flag
+    TESTPRANAL  = 0x2A, ///< test processor analysing
+    TIN         = 0x2B, ///< timer input (delayed input)
+    DIV         = 0x2C, ///< checked divide
+    DIST        = 0x2E, ///< disable timer guard
+    DISC        = 0x2F, ///< disable channel guard
+    DISS        = 0x30, ///< disable skip guard
+    LMUL        = 0x31, ///< long multiply
+    NOT         = 0x32, ///< bitwise not
+    XOR         = 0x33, ///< bitwise xor
+    BCNT        = 0x34, ///< byte count (words -> bytes)
+    LSHR        = 0x35, ///< long shift right
+    LSHL        = 0x36, ///< long shift left
+    LSUM        = 0x37, ///< long unsigned sum (carry out)
+    LSUB        = 0x38, ///< long subtract (borrow in, checked)
+    RUNP        = 0x39, ///< run process (schedule a Wdesc)
+    XWORD       = 0x3A, ///< sign-extend part word
+    SB          = 0x3B, ///< store byte
+    GAJW        = 0x3C, ///< general adjust workspace
+    SAVEL       = 0x3D, ///< save low-priority queue registers
+    SAVEH       = 0x3E, ///< save high-priority queue registers
+    WCNT        = 0x3F, ///< word count (bytes -> words + selector)
+    SHR         = 0x40, ///< unsigned shift right
+    SHL         = 0x41, ///< shift left
+    MINT        = 0x42, ///< load most negative integer
+    ALT         = 0x43, ///< alternative start
+    ALTWT       = 0x44, ///< alternative wait
+    ALTEND      = 0x45, ///< alternative end
+    AND         = 0x46, ///< bitwise and
+    ENBT        = 0x47, ///< enable timer guard
+    ENBC        = 0x48, ///< enable channel guard
+    ENBS        = 0x49, ///< enable skip guard
+    MOVE        = 0x4A, ///< block move
+    OR          = 0x4B, ///< bitwise or
+    CSNGL       = 0x4C, ///< check double fits single
+    CCNT1       = 0x4D, ///< check count from 1
+    TALT        = 0x4E, ///< timer alternative start
+    LDIFF       = 0x4F, ///< long unsigned difference (borrow out)
+    STHB        = 0x50, ///< store high-priority queue back pointer
+    TALTWT      = 0x51, ///< timer alternative wait
+    SUM         = 0x52, ///< unchecked add
+    MUL         = 0x53, ///< checked multiply
+    STTIMER     = 0x54, ///< set timer (start clocks)
+    STOPERR     = 0x55, ///< stop process if error set
+    CWORD       = 0x56, ///< check value fits part word
+    CLRHALTERR  = 0x57, ///< clear halt-on-error flag
+    SETHALTERR  = 0x58, ///< set halt-on-error flag
+    TESTHALTERR = 0x59, ///< test halt-on-error flag
+    DUP         = 0x5A, ///< duplicate top of stack (T800 extension)
+};
+
+/** Lower-case mnemonic of a function code ("ldc", "opr", ...). */
+std::string_view fnName(Fn fn);
+
+/** Lower-case mnemonic of an operation ("add", "startp", ...). */
+std::string_view opName(Op op);
+
+/** Reverse lookup of a direct-function mnemonic. */
+std::optional<Fn> fnFromName(std::string_view name);
+
+/** Reverse lookup of an operation mnemonic. */
+std::optional<Op> opFromName(std::string_view name);
+
+/** True if the 16-bit value names a defined operation. */
+bool opDefined(uint32_t code);
+
+/** Build the instruction byte for a function code and 4-bit data. */
+inline uint8_t
+instructionByte(Fn fn, uint8_t data4)
+{
+    return static_cast<uint8_t>((static_cast<uint8_t>(fn) << 4) |
+                                (data4 & 0x0F));
+}
+
+} // namespace transputer::isa
+
+#endif // TRANSPUTER_ISA_OPCODES_HH

@@ -1,0 +1,233 @@
+#include "link/link.hh"
+
+#include <algorithm>
+
+namespace transputer::link
+{
+
+// ---------------------------------------------------------------------
+// Line
+// ---------------------------------------------------------------------
+
+Tick
+Line::claim(Tick not_before, Tick duration)
+{
+    const Tick start = std::max({not_before, queue_.now(), busyUntil_});
+    busyUntil_ = start + duration;
+    busyTime_ += duration;
+    return start;
+}
+
+void
+Line::transmitData(Tick not_before, uint8_t byte)
+{
+    TRANSPUTER_ASSERT(remote_, "line not connected");
+    const Tick bit = cfg_.bitTime();
+    const Tick start = claim(not_before, 11 * bit);
+    ++dataPackets_;
+    if (onPacket)
+        onPacket(Packet{true, byte, start, start + 11 * bit});
+    LinkEndpoint *remote = remote_;
+    // the receiver can classify the packet once the second bit (the
+    // one following the start bit) has arrived
+    queue_.schedule(start + 2 * bit + cfg_.propagationDelay,
+                    [remote] { remote->onDataStart(); });
+    queue_.schedule(start + 11 * bit + cfg_.propagationDelay,
+                    [remote, byte] { remote->onDataEnd(byte); });
+}
+
+void
+Line::transmitAck(Tick not_before)
+{
+    TRANSPUTER_ASSERT(remote_, "line not connected");
+    const Tick bit = cfg_.bitTime();
+    const Tick start = claim(not_before, 2 * bit);
+    ++ackPackets_;
+    if (onPacket)
+        onPacket(Packet{false, 0, start, start + 2 * bit});
+    LinkEndpoint *remote = remote_;
+    queue_.schedule(start + 2 * bit + cfg_.propagationDelay,
+                    [remote] { remote->onAckEnd(); });
+}
+
+// ---------------------------------------------------------------------
+// LinkEngine
+// ---------------------------------------------------------------------
+
+LinkEngine::LinkEngine(core::Transputer &cpu, int link_index,
+                       const WireConfig &cfg, AckMode ack_mode)
+    : LinkEndpoint(cpu.queue(), cfg), cpu_(cpu),
+      linkIndex_(link_index), ackMode_(ack_mode)
+{
+    altWdesc_ = cpu.notProcess();
+}
+
+void
+LinkEngine::connect(LinkEngine &a, LinkEngine &b)
+{
+    LinkEndpoint::join(a, b);
+    a.cpu_.attachOutputPort(a.linkIndex_, &a);
+    a.cpu_.attachInputPort(a.linkIndex_, &a);
+    b.cpu_.attachOutputPort(b.linkIndex_, &b);
+    b.cpu_.attachInputPort(b.linkIndex_, &b);
+}
+
+// ----- CPU side -------------------------------------------------------
+
+void
+LinkEngine::requestOutput(Word wdesc, Word pointer, Word count)
+{
+    TRANSPUTER_ASSERT(!outActive_, "link output already in use");
+    if (count == 0) {
+        cpu_.completeOutput(wdesc);
+        return;
+    }
+    outActive_ = true;
+    outWdesc_ = wdesc;
+    outPtr_ = pointer;
+    outCount_ = count;
+    outSent_ = 0;
+    if (!awaitingAck_)
+        sendNextByte(cpu_.localTime());
+}
+
+void
+LinkEngine::requestInput(Word wdesc, Word pointer, Word count)
+{
+    TRANSPUTER_ASSERT(!inActive_, "link input already in use");
+    if (count == 0) {
+        cpu_.completeInput(wdesc);
+        return;
+    }
+    inActive_ = true;
+    inWdesc_ = wdesc;
+    inPtr_ = pointer;
+    inCount_ = count;
+    inReceived_ = 0;
+    if (bufferValid_) {
+        bufferValid_ = false;
+        cpu_.memory().writeByte(inPtr_, buffer_);
+        inReceived_ = 1;
+        // the freed buffer lets the sender proceed
+        sendAck();
+        if (inReceived_ == inCount_) {
+            inActive_ = false;
+            cpu_.completeInput(inWdesc_);
+        }
+    }
+}
+
+bool
+LinkEngine::enableInput(Word wdesc)
+{
+    if (bufferValid_)
+        return true;
+    altEnabled_ = true;
+    altWdesc_ = wdesc;
+    return false;
+}
+
+bool
+LinkEngine::disableInput()
+{
+    altEnabled_ = false;
+    altWdesc_ = cpu_.notProcess();
+    return bufferValid_;
+}
+
+void
+LinkEngine::reset()
+{
+    outActive_ = false;
+    awaitingAck_ = false;
+    inActive_ = false;
+    bufferValid_ = false;
+    ackSentForCurrent_ = false;
+    altEnabled_ = false;
+}
+
+// ----- wire side ------------------------------------------------------
+
+void
+LinkEngine::onDataStart()
+{
+    ackSentForCurrent_ = false;
+    if (ackMode_ != AckMode::Overlap)
+        return;
+    // ack as soon as reception starts, if a process is waiting for
+    // the byte (paper section 2.3): transmission can be continuous
+    if (inActive_) {
+        sendAck();
+        ackSentForCurrent_ = true;
+    }
+}
+
+void
+LinkEngine::onDataEnd(uint8_t byte)
+{
+    ++bytesReceived_;
+    if (inActive_) {
+        cpu_.memory().writeByte(
+            cpu_.shape().truncate(inPtr_ + inReceived_), byte);
+        ++inReceived_;
+        if (!ackSentForCurrent_)
+            sendAck();
+        ackSentForCurrent_ = false;
+        if (inReceived_ == inCount_) {
+            inActive_ = false;
+            cpu_.completeInput(inWdesc_);
+        }
+        return;
+    }
+    // no process: the single-byte buffer takes it; the deferred ack
+    // is sent when a process inputs the byte
+    TRANSPUTER_ASSERT(!bufferValid_,
+                      "link protocol violation: byte overrun");
+    bufferValid_ = true;
+    buffer_ = byte;
+    ackSentForCurrent_ = false;
+    if (altEnabled_)
+        cpu_.altReady(altWdesc_);
+}
+
+void
+LinkEngine::onAckEnd()
+{
+    TRANSPUTER_ASSERT(awaitingAck_,
+                      "link protocol violation: unexpected ack");
+    awaitingAck_ = false;
+    if (!outActive_)
+        return;
+    if (outSent_ == outCount_) {
+        outActive_ = false;
+        cpu_.completeOutput(outWdesc_);
+        return;
+    }
+    sendNextByte(queue_.now());
+}
+
+void
+LinkEngine::sendNextByte(Tick not_before)
+{
+    TRANSPUTER_ASSERT(outActive_ && !awaitingAck_);
+    const uint8_t byte = cpu_.memory().readByte(
+        cpu_.shape().truncate(outPtr_ + outSent_));
+    ++outSent_;
+    ++bytesSent_;
+    awaitingAck_ = true;
+    tx_.transmitData(not_before, byte);
+}
+
+bool
+LinkEngine::receiverCanAccept() const
+{
+    return inActive_ || !bufferValid_;
+}
+
+void
+LinkEngine::sendAck()
+{
+    tx_.transmitAck(queue_.now());
+}
+
+} // namespace transputer::link

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * The INMOS serial link (paper section 2.3 and Figure 1).
+ *
+ * A link between two transputers is a pair of one-directional signal
+ * lines, each carrying both data and control.  A data byte travels as
+ * an 11-bit packet (start bit, a one, eight data bits, stop bit); an
+ * acknowledge is a 2-bit packet (start bit, a zero).  After sending a
+ * data byte the sender waits for the acknowledge.  The receiver sends
+ * the acknowledge as soon as reception of a byte *starts* -- provided
+ * a process is waiting for it, or there is room to buffer another
+ * byte -- so transmission can be continuous (overlap mode); the
+ * non-overlapped variant (ack after the whole byte, as in the very
+ * first silicon) is available as an ablation.  A single byte of
+ * buffering per input direction gives end-to-end flow control: no
+ * information can be lost.
+ *
+ * The standard rate is 10 Mbit/s: about 0.9 Mbyte/s of data in each
+ * direction of each link ("about 1 Mbyte/sec", section 2.3.1).
+ *
+ * A LinkEndpoint is one end of one link.  LinkEngine is the endpoint
+ * attached to a transputer (it implements the CPU's ChannelPort on
+ * both directions); peripherals implement their own endpoints.
+ */
+
+#ifndef TRANSPUTER_LINK_LINK_HH
+#define TRANSPUTER_LINK_LINK_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "base/logging.hh"
+#include "base/types.hh"
+#include "core/ports.hh"
+#include "core/transputer.hh"
+#include "sim/event_queue.hh"
+
+namespace transputer::link
+{
+
+/** When the receiver returns the acknowledge packet. */
+enum class AckMode
+{
+    Overlap,   ///< as soon as reception starts (the paper's design)
+    EndOfByte, ///< only after the full byte has been received
+};
+
+/** Electrical/timing parameters of one link connection. */
+struct WireConfig
+{
+    /** Bits per second; the standard rate is 10 MHz. */
+    int64_t bitsPerSecond = 10'000'000;
+    /** One-way propagation delay in ticks (line length). */
+    Tick propagationDelay = 0;
+
+    Tick
+    bitTime() const
+    {
+        return 1'000'000'000 / bitsPerSecond;
+    }
+};
+
+class LinkEndpoint;
+
+/**
+ * One one-directional signal line: serializes packets, modelling the
+ * multiplexing of data and acknowledge packets (Figure 1).
+ */
+class Line
+{
+  public:
+    Line(sim::EventQueue &queue, const WireConfig &cfg)
+        : queue_(queue), cfg_(cfg)
+    {}
+
+    void connectTo(LinkEndpoint *remote) { remote_ = remote; }
+
+    /** Queue a data packet (11 bit times); not before not_before. */
+    void transmitData(Tick not_before, uint8_t byte);
+
+    /** Queue an acknowledge packet (2 bit times). */
+    void transmitAck(Tick not_before);
+
+    /** Total ticks the line has spent transmitting. */
+    Tick busyTime() const { return busyTime_; }
+    uint64_t dataPackets() const { return dataPackets_; }
+    uint64_t ackPackets() const { return ackPackets_; }
+
+    /** One packet on the wire, as in the paper's Figure 1. */
+    struct Packet
+    {
+        bool isData;   ///< data packet (11 bits) or acknowledge (2)
+        uint8_t byte;  ///< the data bits (data packets only)
+        Tick start;    ///< first bit leaves the sender
+        Tick end;      ///< last bit leaves the sender
+    };
+
+    /** Observe every packet this line transmits (tracing). */
+    std::function<void(const Packet &)> onPacket;
+
+  private:
+    Tick claim(Tick not_before, Tick duration);
+
+    sim::EventQueue &queue_;
+    const WireConfig cfg_;
+    LinkEndpoint *remote_ = nullptr;
+    Tick busyUntil_ = 0;
+    Tick busyTime_ = 0;
+    uint64_t dataPackets_ = 0;
+    uint64_t ackPackets_ = 0;
+};
+
+/**
+ * One end of a link: owns the outgoing line and receives packet
+ * events from the remote end's line.
+ */
+class LinkEndpoint
+{
+  public:
+    LinkEndpoint(sim::EventQueue &queue, const WireConfig &cfg)
+        : queue_(queue), tx_(queue, cfg)
+    {}
+
+    virtual ~LinkEndpoint() = default;
+
+    /** Wire two endpoints together (both directions). */
+    static void
+    join(LinkEndpoint &a, LinkEndpoint &b)
+    {
+        a.tx_.connectTo(&b);
+        b.tx_.connectTo(&a);
+    }
+
+    /** @name Packet arrival callbacks (invoked by the remote line) */
+    ///@{
+    /** Reception of a data byte has started. */
+    virtual void onDataStart() {}
+    /** A data byte has been fully received. */
+    virtual void onDataEnd(uint8_t byte) = 0;
+    /** An acknowledge has been received. */
+    virtual void onAckEnd() = 0;
+    ///@}
+
+    Line &tx() { return tx_; }
+
+  protected:
+    sim::EventQueue &queue_;
+    Line tx_;
+};
+
+/**
+ * The transputer-side link engine: services output and input message
+ * instructions autonomously (DMA concurrent with the CPU), waking the
+ * descheduled process when the whole message has been transferred.
+ * One engine serves both directions of one link and is attached as
+ * the CPU's output and input port for that link.
+ */
+class LinkEngine : public LinkEndpoint, public core::ChannelPort
+{
+  public:
+    LinkEngine(core::Transputer &cpu, int link_index,
+               const WireConfig &cfg, AckMode ack_mode = AckMode::Overlap);
+
+    /** Connect this engine to the other end and register with the CPU. */
+    static void connect(LinkEngine &a, LinkEngine &b);
+
+    /** @name ChannelPort (CPU side) */
+    ///@{
+    void requestOutput(Word wdesc, Word pointer, Word count) override;
+    void requestInput(Word wdesc, Word pointer, Word count) override;
+    bool enableInput(Word wdesc) override;
+    bool disableInput() override;
+    void reset() override;
+    ///@}
+
+    /** @name LinkEndpoint (wire side) */
+    ///@{
+    void onDataStart() override;
+    void onDataEnd(uint8_t byte) override;
+    void onAckEnd() override;
+    ///@}
+
+    uint64_t bytesSent() const { return bytesSent_; }
+    uint64_t bytesReceived() const { return bytesReceived_; }
+    int linkIndex() const { return linkIndex_; }
+    core::Transputer &cpu() { return cpu_; }
+
+  private:
+    void sendNextByte(Tick not_before);
+    bool receiverCanAccept() const;
+    void sendAck();
+
+    core::Transputer &cpu_;
+    const int linkIndex_;
+    const AckMode ackMode_;
+
+    // output state machine
+    bool outActive_ = false;
+    bool awaitingAck_ = false;
+    Word outWdesc_ = 0;
+    Word outPtr_ = 0;
+    Word outCount_ = 0;
+    Word outSent_ = 0;
+
+    // input state machine
+    bool inActive_ = false;
+    Word inWdesc_ = 0;
+    Word inPtr_ = 0;
+    Word inCount_ = 0;
+    Word inReceived_ = 0;
+    bool bufferValid_ = false;
+    uint8_t buffer_ = 0;
+    bool ackSentForCurrent_ = false;
+    bool altEnabled_ = false;
+    Word altWdesc_ = 0;
+
+    uint64_t bytesSent_ = 0;
+    uint64_t bytesReceived_ = 0;
+};
+
+} // namespace transputer::link
+
+#endif // TRANSPUTER_LINK_LINK_HH

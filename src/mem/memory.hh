@@ -1,0 +1,228 @@
+/**
+ * @file
+ * The transputer memory subsystem.
+ *
+ * The paper (section 3.2.2): the address space is a single signed
+ * linear space; pointers run from the most negative integer through
+ * zero to the most positive.  On-chip RAM sits at the bottom of the
+ * space (at MostNeg); external memory, if configured, continues
+ * immediately above it.  The instruction architecture does not
+ * distinguish the two, but external accesses may cost extra cycles
+ * (wait states), which the CPU charges via accessWaits().
+ *
+ * The words at the very bottom of the space are reserved for the
+ * hardware: the eight link channel words (out 0-3, in 0-3), the Event
+ * channel, the two timer-queue head pointers, and the interrupt save
+ * area used on a low-to-high priority switch.  MemStart is the first
+ * word available to programs (0x80000048 on a 32-bit part, matching
+ * the historical T414 map).
+ */
+
+#ifndef TRANSPUTER_MEM_MEMORY_HH
+#define TRANSPUTER_MEM_MEMORY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/logging.hh"
+#include "base/types.hh"
+
+namespace transputer::mem
+{
+
+/** Thrown on an access outside the populated address range. */
+class MemFault : public SimFatal
+{
+  public:
+    explicit MemFault(const std::string &what) : SimFatal(what) {}
+};
+
+/** Word indices (from MostNeg) of the reserved hardware locations. */
+namespace reserved
+{
+constexpr int linkOut0 = 0;      ///< link 0..3 output channel words
+constexpr int linkIn0 = 4;       ///< link 0..3 input channel words
+constexpr int event = 8;         ///< event-pin channel word
+constexpr int tptrLoc0 = 9;      ///< high-priority timer queue head
+constexpr int tptrLoc1 = 10;     ///< low-priority timer queue head
+constexpr int intSave = 11;      ///< 7-word interrupt save area
+constexpr int intSaveWords = 7;
+constexpr int memStart = 18;     ///< first program-usable word
+} // namespace reserved
+
+/**
+ * Byte-addressable memory for one transputer: on-chip RAM at MostNeg
+ * plus optional external RAM above it.
+ */
+class Memory
+{
+  public:
+    /**
+     * @param shape word width of the owning part
+     * @param onchip_bytes size of on-chip RAM (4096 for a T424)
+     * @param external_bytes size of external RAM above on-chip RAM
+     * @param external_waits extra cycles charged per external access
+     */
+    Memory(const WordShape &shape, Word onchip_bytes,
+           Word external_bytes = 0, int external_waits = 0)
+        : shape_(shape), onchipBytes_(onchip_bytes),
+          externalWaits_(external_waits),
+          bytes_(onchip_bytes + external_bytes, 0)
+    {
+        TRANSPUTER_ASSERT(onchip_bytes % shape.bytes == 0);
+        TRANSPUTER_ASSERT(external_bytes % shape.bytes == 0);
+        TRANSPUTER_ASSERT(
+            bytes_.size() >= (reserved::memStart + 1u) *
+            static_cast<unsigned>(shape.bytes),
+            "memory too small for the reserved map");
+    }
+
+    const WordShape &shape() const { return shape_; }
+
+    /** Total populated bytes (on-chip + external). */
+    Word size() const { return static_cast<Word>(bytes_.size()); }
+
+    /** Lowest populated address. */
+    Word base() const { return shape_.mostNeg; }
+
+    /** First program-usable address. */
+    Word
+    memStart() const
+    {
+        return shape_.index(shape_.mostNeg, reserved::memStart);
+    }
+
+    /** Address of the output channel word for link n (0..3). */
+    Word
+    linkOutAddr(int n) const
+    {
+        return shape_.index(shape_.mostNeg, reserved::linkOut0 + n);
+    }
+
+    /** Address of the input channel word for link n (0..3). */
+    Word
+    linkInAddr(int n) const
+    {
+        return shape_.index(shape_.mostNeg, reserved::linkIn0 + n);
+    }
+
+    /** Address of the event channel word. */
+    Word
+    eventAddr() const
+    {
+        return shape_.index(shape_.mostNeg, reserved::event);
+    }
+
+    /** Address of the timer queue head for the given priority. */
+    Word
+    tptrLocAddr(int pri) const
+    {
+        return shape_.index(shape_.mostNeg,
+                            pri == 0 ? reserved::tptrLoc0
+                                     : reserved::tptrLoc1);
+    }
+
+    /** Address of interrupt-save word n (0..6). */
+    Word
+    intSaveAddr(int n) const
+    {
+        return shape_.index(shape_.mostNeg, reserved::intSave + n);
+    }
+
+    /** True if the address lies in on-chip RAM. */
+    bool
+    isOnChip(Word addr) const
+    {
+        return offset(addr) < onchipBytes_;
+    }
+
+    /** Extra cycles the CPU must charge for touching this address. */
+    int
+    accessWaits(Word addr) const
+    {
+        return isOnChip(addr) ? 0 : externalWaits_;
+    }
+
+    uint8_t
+    readByte(Word addr) const
+    {
+        return bytes_[checkedOffset(addr)];
+    }
+
+    void
+    writeByte(Word addr, uint8_t v)
+    {
+        bytes_[checkedOffset(addr)] = v;
+    }
+
+    /** Read the word containing addr (byte selector ignored). */
+    Word
+    readWord(Word addr) const
+    {
+        const Word a = shape_.wordAlign(addr);
+        const size_t off = checkedOffset(a);
+        Word v = 0;
+        for (int i = shape_.bytes - 1; i >= 0; --i)
+            v = (v << 8) | bytes_[off + i];
+        return v;
+    }
+
+    /** Write the word containing addr (byte selector ignored). */
+    void
+    writeWord(Word addr, Word v)
+    {
+        const Word a = shape_.wordAlign(addr);
+        const size_t off = checkedOffset(a);
+        for (int i = 0; i < shape_.bytes; ++i) {
+            bytes_[off + i] = static_cast<uint8_t>(v & 0xFF);
+            v >>= 8;
+        }
+    }
+
+    /** Bulk load (program images); faults if any byte out of range. */
+    void
+    load(Word addr, const uint8_t *data, size_t n)
+    {
+        for (size_t i = 0; i < n; ++i)
+            writeByte(shape_.truncate(addr + i), data[i]);
+    }
+
+    /** Fill every word with a recognizable poison value (debugging). */
+    void
+    poison(Word v)
+    {
+        for (Word a = base(); offset(a) < size();
+             a = shape_.index(a, 1))
+            writeWord(a, v);
+    }
+
+  private:
+    /** Distance of addr above MostNeg, wrapped to the word width. */
+    Word
+    offset(Word addr) const
+    {
+        return (addr - shape_.mostNeg) & shape_.mask;
+    }
+
+    size_t
+    checkedOffset(Word addr) const
+    {
+        const Word off = offset(addr);
+        if (off >= bytes_.size())
+            throw MemFault(fmt("access at {} outside populated memory "
+                               "([{}, {}))", hexWord(addr),
+                               hexWord(shape_.mostNeg),
+                               hexWord(shape_.truncate(
+                                   shape_.mostNeg + size()))));
+        return off;
+    }
+
+    const WordShape shape_;
+    const Word onchipBytes_;
+    const int externalWaits_;
+    std::vector<uint8_t> bytes_;
+};
+
+} // namespace transputer::mem
+
+#endif // TRANSPUTER_MEM_MEMORY_HH

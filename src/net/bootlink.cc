@@ -1,0 +1,177 @@
+#include "net/bootlink.hh"
+
+#include "base/format.hh"
+#include "occam/parser.hh"
+#include "mem/memory.hh"
+#include "tasm/assembler.hh"
+
+namespace transputer::net
+{
+
+namespace
+{
+
+/** The ROM waits on the given links, loads stage 1, and jumps. */
+std::string
+romSource(const std::vector<int> &links, int bpw)
+{
+    TRANSPUTER_ASSERT(!links.empty(),
+                      "boot ROM needs at least one link");
+    std::string s = "rom:\n";
+    // ALT over the candidate links' input channels
+    s += "  alt\n";
+    for (int l : links)
+        s += fmt("  mint\n  ldnlp {}\n  ldc 1\n  enbc\n",
+                 mem::reserved::linkIn0 + l);
+    s += "  altwt\n";
+    for (size_t i = 0; i < links.size(); ++i)
+        s += fmt("  mint\n  ldnlp {}\n  ldc 1\n  ldc b{} - bend\n"
+                 "  disc\n",
+                 mem::reserved::linkIn0 + links[i], i);
+    s += "  altend\n"
+         "bend:\n";
+    for (size_t i = 0; i < links.size(); ++i)
+        s += fmt("b{}:\n  mint\n  ldnlp {}\n  stl 1\n  j common\n", i,
+                 mem::reserved::linkIn0 + links[i]);
+    s += "common:\n";
+    // record the boot link's channels in the interrupt save words
+    // (unused this early), for later loader stages
+    s += fmt("  ldl 1\n  mint\n  ldnlp {}\n  stnl 0\n",
+             mem::reserved::intSave);
+    s += fmt("  ldl 1\n  ldnlp -4\n  mint\n  ldnlp {}\n  stnl 0\n",
+             mem::reserved::intSave + 1);
+    // the historical control protocol: a control byte of 0 pokes a
+    // word (address, value follow), 1 peeks a word (address follows,
+    // the value returns on the boot link's output), and any value of
+    // two or more is the length of the boot code
+    s += "again:\n"
+         "  ldlp 2\n  ldl 1\n  ldc 1\n  in\n"
+         "  ldlp 2\n  lb\n  stl 2\n"
+         "  ldl 2\n  eqc 0\n  cj notpoke\n";
+    s += fmt("  ldlp 3\n  ldl 1\n  ldc {}\n  in\n", bpw); // address
+    s += fmt("  ldlp 4\n  ldl 1\n  ldc {}\n  in\n", bpw); // value
+    s += "  ldl 4\n  ldl 3\n  stnl 0\n"
+         "  j again\n"
+         "notpoke:\n"
+         "  ldl 2\n  eqc 1\n  cj boot\n";
+    s += fmt("  ldlp 3\n  ldl 1\n  ldc {}\n  in\n", bpw); // address
+    s += "  ldl 3\n  ldnl 0\n";                 // the peeked value
+    s += fmt("  mint\n  ldnlp {}\n  ldnl 0\n  outword\n"
+             "  j again\n",
+             mem::reserved::intSave + 1);
+    s += "boot:\n";
+    // the control byte is the first-stage length: read it to
+    // MemStart and jump to it
+    s += fmt("  mint\n  ldnlp {}\n  ldl 1\n  ldl 2\n  in\n",
+             mem::reserved::memStart);
+    s += fmt("  mint\n  ldnlp {}\n  gcall\n", mem::reserved::memStart);
+    return s;
+}
+
+/**
+ * Stage 1 (loaded by the ROM at MemStart, still on the ROM's
+ * workspace): read a 4-byte program length, then the program image
+ * to just after itself, and jump to it.
+ */
+std::string
+stage1Source()
+{
+    return fmt("stage1:\n"
+               "  mint\n  ldnlp {}\n  ldnl 0\n  stl 1\n"
+               "  ldlp 2\n  ldl 1\n  ldc 4\n  in\n"
+               "  ldap s1end\n  ldl 1\n  ldl 2\n  in\n"
+               "  ldap s1end\n  gcall\n"
+               "s1end:\n",
+               mem::reserved::intSave);
+}
+
+} // namespace
+
+void
+installBootRom(Network &net, int n, std::vector<int> links)
+{
+    auto &t = net.node(n);
+    if (links.empty())
+        for (int l = 0; l < 4; ++l)
+            if (t.hasInputPort(l))
+                links.push_back(l);
+
+    const auto &s = t.shape();
+    const Word top = s.truncate(s.mostNeg + t.config().onchipBytes);
+    const Word rom_origin = s.index(top, -80);
+    const Word rom_wptr = s.index(top, -5); // ROM uses slots 0..4
+
+    const auto rom = tasm::assemble(romSource(links, s.bytes),
+                                    rom_origin, t.shape());
+    TRANSPUTER_ASSERT(rom.end() <= s.index(rom_wptr, -5),
+                      "boot ROM overlaps its workspace");
+    net.load(n, rom);
+    t.boot(rom.symbol("rom"), rom_wptr);
+}
+
+std::vector<uint8_t>
+bootPayload(Network &net, int n, const std::string &occam_source,
+            const occam::Options &opt, bool word_align_total)
+{
+    auto &t = net.node(n);
+    const auto &s = t.shape();
+    const auto stage1 =
+        tasm::assemble(stage1Source(), t.memory().memStart(),
+                       t.shape());
+    TRANSPUTER_ASSERT(stage1.bytes.size() >= 2 &&
+                      stage1.bytes.size() < 256,
+                      "stage 1 must fit the one-byte length");
+
+    // compile the program to live just after stage 1, prefixed by a
+    // stub that establishes its workspace position-independently
+    const Word origin =
+        s.truncate(t.memory().memStart() +
+                   static_cast<Word>(stage1.bytes.size()));
+    const auto gen =
+        occam::generate(occam::parse(occam_source), s, opt);
+    const std::string wrapped =
+        fmt("__stub:\n"
+            "  ldap __imgend\n"
+            "  ldnlp {}\n"
+            "  gajw\n"
+            "  j start\n",
+            gen.belowWords + 3) +
+        gen.asmSource + "__imgend:\n";
+    const auto img = tasm::assemble(wrapped, origin, s);
+
+    // sanity: image + workspace must fit under the boot ROM
+    const Word top = s.truncate(s.mostNeg + t.config().onchipBytes);
+    const int64_t need =
+        s.toSigned(img.end()) +
+        static_cast<int64_t>(gen.belowWords + gen.frameWords + 8) *
+            s.bytes;
+    if (need > s.toSigned(s.index(top, -80)))
+        fatal("boot payload + workspace would overlap the boot ROM "
+              "({} > {})", need, s.toSigned(s.index(top, -80)));
+
+    std::vector<uint8_t> payload;
+    payload.reserve(1 + stage1.bytes.size() + 4 +
+                    img.bytes.size() + 4);
+    payload.push_back(static_cast<uint8_t>(stage1.bytes.size()));
+    for (uint8_t b : stage1.bytes)
+        payload.push_back(b);
+    // when the payload itself travels through word-oriented occam
+    // forwarders (chain boot), its total length must be a whole
+    // number of words; pad inside the image length (the padding is
+    // loaded after __imgend and never executed)
+    std::vector<uint8_t> img_bytes = img.bytes;
+    if (word_align_total) {
+        while ((payload.size() + 4 + img_bytes.size()) %
+               static_cast<size_t>(s.bytes))
+            img_bytes.push_back(0);
+    }
+    const uint32_t len = static_cast<uint32_t>(img_bytes.size());
+    for (int i = 0; i < 4; ++i)
+        payload.push_back(static_cast<uint8_t>((len >> (8 * i)) &
+                                               0xFF));
+    for (uint8_t b : img_bytes)
+        payload.push_back(b);
+    return payload;
+}
+
+} // namespace transputer::net

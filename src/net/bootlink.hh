@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Booting a transputer over a link, as real INMOS parts did.
+ *
+ * The paper presents the transputer as a system component that can be
+ * wired and brought up like a logic part (section 2.3.1).  Historical
+ * parts with the boot-from-ROM pin deasserted sat in a boot ROM that
+ * waited for the first message on *any* link, loaded it into memory
+ * and jumped to it.  This module reproduces that flow with real
+ * machine code:
+ *
+ *  - installBootRom() assembles a boot ROM into the top of on-chip
+ *    RAM and starts the processor in it.  The ROM ALTs over the
+ *    attached links, reads a one-byte length L, reads L bytes of
+ *    first-stage code to MemStart, records the boot link's channel
+ *    addresses in the (otherwise unused at boot) interrupt save
+ *    words, and jumps to MemStart.
+ *  - bootPayload() wraps a compiled occam program in the two-stage
+ *    payload: a sub-256-byte first-stage loader (reads a 4-byte
+ *    length, then the program image, then jumps to it) followed by
+ *    the program, which begins with a stub that establishes its own
+ *    workspace position-independently.
+ *
+ * Any byte source can deliver the payload: a host peripheral, or a
+ * neighbouring transputer outputting it over a link -- which is how
+ * whole networks were bootstrapped from a single host connection.
+ */
+
+#ifndef TRANSPUTER_NET_BOOTLINK_HH
+#define TRANSPUTER_NET_BOOTLINK_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "net/network.hh"
+#include "net/peripherals.hh"
+#include "occam/compiler.hh"
+
+namespace transputer::net
+{
+
+/**
+ * Assemble the boot ROM into the top of node n's on-chip RAM and
+ * start the processor in it, waiting for boot bytes on any of the
+ * given links (default: whichever links have attached wires).
+ */
+void installBootRom(Network &net, int n,
+                    std::vector<int> links = {});
+
+/**
+ * Compile occam source for delivery over a link to node n: the
+ * returned bytes are the complete boot payload (first-stage loader,
+ * length words, program image with its workspace stub).
+ */
+std::vector<uint8_t> bootPayload(Network &net, int n,
+                                 const std::string &occam_source,
+                                 const occam::Options &opt = {},
+                                 bool word_align_total = false);
+
+/**
+ * A host-side boot source: attach to a link of a ROM-waiting node
+ * and call boot() with a payload.  Doubles as a console for the
+ * program once it is running (bytes it outputs on the same link are
+ * collected, as ConsoleSink does).
+ */
+class HostBooter : public ConsoleSink
+{
+  public:
+    using ConsoleSink::ConsoleSink;
+
+    void
+    boot(const std::vector<uint8_t> &payload)
+    {
+        sendBytes(payload);
+    }
+
+    /**
+     * Write a word into the waiting node's memory through the boot
+     * ROM's control protocol (control byte 0).
+     */
+    void
+    poke(Word addr, Word value, int bpw = 4)
+    {
+        sendByte(0);
+        sendWord(addr, bpw);
+        sendWord(value, bpw);
+    }
+
+    /**
+     * Ask the waiting node's boot ROM for the word at addr (control
+     * byte 1); the value arrives on this peripheral (words()).
+     */
+    void
+    peekRequest(Word addr, int bpw = 4)
+    {
+        sendByte(1);
+        sendWord(addr, bpw);
+    }
+};
+
+} // namespace transputer::net
+
+#endif // TRANSPUTER_NET_BOOTLINK_HH

@@ -1,0 +1,155 @@
+#include "net/network.hh"
+
+#include <sstream>
+
+#include "base/format.hh"
+#include "net/peripherals.hh"
+
+namespace transputer::net
+{
+
+std::string
+Network::describe() const
+{
+    std::ostringstream os;
+    os << "network: " << nodes_.size() << " transputer(s), "
+       << engines_.size() << " link engine(s), t="
+       << queue_.now() / 1000.0 << " us\n";
+    for (const auto &n : nodes_) {
+        const char *state =
+            n->state() == core::CpuState::Running  ? "running"
+            : n->state() == core::CpuState::Halted ? "HALTED"
+                                                   : "idle";
+        os << fmt("  {}: {}, {} instr, {} cycles, t={} us",
+                  n->name(), state, n->instructions(), n->cycles(),
+                  n->localTime() / 1000.0);
+        if (n->errorFlag())
+            os << " [error flag]";
+        if (n->state() == core::CpuState::Running)
+            os << fmt(", Iptr=#{}", hexWord(n->iptr()));
+        os << "\n";
+    }
+    uint64_t sent = 0, received = 0;
+    for (const auto &e : engines_) {
+        sent += e->bytesSent();
+        received += e->bytesReceived();
+    }
+    os << "  links: " << sent << " bytes sent, " << received
+       << " bytes received\n";
+    return os.str();
+}
+
+link::LinkEngine &
+Network::attachPeripheral(int n, int l, Peripheral &p,
+                          const link::WireConfig &wire)
+{
+    auto engine =
+        std::make_unique<link::LinkEngine>(node(n), l, wire);
+    link::LinkEndpoint::join(*engine, p);
+    node(n).attachOutputPort(l, engine.get());
+    node(n).attachInputPort(l, engine.get());
+    link::LinkEngine &ref = *engine;
+    engines_.push_back(std::move(engine));
+    return ref;
+}
+
+std::vector<int>
+buildPipeline(Network &net, int n, const core::Config &cfg,
+              const link::WireConfig &wire)
+{
+    std::vector<int> ids;
+    for (int i = 0; i < n; ++i)
+        ids.push_back(net.addTransputer(cfg));
+    for (int i = 0; i + 1 < n; ++i)
+        net.connect(ids[i], dir::east, ids[i + 1], dir::west, wire);
+    return ids;
+}
+
+std::vector<int>
+buildRing(Network &net, int n, const core::Config &cfg,
+          const link::WireConfig &wire)
+{
+    auto ids = buildPipeline(net, n, cfg, wire);
+    if (n > 1)
+        net.connect(ids[n - 1], dir::east, ids[0], dir::west, wire);
+    return ids;
+}
+
+std::vector<int>
+buildGrid(Network &net, int w, int h, const core::Config &cfg,
+          const link::WireConfig &wire)
+{
+    std::vector<int> ids;
+    for (int i = 0; i < w * h; ++i)
+        ids.push_back(net.addTransputer(cfg));
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+            const int id = ids[y * w + x];
+            if (x + 1 < w)
+                net.connect(id, dir::east, ids[y * w + x + 1],
+                            dir::west, wire);
+            if (y + 1 < h)
+                net.connect(id, dir::south, ids[(y + 1) * w + x],
+                            dir::north, wire);
+        }
+    }
+    return ids;
+}
+
+std::vector<int>
+buildTorus(Network &net, int w, int h, const core::Config &cfg,
+           const link::WireConfig &wire)
+{
+    auto ids = buildGrid(net, w, h, cfg, wire);
+    for (int y = 0; y < h; ++y)
+        if (w > 1)
+            net.connect(ids[y * w + w - 1], dir::east, ids[y * w],
+                        dir::west, wire);
+    for (int x = 0; x < w; ++x)
+        if (h > 1)
+            net.connect(ids[(h - 1) * w + x], dir::south, ids[x],
+                        dir::north, wire);
+    return ids;
+}
+
+std::vector<int>
+buildHypercube(Network &net, int d, const core::Config &cfg,
+               const link::WireConfig &wire)
+{
+    TRANSPUTER_ASSERT(d >= 0 && d <= 4,
+                      "a transputer has four links: d <= 4");
+    const int n = 1 << d;
+    std::vector<int> ids;
+    for (int i = 0; i < n; ++i)
+        ids.push_back(net.addTransputer(cfg));
+    for (int i = 0; i < n; ++i) {
+        for (int k = 0; k < d; ++k) {
+            const int j = i ^ (1 << k);
+            if (i < j)
+                net.connect(ids[i], k, ids[j], k, wire);
+        }
+    }
+    return ids;
+}
+
+std::vector<int>
+buildBinaryTree(Network &net, int depth, const core::Config &cfg,
+                const link::WireConfig &wire)
+{
+    const int n = (1 << depth) - 1;
+    std::vector<int> ids;
+    for (int i = 0; i < n; ++i)
+        ids.push_back(net.addTransputer(cfg));
+    for (int i = 0; i < n; ++i) {
+        const int left = 2 * i + 1, right = 2 * i + 2;
+        if (left < n)
+            net.connect(ids[i], dir::west, ids[left], dir::north,
+                        wire);
+        if (right < n)
+            net.connect(ids[i], dir::east, ids[right], dir::north,
+                        wire);
+    }
+    return ids;
+}
+
+} // namespace transputer::net

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Multi-transputer systems (paper section 4).
+ *
+ * A Network owns the event queue, the transputers and the link
+ * engines, and provides wiring, program loading and co-simulation.
+ * "A system is constructed from a collection of transputers which
+ * operate concurrently and communicate through the standard links"
+ * (section 2.1); peripherals attach to links exactly like transputers
+ * do, which is how the paper's device controllers (Figure 6) are
+ * modelled.
+ */
+
+#ifndef TRANSPUTER_NET_NETWORK_HH
+#define TRANSPUTER_NET_NETWORK_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/transputer.hh"
+#include "link/link.hh"
+#include "sim/event_queue.hh"
+#include "tasm/assembler.hh"
+
+namespace transputer::net
+{
+
+/** Conventional compass numbering for the four links. */
+namespace dir
+{
+constexpr int north = 0;
+constexpr int east = 1;
+constexpr int south = 2;
+constexpr int west = 3;
+} // namespace dir
+
+class Peripheral;
+
+/** A collection of transputers wired by links, with one time base. */
+class Network
+{
+  public:
+    Network() = default;
+    Network(const Network &) = delete;
+    Network &operator=(const Network &) = delete;
+
+    sim::EventQueue &queue() { return queue_; }
+
+    /** Add a transputer; returns its node index. */
+    int
+    addTransputer(const core::Config &cfg = {}, std::string name = "")
+    {
+        if (name.empty())
+            name = "tp" + std::to_string(nodes_.size());
+        nodes_.push_back(std::make_unique<core::Transputer>(
+            queue_, cfg, std::move(name)));
+        return static_cast<int>(nodes_.size() - 1);
+    }
+
+    core::Transputer &node(int i) { return *nodes_.at(i); }
+    size_t size() const { return nodes_.size(); }
+
+    /**
+     * Wire link la of node a to link lb of node b (both directions).
+     */
+    void
+    connect(int a, int la, int b, int lb,
+            const link::WireConfig &wire = {},
+            link::AckMode ack = link::AckMode::Overlap)
+    {
+        auto ea = std::make_unique<link::LinkEngine>(node(a), la, wire,
+                                                     ack);
+        auto eb = std::make_unique<link::LinkEngine>(node(b), lb, wire,
+                                                     ack);
+        link::LinkEngine::connect(*ea, *eb);
+        engines_.push_back(std::move(ea));
+        engines_.push_back(std::move(eb));
+    }
+
+    /**
+     * Attach a peripheral to link l of node n.  The transputer-side
+     * link engine is created here; the peripheral is the other end.
+     */
+    link::LinkEngine &attachPeripheral(int n, int l, Peripheral &p,
+                                       const link::WireConfig &wire = {});
+
+    /** Copy an assembled image into a node's memory. */
+    void
+    load(int n, const tasm::Image &img)
+    {
+        node(n).memory().load(img.origin, img.bytes.data(),
+                              img.bytes.size());
+    }
+
+    /**
+     * Load an image and boot the node at its entry label, with the
+     * initial workspace placed above the image plus below_words of
+     * headroom for calls and descheduling slots.
+     */
+    void
+    bootImage(int n, const tasm::Image &img,
+              const std::string &entry = "start", int below_words = 64)
+    {
+        load(n, img);
+        auto &t = node(n);
+        const Word wptr = t.shape().index(
+            t.shape().wordAlign(img.end() + t.shape().bytes - 1),
+            below_words);
+        t.boot(img.symbol(entry), wptr);
+    }
+
+    /** True when every node is idle or halted. */
+    bool
+    quiescent() const
+    {
+        for (const auto &n : nodes_)
+            if (n->state() == core::CpuState::Running)
+                return false;
+        return true;
+    }
+
+    /**
+     * Run the simulation.
+     * @param limit stop at this tick (default: run to quiescence).
+     * @return the simulated time reached.
+     */
+    Tick
+    run(Tick limit = maxTick)
+    {
+        if (limit == maxTick)
+            queue_.runToQuiescence();
+        else
+            queue_.runUntil(limit);
+        return queue_.now();
+    }
+
+    /** Visit every link engine (tracing, statistics). */
+    template <typename Fn>
+    void
+    forEachEngine(Fn &&fn)
+    {
+        for (auto &e : engines_)
+            fn(*e);
+    }
+
+    /**
+     * A human-readable status report: per-node execution state and
+     * counters plus aggregate link traffic.  Useful when a run ends
+     * unexpectedly (deadlock diagnosis): an Idle node whose program
+     * has not finished is blocked on a channel, timer or link.
+     */
+    std::string describe() const;
+
+  private:
+    sim::EventQueue queue_;
+    std::vector<std::unique_ptr<core::Transputer>> nodes_;
+    std::vector<std::unique_ptr<link::LinkEngine>> engines_;
+};
+
+/** @name Topology builders
+ *  Each creates n transputers in a fresh or existing network and
+ *  wires them with the compass convention above.
+ */
+///@{
+
+/** A 1-D pipeline: node i east <-> node i+1 west. */
+std::vector<int> buildPipeline(Network &net, int n,
+                               const core::Config &cfg = {},
+                               const link::WireConfig &wire = {});
+
+/** A ring: a pipeline closed east-to-west. */
+std::vector<int> buildRing(Network &net, int n,
+                           const core::Config &cfg = {},
+                           const link::WireConfig &wire = {});
+
+/**
+ * A w x h mesh (Figure 8's square array): node (x, y) = y*w + x,
+ * east-west and north-south neighbours connected.
+ */
+std::vector<int> buildGrid(Network &net, int w, int h,
+                           const core::Config &cfg = {},
+                           const link::WireConfig &wire = {});
+
+/** A w x h torus: the mesh with wrap-around connections. */
+std::vector<int> buildTorus(Network &net, int w, int h,
+                            const core::Config &cfg = {},
+                            const link::WireConfig &wire = {});
+
+/** A d-dimensional hypercube, d <= 4 (one link per dimension). */
+std::vector<int> buildHypercube(Network &net, int d,
+                                const core::Config &cfg = {},
+                                const link::WireConfig &wire = {});
+
+/**
+ * A complete binary tree with depth levels: link north is the parent,
+ * links east/west the children.
+ */
+std::vector<int> buildBinaryTree(Network &net, int depth,
+                                 const core::Config &cfg = {},
+                                 const link::WireConfig &wire = {});
+///@}
+
+} // namespace transputer::net
+
+#endif // TRANSPUTER_NET_NETWORK_HH

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Booting compiled occam programs onto network nodes.
+ *
+ * This is the configuration step of the paper's methodology: "the
+ * program may be configured for execution by a single transputer ...
+ * or for execution by a network of transputers" (section 1).  Each
+ * node gets its own compiled occam program; channels PLACEd at link
+ * addresses connect programs across chips.
+ */
+
+#ifndef TRANSPUTER_NET_OCCAM_BOOT_HH
+#define TRANSPUTER_NET_OCCAM_BOOT_HH
+
+#include <map>
+
+#include "net/network.hh"
+#include "occam/compiler.hh"
+#include "occam/parser.hh"
+
+namespace transputer::net
+{
+
+/**
+ * Load a compiled occam program into node n and boot it.  The boot
+ * workspace is placed above the image with the compiler-computed
+ * below-workspace headroom (plus a small safety margin).
+ * @return the boot workspace pointer.
+ */
+inline Word
+bootOccam(Network &net, int n, const occam::Compiled &c)
+{
+    auto &t = net.node(n);
+    TRANSPUTER_ASSERT(c.image.origin == t.memory().memStart(),
+                      "program compiled for a different origin");
+    net.load(n, c.image);
+    const auto &s = t.shape();
+    const Word wptr = s.index(
+        s.wordAlign(c.image.end() + s.bytes - 1), c.belowWords + 2);
+    t.boot(c.image.symbol("start"), wptr);
+    return wptr;
+}
+
+/** Compile occam source for node n and boot it. */
+inline Word
+bootOccamSource(Network &net, int n, const std::string &source,
+                const occam::Options &opt = {})
+{
+    auto &t = net.node(n);
+    const auto c = occam::compile(source, t.shape(),
+                                  t.memory().memStart(), opt);
+    return bootOccam(net, n, c);
+}
+
+/**
+ * Boot a PLACED PAR configuration (paper section 1: the same program
+ * "configured for execution by a network of transputers").  The
+ * source's outermost process must be a PLACED PAR; each PROCESSOR id
+ * is compiled separately and booted on the network node given by
+ * processor_to_node (identity mapping when empty).
+ */
+inline void
+bootPlacedSource(Network &net, const std::string &source,
+                 std::map<int, int> processor_to_node = {},
+                 const occam::Options &opt = {})
+{
+    const auto prog = occam::parse(source);
+    const auto ids = occam::placedProcessors(prog);
+    if (ids.empty())
+        fatal("bootPlacedSource: the program has no PLACED PAR");
+    for (int id : ids) {
+        const int n = processor_to_node.empty()
+                          ? id
+                          : processor_to_node.at(id);
+        auto &t = net.node(n);
+        const auto c = occam::compile(
+            source, t.shape(), t.memory().memStart(), opt, id);
+        bootOccam(net, n, c);
+    }
+}
+
+} // namespace transputer::net
+
+#endif // TRANSPUTER_NET_OCCAM_BOOT_HH

@@ -1,0 +1,289 @@
+/**
+ * @file
+ * Peripherals: link endpoints that are not transputers.
+ *
+ * The paper's workstation (section 4.1) hangs a disk system and a
+ * graphics display off transputer links, and notes that "all input
+ * and output is formalized as channel communication" (section 2.2.2).
+ * These models implement the wire side of the link protocol with
+ * host-side behaviour, so transputer programs drive them with
+ * ordinary channel outputs/inputs.
+ *
+ * A peripheral always has room for incoming bytes (it acknowledges as
+ * reception starts) and sends queued bytes obeying the per-byte
+ * acknowledge protocol.
+ */
+
+#ifndef TRANSPUTER_NET_PERIPHERALS_HH
+#define TRANSPUTER_NET_PERIPHERALS_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "link/link.hh"
+
+namespace transputer::net
+{
+
+/** Base class: byte-stream endpoint with host-side buffering. */
+class Peripheral : public link::LinkEndpoint
+{
+  public:
+    Peripheral(sim::EventQueue &queue, const link::WireConfig &wire)
+        : link::LinkEndpoint(queue, wire)
+    {}
+
+    /** Queue bytes for transmission to the transputer. */
+    void
+    sendBytes(const std::vector<uint8_t> &bytes)
+    {
+        for (uint8_t b : bytes)
+            txQueue_.push_back(b);
+        pump();
+    }
+
+    void
+    sendByte(uint8_t b)
+    {
+        txQueue_.push_back(b);
+        pump();
+    }
+
+    /** Queue a little-endian word of the given width. */
+    void
+    sendWord(Word v, int bytes)
+    {
+        for (int i = 0; i < bytes; ++i) {
+            txQueue_.push_back(static_cast<uint8_t>(v & 0xFF));
+            v >>= 8;
+        }
+        pump();
+    }
+
+    /** Bytes still waiting to go out (including the in-flight one). */
+    size_t pendingTx() const { return txQueue_.size(); }
+
+    /** @name LinkEndpoint */
+    ///@{
+    void
+    onDataStart() override
+    {
+        tx_.transmitAck(queue_.now()); // always room host-side
+    }
+
+    void
+    onDataEnd(uint8_t byte) override
+    {
+        receiveByte(byte);
+    }
+
+    void
+    onAckEnd() override
+    {
+        TRANSPUTER_ASSERT(awaitingAck_, "peripheral: unexpected ack");
+        awaitingAck_ = false;
+        txQueue_.pop_front();
+        pump();
+    }
+    ///@}
+
+  protected:
+    /** A byte arrived from the transputer. */
+    virtual void receiveByte(uint8_t byte) = 0;
+
+    void
+    pump()
+    {
+        if (awaitingAck_ || txQueue_.empty())
+            return;
+        awaitingAck_ = true;
+        tx_.transmitData(queue_.now(), txQueue_.front());
+    }
+
+  private:
+    std::deque<uint8_t> txQueue_;
+    bool awaitingAck_ = false;
+};
+
+/**
+ * Collects bytes the transputer outputs; the standard way example
+ * programs publish results to the host.
+ */
+class ConsoleSink : public Peripheral
+{
+  public:
+    using Peripheral::Peripheral;
+
+    const std::vector<uint8_t> &bytes() const { return bytes_; }
+
+    std::string
+    text() const
+    {
+        return std::string(bytes_.begin(), bytes_.end());
+    }
+
+    /** Decode the byte stream as little-endian words of width w. */
+    std::vector<Word>
+    words(int w = 4) const
+    {
+        std::vector<Word> out;
+        for (size_t i = 0; i + w <= bytes_.size(); i += w) {
+            Word v = 0;
+            for (int j = w - 1; j >= 0; --j)
+                v = (v << 8) | bytes_[i + j];
+            out.push_back(v);
+        }
+        return out;
+    }
+
+    /** Optional callback invoked on every received byte. */
+    std::function<void(uint8_t)> onByte;
+
+  protected:
+    void
+    receiveByte(uint8_t byte) override
+    {
+        bytes_.push_back(byte);
+        if (onByte)
+            onByte(byte);
+    }
+
+  private:
+    std::vector<uint8_t> bytes_;
+};
+
+/**
+ * A block storage device (the workstation's "disk system").
+ *
+ * Command protocol, little-endian 32-bit words on the wire (matching
+ * what occam programs emit with '!'):
+ *   read:  word 0, word blockno -> after the access latency the
+ *          device sends the 512-byte block
+ *   write: word 1, word blockno, then 512 data bytes
+ */
+class BlockDevice : public Peripheral
+{
+  public:
+    static constexpr size_t blockSize = 512;
+
+    BlockDevice(sim::EventQueue &queue, const link::WireConfig &wire,
+                Tick access_latency = 2'000'000) // 2 ms
+        : Peripheral(queue, wire), latency_(access_latency)
+    {}
+
+    /** Host-side access for test setup/inspection. */
+    std::vector<uint8_t> &
+    block(uint32_t n)
+    {
+        auto &b = blocks_[n];
+        if (b.empty())
+            b.assign(blockSize, 0);
+        return b;
+    }
+
+    uint64_t reads() const { return reads_; }
+    uint64_t writes() const { return writes_; }
+
+  protected:
+    void
+    receiveByte(uint8_t byte) override
+    {
+        cmd_.push_back(byte);
+        if (cmd_.size() < 8)
+            return;
+        const uint32_t op = word(0);
+        if (op == 0 && cmd_.size() == 8) {
+            const uint32_t n = word(4);
+            ++reads_;
+            cmd_.clear();
+            queue_.scheduleIn(latency_, [this, n] {
+                sendBytes(block(n));
+            });
+        } else if (op == 1 && cmd_.size() == 8 + blockSize) {
+            const uint32_t n = word(4);
+            ++writes_;
+            auto &b = block(n);
+            std::copy(cmd_.begin() + 8, cmd_.end(), b.begin());
+            cmd_.clear();
+        }
+    }
+
+  private:
+    uint32_t
+    word(size_t off) const
+    {
+        return static_cast<uint32_t>(cmd_[off]) |
+               (static_cast<uint32_t>(cmd_[off + 1]) << 8) |
+               (static_cast<uint32_t>(cmd_[off + 2]) << 16) |
+               (static_cast<uint32_t>(cmd_[off + 3]) << 24);
+    }
+
+    const Tick latency_;
+    std::map<uint32_t, std::vector<uint8_t>> blocks_;
+    std::vector<uint8_t> cmd_;
+    uint64_t reads_ = 0;
+    uint64_t writes_ = 0;
+};
+
+/**
+ * A framebuffer (the workstation's "graphics display system").
+ *
+ * Command protocol: 3-word packets { x, y, colour } (little-endian
+ * words, as occam outputs) plotting one pixel each.
+ */
+class FrameBuffer : public Peripheral
+{
+  public:
+    FrameBuffer(sim::EventQueue &queue, const link::WireConfig &wire,
+                int w, int h)
+        : Peripheral(queue, wire), w_(w), h_(h),
+          pixels_(static_cast<size_t>(w) * h, 0)
+    {}
+
+    uint8_t
+    pixel(int x, int y) const
+    {
+        return pixels_.at(static_cast<size_t>(y) * w_ + x);
+    }
+
+    uint64_t plots() const { return plots_; }
+    int width() const { return w_; }
+    int height() const { return h_; }
+
+  protected:
+    void
+    receiveByte(uint8_t byte) override
+    {
+        cmd_.push_back(byte);
+        if (cmd_.size() < 12)
+            return;
+        auto word = [&](size_t off) {
+            return static_cast<int32_t>(
+                static_cast<uint32_t>(cmd_[off]) |
+                (static_cast<uint32_t>(cmd_[off + 1]) << 8) |
+                (static_cast<uint32_t>(cmd_[off + 2]) << 16) |
+                (static_cast<uint32_t>(cmd_[off + 3]) << 24));
+        };
+        const int x = word(0), y = word(4);
+        if (x >= 0 && x < w_ && y >= 0 && y < h_) {
+            pixels_[static_cast<size_t>(y) * w_ + x] =
+                static_cast<uint8_t>(word(8) & 0xFF);
+            ++plots_;
+        }
+        cmd_.clear();
+    }
+
+  private:
+    const int w_, h_;
+    std::vector<uint8_t> pixels_;
+    std::vector<uint8_t> cmd_;
+    uint64_t plots_ = 0;
+};
+
+} // namespace transputer::net
+
+#endif // TRANSPUTER_NET_PERIPHERALS_HH

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * VCD (value-change-dump) tracing of link activity.
+ *
+ * Figure 1 of the paper is a waveform; this module produces real
+ * waveforms: every traced line gets a 1-bit busy signal and an 8-bit
+ * data-byte vector, with acknowledges visible as short busy pulses.
+ * The output loads in any VCD viewer (GTKWave etc.).
+ */
+
+#ifndef TRANSPUTER_NET_VCD_HH
+#define TRANSPUTER_NET_VCD_HH
+
+#include <algorithm>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "base/format.hh"
+#include "link/link.hh"
+#include "net/network.hh"
+
+namespace transputer::net
+{
+
+/** Collects link packet events and writes a VCD file. */
+class VcdTrace
+{
+  public:
+    /**
+     * Attach a line under the given signal name (e.g. "tp0.link1.out").
+     * Must be called before traffic flows on the line.
+     */
+    void
+    attach(link::Line &line, const std::string &name)
+    {
+        const int id = static_cast<int>(signals_.size());
+        signals_.push_back(name);
+        line.onPacket = [this, id](const link::Line::Packet &p) {
+            // busy rises at packet start and falls at its end; the
+            // byte vector updates for data packets
+            events_.push_back(Event{p.start, id, true, p.isData,
+                                    p.byte});
+            events_.push_back(Event{p.end, id, false, false, 0});
+        };
+    }
+
+    /** Attach both directions of every link engine of a network. */
+    void
+    attachNetwork(Network &net)
+    {
+        net.forEachEngine([this](link::LinkEngine &e) {
+            attach(e.tx(), fmt("{}.link{}.tx", e.cpu().name(),
+                               e.linkIndex()));
+        });
+    }
+
+    /** Number of packet events collected so far. */
+    size_t eventCount() const { return events_.size() / 2; }
+
+    /** Render the VCD text. */
+    std::string
+    render() const
+    {
+        std::vector<Event> ev = events_;
+        std::stable_sort(ev.begin(), ev.end(),
+                         [](const Event &a, const Event &b) {
+                             return a.when < b.when;
+                         });
+        std::string out;
+        out += "$timescale 1ns $end\n";
+        out += "$scope module links $end\n";
+        for (size_t i = 0; i < signals_.size(); ++i) {
+            out += fmt("$var wire 1 {} {}.busy $end\n", busyId(i),
+                       signals_[i]);
+            out += fmt("$var wire 8 {} {}.byte $end\n", byteId(i),
+                       signals_[i]);
+        }
+        out += "$upscope $end\n$enddefinitions $end\n";
+        Tick last = -1;
+        for (const auto &e : ev) {
+            if (e.when != last) {
+                out += fmt("#{}\n", e.when);
+                last = e.when;
+            }
+            out += fmt("{}{}\n", e.busy ? 1 : 0,
+                       busyId(static_cast<size_t>(e.id)));
+            if (e.isData) {
+                std::string bits = "b";
+                for (int bit = 7; bit >= 0; --bit)
+                    bits += (e.byte >> bit) & 1 ? '1' : '0';
+                out += fmt("{} {}\n", bits,
+                           byteId(static_cast<size_t>(e.id)));
+            }
+        }
+        return out;
+    }
+
+    /** Write the VCD to a file. */
+    void
+    write(const std::string &path) const
+    {
+        std::ofstream f(path);
+        f << render();
+    }
+
+  private:
+    struct Event
+    {
+        Tick when;
+        int id;
+        bool busy;
+        bool isData;
+        uint8_t byte;
+    };
+
+    static std::string
+    busyId(size_t i)
+    {
+        return "b" + std::to_string(i);
+    }
+
+    static std::string
+    byteId(size_t i)
+    {
+        return "v" + std::to_string(i);
+    }
+
+    std::vector<std::string> signals_;
+    std::vector<Event> events_;
+};
+
+} // namespace transputer::net
+
+#endif // TRANSPUTER_NET_VCD_HH

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Abstract syntax for the occam subset (paper section 2.2; occam 1 as
+ * in the 1984 Programming Manual the paper cites as [1]).
+ *
+ * Programs are built from the three primitive processes (assignment,
+ * output, input) combined by SEQ / PAR / ALT, plus IF and WHILE;
+ * declarations (VAR / CHAN / DEF / PROC / PLACE) prefix a process.
+ * Timers appear as the TIME pseudo-channel.
+ *
+ * Subset restrictions (documented in DESIGN.md): PROC bodies may
+ * reference only their own parameters, locals and global constants
+ * (no free variables -- pass channels explicitly); replicated PAR
+ * requires constant bounds; no array slices in communications; AND
+ * and OR are evaluated bitwise over canonical truth values (0/1)
+ * rather than with shortcut jumps.
+ */
+
+#ifndef TRANSPUTER_OCCAM_AST_HH
+#define TRANSPUTER_OCCAM_AST_HH
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace transputer::occam
+{
+
+struct Expr;
+using ExprP = std::unique_ptr<Expr>;
+
+enum class BinOp
+{
+    Add, Sub, Mul, Div, Rem,
+    BitAnd, BitOr, BitXor, Shl, Shr,
+    And, Or,
+    Eq, Ne, Lt, Gt, Le, Ge,
+    After, ///< modular time comparison (section 2.2.2)
+};
+
+enum class UnOp { Neg, Not };
+
+/** Expressions: numbers, names, array elements, operators. */
+struct Expr
+{
+    enum class Kind { Number, Name, Index, Unary, Binary };
+
+    Kind kind;
+    int line = 0;
+    int64_t number = 0;         ///< Kind::Number
+    std::string name;           ///< Kind::Name / base of Kind::Index
+    ExprP index;                ///< Kind::Index subscript
+    UnOp unop = UnOp::Neg;      ///< Kind::Unary
+    BinOp binop = BinOp::Add;   ///< Kind::Binary
+    ExprP lhs, rhs;             ///< Unary uses lhs only
+};
+
+struct Process;
+using ProcessP = std::unique_ptr<Process>;
+
+/** i = [base FOR count] on SEQ or PAR. */
+struct Replicator
+{
+    std::string var;
+    ExprP base;
+    ExprP count;
+};
+
+/** One guarded alternative of an ALT. */
+struct AltGuard
+{
+    enum class Kind { Channel, Timer, Skip };
+
+    Kind kind = Kind::Skip;
+    ExprP cond;                 ///< boolean guard; null means TRUE
+    ExprP chan;                 ///< Kind::Channel: the channel lvalue
+    std::vector<ExprP> targets; ///< Kind::Channel: input target lvalues
+    ExprP time;                 ///< Kind::Timer: the AFTER deadline
+    ProcessP body;
+    int line = 0;
+};
+
+/** A declaration prefixing a process. */
+struct Decl
+{
+    enum class Kind { Var, Chan, Def, Place };
+
+    struct Item
+    {
+        std::string name;
+        ExprP size; ///< array element count; null for a scalar
+    };
+
+    Kind kind = Kind::Var;
+    std::vector<Item> items;
+    ExprP defValue;          ///< Kind::Def
+    ExprP placeAddr;         ///< Kind::Place: the channel's address
+    int line = 0;
+};
+
+/** A named procedure definition. */
+struct ProcDef
+{
+    struct Param
+    {
+        enum class Mode { Value, Var, Chan };
+        Mode mode = Mode::Value;
+        std::string name;
+    };
+
+    std::string name;
+    std::vector<Param> params;
+    ProcessP body;
+    int line = 0;
+};
+
+/** Processes: primitives and constructs (section 2.2). */
+struct Process
+{
+    enum class Kind
+    {
+        Skip, Stop,
+        Assign,     ///< v := e
+        Output,     ///< c ! e ; e ...
+        Input,      ///< c ? v ; v ...
+        TimerRead,  ///< TIME ? v
+        TimerAfter, ///< TIME ? AFTER e
+        Seq, Par, Alt, If, While,
+        Call,       ///< p(args)
+        Block,      ///< declarations / procedure defs + body
+    };
+
+    Kind kind = Kind::Skip;
+    int line = 0;
+
+    ExprP lhs, rhs;                    // Assign
+    ExprP chan;                        // Output / Input
+    std::vector<ExprP> items;          // Output exprs / Input lvalues
+    std::vector<ProcessP> components;  // Seq / Par / If branches
+    std::optional<Replicator> rep;     // Seq / Par
+    bool pri = false;                  // PRI PAR / PRI ALT
+    bool placed = false;               // PLACED PAR (configuration)
+    std::vector<int64_t> processors;   // PROCESSOR ids (placed PAR)
+    std::vector<AltGuard> guards;      // Alt
+    std::vector<ExprP> conds;          // If (parallel to components)
+    ExprP cond;                        // While
+    std::string callee;                // Call
+    std::vector<ExprP> args;           // Call
+    std::vector<Decl> decls;           // Block
+    std::vector<ProcDef> procs;        // Block
+    ProcessP body;                     // Block / While / TimerRead tgt
+};
+
+/** A whole compilation unit. */
+struct Program
+{
+    ProcessP main;
+};
+
+} // namespace transputer::occam
+
+#endif // TRANSPUTER_OCCAM_AST_HH

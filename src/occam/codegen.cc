@@ -1,0 +1,1445 @@
+#include "occam/codegen.hh"
+
+#include <algorithm>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "base/format.hh"
+#include "occam/lexer.hh" // OccamError
+
+namespace transputer::occam
+{
+
+namespace
+{
+
+[[noreturn]] void
+err(int line, const std::string &msg)
+{
+    throw OccamError(fmt("line {}: {}", line, msg));
+}
+
+/** What a name denotes. */
+struct Sym
+{
+    enum class Kind
+    {
+        Var,        ///< one word in the frame
+        Array,      ///< size words in the frame
+        Chan,       ///< one channel word in the frame
+        ChanArray,  ///< size channel words in the frame
+        PlacedChan, ///< channel at an absolute address (a link)
+        Const,      ///< DEF constant / builtin
+        ParamValue, ///< procedure VALUE parameter (word)
+        ParamVar,   ///< procedure VAR parameter (pointer)
+        ParamChan,  ///< procedure CHAN parameter (channel address)
+        Proc,       ///< procedure
+    };
+
+    Kind kind = Kind::Var;
+    int line = 0;
+    /**
+     * Location as a workspace-offset *expression* in frame (root)
+     * coordinates.  Plain integers for locals; symbolic for
+     * procedure parameters (they sit above the callee's frame, whose
+     * size becomes known only after its body is generated, so they
+     * reference an .equ emitted then).
+     */
+    std::string offset;
+    int size = 0;        ///< arrays: element count
+    int64_t value = 0;   ///< Const value / PlacedChan address
+    int procIndex = -1;  ///< Proc: index into CodeGen::procs_
+};
+
+/** Compiled-procedure record. */
+struct ProcInfo
+{
+    std::string label;
+    std::string frameEqu;  ///< .equ naming the frame size
+    int frameWords = 0;
+    int belowWords = 0;
+    std::vector<ProcDef::Param> params;
+};
+
+class CodeGen
+{
+  public:
+    CodeGen(const WordShape &shape, const Options &opt,
+            int placed_processor)
+        : shape_(shape), opt_(opt), placedProcessor_(placed_processor)
+    {
+        pushScope();
+        // builtin channel addresses (reserved words at MostNeg)
+        for (int i = 0; i < 4; ++i) {
+            defineBuiltin(fmt("LINK{}OUT", i), linkWordAddr(i));
+            defineBuiltin(fmt("LINK{}IN", i), linkWordAddr(4 + i));
+        }
+        defineBuiltin("EVENT", linkWordAddr(8));
+    }
+
+    GenResult
+    run(const Program &prog)
+    {
+        ctx_ = Ctx{};
+        // slot 0 of every frame is hardware scratch: outword/outbyte
+        // buffer through Wptr[0] and ALT keeps its selection there
+        ctx_.next = ctx_.maxAbove = 1 + scanExtraArgZone(*prog.main);
+        emit("start:");
+        genProcess(*prog.main);
+        emit("  stopp");
+        GenResult r;
+        r.asmSource = std::move(out_);
+        for (auto &p : procOut_)
+            r.asmSource += p;
+        r.frameWords = ctx_.maxAbove;
+        r.belowWords = ctx_.below;
+        return r;
+    }
+
+  private:
+    // ----- emission -------------------------------------------------
+
+    void
+    emit(const std::string &s)
+    {
+        if (!sizing_)
+            out_ += s + "\n";
+    }
+
+    std::string
+    newLabel(const char *stem)
+    {
+        return fmt("L{}{}", labelCounter_++, stem);
+    }
+
+    // ----- scopes ---------------------------------------------------
+
+    struct Scope
+    {
+        std::unordered_map<std::string, Sym> syms;
+        /**
+         * A procedure boundary: workspace-relative names beyond it
+         * are invisible (a PROC body runs on its own workspace, so a
+         * free variable's offset would be meaningless).  Constants,
+         * placed channels and procedures pass through.
+         */
+        bool barrier = false;
+    };
+
+    void
+    pushScope(bool barrier = false)
+    {
+        scopes_.push_back(Scope{{}, barrier});
+    }
+
+    void popScope() { scopes_.pop_back(); }
+
+    void
+    define(const std::string &name, Sym sym, int line)
+    {
+        if (scopes_.back().syms.count(name))
+            err(line, "duplicate name in the same scope: " + name);
+        scopes_.back().syms.emplace(name, std::move(sym));
+    }
+
+    void
+    defineBuiltin(const std::string &name, int64_t value)
+    {
+        Sym s;
+        s.kind = Sym::Kind::Const;
+        s.value = value;
+        scopes_.back().syms.emplace(name, std::move(s));
+    }
+
+    static bool
+    crossesBarriers(const Sym &s)
+    {
+        return s.kind == Sym::Kind::Const ||
+               s.kind == Sym::Kind::PlacedChan ||
+               s.kind == Sym::Kind::Proc;
+    }
+
+    Sym *
+    find(const std::string &name, bool *blocked = nullptr)
+    {
+        bool past_barrier = false;
+        for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+            auto f = it->syms.find(name);
+            if (f != it->syms.end()) {
+                if (past_barrier && !crossesBarriers(f->second)) {
+                    if (blocked)
+                        *blocked = true;
+                    return nullptr;
+                }
+                return &f->second;
+            }
+            past_barrier = past_barrier || it->barrier;
+        }
+        return nullptr;
+    }
+
+    Sym &
+    lookup(const std::string &name, int line)
+    {
+        bool blocked = false;
+        if (Sym *s = find(name, &blocked))
+            return *s;
+        if (blocked)
+            err(line, "'" + name + "' is a variable or channel of an "
+                      "enclosing process: a PROC body may only use "
+                      "its parameters, its own locals, constants and "
+                      "PLACEd channels -- pass it as a parameter");
+        err(line, "'" + name + "' is not in scope (note: procedures "
+                  "may not be called before their definition, and "
+                  "recursion is not supported)");
+    }
+
+    int64_t
+    linkWordAddr(int word) const
+    {
+        return shape_.toSigned(
+            shape_.index(shape_.mostNeg, word));
+    }
+
+    // ----- allocation context ---------------------------------------
+
+    struct Ctx
+    {
+        int next = 0;     ///< watermark, root-frame words
+        int maxAbove = 0; ///< high water of next
+        int below = 5;    ///< words needed below W (calls, slots)
+        int shift = 0;    ///< current PAR-child base in root coords
+    };
+
+    int
+    alloc(int words)
+    {
+        const int off = ctx_.next;
+        ctx_.next += words;
+        ctx_.maxAbove = std::max(ctx_.maxAbove, ctx_.next);
+        return off;
+    }
+
+    /** Offset text of a local offset in current-context coordinates. */
+    std::string
+    rel(int root_offset) const
+    {
+        return std::to_string(root_offset - ctx_.shift);
+    }
+
+    /** Offset text for a symbol (may be symbolic for parameters). */
+    std::string
+    relSym(const Sym &s) const
+    {
+        if (ctx_.shift == 0)
+            return s.offset;
+        return s.offset + " - " + std::to_string(ctx_.shift);
+    }
+
+    // ----- constant evaluation ---------------------------------------
+
+    std::optional<int64_t>
+    evalConst(const Expr &e)
+    {
+        switch (e.kind) {
+          case Expr::Kind::Number:
+            return e.number;
+          case Expr::Kind::Name: {
+            Sym *s = find(e.name);
+            if (s && s->kind == Sym::Kind::Const)
+                return s->value;
+            return std::nullopt;
+          }
+          case Expr::Kind::Unary: {
+            auto v = evalConst(*e.lhs);
+            if (!v)
+                return std::nullopt;
+            return e.unop == UnOp::Neg ? -*v : (*v == 0 ? 1 : 0);
+          }
+          case Expr::Kind::Binary: {
+            auto l = evalConst(*e.lhs), r = evalConst(*e.rhs);
+            if (!l || !r)
+                return std::nullopt;
+            switch (e.binop) {
+              case BinOp::Add: return *l + *r;
+              case BinOp::Sub: return *l - *r;
+              case BinOp::Mul: return *l * *r;
+              case BinOp::Div:
+                return *r == 0 ? std::nullopt
+                               : std::optional<int64_t>(*l / *r);
+              case BinOp::Rem:
+                return *r == 0 ? std::nullopt
+                               : std::optional<int64_t>(*l % *r);
+              case BinOp::BitAnd: return *l & *r;
+              case BinOp::BitOr: return *l | *r;
+              case BinOp::BitXor: return *l ^ *r;
+              case BinOp::Shl: return *l << (*r & 63);
+              case BinOp::Shr:
+                return static_cast<int64_t>(
+                    static_cast<uint64_t>(*l) & shape_.mask) >>
+                    (*r & 63);
+              case BinOp::And: return (*l != 0 && *r != 0) ? 1 : 0;
+              case BinOp::Or: return (*l != 0 || *r != 0) ? 1 : 0;
+              case BinOp::Eq: return *l == *r ? 1 : 0;
+              case BinOp::Ne: return *l != *r ? 1 : 0;
+              case BinOp::Lt: return *l < *r ? 1 : 0;
+              case BinOp::Gt: return *l > *r ? 1 : 0;
+              case BinOp::Le: return *l <= *r ? 1 : 0;
+              case BinOp::Ge: return *l >= *r ? 1 : 0;
+              case BinOp::After: return std::nullopt;
+            }
+            return std::nullopt;
+          }
+          default:
+            return std::nullopt;
+        }
+    }
+
+    // ----- expression depth (Ershov numbers, section 3.2.9) ----------
+
+    int
+    depth(const Expr &e)
+    {
+        switch (e.kind) {
+          case Expr::Kind::Number:
+            return 1;
+          case Expr::Kind::Name:
+            return 1;
+          case Expr::Kind::Index:
+            return std::max(depth(*e.index), 2);
+          case Expr::Kind::Unary:
+            return e.unop == UnOp::Neg ? depth(*e.lhs) + 1
+                                       : depth(*e.lhs);
+          case Expr::Kind::Binary: {
+            if (evalConst(e))
+                return 1;
+            // adc folds a constant rhs without a stack slot
+            if ((e.binop == BinOp::Add || e.binop == BinOp::Sub ||
+                 e.binop == BinOp::Eq || e.binop == BinOp::Ne) &&
+                evalConst(*e.rhs))
+                return depth(*e.lhs);
+            const int dl = depth(*e.lhs), dr = depth(*e.rhs);
+            int d = std::max(dl, dr + 1);
+            if (e.binop == BinOp::After)
+                d = std::max(d, 2); // needs the extra ldc 0
+            return d;
+          }
+        }
+        return 1;
+    }
+
+    // ----- temporaries ------------------------------------------------
+
+    struct TempScope
+    {
+        explicit TempScope(CodeGen &g) : g(g), saved(g.ctx_.next) {}
+        ~TempScope() { g.ctx_.next = saved; }
+        CodeGen &g;
+        int saved;
+    };
+
+    // ----- expressions -------------------------------------------------
+
+    /** Generate e with avail (2 or 3) free stack registers. */
+    void
+    genExpr(const Expr &e, int avail)
+    {
+        if (auto v = evalConst(e)) {
+            emit("  ldc " + std::to_string(
+                     shape_.toSigned(shape_.truncate(
+                         static_cast<uint64_t>(*v)))));
+            return;
+        }
+        switch (e.kind) {
+          case Expr::Kind::Number:
+            emit("  ldc " + std::to_string(e.number));
+            return;
+
+          case Expr::Kind::Name: {
+            Sym &s = lookup(e.name, e.line);
+            switch (s.kind) {
+              case Sym::Kind::Var:
+                emit("  ldl " + relSym(s));
+                return;
+              case Sym::Kind::ParamValue:
+                emit("  ldl " + relSym(s));
+                return;
+              case Sym::Kind::ParamVar:
+                emit("  ldl " + relSym(s));
+                emit("  ldnl 0");
+                return;
+              case Sym::Kind::Array:
+                err(e.line, "'" + e.name +
+                            "' is an array; subscript it");
+              default:
+                err(e.line, "'" + e.name +
+                            "' cannot be used as a value");
+            }
+          }
+
+          case Expr::Kind::Index: {
+            genElementAddr(e, avail);
+            emit("  ldnl 0");
+            return;
+          }
+
+          case Expr::Kind::Unary:
+            if (e.unop == UnOp::Not) {
+                genExpr(*e.lhs, avail);
+                emit("  eqc 0");
+            } else {
+                // 0 - e, checked
+                if (depth(*e.lhs) >= avail) {
+                    TempScope ts(*this);
+                    const int t = alloc(1);
+                    genExpr(*e.lhs, 3);
+                    emit("  stl " + rel(t));
+                    emit("  ldc 0");
+                    emit("  ldl " + rel(t));
+                } else {
+                    emit("  ldc 0");
+                    genExpr(*e.lhs, avail - 1);
+                }
+                emit("  sub");
+            }
+            return;
+
+          case Expr::Kind::Binary:
+            genBinary(e, avail);
+            return;
+        }
+    }
+
+    void
+    genBinary(const Expr &e, int avail)
+    {
+        // constant-rhs folds
+        if (auto rc = evalConst(*e.rhs)) {
+            if (e.binop == BinOp::Add) {
+                genExpr(*e.lhs, avail);
+                emit("  adc " + std::to_string(*rc));
+                return;
+            }
+            if (e.binop == BinOp::Sub) {
+                genExpr(*e.lhs, avail);
+                emit("  adc " + std::to_string(-*rc));
+                return;
+            }
+            if (e.binop == BinOp::Eq) {
+                genExpr(*e.lhs, avail);
+                emit("  eqc " + std::to_string(*rc));
+                return;
+            }
+            if (e.binop == BinOp::Ne) {
+                genExpr(*e.lhs, avail);
+                emit("  eqc " + std::to_string(*rc));
+                emit("  eqc 0");
+                return;
+            }
+        }
+
+        // evaluate lhs then rhs (rhs ends in Areg, lhs in Breg),
+        // spilling the rhs to a temporary when it is too deep
+        if (depth(*e.rhs) >= avail) {
+            TempScope ts(*this);
+            const int t = alloc(1);
+            genExpr(*e.rhs, 3);
+            emit("  stl " + rel(t));
+            genExpr(*e.lhs, avail);
+            emit("  ldl " + rel(t));
+        } else {
+            genExpr(*e.lhs, avail);
+            genExpr(*e.rhs, avail - 1);
+        }
+
+        switch (e.binop) {
+          case BinOp::Add: emit("  add"); break;
+          case BinOp::Sub: emit("  sub"); break;
+          case BinOp::Mul: emit("  mul"); break;
+          case BinOp::Div: emit("  div"); break;
+          case BinOp::Rem: emit("  rem"); break;
+          case BinOp::BitAnd: emit("  and"); break;
+          case BinOp::BitOr: emit("  or"); break;
+          case BinOp::BitXor: emit("  xor"); break;
+          case BinOp::Shl: emit("  shl"); break;
+          case BinOp::Shr: emit("  shr"); break;
+          // AND / OR operate bitwise on canonical truth values
+          case BinOp::And: emit("  and"); break;
+          case BinOp::Or: emit("  or"); break;
+          case BinOp::Eq:
+            emit("  diff");
+            emit("  eqc 0");
+            break;
+          case BinOp::Ne:
+            emit("  diff");
+            emit("  eqc 0");
+            emit("  eqc 0");
+            break;
+          case BinOp::Gt: emit("  gt"); break;
+          case BinOp::Lt:
+            emit("  rev");
+            emit("  gt");
+            break;
+          case BinOp::Le:
+            emit("  gt");
+            emit("  eqc 0");
+            break;
+          case BinOp::Ge:
+            emit("  rev");
+            emit("  gt");
+            emit("  eqc 0");
+            break;
+          case BinOp::After:
+            // signed (l - r) > 0: modular time comparison
+            emit("  diff");
+            emit("  ldc 0");
+            emit("  gt");
+            break;
+        }
+    }
+
+    /** Leave the address of array element e (Kind::Index) in Areg. */
+    void
+    genElementAddr(const Expr &e, int avail)
+    {
+        Sym &s = lookup(e.name, e.line);
+        const bool via_param = s.kind == Sym::Kind::ParamVar;
+        if (s.kind != Sym::Kind::Array &&
+            s.kind != Sym::Kind::ChanArray && !via_param)
+            err(e.line, "'" + e.name + "' is not an array");
+        if (depth(*e.index) >= avail) {
+            TempScope ts(*this);
+            const int t = alloc(1);
+            genExpr(*e.index, 3);
+            emit("  stl " + rel(t));
+            emit("  ldl " + rel(t));
+        } else {
+            genExpr(*e.index, avail);
+        }
+        // a VAR parameter carries no extent, so no bounds check
+        if (opt_.boundsCheck && !via_param) {
+            emit("  ldc " + std::to_string(s.size));
+            emit("  csub0");
+        }
+        emit(via_param ? "  ldl " + relSym(s)
+                       : "  ldlp " + relSym(s));
+        emit("  wsub");
+    }
+
+    /** Leave the address of lvalue e in Areg (uses <= 2 slots). */
+    void
+    genLvalueAddr(const Expr &e, int avail)
+    {
+        if (e.kind == Expr::Kind::Index) {
+            genElementAddr(e, avail);
+            return;
+        }
+        if (e.kind != Expr::Kind::Name)
+            err(e.line, "not an assignable variable");
+        Sym &s = lookup(e.name, e.line);
+        switch (s.kind) {
+          case Sym::Kind::Var:
+          case Sym::Kind::Array: // whole array: pass its base address
+            emit("  ldlp " + relSym(s));
+            return;
+          case Sym::Kind::ParamVar:
+            emit("  ldl " + relSym(s));
+            return;
+          default:
+            err(e.line, "'" + e.name + "' is not a variable");
+        }
+    }
+
+    /** Leave the address of channel expression e in Areg. */
+    void
+    genChanAddr(const Expr &e, int avail)
+    {
+        if (e.kind == Expr::Kind::Index) {
+            Sym &s = lookup(e.name, e.line);
+            if (s.kind == Sym::Kind::ChanArray) {
+                genElementAddr(e, avail);
+                return;
+            }
+            if (s.kind == Sym::Kind::ParamChan) {
+                // channel array passed through a CHAN parameter
+                genExpr(*e.index, avail);
+                emit("  ldl " + relSym(s));
+                emit("  wsub");
+                return;
+            }
+            err(e.line, "'" + e.name + "' is not a channel array");
+        }
+        if (e.kind != Expr::Kind::Name)
+            err(e.line, "not a channel");
+        Sym &s = lookup(e.name, e.line);
+        switch (s.kind) {
+          case Sym::Kind::Chan:
+          case Sym::Kind::ChanArray: // whole array: its base address
+            emit("  ldlp " + relSym(s));
+            return;
+          case Sym::Kind::ParamChan:
+            emit("  ldl " + relSym(s));
+            return;
+          case Sym::Kind::PlacedChan:
+            emit("  ldc " + std::to_string(s.value));
+            return;
+          default:
+            err(e.line, "'" + e.name + "' is not a channel");
+        }
+    }
+
+    /** Store Areg into lvalue e (rvalue already on the stack). */
+    void
+    genStore(const Expr &e)
+    {
+        if (e.kind == Expr::Kind::Name) {
+            Sym &s = lookup(e.name, e.line);
+            if (s.kind == Sym::Kind::Var) {
+                emit("  stl " + relSym(s));
+                return;
+            }
+            if (s.kind == Sym::Kind::ParamVar) {
+                emit("  ldl " + relSym(s));
+                emit("  stnl 0");
+                return;
+            }
+            err(e.line, "'" + e.name + "' is not assignable");
+        }
+        if (e.kind == Expr::Kind::Index) {
+            genElementAddr(e, 2); // value occupies one register
+            emit("  stnl 0");
+            return;
+        }
+        err(e.line, "not an assignable variable");
+    }
+
+    // ----- statement helpers --------------------------------------
+
+    void
+    genInputWord(const Expr &chan, const Expr *target)
+    {
+        // in: Areg = count, Breg = channel, Creg = pointer
+        TempScope ts(*this);
+        if (target) {
+            genLvalueAddr(*target, 3);
+        } else {
+            const int t = alloc(1); // c ? ANY: discard into a temp
+            emit("  ldlp " + rel(t));
+        }
+        genChanAddr(chan, 2);
+        emit("  ldc " + std::to_string(shape_.bytes));
+        emit("  in");
+    }
+
+    void
+    genOutputWord(const Expr &chan, const Expr &value)
+    {
+        // outword: Areg = channel, Breg = value
+        genExpr(value, 3);
+        genChanAddr(chan, 2);
+        emit("  outword");
+    }
+
+    // ----- PAR ------------------------------------------------------
+
+    /** Result of compiling one PAR branch as a separate region. */
+    struct Branch
+    {
+        int above = 0;
+        int below = 0;
+        std::string text;
+    };
+
+    /**
+     * Compile a PAR branch with its own workspace whose base (Wptr)
+     * sits at root offset `shift`.  Optionally bind the replicator
+     * variable as the branch's first local.
+     */
+    Branch
+    compileBranch(const Process &p, int shift, const std::string &rep_var,
+                  int join_offset, int line)
+    {
+        Ctx saved = ctx_;
+        std::string saved_out = std::move(out_);
+        out_.clear();
+
+        ctx_.next = ctx_.maxAbove = shift;
+        ctx_.below = 5;
+        ctx_.shift = shift;
+        pushScope();
+        alloc(1); // slot 0: hardware scratch (outword / ALT selection)
+        if (!rep_var.empty()) {
+            Sym s;
+            s.kind = Sym::Kind::Var;
+            s.offset = std::to_string(alloc(1));
+            define(rep_var, std::move(s), line);
+        }
+        ctx_.next += scanExtraArgZone(p);
+        ctx_.maxAbove = std::max(ctx_.maxAbove, ctx_.next);
+
+        genProcess(p);
+        // join: the pair lives at parent-root offset join_offset
+        emit("  ldlp " + rel(join_offset));
+        emit("  endp");
+
+        popScope();
+        Branch b;
+        b.above = ctx_.maxAbove - shift;
+        b.below = ctx_.below;
+        b.text = std::move(out_);
+        out_ = std::move(saved_out);
+        ctx_ = saved;
+        return b;
+    }
+
+    /** Root offset where the replicator variable of a branch lives. */
+    static int
+    branchRepVarOffset(int shift)
+    {
+        return shift + 1; // first local after the scratch slot
+    }
+
+    /** The PLACED PAR component selected for this compilation. */
+    const Process &
+    placedComponent(const Process &p) const
+    {
+        if (placedProcessor_ < 0)
+            err(p.line,
+                "this program is a configuration (PLACED PAR): "
+                "compile it per PROCESSOR (net::bootPlacedSource)");
+        for (size_t i = 0; i < p.processors.size(); ++i)
+            if (p.processors[i] == placedProcessor_)
+                return *p.components[i];
+        err(p.line, fmt("no PROCESSOR {} in the PLACED PAR",
+                        placedProcessor_));
+    }
+
+    void
+    genPar(const Process &p)
+    {
+        const int line = p.line;
+
+        // assemble the list of child branches (beyond what the
+        // parent executes itself)
+        struct Child
+        {
+            const Process *proc;
+            std::string repVar;
+            int64_t repValue = 0;
+        };
+        std::vector<Child> children;
+        const Process *parent_branch = nullptr;
+
+        if (p.placed) {
+            genProcess(placedComponent(p));
+            return;
+        }
+        if (p.rep) {
+            const auto count = evalConst(*p.rep->count);
+            const auto base = evalConst(*p.rep->base);
+            if (!count || !base)
+                err(line, "replicated PAR needs constant base and "
+                          "count");
+            if (*count < 0 || *count > 1024)
+                err(line, "replicated PAR count out of range");
+            if (p.components.size() != 1)
+                err(line, "replicated PAR has one component");
+            for (int64_t k = 0; k < *count; ++k)
+                children.push_back(Child{p.components[0].get(),
+                                         p.rep->var, *base + k});
+        } else {
+            if (p.components.empty())
+                return; // empty PAR is SKIP
+            if (p.components.size() == 1 && !p.pri) {
+                genProcess(*p.components[0]);
+                return;
+            }
+            parent_branch = p.components[0].get();
+            for (size_t i = 1; i < p.components.size(); ++i)
+                children.push_back(Child{p.components[i].get(), "", 0});
+            if (p.pri) {
+                // PRI PAR: the high branch becomes the child run at
+                // priority 0 and the parent runs the low branch
+                parent_branch = p.components[1].get();
+                children.clear();
+                children.push_back(Child{p.components[0].get(), "", 0});
+            }
+        }
+
+        TempScope ts(*this);
+        const int join = alloc(2); // {successor Iptr, count}
+
+        // pass 1: size each child (text discarded)
+        std::vector<Branch> sized;
+        {
+            const bool saved_sizing = sizing_;
+            sizing_ = true;
+            for (auto &c : children)
+                sized.push_back(compileBranch(*c.proc, ctx_.next,
+                                              c.repVar, join, line));
+            sizing_ = saved_sizing;
+        }
+
+        // layout: children stacked above the current watermark; the
+        // parent's own branch then allocates above the children
+        std::vector<int> shifts;
+        int cur = ctx_.next;
+        for (auto &b : sized) {
+            shifts.push_back(cur + b.below);
+            cur += b.below + b.above;
+        }
+        ctx_.next = cur;
+        ctx_.maxAbove = std::max(ctx_.maxAbove, cur);
+
+        // every component (children + the parent's own) ends with an
+        // endp against the pair
+        const int count = static_cast<int>(children.size()) + 1;
+
+        const std::string succ = newLabel("parjoin");
+        emit("  ldc " + std::to_string(count));
+        emit("  stl " + rel(join + 1));
+        emit("  ldap " + succ);
+        emit("  stl " + rel(join));
+
+        // start the children
+        std::vector<std::string> labels;
+        for (size_t i = 0; i < children.size(); ++i) {
+            const std::string lbl = newLabel("parbr");
+            labels.push_back(lbl);
+            if (!children[i].repVar.empty()) {
+                // bind the replicator value in the child workspace
+                emit("  ldc " +
+                     std::to_string(children[i].repValue));
+                emit("  stl " +
+                     rel(branchRepVarOffset(shifts[i])));
+            }
+            if (p.pri) {
+                // high-priority child: plant Iptr, then runp with a
+                // priority-0 descriptor (word-aligned => bit 0 clear)
+                emit("  ldap " + lbl);
+                emit("  ldlp " + rel(shifts[i]));
+                emit("  stnl -1");
+                emit("  ldlp " + rel(shifts[i]));
+                emit("  runp");
+            } else {
+                const std::string after = newLabel("parc");
+                emit("  ldc " + lbl + " - " + after);
+                emit("  ldlp " + rel(shifts[i]));
+                emit("  startp");
+                emit(after + ":");
+            }
+        }
+
+        // the parent's own branch (empty for replicated PAR)
+        if (parent_branch)
+            genProcess(*parent_branch);
+        emit("  ldlp " + rel(join));
+        emit("  endp");
+
+        // children code (pass 2 with the real shifts)
+        for (size_t i = 0; i < children.size(); ++i) {
+            emit(labels[i] + ":");
+            Branch b = compileBranch(*children[i].proc, shifts[i],
+                                     children[i].repVar, join, line);
+            if (b.above != sized[i].above || b.below != sized[i].below)
+                err(line, "internal: PAR branch sizing diverged");
+            if (!sizing_)
+                out_ += b.text;
+        }
+
+        emit(succ + ":");
+        // after the join the continuing process's Wptr is the pair
+        emit("  ajw " + std::to_string(-(join - ctx_.shift)));
+    }
+
+    // ----- ALT ------------------------------------------------------
+
+    void
+    genAlt(const Process &p)
+    {
+        // A replicated ALT with constant bounds unrolls: every
+        // (replica, guard) pair becomes one alternative, with the
+        // replicator bound as a constant in its copies.
+        int64_t rep_base = 0, rep_count = 1;
+        if (p.rep) {
+            const auto base = evalConst(*p.rep->base);
+            const auto count = evalConst(*p.rep->count);
+            if (!base || !count)
+                err(p.line, "replicated ALT needs constant base and "
+                            "count");
+            if (*count <= 0 || *count > 256)
+                err(p.line, "replicated ALT count out of range");
+            rep_base = *base;
+            rep_count = *count;
+        }
+        const size_t nalts =
+            p.guards.size() * static_cast<size_t>(rep_count);
+        auto guardOf = [&](size_t i) -> const AltGuard & {
+            return p.guards[i % p.guards.size()];
+        };
+        // bind the replicator value for alternative i (scoped)
+        auto bindRep = [&](size_t i) {
+            pushScope();
+            if (p.rep) {
+                Sym s;
+                s.kind = Sym::Kind::Const;
+                s.value = rep_base +
+                          static_cast<int64_t>(i / p.guards.size());
+                define(p.rep->var, std::move(s), p.line);
+            }
+        };
+
+        bool any_timer = false;
+        for (const auto &g : p.guards)
+            if (g.kind == AltGuard::Kind::Timer)
+                any_timer = true;
+
+        TempScope ts(*this);
+        // deadline temporaries survive until the disable sequence
+        std::vector<int> time_temps(nalts, -1);
+
+        emit(any_timer ? "  talt" : "  alt");
+
+        for (size_t i = 0; i < nalts; ++i) {
+            const auto &g = guardOf(i);
+            bindRep(i);
+            switch (g.kind) {
+              case AltGuard::Kind::Channel:
+                genChanAddr(*g.chan, 3);
+                genGuardBool(g, 2);
+                emit("  enbc");
+                break;
+              case AltGuard::Kind::Timer: {
+                time_temps[i] = alloc(1);
+                genExpr(*g.time, 3);
+                emit("  stl " + rel(time_temps[i]));
+                emit("  ldl " + rel(time_temps[i]));
+                genGuardBool(g, 2);
+                emit("  enbt");
+                break;
+              }
+              case AltGuard::Kind::Skip:
+                genGuardBool(g, 3);
+                emit("  enbs");
+                break;
+            }
+            popScope();
+        }
+
+        emit(any_timer ? "  taltwt" : "  altwt");
+
+        const std::string end = newLabel("altend");
+        std::vector<std::string> labels;
+        for (size_t i = 0; i < nalts; ++i) {
+            const auto &g = guardOf(i);
+            bindRep(i);
+            labels.push_back(newLabel("altbr"));
+            switch (g.kind) {
+              case AltGuard::Kind::Channel:
+                genChanAddr(*g.chan, 3);
+                genGuardBool(g, 2);
+                emit("  ldc " + labels[i] + " - " + end);
+                emit("  disc");
+                break;
+              case AltGuard::Kind::Timer:
+                emit("  ldl " + rel(time_temps[i]));
+                genGuardBool(g, 2);
+                emit("  ldc " + labels[i] + " - " + end);
+                emit("  dist");
+                break;
+              case AltGuard::Kind::Skip:
+                genGuardBool(g, 3);
+                emit("  ldc " + labels[i] + " - " + end);
+                emit("  diss");
+                break;
+            }
+            popScope();
+        }
+        emit("  altend");
+        emit(end + ":");
+
+        const std::string done = newLabel("altdone");
+        for (size_t i = 0; i < nalts; ++i) {
+            const auto &g = guardOf(i);
+            bindRep(i);
+            emit(labels[i] + ":");
+            if (g.kind == AltGuard::Kind::Channel) {
+                // the selected branch performs the actual input
+                for (const auto &t : g.targets)
+                    genInputWord(*g.chan, t.get());
+            }
+            genProcess(*g.body);
+            if (i + 1 != nalts)
+                emit("  j " + done);
+            popScope();
+        }
+        emit(done + ":");
+    }
+
+    void
+    genGuardBool(const AltGuard &g, int avail)
+    {
+        if (g.cond)
+            genExpr(*g.cond, avail);
+        else
+            emit("  ldc 1");
+    }
+
+    // ----- calls -----------------------------------------------------
+
+    void
+    genCall(const Process &p)
+    {
+        Sym &s = lookup(p.callee, p.line);
+        if (s.kind != Sym::Kind::Proc)
+            err(p.line, "'" + p.callee + "' is not a procedure");
+        const ProcInfo &info = procs_[s.procIndex];
+        if (p.args.size() != info.params.size())
+            err(p.line,
+                fmt("'{}' expects {} argument(s), got {}", p.callee,
+                    info.params.size(), p.args.size()));
+
+        auto gen_arg = [&](size_t i, int avail) {
+            const auto mode = info.params[i].mode;
+            if (mode == ProcDef::Param::Mode::Value)
+                genExpr(*p.args[i], avail);
+            else if (mode == ProcDef::Param::Mode::Var)
+                genLvalueAddr(*p.args[i], avail);
+            else
+                genChanAddr(*p.args[i], avail);
+        };
+        auto arg_depth = [&](size_t i) {
+            if (info.params[i].mode == ProcDef::Param::Mode::Value)
+                return depth(*p.args[i]);
+            // an address computation uses up to two registers
+            return p.args[i]->kind == Expr::Kind::Index
+                       ? std::max(depth(*p.args[i]->index), 2)
+                       : 1;
+        };
+
+        TempScope ts(*this);
+        // arguments beyond three go just above the caller's scratch
+        // slot at the frame base
+        for (size_t i = 3; i < p.args.size(); ++i) {
+            gen_arg(i, 3);
+            emit("  stl " +
+                 rel(ctx_.shift + 1 + static_cast<int>(i) - 3));
+        }
+        // The first three travel in Areg/Breg/Creg via call, pushed
+        // so that argument 0 ends in Areg.  Arguments too deep to
+        // build on a partially-occupied stack are spilled first.
+        const size_t n = std::min<size_t>(3, p.args.size());
+        std::vector<int> spill(n, -1);
+        for (size_t k = 0; k < n; ++k) {
+            const int avail = 3 - static_cast<int>(n - 1 - k);
+            if (arg_depth(k) > avail) {
+                spill[k] = alloc(1);
+                gen_arg(k, 3);
+                emit("  stl " + rel(spill[k]));
+            }
+        }
+        for (size_t k = n; k-- > 0;) {
+            const int avail = 3 - static_cast<int>(n - 1 - k);
+            if (spill[k] >= 0)
+                emit("  ldl " + rel(spill[k]));
+            else
+                gen_arg(k, avail);
+        }
+        emit("  call " + info.label);
+        ctx_.below = std::max(ctx_.below,
+                              4 + info.frameWords + info.belowWords);
+    }
+
+    // ----- procedure definitions --------------------------------------
+
+    void
+    genProcDef(const ProcDef &def)
+    {
+        const int index = static_cast<int>(procs_.size());
+        ProcInfo info;
+        info.label = fmt("P{}.{}", index, def.name);
+        info.frameEqu = fmt("P{}.frame", index);
+        info.params = def.params;
+        procs_.push_back(info);
+
+        // compile the body in a fresh frame context
+        Ctx saved_ctx = ctx_;
+        std::string saved_out = std::move(out_);
+        out_.clear();
+
+        ctx_ = Ctx{};
+        pushScope(/*barrier=*/true);
+        for (size_t j = 0; j < def.params.size(); ++j) {
+            Sym s;
+            switch (def.params[j].mode) {
+              case ProcDef::Param::Mode::Value:
+                s.kind = Sym::Kind::ParamValue;
+                break;
+              case ProcDef::Param::Mode::Var:
+                s.kind = Sym::Kind::ParamVar;
+                break;
+              case ProcDef::Param::Mode::Chan:
+                s.kind = Sym::Kind::ParamChan;
+                break;
+            }
+            // parameters sit above the frame: the first three in the
+            // call-created slots, the rest in the caller's frame base
+            // the first three parameters live in the call-created
+            // slots; later ones in the caller's frame just above its
+            // scratch slot
+            s.offset = j < 3
+                ? fmt("{} + {}", info.frameEqu, 1 + j)
+                : fmt("{} + {}", info.frameEqu, 5 + (j - 3));
+            define(def.params[j].name, std::move(s), def.line);
+        }
+        ctx_.next = ctx_.maxAbove = 1 + scanExtraArgZone(*def.body);
+
+        genProcess(*def.body);
+        popScope();
+
+        const int frame = ctx_.maxAbove;
+        const int below = ctx_.below;
+        std::string body = std::move(out_);
+        out_ = std::move(saved_out);
+        ctx_ = saved_ctx;
+
+        procs_[index].frameWords = frame;
+        procs_[index].belowWords = below;
+
+        if (!sizing_) {
+            std::string text;
+            text += fmt(".equ {}, {}\n", procs_[index].frameEqu,
+                        frame);
+            text += procs_[index].label + ":\n";
+            if (frame > 0)
+                text += fmt("  ajw -{}\n", frame);
+            text += body;
+            if (frame > 0)
+                text += fmt("  ajw {}\n", frame);
+            text += "  ret\n";
+            procOut_.push_back(std::move(text));
+        }
+
+        Sym sym;
+        sym.kind = Sym::Kind::Proc;
+        sym.procIndex = index;
+        define(def.name, std::move(sym), def.line);
+    }
+
+    /**
+     * Words at the frame base reserved for outgoing arguments beyond
+     * the third, across every call this context itself executes
+     * (PAR child branches and nested PROC bodies have their own
+     * frame bases and are skipped).
+     */
+    int
+    scanExtraArgZone(const Process &p)
+    {
+        int zone = 0;
+        auto visitGuards = [&](const Process &q) {
+            for (const auto &g : q.guards)
+                if (g.body)
+                    zone = std::max(zone, scanExtraArgZone(*g.body));
+        };
+        switch (p.kind) {
+          case Process::Kind::Call:
+            if (p.args.size() > 3)
+                zone = static_cast<int>(p.args.size()) - 3;
+            break;
+          case Process::Kind::Seq:
+          case Process::Kind::If:
+            for (const auto &c : p.components)
+                zone = std::max(zone, scanExtraArgZone(*c));
+            break;
+          case Process::Kind::Par:
+            if (p.placed) {
+                zone = std::max(zone,
+                                scanExtraArgZone(placedComponent(p)));
+            } else if (!p.rep && !p.components.empty()) {
+                // only the branch the parent itself executes
+                const Process &own =
+                    p.pri ? *p.components[1] : *p.components[0];
+                zone = std::max(zone, scanExtraArgZone(own));
+            }
+            break;
+          case Process::Kind::Alt:
+            visitGuards(p);
+            break;
+          case Process::Kind::While:
+          case Process::Kind::Block:
+            if (p.body)
+                zone = std::max(zone, scanExtraArgZone(*p.body));
+            break;
+          default:
+            break;
+        }
+        return zone;
+    }
+
+    // ----- processes ---------------------------------------------------
+
+    void
+    genProcess(const Process &p)
+    {
+        switch (p.kind) {
+          case Process::Kind::Skip:
+            return;
+
+          case Process::Kind::Stop:
+            emit("  stopp");
+            return;
+
+          case Process::Kind::Assign:
+            genExpr(*p.rhs, 3);
+            genStore(*p.lhs);
+            return;
+
+          case Process::Kind::Output:
+            for (const auto &item : p.items)
+                genOutputWord(*p.chan, *item);
+            return;
+
+          case Process::Kind::Input:
+            for (const auto &item : p.items)
+                genInputWord(*p.chan, item.get());
+            return;
+
+          case Process::Kind::TimerRead:
+            emit("  ldtimer");
+            genStore(*p.lhs);
+            return;
+
+          case Process::Kind::TimerAfter:
+            genExpr(*p.rhs, 3);
+            emit("  tin");
+            return;
+
+          case Process::Kind::Seq:
+            if (p.rep) {
+                genReplicatedSeq(p);
+            } else {
+                for (const auto &c : p.components)
+                    genProcess(*c);
+            }
+            return;
+
+          case Process::Kind::Par:
+            genPar(p);
+            return;
+
+          case Process::Kind::Alt:
+            genAlt(p);
+            return;
+
+          case Process::Kind::If: {
+            const std::string end = newLabel("ifend");
+            for (size_t i = 0; i < p.conds.size(); ++i) {
+                std::string next = newLabel("ifnext");
+                const auto cv = evalConst(*p.conds[i]);
+                if (cv && *cv != 0) {
+                    // TRUE choice: unconditional
+                    genProcess(*p.components[i]);
+                    emit("  j " + end);
+                    emit(next + ":");
+                    break;
+                }
+                genExpr(*p.conds[i], 3);
+                emit("  cj " + next);
+                genProcess(*p.components[i]);
+                emit("  j " + end);
+                emit(next + ":");
+            }
+            // no choice true: STOP (occam semantics)
+            emit("  stopp");
+            emit(end + ":");
+            return;
+          }
+
+          case Process::Kind::While: {
+            const auto cv = evalConst(*p.cond);
+            const std::string loop = newLabel("while");
+            const std::string end = newLabel("whend");
+            emit(loop + ":");
+            if (cv && *cv != 0) {
+                genProcess(*p.body);
+                emit("  j " + loop);
+            } else {
+                genExpr(*p.cond, 3);
+                emit("  cj " + end);
+                genProcess(*p.body);
+                emit("  j " + loop);
+            }
+            emit(end + ":");
+            return;
+          }
+
+          case Process::Kind::Call:
+            genCall(p);
+            return;
+
+          case Process::Kind::Block: {
+            TempScope ts(*this);
+            pushScope();
+            for (const auto &d : p.decls)
+                genDecl(d);
+            for (const auto &pd : p.procs)
+                genProcDef(pd);
+            genProcess(*p.body);
+            popScope();
+            return;
+          }
+        }
+    }
+
+    void
+    genReplicatedSeq(const Process &p)
+    {
+        TempScope ts(*this);
+        // control block: {index, count}; the index is the replicator
+        const int ctrl = alloc(2);
+        pushScope();
+        Sym iv;
+        iv.kind = Sym::Kind::Var;
+        iv.offset = std::to_string(ctrl);
+        define(p.rep->var, std::move(iv), p.line);
+
+        genExpr(*p.rep->base, 3);
+        emit("  stl " + rel(ctrl));
+        genExpr(*p.rep->count, 3);
+        emit("  stl " + rel(ctrl + 1));
+
+        const std::string loop = newLabel("repseq");
+        const std::string lend = newLabel("repend");
+        // zero-trip guard: skip when count <= 0
+        emit("  ldl " + rel(ctrl + 1));
+        emit("  ldc 0");
+        emit("  gt");
+        emit("  cj " + lend);
+        emit(loop + ":");
+        for (const auto &c : p.components)
+            genProcess(*c);
+        emit("  ldlp " + rel(ctrl));
+        emit("  ldc " + lend + " - " + loop);
+        emit("  lend");
+        emit(lend + ":");
+        popScope();
+    }
+
+    void
+    genDecl(const Decl &d)
+    {
+        switch (d.kind) {
+          case Decl::Kind::Var:
+            for (const auto &item : d.items) {
+                Sym s;
+                if (item.size) {
+                    const auto n = evalConst(*item.size);
+                    if (!n || *n <= 0)
+                        err(d.line, "array size must be a positive "
+                                    "constant");
+                    s.kind = Sym::Kind::Array;
+                    s.size = static_cast<int>(*n);
+                    s.offset =
+                        std::to_string(alloc(static_cast<int>(*n)));
+                } else {
+                    s.kind = Sym::Kind::Var;
+                    s.offset = std::to_string(alloc(1));
+                }
+                define(item.name, std::move(s), d.line);
+            }
+            return;
+
+          case Decl::Kind::Chan:
+            for (const auto &item : d.items) {
+                Sym s;
+                int n = 1;
+                if (item.size) {
+                    const auto nv = evalConst(*item.size);
+                    if (!nv || *nv <= 0)
+                        err(d.line, "channel array size must be a "
+                                    "positive constant");
+                    n = static_cast<int>(*nv);
+                    s.kind = Sym::Kind::ChanArray;
+                    s.size = n;
+                } else {
+                    s.kind = Sym::Kind::Chan;
+                }
+                const int off = alloc(n);
+                s.offset = std::to_string(off);
+                // a channel word resets to NotProcess
+                for (int k = 0; k < n; ++k) {
+                    emit("  mint");
+                    emit("  stl " + rel(off + k));
+                }
+                define(item.name, std::move(s), d.line);
+            }
+            return;
+
+          case Decl::Kind::Def: {
+            const auto v = evalConst(*d.defValue);
+            if (!v)
+                err(d.line, "DEF value must be constant");
+            Sym s;
+            s.kind = Sym::Kind::Const;
+            s.value = *v;
+            define(d.items[0].name, std::move(s), d.line);
+            return;
+          }
+
+          case Decl::Kind::Place: {
+            const auto v = evalConst(*d.placeAddr);
+            if (!v)
+                err(d.line, "PLACE address must be constant");
+            Sym *s = find(d.items[0].name);
+            if (s && (s->kind == Sym::Kind::Chan ||
+                      s->kind == Sym::Kind::PlacedChan)) {
+                s->kind = Sym::Kind::PlacedChan;
+                s->value = *v;
+            } else {
+                Sym ns;
+                ns.kind = Sym::Kind::PlacedChan;
+                ns.value = *v;
+                define(d.items[0].name, std::move(ns), d.line);
+            }
+            return;
+          }
+        }
+    }
+
+    const WordShape shape_;
+    const Options opt_;
+    std::vector<Scope> scopes_;
+    Ctx ctx_;
+    std::string out_;
+    std::vector<std::string> procOut_;
+    std::vector<ProcInfo> procs_;
+    int labelCounter_ = 0;
+    bool sizing_ = false;
+    const int placedProcessor_;
+};
+
+} // namespace
+
+GenResult
+generate(const Program &prog, const WordShape &shape,
+         const Options &opt, int placed_processor)
+{
+    CodeGen g(shape, opt, placed_processor);
+    return g.run(prog);
+}
+
+std::vector<int>
+placedProcessors(const Program &prog)
+{
+    const Process *p = prog.main.get();
+    while (p && p->kind == Process::Kind::Block)
+        p = p->body.get();
+    std::vector<int> ids;
+    if (p && p->kind == Process::Kind::Par && p->placed)
+        for (int64_t id : p->processors)
+            ids.push_back(static_cast<int>(id));
+    return ids;
+}
+
+} // namespace transputer::occam

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Code generation from the occam AST to I1 assembler source.
+ *
+ * The generator follows the classic transputer compilation scheme
+ * (paper section 3.2): all workspace allocation is static, PAR
+ * branches get compile-time workspace carve-outs inside the parent
+ * frame joined through (successor-Iptr, count) pairs with
+ * startp/endp, ALT compiles to the enable/wait/disable sequence, and
+ * expressions evaluate on the three-register stack with temporaries
+ * spilled to workspace when the depth would exceed three (section
+ * 3.2.9).
+ */
+
+#ifndef TRANSPUTER_OCCAM_CODEGEN_HH
+#define TRANSPUTER_OCCAM_CODEGEN_HH
+
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+#include "occam/ast.hh"
+
+namespace transputer::occam
+{
+
+/** Compiler options. */
+struct Options
+{
+    /** Emit csub0 range checks on array subscripts. */
+    bool boundsCheck = true;
+};
+
+/** The result of generating code for one program. */
+struct GenResult
+{
+    std::string asmSource;  ///< I1 assembler text (entry label "start")
+    int frameWords = 0;     ///< words needed at/above the boot Wptr
+    int belowWords = 0;     ///< words needed below the boot Wptr
+};
+
+/**
+ * Generate assembler source for a parsed program.
+ * @param placed_processor when the program's outermost process is a
+ *        PLACED PAR, generate only the component for this PROCESSOR
+ *        id; -1 compiles an ordinary (un-placed) program.
+ */
+GenResult generate(const Program &prog, const WordShape &shape,
+                   const Options &opt = {}, int placed_processor = -1);
+
+/**
+ * The PROCESSOR ids of the program's PLACED PAR (empty if the
+ * program is not a configuration).
+ */
+std::vector<int> placedProcessors(const Program &prog);
+
+} // namespace transputer::occam
+
+#endif // TRANSPUTER_OCCAM_CODEGEN_HH

@@ -1,0 +1,22 @@
+#include "occam/compiler.hh"
+
+#include "occam/parser.hh"
+
+namespace transputer::occam
+{
+
+Compiled
+compile(const std::string &source, const WordShape &shape, Word origin,
+        const Options &opt, int placed_processor)
+{
+    const Program prog = parse(source);
+    GenResult gen = generate(prog, shape, opt, placed_processor);
+    Compiled c;
+    c.image = tasm::assemble(gen.asmSource, origin, shape);
+    c.asmSource = std::move(gen.asmSource);
+    c.frameWords = gen.frameWords;
+    c.belowWords = gen.belowWords;
+    return c;
+}
+
+} // namespace transputer::occam

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * The public occam compiler interface.
+ *
+ * "The lowest level of programming transputers is to use occam"
+ * (paper section 3.1): this module turns occam source into an I1
+ * image plus the workspace requirements a loader needs.  occamRun()
+ * in net/ boots a compiled program on a transputer of a network.
+ */
+
+#ifndef TRANSPUTER_OCCAM_COMPILER_HH
+#define TRANSPUTER_OCCAM_COMPILER_HH
+
+#include <string>
+
+#include "base/types.hh"
+#include "occam/codegen.hh"
+#include "tasm/assembler.hh"
+
+namespace transputer::occam
+{
+
+/** A compiled occam program, ready to load. */
+struct Compiled
+{
+    std::string asmSource;   ///< generated I1 assembler text
+    tasm::Image image;       ///< assembled at the requested origin
+    int frameWords = 0;      ///< words at/above the boot Wptr
+    int belowWords = 0;      ///< words below the boot Wptr
+};
+
+/**
+ * Compile occam source for a part of the given word shape, placing
+ * the code image at origin (normally Memory::memStart()).
+ */
+Compiled compile(const std::string &source, const WordShape &shape,
+                 Word origin, const Options &opt = {},
+                 int placed_processor = -1);
+
+} // namespace transputer::occam
+
+#endif // TRANSPUTER_OCCAM_COMPILER_HH

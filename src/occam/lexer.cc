@@ -1,0 +1,235 @@
+#include "occam/lexer.hh"
+
+#include <cctype>
+#include <unordered_map>
+
+#include "base/format.hh"
+
+namespace transputer::occam
+{
+
+namespace
+{
+
+const std::unordered_map<std::string, Tok> keywords = {
+    {"VAR", Tok::KwVar},       {"CHAN", Tok::KwChan},
+    {"DEF", Tok::KwDef},       {"PROC", Tok::KwProc},
+    {"VALUE", Tok::KwValue},   {"SEQ", Tok::KwSeq},
+    {"PAR", Tok::KwPar},       {"ALT", Tok::KwAlt},
+    {"IF", Tok::KwIf},         {"WHILE", Tok::KwWhile},
+    {"PRI", Tok::KwPri},       {"PLACED", Tok::KwPlaced},
+    {"SKIP", Tok::KwSkip},     {"STOP", Tok::KwStop},
+    {"TRUE", Tok::KwTrue},     {"FALSE", Tok::KwFalse},
+    {"FOR", Tok::KwFor},       {"AFTER", Tok::KwAfter},
+    {"TIME", Tok::KwTime},     {"ANY", Tok::KwAny},
+    {"AND", Tok::KwAnd},       {"OR", Tok::KwOr},
+    {"NOT", Tok::KwNot},       {"PLACE", Tok::KwPlace},
+    {"AT", Tok::KwAt},         {"PROCESSOR", Tok::KwProcessor},
+};
+
+[[noreturn]] void
+err(int line, const std::string &msg)
+{
+    throw OccamError(fmt("line {}: {}", line, msg));
+}
+
+} // namespace
+
+std::string
+tokName(Tok t)
+{
+    switch (t) {
+      case Tok::Name: return "name";
+      case Tok::Number: return "number";
+      case Tok::Assign: return ":=";
+      case Tok::Bang: return "!";
+      case Tok::Query: return "?";
+      case Tok::Colon: return ":";
+      case Tok::Semi: return ";";
+      case Tok::Comma: return ",";
+      case Tok::LParen: return "(";
+      case Tok::RParen: return ")";
+      case Tok::LBracket: return "[";
+      case Tok::RBracket: return "]";
+      case Tok::Eq: return "=";
+      case Tok::Ne: return "<>";
+      case Tok::Lt: return "<";
+      case Tok::Gt: return ">";
+      case Tok::Le: return "<=";
+      case Tok::Ge: return ">=";
+      case Tok::Plus: return "+";
+      case Tok::Minus: return "-";
+      case Tok::Star: return "*";
+      case Tok::Slash: return "/";
+      case Tok::Backslash: return "\\";
+      case Tok::Amp: return "&";
+      case Tok::BitAnd: return "/\\";
+      case Tok::BitOr: return "\\/";
+      case Tok::BitXor: return "><";
+      case Tok::Shl: return "<<";
+      case Tok::Shr: return ">>";
+      case Tok::End: return "end of line";
+      default: return "keyword";
+    }
+}
+
+std::vector<Line>
+lex(const std::string &source)
+{
+    std::vector<Line> lines;
+    size_t pos = 0;
+    int line_no = 0;
+    while (pos < source.size()) {
+        // carve one physical line
+        size_t eol = source.find('\n', pos);
+        if (eol == std::string::npos)
+            eol = source.size();
+        const std::string_view text(source.data() + pos, eol - pos);
+        pos = eol + 1;
+        ++line_no;
+
+        Line line;
+        line.number = line_no;
+        size_t i = 0;
+        while (i < text.size() && (text[i] == ' ' || text[i] == '\t')) {
+            if (text[i] == '\t')
+                err(line_no, "tab characters are not allowed in "
+                             "occam indentation");
+            ++i;
+        }
+        line.indent = static_cast<int>(i);
+
+        auto push = [&](Tok k, std::string s, int64_t num = 0) {
+            Token t;
+            t.kind = k;
+            t.text = std::move(s);
+            t.number = num;
+            t.line = line_no;
+            t.col = static_cast<int>(i);
+            line.tokens.push_back(std::move(t));
+        };
+
+        while (i < text.size()) {
+            const char c = text[i];
+            if (c == ' ' || c == '\t') {
+                ++i;
+                continue;
+            }
+            if (c == '-' && i + 1 < text.size() && text[i + 1] == '-')
+                break; // comment to end of line
+            if (std::isdigit(static_cast<unsigned char>(c))) {
+                int64_t v = 0;
+                while (i < text.size() &&
+                       std::isdigit(static_cast<unsigned char>(text[i])))
+                    v = v * 10 + (text[i++] - '0');
+                push(Tok::Number, "", v);
+                continue;
+            }
+            if (c == '#') {
+                ++i;
+                int64_t v = 0;
+                bool any = false;
+                while (i < text.size() &&
+                       std::isxdigit(
+                           static_cast<unsigned char>(text[i]))) {
+                    const char h = text[i++];
+                    v = v * 16 +
+                        (std::isdigit(static_cast<unsigned char>(h))
+                             ? h - '0'
+                             : std::tolower(h) - 'a' + 10);
+                    any = true;
+                }
+                if (!any)
+                    err(line_no, "malformed hex literal");
+                push(Tok::Number, "", v);
+                continue;
+            }
+            if (c == '\'') {
+                ++i;
+                if (i >= text.size())
+                    err(line_no, "unterminated character literal");
+                char ch = text[i++];
+                if (ch == '\\' && i < text.size()) {
+                    const char e = text[i++];
+                    switch (e) {
+                      case 'n': ch = '\n'; break;
+                      case 't': ch = '\t'; break;
+                      case '0': ch = '\0'; break;
+                      default: ch = e;
+                    }
+                }
+                if (i >= text.size() || text[i] != '\'')
+                    err(line_no, "unterminated character literal");
+                ++i;
+                push(Tok::Number, "",
+                     static_cast<unsigned char>(ch));
+                continue;
+            }
+            if (std::isalpha(static_cast<unsigned char>(c)) ||
+                c == '_') {
+                size_t start = i;
+                while (i < text.size() &&
+                       (std::isalnum(
+                            static_cast<unsigned char>(text[i])) ||
+                        text[i] == '.' || text[i] == '_'))
+                    ++i;
+                std::string word(text.substr(start, i - start));
+                auto kw = keywords.find(word);
+                if (kw != keywords.end())
+                    push(kw->second, word);
+                else
+                    push(Tok::Name, word);
+                continue;
+            }
+            // operators and punctuation
+            auto two = [&](char a, char b) {
+                return c == a && i + 1 < text.size() &&
+                       text[i + 1] == b;
+            };
+            if (two(':', '=')) { push(Tok::Assign, ":="); i += 2; continue; }
+            if (two('<', '>')) { push(Tok::Ne, "<>"); i += 2; continue; }
+            if (two('<', '=')) { push(Tok::Le, "<="); i += 2; continue; }
+            if (two('>', '=')) { push(Tok::Ge, ">="); i += 2; continue; }
+            if (two('<', '<')) { push(Tok::Shl, "<<"); i += 2; continue; }
+            if (two('>', '>')) { push(Tok::Shr, ">>"); i += 2; continue; }
+            if (two('>', '<')) { push(Tok::BitXor, "><"); i += 2; continue; }
+            if (two('/', '\\')) { push(Tok::BitAnd, "/\\"); i += 2; continue; }
+            if (two('\\', '/')) { push(Tok::BitOr, "\\/"); i += 2; continue; }
+            switch (c) {
+              case ':': push(Tok::Colon, ":"); break;
+              case '!': push(Tok::Bang, "!"); break;
+              case '?': push(Tok::Query, "?"); break;
+              case ';': push(Tok::Semi, ";"); break;
+              case ',': push(Tok::Comma, ","); break;
+              case '(': push(Tok::LParen, "("); break;
+              case ')': push(Tok::RParen, ")"); break;
+              case '[': push(Tok::LBracket, "["); break;
+              case ']': push(Tok::RBracket, "]"); break;
+              case '=': push(Tok::Eq, "="); break;
+              case '<': push(Tok::Lt, "<"); break;
+              case '>': push(Tok::Gt, ">"); break;
+              case '+': push(Tok::Plus, "+"); break;
+              case '-': push(Tok::Minus, "-"); break;
+              case '*': push(Tok::Star, "*"); break;
+              case '/': push(Tok::Slash, "/"); break;
+              case '\\': push(Tok::Backslash, "\\"); break;
+              case '&': push(Tok::Amp, "&"); break;
+              default:
+                err(line_no, fmt("unexpected character '{}'",
+                                 std::string(1, c)));
+            }
+            ++i;
+        }
+
+        if (line.tokens.empty())
+            continue; // blank or comment-only line
+        Token end;
+        end.kind = Tok::End;
+        end.line = line_no;
+        line.tokens.push_back(end);
+        lines.push_back(std::move(line));
+    }
+    return lines;
+}
+
+} // namespace transputer::occam

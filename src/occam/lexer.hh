@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Lexer for the occam subset.  Occam is indentation-structured: each
+ * process occupies its own line and the components of a construct
+ * are indented two spaces.  The lexer therefore delivers the source
+ * as a list of logical lines, each carrying its indentation column
+ * and its tokens.
+ */
+
+#ifndef TRANSPUTER_OCCAM_LEXER_HH
+#define TRANSPUTER_OCCAM_LEXER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/logging.hh"
+
+namespace transputer::occam
+{
+
+/** Thrown on any source error; message carries the line number. */
+class OccamError : public SimFatal
+{
+  public:
+    explicit OccamError(const std::string &what) : SimFatal(what) {}
+};
+
+enum class Tok
+{
+    Name, Number,
+    // keywords
+    KwVar, KwChan, KwDef, KwProc, KwValue,
+    KwSeq, KwPar, KwAlt, KwIf, KwWhile, KwPri, KwPlaced,
+    KwSkip, KwStop, KwTrue, KwFalse,
+    KwFor, KwAfter, KwTime, KwAny,
+    KwAnd, KwOr, KwNot,
+    KwPlace, KwAt, KwProcessor,
+    // punctuation / operators
+    Assign,     // :=
+    Bang,       // !
+    Query,      // ?
+    Colon,      // :
+    Semi,       // ;
+    Comma,      // ,
+    LParen, RParen, LBracket, RBracket,
+    Eq,         // =
+    Ne,         // <>
+    Lt, Gt, Le, Ge,
+    Plus, Minus, Star, Slash, Backslash,
+    Amp,        // &
+    BitAnd,     // /\ .
+    BitOr,      // \/ .
+    BitXor,     // ><
+    Shl, Shr,   // << >>
+    End,        // end of line sentinel
+};
+
+struct Token
+{
+    Tok kind;
+    std::string text;
+    int64_t number = 0;
+    int line = 0;
+    int col = 0;
+};
+
+/** One logical source line: indentation column plus its tokens. */
+struct Line
+{
+    int indent = 0;
+    int number = 0;                 ///< 1-based source line
+    std::vector<Token> tokens;      ///< terminated by Tok::End
+};
+
+/** Tokenize the whole source; comment-only/blank lines are dropped. */
+std::vector<Line> lex(const std::string &source);
+
+/** Render a token kind for error messages. */
+std::string tokName(Tok t);
+
+} // namespace transputer::occam
+
+#endif // TRANSPUTER_OCCAM_LEXER_HH

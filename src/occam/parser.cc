@@ -1,0 +1,718 @@
+#include "occam/parser.hh"
+
+#include "base/format.hh"
+#include "occam/lexer.hh"
+
+namespace transputer::occam
+{
+
+namespace
+{
+
+class Parser
+{
+  public:
+    explicit Parser(std::vector<Line> lines) : lines_(std::move(lines))
+    {}
+
+    Program
+    parseProgram()
+    {
+        if (lines_.empty())
+            throw OccamError("empty program");
+        Program p;
+        p.main = parseProcess(lines_[0].indent);
+        if (li_ < lines_.size())
+            err(line().number, "trailing lines after the program's "
+                               "outermost process");
+        return p;
+    }
+
+  private:
+    // ----- line/token cursor -------------------------------------
+
+    const Line &line() const { return lines_[li_]; }
+    bool atEof() const { return li_ >= lines_.size(); }
+
+    const Token &
+    cur() const
+    {
+        return line().tokens[ti_];
+    }
+
+    bool is(Tok k) const { return cur().kind == k; }
+
+    const Token &
+    eat(Tok k)
+    {
+        if (!is(k))
+            err(cur().line, fmt("expected {}, found {}", tokName(k),
+                                cur().kind == Tok::Name
+                                    ? "'" + cur().text + "'"
+                                    : tokName(cur().kind)));
+        const Token &t = cur();
+        ++ti_;
+        return t;
+    }
+
+    bool
+    accept(Tok k)
+    {
+        if (!is(k))
+            return false;
+        ++ti_;
+        return true;
+    }
+
+    void
+    endLine()
+    {
+        eat(Tok::End);
+        ++li_;
+        ti_ = 0;
+    }
+
+    [[noreturn]] static void
+    err(int ln, const std::string &msg)
+    {
+        throw OccamError(fmt("line {}: {}", ln, msg));
+    }
+
+    void
+    requireIndent(int indent)
+    {
+        if (atEof())
+            throw OccamError("unexpected end of program");
+        if (line().indent != indent)
+            err(line().number,
+                fmt("bad indentation: expected column {}, found {}",
+                    indent, line().indent));
+    }
+
+    // ----- expressions --------------------------------------------
+
+    ExprP
+    mkNum(int64_t v, int ln)
+    {
+        auto e = std::make_unique<Expr>();
+        e->kind = Expr::Kind::Number;
+        e->number = v;
+        e->line = ln;
+        return e;
+    }
+
+    ExprP
+    mkBin(BinOp op, ExprP l, ExprP r, int ln)
+    {
+        auto e = std::make_unique<Expr>();
+        e->kind = Expr::Kind::Binary;
+        e->binop = op;
+        e->lhs = std::move(l);
+        e->rhs = std::move(r);
+        e->line = ln;
+        return e;
+    }
+
+    ExprP
+    parsePrimary()
+    {
+        const int ln = cur().line;
+        if (is(Tok::Number)) {
+            const int64_t v = eat(Tok::Number).number;
+            return mkNum(v, ln);
+        }
+        if (accept(Tok::KwTrue))
+            return mkNum(1, ln);
+        if (accept(Tok::KwFalse))
+            return mkNum(0, ln);
+        if (accept(Tok::LParen)) {
+            auto e = parseExpr();
+            eat(Tok::RParen);
+            return e;
+        }
+        if (is(Tok::Name)) {
+            auto e = std::make_unique<Expr>();
+            e->kind = Expr::Kind::Name;
+            e->name = eat(Tok::Name).text;
+            e->line = ln;
+            if (accept(Tok::LBracket)) {
+                e->kind = Expr::Kind::Index;
+                e->index = parseExpr();
+                eat(Tok::RBracket);
+            }
+            return e;
+        }
+        err(ln, fmt("expected an expression, found {}",
+                    tokName(cur().kind)));
+    }
+
+    ExprP
+    parseUnary()
+    {
+        const int ln = cur().line;
+        if (accept(Tok::Minus)) {
+            auto e = std::make_unique<Expr>();
+            e->kind = Expr::Kind::Unary;
+            e->unop = UnOp::Neg;
+            e->lhs = parseUnary();
+            e->line = ln;
+            return e;
+        }
+        if (accept(Tok::KwNot)) {
+            auto e = std::make_unique<Expr>();
+            e->kind = Expr::Kind::Unary;
+            e->unop = UnOp::Not;
+            e->lhs = parseUnary();
+            e->line = ln;
+            return e;
+        }
+        return parsePrimary();
+    }
+
+    /**
+     * Conventional precedence (documented superset of occam 1, which
+     * required full parenthesisation of mixed operators), loosest
+     * first: OR, AND, comparisons and AFTER, bitwise or/xor, bitwise
+     * and, shifts, additive, multiplicative.
+     */
+    ExprP
+    parseMul()
+    {
+        auto e = parseUnary();
+        while (true) {
+            const int ln = cur().line;
+            if (accept(Tok::Star))
+                e = mkBin(BinOp::Mul, std::move(e), parseUnary(), ln);
+            else if (accept(Tok::Slash))
+                e = mkBin(BinOp::Div, std::move(e), parseUnary(), ln);
+            else if (accept(Tok::Backslash))
+                e = mkBin(BinOp::Rem, std::move(e), parseUnary(), ln);
+            else
+                return e;
+        }
+    }
+
+    ExprP
+    parseAdd()
+    {
+        auto e = parseMul();
+        while (true) {
+            const int ln = cur().line;
+            if (accept(Tok::Plus))
+                e = mkBin(BinOp::Add, std::move(e), parseMul(), ln);
+            else if (accept(Tok::Minus))
+                e = mkBin(BinOp::Sub, std::move(e), parseMul(), ln);
+            else
+                return e;
+        }
+    }
+
+    ExprP
+    parseShift()
+    {
+        auto e = parseAdd();
+        while (true) {
+            const int ln = cur().line;
+            if (accept(Tok::Shl))
+                e = mkBin(BinOp::Shl, std::move(e), parseAdd(), ln);
+            else if (accept(Tok::Shr))
+                e = mkBin(BinOp::Shr, std::move(e), parseAdd(), ln);
+            else
+                return e;
+        }
+    }
+
+    ExprP
+    parseBitAnd()
+    {
+        auto e = parseShift();
+        while (is(Tok::BitAnd)) {
+            const int ln = eat(Tok::BitAnd).line;
+            e = mkBin(BinOp::BitAnd, std::move(e), parseShift(), ln);
+        }
+        return e;
+    }
+
+    ExprP
+    parseBitOr()
+    {
+        auto e = parseBitAnd();
+        while (true) {
+            const int ln = cur().line;
+            if (accept(Tok::BitOr))
+                e = mkBin(BinOp::BitOr, std::move(e), parseBitAnd(),
+                          ln);
+            else if (accept(Tok::BitXor))
+                e = mkBin(BinOp::BitXor, std::move(e), parseBitAnd(),
+                          ln);
+            else
+                return e;
+        }
+    }
+
+    ExprP
+    parseCmp()
+    {
+        auto e = parseBitOr();
+        const int ln = cur().line;
+        if (accept(Tok::Eq))
+            return mkBin(BinOp::Eq, std::move(e), parseBitOr(), ln);
+        if (accept(Tok::Ne))
+            return mkBin(BinOp::Ne, std::move(e), parseBitOr(), ln);
+        if (accept(Tok::Lt))
+            return mkBin(BinOp::Lt, std::move(e), parseBitOr(), ln);
+        if (accept(Tok::Gt))
+            return mkBin(BinOp::Gt, std::move(e), parseBitOr(), ln);
+        if (accept(Tok::Le))
+            return mkBin(BinOp::Le, std::move(e), parseBitOr(), ln);
+        if (accept(Tok::Ge))
+            return mkBin(BinOp::Ge, std::move(e), parseBitOr(), ln);
+        if (accept(Tok::KwAfter))
+            return mkBin(BinOp::After, std::move(e), parseBitOr(), ln);
+        return e;
+    }
+
+    ExprP
+    parseAnd()
+    {
+        auto e = parseCmp();
+        while (is(Tok::KwAnd)) {
+            const int ln = eat(Tok::KwAnd).line;
+            e = mkBin(BinOp::And, std::move(e), parseCmp(), ln);
+        }
+        return e;
+    }
+
+    ExprP
+    parseExpr()
+    {
+        auto e = parseAnd();
+        while (is(Tok::KwOr)) {
+            const int ln = eat(Tok::KwOr).line;
+            e = mkBin(BinOp::Or, std::move(e), parseAnd(), ln);
+        }
+        return e;
+    }
+
+    // ----- declarations -------------------------------------------
+
+    Decl
+    parseVarOrChan(Decl::Kind kind)
+    {
+        Decl d;
+        d.kind = kind;
+        d.line = cur().line;
+        ++ti_; // VAR / CHAN keyword
+        while (true) {
+            Decl::Item item;
+            item.name = eat(Tok::Name).text;
+            if (accept(Tok::LBracket)) {
+                item.size = parseExpr();
+                eat(Tok::RBracket);
+            }
+            d.items.push_back(std::move(item));
+            if (!accept(Tok::Comma))
+                break;
+        }
+        eat(Tok::Colon);
+        endLine();
+        return d;
+    }
+
+    /** DEF may declare several constants: split into several Decls. */
+    std::vector<Decl>
+    parseDef()
+    {
+        std::vector<Decl> out;
+        const int ln = cur().line;
+        eat(Tok::KwDef);
+        while (true) {
+            Decl d;
+            d.kind = Decl::Kind::Def;
+            d.line = ln;
+            Decl::Item item;
+            item.name = eat(Tok::Name).text;
+            d.items.push_back(std::move(item));
+            eat(Tok::Eq);
+            d.defValue = parseExpr();
+            out.push_back(std::move(d));
+            if (!accept(Tok::Comma))
+                break;
+        }
+        eat(Tok::Colon);
+        endLine();
+        return out;
+    }
+
+    Decl
+    parsePlace()
+    {
+        Decl d;
+        d.kind = Decl::Kind::Place;
+        d.line = cur().line;
+        eat(Tok::KwPlace);
+        Decl::Item item;
+        item.name = eat(Tok::Name).text;
+        d.items.push_back(std::move(item));
+        eat(Tok::KwAt);
+        d.placeAddr = parseExpr();
+        eat(Tok::Colon);
+        endLine();
+        return d;
+    }
+
+    ProcDef
+    parseProcDef(int indent)
+    {
+        ProcDef p;
+        p.line = cur().line;
+        eat(Tok::KwProc);
+        p.name = eat(Tok::Name).text;
+        if (accept(Tok::LParen)) {
+            ProcDef::Param::Mode mode = ProcDef::Param::Mode::Value;
+            if (!is(Tok::RParen)) {
+                while (true) {
+                    if (accept(Tok::KwValue))
+                        mode = ProcDef::Param::Mode::Value;
+                    else if (accept(Tok::KwVar))
+                        mode = ProcDef::Param::Mode::Var;
+                    else if (accept(Tok::KwChan))
+                        mode = ProcDef::Param::Mode::Chan;
+                    ProcDef::Param param;
+                    param.mode = mode;
+                    param.name = eat(Tok::Name).text;
+                    p.params.push_back(std::move(param));
+                    if (!accept(Tok::Comma))
+                        break;
+                }
+            }
+            eat(Tok::RParen);
+        }
+        eat(Tok::Eq);
+        endLine();
+        p.body = parseProcess(indent + 2);
+        // the terminating ':' of the declaration, on its own line
+        if (!atEof() && line().tokens.size() == 2 &&
+            line().tokens[0].kind == Tok::Colon) {
+            ++ti_;
+            endLine();
+        }
+        return p;
+    }
+
+    // ----- processes ----------------------------------------------
+
+    ProcessP
+    mkProcess(Process::Kind k, int ln)
+    {
+        auto p = std::make_unique<Process>();
+        p->kind = k;
+        p->line = ln;
+        return p;
+    }
+
+    std::optional<Replicator>
+    parseReplicator()
+    {
+        if (!is(Tok::Name))
+            return std::nullopt;
+        Replicator r;
+        r.var = eat(Tok::Name).text;
+        eat(Tok::Eq);
+        eat(Tok::LBracket);
+        r.base = parseExpr();
+        eat(Tok::KwFor);
+        r.count = parseExpr();
+        eat(Tok::RBracket);
+        return r;
+    }
+
+    /** Components of a construct, at the given indentation. */
+    std::vector<ProcessP>
+    parseComponents(int indent)
+    {
+        std::vector<ProcessP> out;
+        while (!atEof() && line().indent == indent)
+            out.push_back(parseProcess(indent));
+        return out;
+    }
+
+    ProcessP
+    parseAlt(int indent, bool pri)
+    {
+        auto p = mkProcess(Process::Kind::Alt, cur().line);
+        p->pri = pri;
+        eat(Tok::KwAlt);
+        p->rep = parseReplicator();
+        endLine();
+        while (!atEof() && line().indent == indent + 2) {
+            AltGuard g;
+            g.line = line().number;
+            // [expr &] ( chan ? targets | TIME ? AFTER e | SKIP )
+            if (is(Tok::KwTime)) {
+                eat(Tok::KwTime);
+                eat(Tok::Query);
+                eat(Tok::KwAfter);
+                g.kind = AltGuard::Kind::Timer;
+                g.time = parseExpr();
+            } else if (is(Tok::KwSkip)) {
+                eat(Tok::KwSkip);
+                g.kind = AltGuard::Kind::Skip;
+            } else {
+                auto e = parseExpr();
+                if (accept(Tok::Amp)) {
+                    g.cond = std::move(e);
+                    if (accept(Tok::KwTime)) {
+                        eat(Tok::Query);
+                        eat(Tok::KwAfter);
+                        g.kind = AltGuard::Kind::Timer;
+                        g.time = parseExpr();
+                    } else if (accept(Tok::KwSkip)) {
+                        g.kind = AltGuard::Kind::Skip;
+                    } else {
+                        g.kind = AltGuard::Kind::Channel;
+                        g.chan = parseExpr();
+                        eat(Tok::Query);
+                        parseInputTargets(g.targets);
+                    }
+                } else {
+                    g.kind = AltGuard::Kind::Channel;
+                    g.chan = std::move(e);
+                    eat(Tok::Query);
+                    parseInputTargets(g.targets);
+                }
+            }
+            endLine();
+            g.body = parseProcess(indent + 4);
+            p->guards.push_back(std::move(g));
+        }
+        if (p->guards.empty())
+            err(p->line, "ALT with no alternatives");
+        return p;
+    }
+
+    ProcessP
+    parseIf(int indent)
+    {
+        auto p = mkProcess(Process::Kind::If, cur().line);
+        eat(Tok::KwIf);
+        endLine();
+        while (!atEof() && line().indent == indent + 2) {
+            p->conds.push_back(parseExpr());
+            endLine();
+            p->components.push_back(parseProcess(indent + 4));
+        }
+        if (p->conds.empty())
+            err(p->line, "IF with no choices");
+        return p;
+    }
+
+    void
+    parseInputTargets(std::vector<ExprP> &targets)
+    {
+        while (true) {
+            if (accept(Tok::KwAny))
+                targets.push_back(nullptr); // discard
+            else
+                targets.push_back(parseUnary());
+            if (!accept(Tok::Semi))
+                break;
+        }
+    }
+
+    ProcessP
+    parseProcess(int indent)
+    {
+        requireIndent(indent);
+        const Tok first = cur().kind;
+        const int ln = line().number;
+
+        // declarations prefixing a process form a Block
+        if (first == Tok::KwVar || first == Tok::KwChan ||
+            first == Tok::KwDef || first == Tok::KwProc ||
+            first == Tok::KwPlace) {
+            auto blk = mkProcess(Process::Kind::Block, ln);
+            while (!atEof() && line().indent == indent) {
+                const Tok k = cur().kind;
+                if (k == Tok::KwVar)
+                    blk->decls.push_back(
+                        parseVarOrChan(Decl::Kind::Var));
+                else if (k == Tok::KwChan)
+                    blk->decls.push_back(
+                        parseVarOrChan(Decl::Kind::Chan));
+                else if (k == Tok::KwDef)
+                    for (auto &d : parseDef())
+                        blk->decls.push_back(std::move(d));
+                else if (k == Tok::KwPlace)
+                    blk->decls.push_back(parsePlace());
+                else if (k == Tok::KwProc)
+                    blk->procs.push_back(parseProcDef(indent));
+                else
+                    break;
+            }
+            blk->body = parseProcess(indent);
+            return blk;
+        }
+
+        switch (first) {
+          case Tok::KwSkip: {
+            eat(Tok::KwSkip);
+            endLine();
+            return mkProcess(Process::Kind::Skip, ln);
+          }
+          case Tok::KwStop: {
+            eat(Tok::KwStop);
+            endLine();
+            return mkProcess(Process::Kind::Stop, ln);
+          }
+          case Tok::KwSeq: {
+            auto p = mkProcess(Process::Kind::Seq, ln);
+            eat(Tok::KwSeq);
+            p->rep = parseReplicator();
+            endLine();
+            p->components = parseComponents(indent + 2);
+            return p;
+          }
+          case Tok::KwPri: {
+            eat(Tok::KwPri);
+            if (is(Tok::KwPar)) {
+                auto p = mkProcess(Process::Kind::Par, ln);
+                p->pri = true;
+                eat(Tok::KwPar);
+                endLine();
+                p->components = parseComponents(indent + 2);
+                if (p->components.size() != 2)
+                    err(ln, "PRI PAR requires exactly two components "
+                            "(high, low)");
+                return p;
+            }
+            eat(Tok::KwAlt);
+            --ti_; // rewind so parseAlt sees the ALT keyword
+            return parseAlt(indent, true);
+          }
+          case Tok::KwPar: {
+            auto p = mkProcess(Process::Kind::Par, ln);
+            eat(Tok::KwPar);
+            p->rep = parseReplicator();
+            endLine();
+            p->components = parseComponents(indent + 2);
+            return p;
+          }
+          case Tok::KwPlaced: {
+            // PLACED PAR: the configuration construct -- each
+            // component names the PROCESSOR it runs on
+            eat(Tok::KwPlaced);
+            auto p = mkProcess(Process::Kind::Par, ln);
+            p->placed = true;
+            eat(Tok::KwPar);
+            endLine();
+            while (!atEof() && line().indent == indent + 2) {
+                eat(Tok::KwProcessor);
+                p->processors.push_back(eat(Tok::Number).number);
+                endLine();
+                p->components.push_back(parseProcess(indent + 4));
+            }
+            if (p->components.empty())
+                err(ln, "PLACED PAR with no PROCESSOR components");
+            return p;
+          }
+          case Tok::KwAlt:
+            return parseAlt(indent, false);
+          case Tok::KwIf:
+            return parseIf(indent);
+          case Tok::KwWhile: {
+            auto p = mkProcess(Process::Kind::While, ln);
+            eat(Tok::KwWhile);
+            p->cond = parseExpr();
+            endLine();
+            p->body = parseProcess(indent + 2);
+            return p;
+          }
+          case Tok::KwTime: {
+            eat(Tok::KwTime);
+            eat(Tok::Query);
+            if (accept(Tok::KwAfter)) {
+                auto p = mkProcess(Process::Kind::TimerAfter, ln);
+                p->rhs = parseExpr();
+                endLine();
+                return p;
+            }
+            auto p = mkProcess(Process::Kind::TimerRead, ln);
+            p->lhs = parseUnary();
+            endLine();
+            return p;
+          }
+          case Tok::Name: {
+            // assignment, input, output or procedure call
+            auto lv = parseUnary();
+            if (accept(Tok::Assign)) {
+                auto p = mkProcess(Process::Kind::Assign, ln);
+                p->lhs = std::move(lv);
+                p->rhs = parseExpr();
+                endLine();
+                return p;
+            }
+            if (accept(Tok::Bang)) {
+                auto p = mkProcess(Process::Kind::Output, ln);
+                p->chan = std::move(lv);
+                while (true) {
+                    p->items.push_back(parseExpr());
+                    if (!accept(Tok::Semi))
+                        break;
+                }
+                endLine();
+                return p;
+            }
+            if (accept(Tok::Query)) {
+                auto p = mkProcess(Process::Kind::Input, ln);
+                p->chan = std::move(lv);
+                parseInputTargets(p->items);
+                endLine();
+                return p;
+            }
+            if (accept(Tok::LParen)) {
+                auto p = mkProcess(Process::Kind::Call, ln);
+                if (lv->kind != Expr::Kind::Name)
+                    err(ln, "procedure name expected");
+                p->callee = lv->name;
+                if (!is(Tok::RParen)) {
+                    while (true) {
+                        p->args.push_back(parseExpr());
+                        if (!accept(Tok::Comma))
+                            break;
+                    }
+                }
+                eat(Tok::RParen);
+                endLine();
+                return p;
+            }
+            if (is(Tok::End) && lv->kind == Expr::Kind::Name) {
+                // parameterless call written without parentheses
+                auto p = mkProcess(Process::Kind::Call, ln);
+                p->callee = lv->name;
+                endLine();
+                return p;
+            }
+            err(ln, "expected :=, !, ? or a procedure call");
+          }
+          default:
+            err(ln, fmt("unexpected {} at the start of a process",
+                        tokName(first)));
+        }
+    }
+
+    std::vector<Line> lines_;
+    size_t li_ = 0;
+    size_t ti_ = 0;
+};
+
+} // namespace
+
+Program
+parse(const std::string &source)
+{
+    Parser p(lex(source));
+    return p.parseProgram();
+}
+
+} // namespace transputer::occam

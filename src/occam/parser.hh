@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Recursive-descent, indentation-driven parser for the occam subset.
+ */
+
+#ifndef TRANSPUTER_OCCAM_PARSER_HH
+#define TRANSPUTER_OCCAM_PARSER_HH
+
+#include <string>
+
+#include "occam/ast.hh"
+
+namespace transputer::occam
+{
+
+/** Parse a whole source text into a Program; throws OccamError. */
+Program parse(const std::string &source);
+
+} // namespace transputer::occam
+
+#endif // TRANSPUTER_OCCAM_PARSER_HH

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * The discrete-event simulation kernel.
+ *
+ * One EventQueue drives a whole Network: CPUs, link engines, wires and
+ * peripherals all interact exclusively through scheduled events, which
+ * makes multi-transputer co-simulation exact at event granularity.
+ * Events at the same tick fire in scheduling order (FIFO), which keeps
+ * the simulation deterministic.
+ */
+
+#ifndef TRANSPUTER_SIM_EVENT_QUEUE_HH
+#define TRANSPUTER_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "base/logging.hh"
+#include "base/types.hh"
+
+namespace transputer::sim
+{
+
+/** Opaque handle identifying a scheduled event (for cancellation). */
+using EventId = uint64_t;
+
+/** No-event sentinel. */
+constexpr EventId invalidEventId = 0;
+
+/**
+ * A time-ordered queue of callbacks.
+ *
+ * Cancellation is lazy: cancelled entries stay in the heap and are
+ * skipped when popped, which keeps schedule/cancel O(log n) without a
+ * decrease-key structure.
+ */
+class EventQueue
+{
+  public:
+    /** Current simulated time (time of the last dispatched event). */
+    Tick now() const { return now_; }
+
+    /** Number of live (non-cancelled) pending events. */
+    size_t pending() const { return live_.size(); }
+
+    /**
+     * Schedule fn at absolute time when (>= now).
+     * @return a handle usable with cancel().
+     */
+    EventId
+    schedule(Tick when, std::function<void()> fn)
+    {
+        TRANSPUTER_ASSERT(when >= now_,
+                          "event scheduled in the past");
+        const EventId id = ++nextId_;
+        live_.emplace(id, std::move(fn));
+        heap_.push(HeapEntry{when, id});
+        return id;
+    }
+
+    /** Schedule fn delta ticks from now. */
+    EventId
+    scheduleIn(Tick delta, std::function<void()> fn)
+    {
+        return schedule(now_ + delta, std::move(fn));
+    }
+
+    /**
+     * Cancel a previously scheduled event.
+     * @return true if the event was still pending.
+     */
+    bool
+    cancel(EventId id)
+    {
+        return live_.erase(id) != 0;
+    }
+
+    /** Time of the earliest pending event, or maxTick if none. */
+    Tick
+    nextTime()
+    {
+        skipDead();
+        return heap_.empty() ? maxTick : heap_.top().when;
+    }
+
+    /** True if no live events remain. */
+    bool
+    empty()
+    {
+        skipDead();
+        return heap_.empty();
+    }
+
+    /**
+     * Dispatch the earliest pending event.
+     * @return true if an event ran, false if the queue was empty.
+     */
+    bool
+    runOne()
+    {
+        skipDead();
+        if (heap_.empty())
+            return false;
+        const HeapEntry e = heap_.top();
+        heap_.pop();
+        auto it = live_.find(e.id);
+        TRANSPUTER_ASSERT(it != live_.end());
+        auto fn = std::move(it->second);
+        live_.erase(it);
+        TRANSPUTER_ASSERT(e.when >= now_, "time went backwards");
+        now_ = e.when;
+        fn();
+        return true;
+    }
+
+    /**
+     * Run events up to and including time limit.
+     * @return number of events dispatched.
+     */
+    uint64_t
+    runUntil(Tick limit)
+    {
+        uint64_t n = 0;
+        while (nextTime() <= limit && runOne())
+            ++n;
+        if (now_ < limit)
+            now_ = limit;
+        return n;
+    }
+
+    /** Run until no events remain (or maxEvents dispatched). */
+    uint64_t
+    runToQuiescence(uint64_t max_events = UINT64_MAX)
+    {
+        uint64_t n = 0;
+        while (n < max_events && runOne())
+            ++n;
+        return n;
+    }
+
+  private:
+    struct HeapEntry
+    {
+        Tick when;
+        EventId id;
+
+        /** std::priority_queue is a max-heap; order inverted. */
+        bool
+        operator<(const HeapEntry &o) const
+        {
+            if (when != o.when)
+                return when > o.when;
+            return id > o.id; // FIFO among same-tick events
+        }
+    };
+
+    /** Drop cancelled entries from the top of the heap. */
+    void
+    skipDead()
+    {
+        while (!heap_.empty() && !live_.count(heap_.top().id))
+            heap_.pop();
+    }
+
+    Tick now_ = 0;
+    EventId nextId_ = 0;
+    std::priority_queue<HeapEntry> heap_;
+    std::unordered_map<EventId, std::function<void()>> live_;
+};
+
+} // namespace transputer::sim
+
+#endif // TRANSPUTER_SIM_EVENT_QUEUE_HH

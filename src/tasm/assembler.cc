@@ -1,0 +1,576 @@
+#include "tasm/assembler.hh"
+
+#include <cctype>
+#include <optional>
+#include <sstream>
+
+#include "base/format.hh"
+#include "isa/encoding.hh"
+#include "isa/opcodes.hh"
+
+namespace transputer::tasm
+{
+
+namespace
+{
+
+using isa::Fn;
+using isa::Op;
+
+/** Kinds of assembled items after parsing. */
+enum class Kind
+{
+    Direct,    ///< direct function with operand expression
+    Relative,  ///< j/cj/call: operand = target - next address
+    Operation, ///< bare indirect operation
+    Ldap,      ///< pseudo: ldc (target - after-ldpi); ldpi
+    Byte,      ///< .byte values
+    WordData,  ///< .word values
+    Align,     ///< .align
+    Space,     ///< .space n
+};
+
+/** A +/- expression over numbers and symbols, kept as parsed terms. */
+struct Expr
+{
+    struct Term
+    {
+        int sign;            ///< +1 or -1
+        int64_t value;       ///< literal value if symbol empty
+        std::string symbol;  ///< symbol name, if symbolic
+    };
+    std::vector<Term> terms;
+};
+
+struct Item
+{
+    Kind kind;
+    int line;
+    Fn fn = Fn::LDC;            ///< for Direct / Relative
+    Op op = Op::REV;            ///< for Operation
+    std::vector<Expr> args;     ///< operands / data values
+
+    // layout state (updated during relaxation)
+    Word address = 0;
+    int length = 1;
+};
+
+[[noreturn]] void
+err(int line, const std::string &msg)
+{
+    throw AsmError(fmt("line {}: {}", line, msg));
+}
+
+/**
+ * Emit fn with the given operand, padded with leading "pfix 0" bytes
+ * to exactly target_len bytes.  A pfix 0 at the head of a chain
+ * leaves the operand register at zero, so padding never changes the
+ * decoded operand; it lets relaxation be monotone (lengths only
+ * grow), which guarantees convergence.
+ */
+void
+emitPadded(std::vector<uint8_t> &out, Fn fn, int64_t operand,
+           int target_len, int line)
+{
+    std::vector<uint8_t> tmp;
+    isa::emit(tmp, fn, operand);
+    const int pad = target_len - static_cast<int>(tmp.size());
+    if (pad < 0)
+        err(line, fmt("operand {} does not fit the relaxed "
+                      "{}-byte encoding", operand, target_len));
+    for (int i = 0; i < pad; ++i)
+        out.push_back(isa::instructionByte(Fn::PFIX, 0));
+    out.insert(out.end(), tmp.begin(), tmp.end());
+}
+
+/** Cursor over one line of source text. */
+struct Cursor
+{
+    std::string_view s;
+    size_t pos = 0;
+    int line;
+
+    void
+    skipWs()
+    {
+        while (pos < s.size() && (s[pos] == ' ' || s[pos] == '\t'))
+            ++pos;
+    }
+
+    bool done() const { return pos >= s.size(); }
+    char peek() const { return pos < s.size() ? s[pos] : '\0'; }
+    char take() { return s[pos++]; }
+
+    std::string
+    ident()
+    {
+        skipWs();
+        size_t start = pos;
+        while (pos < s.size() &&
+               (std::isalnum(static_cast<unsigned char>(s[pos])) ||
+                s[pos] == '_' || s[pos] == '.'))
+            ++pos;
+        return std::string(s.substr(start, pos - start));
+    }
+};
+
+int64_t
+parseNumber(Cursor &c)
+{
+    int64_t v = 0;
+    if (c.peek() == '#') {
+        c.take();
+        bool any = false;
+        while (std::isxdigit(static_cast<unsigned char>(c.peek()))) {
+            v = v * 16 + (std::isdigit(
+                              static_cast<unsigned char>(c.peek()))
+                          ? c.take() - '0'
+                          : (std::tolower(c.take()) - 'a' + 10));
+            any = true;
+        }
+        if (!any)
+            err(c.line, "malformed hex literal");
+        return v;
+    }
+    if (c.peek() == '0' && c.pos + 1 < c.s.size() &&
+        (c.s[c.pos + 1] == 'x' || c.s[c.pos + 1] == 'X')) {
+        c.pos += 2;
+        bool any = false;
+        while (std::isxdigit(static_cast<unsigned char>(c.peek()))) {
+            char ch = c.take();
+            v = v * 16 + (std::isdigit(static_cast<unsigned char>(ch))
+                          ? ch - '0'
+                          : (std::tolower(ch) - 'a' + 10));
+            any = true;
+        }
+        if (!any)
+            err(c.line, "malformed hex literal");
+        return v;
+    }
+    if (c.peek() == '\'') {
+        c.take();
+        if (c.done())
+            err(c.line, "malformed character literal");
+        char ch = c.take();
+        if (ch == '\\' && !c.done()) {
+            char e = c.take();
+            switch (e) {
+              case 'n': ch = '\n'; break;
+              case 't': ch = '\t'; break;
+              case '0': ch = '\0'; break;
+              default: ch = e;
+            }
+        }
+        if (c.peek() != '\'')
+            err(c.line, "unterminated character literal");
+        c.take();
+        return static_cast<unsigned char>(ch);
+    }
+    bool any = false;
+    while (std::isdigit(static_cast<unsigned char>(c.peek()))) {
+        v = v * 10 + (c.take() - '0');
+        any = true;
+    }
+    if (!any)
+        err(c.line, "expected a number");
+    return v;
+}
+
+Expr
+parseExpr(Cursor &c)
+{
+    Expr e;
+    int sign = 1;
+    c.skipWs();
+    if (c.peek() == '-') {
+        sign = -1;
+        c.take();
+    } else if (c.peek() == '+') {
+        c.take();
+    }
+    while (true) {
+        c.skipWs();
+        Expr::Term t{sign, 0, {}};
+        if (std::isdigit(static_cast<unsigned char>(c.peek())) ||
+            c.peek() == '#' || c.peek() == '\'') {
+            t.value = parseNumber(c);
+        } else if (std::isalpha(static_cast<unsigned char>(c.peek())) ||
+                   c.peek() == '_') {
+            t.symbol = c.ident();
+        } else {
+            err(c.line, "expected operand");
+        }
+        e.terms.push_back(std::move(t));
+        c.skipWs();
+        if (c.peek() == '+') {
+            sign = 1;
+            c.take();
+        } else if (c.peek() == '-') {
+            sign = -1;
+            c.take();
+        } else {
+            break;
+        }
+    }
+    return e;
+}
+
+/** Strip comments (';' or '--' to end of line). */
+std::string_view
+stripComment(std::string_view line)
+{
+    for (size_t i = 0; i < line.size(); ++i) {
+        if (line[i] == ';')
+            return line.substr(0, i);
+        if (line[i] == '-' && i + 1 < line.size() && line[i + 1] == '-')
+            return line.substr(0, i);
+    }
+    return line;
+}
+
+class Assembler
+{
+  public:
+    Assembler(const std::string &source, Word origin,
+              const WordShape &shape)
+        : origin_(origin), shape_(shape)
+    {
+        parse(source);
+        relax();
+        emit();
+    }
+
+    Image
+    take()
+    {
+        Image img;
+        img.origin = origin_;
+        img.bytes = std::move(bytes_);
+        img.symbols = std::move(symbols_);
+        return img;
+    }
+
+  private:
+    void
+    parse(const std::string &source)
+    {
+        std::istringstream in(source);
+        std::string raw;
+        int line_no = 0;
+        while (std::getline(in, raw)) {
+            ++line_no;
+            Cursor c{stripComment(raw), 0, line_no};
+            c.skipWs();
+            while (!c.done()) {
+                if (c.peek() == '.') {
+                    parseDirective(c);
+                    break;
+                }
+                std::string word = c.ident();
+                if (word.empty())
+                    err(line_no, "unexpected character");
+                c.skipWs();
+                if (c.peek() == ':') {
+                    c.take();
+                    defineLabel(word, line_no);
+                    c.skipWs();
+                    continue;
+                }
+                parseInstruction(word, c);
+                break;
+            }
+            c.skipWs();
+            if (!c.done() && c.peek() != '\0')
+                err(line_no, fmt("trailing text: '{}'",
+                                 std::string(c.s.substr(c.pos))));
+        }
+    }
+
+    void
+    defineLabel(const std::string &name, int line)
+    {
+        if (labelIndex_.count(name) || equs_.count(name))
+            err(line, "duplicate symbol: " + name);
+        labelIndex_[name] = items_.size();
+    }
+
+    void
+    parseDirective(Cursor &c)
+    {
+        std::string d = c.ident();
+        Item item;
+        item.line = c.line;
+        if (d == ".byte" || d == ".word") {
+            item.kind = d == ".byte" ? Kind::Byte : Kind::WordData;
+            while (true) {
+                item.args.push_back(parseExpr(c));
+                c.skipWs();
+                if (c.peek() != ',')
+                    break;
+                c.take();
+            }
+        } else if (d == ".align") {
+            item.kind = Kind::Align;
+        } else if (d == ".space") {
+            item.kind = Kind::Space;
+            item.args.push_back(parseExpr(c));
+        } else if (d == ".equ") {
+            std::string name = c.ident();
+            if (name.empty())
+                err(c.line, ".equ needs a name");
+            c.skipWs();
+            if (c.peek() == ',')
+                c.take();
+            Expr e = parseExpr(c);
+            if (labelIndex_.count(name) || equs_.count(name))
+                err(c.line, "duplicate symbol: " + name);
+            equs_[name] = e;
+            return;
+        } else {
+            err(c.line, "unknown directive: " + d);
+        }
+        items_.push_back(std::move(item));
+    }
+
+    void
+    parseInstruction(const std::string &mnemonic, Cursor &c)
+    {
+        Item item;
+        item.line = c.line;
+        if (mnemonic == "ldap") {
+            item.kind = Kind::Ldap;
+            item.length = 3; // initial guess: 1-byte ldc + 2-byte ldpi
+            item.args.push_back(parseExpr(c));
+            items_.push_back(std::move(item));
+            return;
+        }
+        if (auto fn = isa::fnFromName(mnemonic)) {
+            if (*fn == Fn::OPR) {
+                // raw "opr <n>" escape for undefined operations
+                item.kind = Kind::Direct;
+                item.fn = Fn::OPR;
+                item.args.push_back(parseExpr(c));
+                items_.push_back(std::move(item));
+                return;
+            }
+            item.fn = *fn;
+            item.kind = (*fn == Fn::J || *fn == Fn::CJ ||
+                         *fn == Fn::CALL)
+                            ? Kind::Relative
+                            : Kind::Direct;
+            item.args.push_back(parseExpr(c));
+            items_.push_back(std::move(item));
+            return;
+        }
+        if (auto op = isa::opFromName(mnemonic)) {
+            item.kind = Kind::Operation;
+            item.op = *op;
+            item.length = isa::encodedOpLength(*op);
+            items_.push_back(std::move(item));
+            return;
+        }
+        err(c.line, "unknown mnemonic: " + mnemonic);
+    }
+
+    int64_t
+    eval(const Expr &e, int line, int depth = 0) const
+    {
+        if (depth > 16)
+            err(line, "recursive .equ definition");
+        int64_t v = 0;
+        for (const auto &t : e.terms) {
+            if (t.symbol.empty()) {
+                v += t.sign * t.value;
+                continue;
+            }
+            auto li = labelIndex_.find(t.symbol);
+            if (li != labelIndex_.end()) {
+                v += t.sign * static_cast<int64_t>(
+                    addressOfItem(li->second));
+                continue;
+            }
+            auto eq = equs_.find(t.symbol);
+            if (eq == equs_.end())
+                err(line, "undefined symbol: " + t.symbol);
+            v += t.sign * eval(eq->second, line, depth + 1);
+        }
+        return v;
+    }
+
+    /** Address of the item at index i (== end address for i==size). */
+    Word
+    addressOfItem(size_t i) const
+    {
+        return i < items_.size()
+                   ? items_[i].address
+                   : (items_.empty()
+                          ? origin_
+                          : items_.back().address +
+                                static_cast<Word>(items_.back().length));
+    }
+
+    void
+    assignAddresses()
+    {
+        Word addr = origin_;
+        for (auto &item : items_) {
+            item.address = addr;
+            addr += static_cast<Word>(item.length);
+        }
+    }
+
+    /**
+     * Compute the encoded length of an item at current addresses.
+     * Instruction lengths are monotone (never shrink below the
+     * current relaxed length); emission pads with pfix 0.
+     */
+    int
+    measure(const Item &item) const
+    {
+        switch (item.kind) {
+          case Kind::Direct:
+            return std::max(item.length,
+                            isa::encodedLength(
+                                eval(item.args[0], item.line)));
+          case Kind::Relative: {
+            const int64_t target = eval(item.args[0], item.line);
+            const int64_t next = static_cast<int64_t>(item.address) +
+                                 item.length;
+            return std::max(item.length,
+                            isa::encodedLength(target - next));
+          }
+          case Kind::Operation:
+            return item.length;
+          case Kind::Ldap: {
+            const int64_t target = eval(item.args[0], item.line);
+            const int ldpi_len = isa::encodedOpLength(Op::LDPI);
+            const int64_t after = static_cast<int64_t>(item.address) +
+                                  item.length;
+            const int need = isa::encodedLength(target - after);
+            return std::max(item.length, need + ldpi_len);
+          }
+          case Kind::Byte:
+            return static_cast<int>(item.args.size());
+          case Kind::WordData:
+            return static_cast<int>(item.args.size()) * shape_.bytes;
+          case Kind::Align: {
+            const Word a = item.address;
+            const Word aligned = shape_.wordAlign(
+                a + static_cast<Word>(shape_.bytes) - 1);
+            return static_cast<int>(aligned - a);
+          }
+          case Kind::Space:
+            return static_cast<int>(eval(item.args[0], item.line));
+        }
+        return 0;
+    }
+
+    void
+    relax()
+    {
+        assignAddresses();
+        for (int pass = 0; pass < 64; ++pass) {
+            bool changed = false;
+            for (auto &item : items_) {
+                const int len = measure(item);
+                if (len != item.length) {
+                    item.length = len;
+                    changed = true;
+                }
+            }
+            assignAddresses();
+            if (!changed)
+                return;
+        }
+        throw AsmError("relaxation failed to converge");
+    }
+
+    void
+    emit()
+    {
+        for (const auto &[name, idx] : labelIndex_)
+            symbols_[name] = addressOfItem(idx);
+        for (const auto &[name, e] : equs_)
+            symbols_[name] =
+                shape_.truncate(static_cast<uint64_t>(eval(e, 0)));
+
+        for (const auto &item : items_) {
+            TRANSPUTER_ASSERT(
+                bytes_.size() == item.address - origin_,
+                "layout drifted during emission");
+            switch (item.kind) {
+              case Kind::Direct:
+                emitPadded(bytes_, item.fn,
+                           eval(item.args[0], item.line), item.length,
+                           item.line);
+                break;
+              case Kind::Relative: {
+                const int64_t target = eval(item.args[0], item.line);
+                const int64_t next =
+                    static_cast<int64_t>(item.address) + item.length;
+                emitPadded(bytes_, item.fn, target - next, item.length,
+                           item.line);
+                break;
+              }
+              case Kind::Operation:
+                isa::emitOp(bytes_, item.op);
+                break;
+              case Kind::Ldap: {
+                const int64_t target = eval(item.args[0], item.line);
+                const int64_t after =
+                    static_cast<int64_t>(item.address) + item.length;
+                const int ldpi_len = isa::encodedOpLength(Op::LDPI);
+                emitPadded(bytes_, Fn::LDC, target - after,
+                           item.length - ldpi_len, item.line);
+                isa::emitOp(bytes_, Op::LDPI);
+                break;
+              }
+              case Kind::Byte:
+                for (const auto &a : item.args)
+                    bytes_.push_back(static_cast<uint8_t>(
+                        eval(a, item.line) & 0xFF));
+                break;
+              case Kind::WordData:
+                for (const auto &a : item.args) {
+                    Word v = shape_.truncate(
+                        static_cast<uint64_t>(eval(a, item.line)));
+                    for (int i = 0; i < shape_.bytes; ++i) {
+                        bytes_.push_back(static_cast<uint8_t>(v & 0xFF));
+                        v >>= 8;
+                    }
+                }
+                break;
+              case Kind::Align:
+              case Kind::Space:
+                bytes_.insert(bytes_.end(),
+                              static_cast<size_t>(item.length), 0);
+                break;
+            }
+            // encoding length must match what relaxation decided
+            TRANSPUTER_ASSERT(
+                bytes_.size() ==
+                    item.address - origin_ +
+                        static_cast<Word>(item.length),
+                "emitted length differs from relaxed length");
+        }
+    }
+
+    const Word origin_;
+    const WordShape shape_;
+    std::vector<Item> items_;
+    std::map<std::string, size_t> labelIndex_;
+    std::map<std::string, Expr> equs_;
+    std::vector<uint8_t> bytes_;
+    std::map<std::string, Word> symbols_;
+};
+
+} // namespace
+
+Image
+assemble(const std::string &source, Word origin, const WordShape &shape)
+{
+    Assembler as(source, origin, shape);
+    return as.take();
+}
+
+} // namespace transputer::tasm

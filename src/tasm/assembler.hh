@@ -1,0 +1,80 @@
+/**
+ * @file
+ * An assembler for the I1 instruction set.
+ *
+ * Source syntax, one item per line (';' or '--' starts a comment):
+ *
+ *     label:                    -- labels may share a line with code
+ *         ldc  #754             -- direct function with operand
+ *         ldl  x                -- operands are +/- expressions over
+ *         add                   --   numbers and symbols
+ *         j    loop             -- j/cj/call take a *target*; the
+ *                               --   relative operand is computed and
+ *                               --   relaxed automatically
+ *         ldap buffer           -- pseudo: load absolute address of a
+ *                               --   label position-independently
+ *                               --   (expands to ldc diff; ldpi)
+ *     .equ   x, 3               -- named constant
+ *     .byte  1, 2, 'A'          -- data
+ *     .word  100, buffer        -- word-width data
+ *     .align                    -- pad to word boundary
+ *     .space 16                 -- reserve zeroed bytes
+ *
+ * Operand encodings are minimal prefix chains; since the length of a
+ * jump depends on its displacement, which depends on instruction
+ * lengths, assembly iterates to a fixed point (lengths only grow, so
+ * the iteration terminates).
+ */
+
+#ifndef TRANSPUTER_TASM_ASSEMBLER_HH
+#define TRANSPUTER_TASM_ASSEMBLER_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/logging.hh"
+#include "base/types.hh"
+
+namespace transputer::tasm
+{
+
+/** Thrown on any source error; message includes the line number. */
+class AsmError : public SimFatal
+{
+  public:
+    explicit AsmError(const std::string &what) : SimFatal(what) {}
+};
+
+/** The result of assembling one source file. */
+struct Image
+{
+    Word origin = 0;               ///< load address of bytes[0]
+    std::vector<uint8_t> bytes;    ///< the code/data image
+    std::map<std::string, Word> symbols; ///< label -> absolute address
+
+    /** Address of a label; throws if undefined. */
+    Word
+    symbol(const std::string &name) const
+    {
+        auto it = symbols.find(name);
+        if (it == symbols.end())
+            throw AsmError("undefined symbol: " + name);
+        return it->second;
+    }
+
+    /** End address (first byte past the image). */
+    Word end() const { return origin + static_cast<Word>(bytes.size()); }
+};
+
+/**
+ * Assemble source for a part of the given word shape.
+ * @param origin the address at which the image will be loaded.
+ */
+Image assemble(const std::string &source, Word origin,
+               const WordShape &shape);
+
+} // namespace transputer::tasm
+
+#endif // TRANSPUTER_TASM_ASSEMBLER_HH

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Shared test fixtures: a single-transputer rig driven by assembler
+ * source, and small helpers used across the suites.
+ */
+
+#ifndef TRANSPUTER_TESTS_HARNESS_HH
+#define TRANSPUTER_TESTS_HARNESS_HH
+
+#include <string>
+
+#include "core/transputer.hh"
+#include "sim/event_queue.hh"
+#include "tasm/assembler.hh"
+
+namespace transputer::test
+{
+
+/** One transputer with its own event queue, driven by asm source. */
+class SingleCpu
+{
+  public:
+    explicit SingleCpu(const core::Config &cfg = {})
+        : cpu(queue, cfg, "t0")
+    {}
+
+    /** Assemble at MemStart and load; does not boot. */
+    void
+    loadAsm(const std::string &src)
+    {
+        img = tasm::assemble(src, cpu.memory().memStart(),
+                             cpu.shape());
+        cpu.memory().load(img.origin, img.bytes.data(),
+                          img.bytes.size());
+    }
+
+    /** Workspace used when booting: above the image + headroom. */
+    Word
+    bootWptr(int below_words = 128) const
+    {
+        const auto &s = cpu.shape();
+        return s.index(s.wordAlign(img.end() + s.bytes - 1),
+                       below_words);
+    }
+
+    /** Load, boot at the given label and run (bounded sim time). */
+    void
+    runAsm(const std::string &src, const std::string &entry = "start",
+           Tick limit = 500'000'000 /* 0.5 s */)
+    {
+        loadAsm(src);
+        wptr0 = bootWptr();
+        cpu.boot(img.symbol(entry), wptr0);
+        queue.runUntil(limit);
+    }
+
+    /** Word at workspace offset n of the boot workspace. */
+    Word
+    local(int n) const
+    {
+        return cpu.memory().readWord(cpu.shape().index(wptr0, n));
+    }
+
+    /** Word at an assembler label. */
+    Word
+    at(const std::string &label) const
+    {
+        return cpu.memory().readWord(img.symbol(label));
+    }
+
+    sim::EventQueue queue;
+    core::Transputer cpu;
+    tasm::Image img;
+    Word wptr0 = 0;
+};
+
+} // namespace transputer::test
+
+#endif // TRANSPUTER_TESTS_HARNESS_HH

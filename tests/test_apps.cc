@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Application-library tests: the Figure-8 database search harness at
+ * small scale (answers, pipelining, node-program shape).
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/dbsearch.hh"
+
+using namespace transputer;
+using apps::DbSearch;
+using apps::DbSearchConfig;
+
+TEST(DbSearch, TinyArrayAnswersMatchHostCounts)
+{
+    DbSearchConfig cfg;
+    cfg.width = 2;
+    cfg.height = 2;
+    cfg.recordsPerNode = 40;
+    DbSearch db(cfg);
+    EXPECT_EQ(db.totalRecords(), 160);
+    EXPECT_EQ(db.longestPath(), 2);
+
+    for (Word key : {0u, 7u, 49u}) {
+        const size_t before = db.answers().size();
+        db.inject(key);
+        db.runUntilAnswers(before + 1);
+        ASSERT_EQ(db.answers().size(), before + 1);
+        EXPECT_EQ(db.answers().back().count, db.expectedCount(key))
+            << "key " << key;
+    }
+}
+
+TEST(DbSearch, KeysOutsideTheDomainFindNothing)
+{
+    DbSearchConfig cfg;
+    cfg.width = 2;
+    cfg.height = 1;
+    cfg.recordsPerNode = 20;
+    DbSearch db(cfg);
+    db.inject(4999);
+    db.runUntilAnswers(1);
+    EXPECT_EQ(db.answers()[0].count, 0u);
+    EXPECT_EQ(db.expectedCount(4999), 0u);
+}
+
+TEST(DbSearch, PipelinedQueriesAllAnswerInOrder)
+{
+    DbSearchConfig cfg;
+    cfg.width = 3;
+    cfg.height = 3;
+    cfg.recordsPerNode = 30;
+    DbSearch db(cfg);
+    const int q = 6;
+    for (int i = 0; i < q; ++i)
+        db.inject(static_cast<Word>(i * 5));
+    db.runUntilAnswers(q);
+    ASSERT_EQ(db.answers().size(), static_cast<size_t>(q));
+    for (int i = 0; i < q; ++i) {
+        EXPECT_EQ(db.answers()[static_cast<size_t>(i)].count,
+                  db.expectedCount(static_cast<Word>(i * 5)));
+        if (i > 0) {
+            EXPECT_GE(db.answers()[static_cast<size_t>(i)].when,
+                      db.answers()[static_cast<size_t>(i - 1)].when);
+        }
+    }
+}
+
+TEST(DbSearch, NodeProgramsHaveTheSpanningTreeShape)
+{
+    DbSearchConfig cfg;
+    cfg.width = 3;
+    cfg.height = 2;
+    cfg.recordsPerNode = 10;
+    DbSearch db(cfg);
+    // corner forwards east and south
+    const std::string corner = db.nodeProgram(0, 0);
+    EXPECT_NE(corner.find("east.out"), std::string::npos);
+    EXPECT_NE(corner.find("south.out"), std::string::npos);
+    // bottom-right leaf forwards nowhere
+    const std::string leaf = db.nodeProgram(2, 1);
+    EXPECT_EQ(leaf.find("east.out"), std::string::npos);
+    EXPECT_EQ(leaf.find("south.out"), std::string::npos);
+    // row-0 middle forwards east and south, parent is west
+    const std::string mid = db.nodeProgram(1, 0);
+    EXPECT_NE(mid.find("PLACE up.in AT LINK3IN"), std::string::npos);
+    // below row 0, parent is north
+    const std::string below = db.nodeProgram(1, 1);
+    EXPECT_NE(below.find("PLACE up.in AT LINK0IN"),
+              std::string::npos);
+}

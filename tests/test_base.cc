@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Tests for the base utilities: formatting, logging, the PRNG and
+ * the statistics accumulators -- plus robustness fuzzing of the
+ * occam and assembler front ends (random mutations of valid sources
+ * must produce a diagnostic or a program, never a crash).
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/format.hh"
+#include "base/logging.hh"
+#include "base/random.hh"
+#include "base/stats.hh"
+#include "occam/compiler.hh"
+#include "occam/lexer.hh"
+#include "tasm/assembler.hh"
+
+using namespace transputer;
+
+TEST(Base, FormatSubstitutesPlaceholders)
+{
+    EXPECT_EQ(fmt("a {} c {}", "b", 42), "a b c 42");
+    EXPECT_EQ(fmt("no placeholders"), "no placeholders");
+    EXPECT_EQ(fmt("{}{}{}", 1, 2, 3), "123");
+    // surplus arguments are appended rather than lost
+    EXPECT_EQ(fmt("x", 7), "x 7");
+    // missing arguments leave the placeholder text
+    EXPECT_EQ(fmt("a {}"), "a {}");
+}
+
+TEST(Base, HexWordFormatting)
+{
+    EXPECT_EQ(hexWord(0x80000048u), "80000048");
+    EXPECT_EQ(hexWord(0xAB, 2), "AB");
+    EXPECT_EQ(hexWord(0x5, 4), "0005");
+}
+
+TEST(Base, PanicAndFatalThrowDistinctTypes)
+{
+    EXPECT_THROW(panic("x {}", 1), SimPanic);
+    EXPECT_THROW(fatal("y {}", 2), SimFatal);
+    try {
+        fatal("value was {}", 17);
+    } catch (const SimFatal &e) {
+        EXPECT_NE(std::string(e.what()).find("17"),
+                  std::string::npos);
+    }
+}
+
+TEST(Base, RandomIsDeterministicPerSeed)
+{
+    Random a(42), b(42), c(43);
+    bool all_equal = true, any_diff = false;
+    for (int i = 0; i < 100; ++i) {
+        const uint64_t va = a.next(), vb = b.next(), vc = c.next();
+        all_equal = all_equal && va == vb;
+        any_diff = any_diff || va != vc;
+    }
+    EXPECT_TRUE(all_equal);
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Base, RandomRangesAreInBounds)
+{
+    Random rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const int64_t v = rng.range(-5, 9);
+        EXPECT_GE(v, -5);
+        EXPECT_LE(v, 9);
+        EXPECT_LT(rng.below(13), 13u);
+        const double r = rng.real();
+        EXPECT_GE(r, 0.0);
+        EXPECT_LT(r, 1.0);
+    }
+}
+
+TEST(Base, SampleStatAccumulates)
+{
+    SampleStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    for (double v : {3.0, 1.0, 2.0})
+        s.add(v);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_EQ(s.min(), 1.0);
+    EXPECT_EQ(s.max(), 3.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(Base, DistributionPercentiles)
+{
+    Distribution d;
+    for (int i = 1; i <= 100; ++i)
+        d.add(static_cast<double>(i));
+    EXPECT_EQ(d.min(), 1.0);
+    EXPECT_EQ(d.max(), 100.0);
+    EXPECT_NEAR(d.percentile(50), 50.5, 0.6);
+    EXPECT_NEAR(d.mean(), 50.5, 1e-9);
+}
+
+// ----------------------------------------------------------------
+// Front-end robustness: mutate valid sources; expect a diagnostic or
+// success, never a crash or a non-domain exception.
+// ----------------------------------------------------------------
+
+namespace
+{
+
+const char *occamSeed =
+    "DEF n = 4:\n"
+    "CHAN out:\n"
+    "PLACE out AT LINK0OUT:\n"
+    "CHAN c[n]:\n"
+    "VAR x, sum:\n"
+    "PROC relay(CHAN a, CHAN b) =\n"
+    "  VAR t:\n"
+    "  SEQ\n"
+    "    a ? t\n"
+    "    b ! t + 1\n"
+    ":\n"
+    "SEQ\n"
+    "  sum := 0\n"
+    "  PAR\n"
+    "    c[0] ! 5\n"
+    "    relay(c[0], c[1])\n"
+    "    c[1] ? x\n"
+    "  IF\n"
+    "    x > 3\n"
+    "      out ! x\n"
+    "    TRUE\n"
+    "      SKIP\n";
+
+std::string
+mutate(const std::string &src, Random &rng)
+{
+    std::string s = src;
+    const int edits = static_cast<int>(rng.range(1, 4));
+    for (int e = 0; e < edits; ++e) {
+        if (s.empty())
+            break;
+        const size_t pos = rng.below(s.size());
+        switch (rng.below(4)) {
+          case 0:
+            s.erase(pos, rng.below(5) + 1);
+            break;
+          case 1:
+            s.insert(pos, 1,
+                     static_cast<char>(' ' + rng.below(94)));
+            break;
+          case 2:
+            s[pos] = static_cast<char>(' ' + rng.below(94));
+            break;
+          default: { // duplicate a line
+            const size_t start = s.rfind('\n', pos);
+            const size_t end = s.find('\n', pos);
+            if (start != std::string::npos &&
+                end != std::string::npos)
+                s.insert(end + 1,
+                         s.substr(start + 1, end - start));
+            break;
+          }
+        }
+    }
+    return s;
+}
+
+} // namespace
+
+class FrontEndFuzz : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(FrontEndFuzz, OccamCompilerNeverCrashes)
+{
+    Random rng(31337 + GetParam());
+    for (int trial = 0; trial < 150; ++trial) {
+        const std::string s = mutate(occamSeed, rng);
+        try {
+            occam::compile(s, word32, 0x80000048u);
+        } catch (const occam::OccamError &) {
+            // a diagnostic: fine
+        } catch (const tasm::AsmError &) {
+            // (would indicate bad generated code, but is a domain
+            // error, not a crash)
+            ADD_FAILURE() << "compiler emitted unassemblable code "
+                             "for:\n" << s;
+        }
+    }
+}
+
+TEST_P(FrontEndFuzz, AssemblerNeverCrashes)
+{
+    const std::string seed = "start:\n ldc 5\n stl 1\n"
+                             "loop: ldl 1\n adc -1\n stl 1\n"
+                             " ldl 1\n cj done\n j loop\n"
+                             "done: stopp\n"
+                             "tab: .word 1, 2, 3\n";
+    Random rng(99 + GetParam());
+    for (int trial = 0; trial < 200; ++trial) {
+        const std::string s = mutate(seed, rng);
+        try {
+            tasm::assemble(s, 0x80000048u, word32);
+        } catch (const tasm::AsmError &) {
+            // a diagnostic: fine
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FrontEndFuzz, ::testing::Range(0, 5));

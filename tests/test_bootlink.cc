@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Boot-from-link tests: the assembled boot ROM waits on a link,
+ * loads the two-stage payload, and runs the program -- from a host
+ * peripheral, over any link, and chained through a neighbouring
+ * transputer (how real boards were bootstrapped from one host
+ * connection).
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/format.hh"
+#include "net/bootlink.hh"
+#include "net/network.hh"
+#include "net/peripherals.hh"
+
+using namespace transputer;
+using namespace transputer::net;
+
+TEST(BootLink, HostBootsASingleNode)
+{
+    Network net;
+    const int n = net.addTransputer();
+    HostBooter host(net.queue(), link::WireConfig{});
+    net.attachPeripheral(n, 0, host);
+    installBootRom(net, n);
+
+    const auto payload = bootPayload(net, n,
+                                     "CHAN out:\n"
+                                     "PLACE out AT LINK0OUT:\n"
+                                     "VAR x:\n"
+                                     "SEQ\n"
+                                     "  x := 6\n"
+                                     "  out ! x * 7\n"
+                                     "  out ! 99\n");
+    host.boot(payload);
+    net.run(1'000'000'000);
+    const std::vector<Word> expect = {42, 99};
+    EXPECT_EQ(host.words(4), expect);
+}
+
+TEST(BootLink, BootsOverAnyAttachedLink)
+{
+    for (int link = 0; link < 4; ++link) {
+        Network net;
+        const int n = net.addTransputer();
+        HostBooter host(net.queue(), link::WireConfig{});
+        net.attachPeripheral(n, link, host);
+        installBootRom(net, n); // discovers the attached link
+        const auto payload = bootPayload(
+            net, n,
+            fmt("CHAN out:\nPLACE out AT LINK{}OUT:\nout ! {}\n",
+                link, 1000 + link));
+        host.boot(payload);
+        net.run(1'000'000'000);
+        ASSERT_EQ(host.words(4).size(), 1u) << "link " << link;
+        EXPECT_EQ(host.words(4)[0], static_cast<Word>(1000 + link));
+    }
+}
+
+TEST(BootLink, ProgramsCanUsePArAndChannelsAfterBoot)
+{
+    Network net;
+    const int n = net.addTransputer();
+    HostBooter host(net.queue(), link::WireConfig{});
+    net.attachPeripheral(n, 0, host);
+    installBootRom(net, n);
+    host.boot(bootPayload(net, n,
+                          "CHAN out:\nPLACE out AT LINK0OUT:\n"
+                          "CHAN c:\n"
+                          "VAR got:\n"
+                          "SEQ\n"
+                          "  PAR\n"
+                          "    c ! 123\n"
+                          "    c ? got\n"
+                          "  out ! got\n"));
+    net.run(1'000'000'000);
+    ASSERT_EQ(host.words(4).size(), 1u);
+    EXPECT_EQ(host.words(4)[0], 123u);
+}
+
+TEST(BootLink, PayloadTooBigIsRejected)
+{
+    Network net;
+    core::Config small;
+    small.onchipBytes = 1024;
+    const int n = net.addTransputer(small);
+    // a program with a big array cannot fit under the boot ROM
+    EXPECT_THROW(bootPayload(net, n,
+                             "CHAN out:\nPLACE out AT LINK0OUT:\n"
+                             "VAR big[180]:\n"
+                             "SEQ\n"
+                             "  big[0] := 1\n"
+                             "  out ! big[0]\n"),
+                 SimFatal);
+}
+
+TEST(BootLink, ChainBootThroughANeighbour)
+{
+    // host --link0--> A --link1/link3--> B: the host boots A with a
+    // forwarder program; A's program then delivers B's payload over
+    // its east link, booting B; B computes and answers back through A
+    Network net;
+    const int a = net.addTransputer({}, "a");
+    const int b = net.addTransputer({}, "b");
+    net.connect(a, dir::east, b, dir::west);
+    HostBooter host(net.queue(), link::WireConfig{});
+    net.attachPeripheral(a, 0, host);
+    installBootRom(net, a, {0});
+    installBootRom(net, b, {3});
+
+    const auto payload_b =
+        bootPayload(net, b,
+                    "CHAN in, out:\n"
+                    "PLACE in AT LINK3IN:\n"
+                    "PLACE out AT LINK3OUT:\n"
+                    "VAR x:\n"
+                    "SEQ\n"
+                    "  in ? x\n"
+                    "  out ! x * x\n",
+                    {}, /*word_align_total=*/true);
+    ASSERT_EQ(payload_b.size() % 4, 0u);
+
+    const auto payload_a = bootPayload(
+        net, a,
+        fmt("DEF n = {}:\n", payload_b.size() / 4) +
+            "CHAN host.in, host.out, b.out, b.in:\n"
+            "PLACE host.in AT LINK0IN:\n"
+            "PLACE host.out AT LINK0OUT:\n"
+            "PLACE b.out AT LINK1OUT:\n"
+            "PLACE b.in AT LINK1IN:\n"
+            "VAR x:\n"
+            "SEQ\n"
+            "  SEQ i = [0 FOR n]\n"   // forward B's boot payload
+            "    SEQ\n"
+            "      host.in ? x\n"
+            "      b.out ! x\n"
+            "  b.out ! 12\n"          // B's input: compute 12*12
+            "  b.in ? x\n"
+            "  host.out ! x\n");
+
+    host.boot(payload_a);
+    host.sendBytes(payload_b); // streamed on after A's own payload
+    net.run(2'000'000'000);
+    ASSERT_EQ(host.words(4).size(), 1u);
+    EXPECT_EQ(host.words(4)[0], 144u);
+}
+
+TEST(BootLink, PeekAndPokeBeforeBooting)
+{
+    // the historical control protocol: the host can examine and
+    // patch the waiting node's memory through the boot ROM
+    Network net;
+    const int n = net.addTransputer();
+    HostBooter host(net.queue(), link::WireConfig{});
+    net.attachPeripheral(n, 0, host);
+    installBootRom(net, n);
+
+    const Word addr = net.node(n).memory().memStart() + 0x100;
+    host.poke(addr, 0xBEEF1234u);
+    host.peekRequest(addr);
+    net.run(100'000'000);
+    ASSERT_EQ(host.words(4).size(), 1u);
+    EXPECT_EQ(host.words(4)[0], 0xBEEF1234u);
+    EXPECT_EQ(net.node(n).memory().readWord(addr), 0xBEEF1234u);
+
+    // the node still boots normally afterwards
+    host.boot(bootPayload(net, n,
+                          "CHAN out:\nPLACE out AT LINK0OUT:\n"
+                          "out ! 31\n"));
+    net.run(1'000'000'000);
+    ASSERT_EQ(host.words(4).size(), 2u);
+    EXPECT_EQ(host.words(4)[1], 31u);
+}
+
+TEST(BootLink, PokePatchThenBootUsesThePatch)
+{
+    // poke a constant into a known address, then boot a program that
+    // reads it: host-supplied configuration without recompiling
+    Network net;
+    const int n = net.addTransputer();
+    HostBooter host(net.queue(), link::WireConfig{});
+    net.attachPeripheral(n, 0, host);
+    installBootRom(net, n);
+
+    // the second-from-top on-chip word is a safe mailbox (below the
+    // ROM's workspace region but above any program)
+    const auto &s = net.node(n).shape();
+    const Word mailbox = s.index(
+        s.truncate(s.mostNeg + net.node(n).config().onchipBytes),
+        -100);
+    host.poke(mailbox, 777);
+    host.boot(bootPayload(net, n,
+                          "CHAN out:\nPLACE out AT LINK0OUT:\n"
+                          "out ! 1\n"));
+    net.run(1'000'000'000);
+    ASSERT_GE(host.words(4).size(), 1u);
+    EXPECT_EQ(net.node(n).memory().readWord(mailbox), 777u);
+}

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * CPU tests: the direct functions, the evaluation stack, prefixing in
+ * execution, and the paper's inline code/cycle tables (E1/E3/E4 as
+ * unit-level checks).
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness.hh"
+
+using namespace transputer;
+using transputer::test::SingleCpu;
+
+TEST(CpuBasic, LoadConstantAndStoreLocal)
+{
+    SingleCpu t;
+    t.runAsm("start: ldc 0\n stl 1\n stopp\n");
+    EXPECT_TRUE(t.cpu.idle());
+    EXPECT_EQ(t.local(1), 0u);
+    // paper table: "x := 0" is 2 bytes, ldc 1 cycle + stl 1 cycle
+    // ldc + stl + the two bytes (pfix, opr) of stopp
+    EXPECT_EQ(t.cpu.instructions(), 4u);
+}
+
+TEST(CpuBasic, AssignmentCyclesMatchPaperTable)
+{
+    // x := 0  ->  ldc 0; stl x   : 2 bytes, 2 cycles
+    SingleCpu a;
+    a.runAsm("start: ldc 0\n stl 1\n stopp\n");
+    EXPECT_EQ(a.cpu.cycles(), 2u + 12u); // + stopp (pfix+11)
+
+    // x := y  ->  ldl y; stl x   : 2 bytes, 3 cycles
+    SingleCpu b;
+    b.runAsm("start: ldl 2\n stl 1\n stopp\n");
+    EXPECT_EQ(b.cpu.cycles(), 3u + 12u);
+
+    // z := 1 via static link -> ldc 1; ldl sl; stnl z : 3 bytes, 5 cyc
+    // (two setup instructions make slot 3 a valid outer-workspace
+    // pointer first: ldlp 1 cycle + stl 1 cycle)
+    SingleCpu c;
+    c.runAsm("start: ldlp 8\n stl 3\n ldc 1\n ldl 3\n stnl 0\n stopp\n");
+    EXPECT_EQ(c.cpu.cycles(), 2u + 5u + 12u);
+    EXPECT_EQ(c.local(8), 1u);
+}
+
+TEST(CpuBasic, ExpressionTableFromPaper)
+{
+    // x + 2 -> ldl x; adc 2 : 2 bytes, 3 cycles
+    SingleCpu a;
+    a.runAsm("start: ldl 1\n adc 2\n stopp\n");
+    EXPECT_EQ(a.cpu.cycles(), 3u + 12u);
+
+    // (v+w)*(y+z): ldl,ldl,add,ldl,ldl,add,mul
+    // = 2+2+1+2+2+1+(7+wordlength) = 10 + 39 = 49 cycles, 8 bytes
+    SingleCpu b;
+    b.loadAsm("start: ldl 1\n ldl 2\n add\n ldl 3\n ldl 4\n add\n"
+              " mul\n stopp\n");
+    EXPECT_EQ(b.img.symbol("start") + 8 + 2,
+              b.img.end()); // 8 bytes of expression + 2-byte stopp
+    b.cpu.boot(b.img.symbol("start"), b.bootWptr());
+    b.queue.runToQuiescence();
+    EXPECT_EQ(b.cpu.cycles(), 49u + 12u);
+}
+
+TEST(CpuBasic, PrefixExampleFromPaper)
+{
+    // section 3.2.7: the #754 register trace
+    SingleCpu t;
+    t.loadAsm("start: ldc #754\n stopp\n");
+    t.cpu.boot(t.img.symbol("start"), t.bootWptr());
+    // step one event-batch instruction at a time is internal; just
+    // check the final effect and the byte count
+    t.queue.runToQuiescence();
+    EXPECT_EQ(t.cpu.areg(), 0x754u);
+    EXPECT_EQ(t.img.symbol("start") + 3 + 2, t.img.end());
+    // prefixes cost 1 cycle each: 3 cycles total for the load
+    EXPECT_EQ(t.cpu.cycles(), 3u + 12u);
+}
+
+TEST(CpuBasic, EvaluationStackPushPop)
+{
+    SingleCpu t;
+    t.runAsm("start: ldc 1\n ldc 2\n ldc 3\n stopp\n");
+    EXPECT_EQ(t.cpu.areg(), 3u);
+    EXPECT_EQ(t.cpu.breg(), 2u);
+    EXPECT_EQ(t.cpu.creg(), 1u);
+}
+
+TEST(CpuBasic, LdlpAndLdnlp)
+{
+    SingleCpu t;
+    t.runAsm("start: ldlp 4\n ldnlp 2\n stl 1\n stopp\n");
+    EXPECT_EQ(t.local(1), t.cpu.shape().index(t.wptr0, 6));
+}
+
+TEST(CpuBasic, LoadStoreNonLocal)
+{
+    SingleCpu t;
+    t.runAsm("start: ldc 77\n ldlp 8\n stnl 0\n"
+             " ldlp 8\n ldnl 0\n stl 1\n stopp\n");
+    EXPECT_EQ(t.local(8), 77u);
+    EXPECT_EQ(t.local(1), 77u);
+}
+
+TEST(CpuBasic, NegativePrefixOperands)
+{
+    SingleCpu t;
+    t.runAsm("start: ldc -1\n stl 1\n ldc -256\n stl 2\n"
+             " ldc -4096\n stl 3\n stopp\n");
+    EXPECT_EQ(t.local(1), 0xFFFFFFFFu);
+    EXPECT_EQ(t.local(2), 0xFFFFFF00u);
+    EXPECT_EQ(t.local(3), 0xFFFFF000u);
+}
+
+TEST(CpuBasic, EqcAndConditionalJump)
+{
+    SingleCpu t;
+    t.runAsm("start: ldc 5\n eqc 5\n cj no\n ldc 1\n stl 1\n j out\n"
+             "no: ldc 2\n stl 1\n out: stopp\n");
+    EXPECT_EQ(t.local(1), 1u); // eqc true -> cj does not jump
+}
+
+TEST(CpuBasic, CjPopsOnlyWhenNotTaken)
+{
+    SingleCpu t;
+    // Areg = 0: cj jumps, stack preserved
+    t.runAsm("start: ldc 9\n ldc 0\n cj yes\n ldc 7\n stl 2\n"
+             "yes: stl 1\n stopp\n");
+    // after jump, stack still holds (0, 9); stl 1 stores 0
+    EXPECT_EQ(t.local(1), 0u);
+    // Areg != 0 case: cj pops
+    SingleCpu u;
+    u.runAsm("start: ldc 9\n ldc 1\n cj no\n stl 1\n no: stopp\n");
+    EXPECT_EQ(u.local(1), 9u); // the 1 was popped; 9 stored
+}
+
+TEST(CpuBasic, WhileLoopViaJumps)
+{
+    // sum 1..10 with explicit jumps
+    SingleCpu t;
+    t.runAsm("start: ldc 0\n stl 1\n ldc 10\n stl 2\n"
+             "loop: ldl 2\n cj done\n"
+             " ldl 1\n ldl 2\n add\n stl 1\n"
+             " ldl 2\n adc -1\n stl 2\n j loop\n"
+             "done: stopp\n");
+    EXPECT_EQ(t.local(1), 55u);
+}
+
+TEST(CpuBasic, CallAndReturn)
+{
+    SingleCpu t;
+    // call a function computing Areg+1 (args in registers via call)
+    t.runAsm("start: ldc 41\n call fn\n stl 1\n stopp\n"
+             "fn: ldl 1\n adc 1\n ret\n");
+    // call saved Areg=41 at new Wptr[1]; fn loads it, adds 1
+    EXPECT_EQ(t.local(1), 42u);
+}
+
+TEST(CpuBasic, CallSavesRegistersInNewFrame)
+{
+    SingleCpu t;
+    t.runAsm("start: ldc 3\n ldc 2\n ldc 1\n call fn\n stopp\n"
+             "fn: ldl 1\n stl 4\n ldl 2\n stl 5\n ldl 3\n stl 6\n"
+             " ret\n");
+    // inside fn, Wptr = boot wptr - 4 words; slots 1,2,3 = A,B,C
+    const Word inner = t.cpu.shape().index(t.wptr0, -4);
+    auto rd = [&](int n) {
+        return t.cpu.memory().readWord(t.cpu.shape().index(inner, n));
+    };
+    EXPECT_EQ(rd(4), 1u);
+    EXPECT_EQ(rd(5), 2u);
+    EXPECT_EQ(rd(6), 3u);
+}
+
+TEST(CpuBasic, GcallSwapsIptrAndAreg)
+{
+    SingleCpu t;
+    t.runAsm("start: ldap target\n gcall\n"
+             "back: stopp\n"
+             "target: stl 1\n ldc 99\n stl 2\n stopp\n");
+    EXPECT_EQ(t.local(2), 99u);
+    // Areg after gcall held the return address (label back)
+    EXPECT_EQ(t.local(1), t.img.symbol("back"));
+}
+
+TEST(CpuBasic, AjwMovesWorkspace)
+{
+    SingleCpu t;
+    t.runAsm("start: ldc 5\n stl 0\n ajw -2\n ldl 2\n stl 0\n"
+             " ajw 2\n stopp\n");
+    EXPECT_EQ(t.local(0), 5u);
+    EXPECT_EQ(t.cpu.memory().readWord(t.cpu.shape().index(t.wptr0, -2)),
+              5u);
+}
+
+TEST(CpuBasic, GajwSwapsWorkspace)
+{
+    SingleCpu t;
+    t.runAsm("start: ldlp 10\n gajw\n stl 1\n ldc 7\n stl 0\n"
+             " ldl 1\n gajw\n stopp\n");
+    // new workspace was wptr0+10; its slot 0 gets 7, slot 1 the old
+    // wptr (which is reloaded to swap back before stopping)
+    EXPECT_EQ(t.local(10), 7u);
+    EXPECT_EQ(t.local(11), t.wptr0);
+}
+
+TEST(CpuBasic, HaltedOnUndefinedOperation)
+{
+    SingleCpu t;
+    t.loadAsm("start: opr #3F4\n");
+    t.cpu.boot(t.img.symbol("start"), t.bootWptr());
+    EXPECT_THROW(t.queue.runToQuiescence(), SimFatal);
+}
+
+TEST(CpuBasic, InstructionTraceWrites)
+{
+    SingleCpu t;
+    std::ostringstream os;
+    t.cpu.setTrace(&os);
+    t.runAsm("start: ldc 1\n stl 1\n stopp\n");
+    const std::string s = os.str();
+    EXPECT_NE(s.find("ldc"), std::string::npos);
+    EXPECT_NE(s.find("stl"), std::string::npos);
+    EXPECT_NE(s.find("stopp"), std::string::npos);
+}

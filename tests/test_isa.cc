@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Unit and property tests for instruction encoding: the single-byte
+ * format (Figure 4), prefixing (section 3.2.7, Figure 5) and the
+ * disassembler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/random.hh"
+#include "isa/cycles.hh"
+#include "isa/disasm.hh"
+#include "isa/encoding.hh"
+#include "isa/opcodes.hh"
+
+using namespace transputer;
+using namespace transputer::isa;
+
+TEST(Encoding, SingleByteForSmallOperands)
+{
+    // "values between 0 and 15 ... with a single byte instruction"
+    for (int v = 0; v < 16; ++v) {
+        std::vector<uint8_t> out;
+        EXPECT_EQ(emit(out, Fn::LDC, v), 1);
+        EXPECT_EQ(out[0], (0x4 << 4) | v);
+    }
+}
+
+TEST(Encoding, OnePrefixCoversMinus256To255)
+{
+    // paper: "operands in the range -256 to 255 can be represented
+    // using one prefixing instruction"
+    for (int v = -256; v <= 255; ++v) {
+        std::vector<uint8_t> out;
+        const int len = emit(out, Fn::LDC, v);
+        if (v >= 0 && v < 16)
+            EXPECT_EQ(len, 1) << v;
+        else
+            EXPECT_EQ(len, 2) << v;
+    }
+    std::vector<uint8_t> out;
+    EXPECT_EQ(emit(out, Fn::LDC, 256), 3);
+    out.clear();
+    EXPECT_EQ(emit(out, Fn::LDC, -257), 3);
+}
+
+TEST(Encoding, PaperPrefixExample754)
+{
+    // section 3.2.7: loading #754 is pfix #7, pfix #5, ldc #4
+    std::vector<uint8_t> out;
+    EXPECT_EQ(emit(out, Fn::LDC, 0x754), 3);
+    EXPECT_EQ(out[0], instructionByte(Fn::PFIX, 0x7));
+    EXPECT_EQ(out[1], instructionByte(Fn::PFIX, 0x5));
+    EXPECT_EQ(out[2], instructionByte(Fn::LDC, 0x4));
+}
+
+TEST(Encoding, DecodeFoldsPrefixChain)
+{
+    std::vector<uint8_t> out;
+    emit(out, Fn::LDC, 0x754);
+    const Decoded d = decode(out.data(), out.size(), 0, word32);
+    EXPECT_EQ(d.fn, Fn::LDC);
+    EXPECT_EQ(d.operand, 0x754u);
+    EXPECT_EQ(d.length, 3);
+    EXPECT_FALSE(d.isOperation);
+}
+
+TEST(Encoding, RoundTripsRandomOperands32)
+{
+    Random rng(1234);
+    for (int i = 0; i < 20000; ++i) {
+        const int64_t v = word32.toSigned(
+            static_cast<Word>(rng.next()));
+        std::vector<uint8_t> out;
+        emit(out, Fn::LDC, v);
+        ASSERT_LE(out.size(), 8u);
+        const Decoded d = decode(out.data(), out.size(), 0, word32);
+        EXPECT_EQ(word32.toSigned(d.operand), v);
+        EXPECT_EQ(d.length, static_cast<int>(out.size()));
+    }
+}
+
+TEST(Encoding, RoundTripsRandomOperands16)
+{
+    // word-length independence: the same prefix algorithm works for a
+    // 16-bit part
+    Random rng(99);
+    for (int i = 0; i < 20000; ++i) {
+        const int64_t v = word16.toSigned(
+            static_cast<Word>(rng.next()) & 0xFFFF);
+        std::vector<uint8_t> out;
+        emit(out, Fn::LDC, v);
+        ASSERT_LE(out.size(), 4u);
+        const Decoded d = decode(out.data(), out.size(), 0, word16);
+        EXPECT_EQ(word16.toSigned(d.operand), v);
+    }
+}
+
+TEST(Encoding, EncodingIsMinimal)
+{
+    // no shorter prefix chain can encode the same operand: check the
+    // length is the information-theoretic minimum
+    Random rng(7);
+    for (int i = 0; i < 5000; ++i) {
+        const int64_t v = word32.toSigned(
+            static_cast<Word>(rng.next()));
+        int expect = 1;
+        if (v >= 0) {
+            int64_t r = v >> 4;
+            while (r) {
+                ++expect;
+                r >>= 4;
+            }
+        } else {
+            int64_t r = (~v) >> 4;
+            ++expect; // at least one nfix
+            while (r >= 16) {
+                ++expect;
+                r >>= 4;
+            }
+        }
+        EXPECT_EQ(encodedLength(v), expect) << v;
+    }
+}
+
+TEST(Opcodes, NamesRoundTrip)
+{
+    for (int f = 0; f < 16; ++f) {
+        const Fn fn = static_cast<Fn>(f);
+        auto back = fnFromName(fnName(fn));
+        ASSERT_TRUE(back.has_value());
+        EXPECT_EQ(*back, fn);
+    }
+    for (uint32_t code = 0; code < 0x60; ++code) {
+        if (!opDefined(code))
+            continue;
+        const Op op = static_cast<Op>(code);
+        auto back = opFromName(opName(op));
+        ASSERT_TRUE(back.has_value()) << code;
+        EXPECT_EQ(*back, op);
+    }
+}
+
+TEST(Opcodes, MostFrequentOperationsNeedNoPrefix)
+{
+    // section 3.2.8: frequent operations encode in one byte
+    for (Op op : {Op::REV, Op::ADD, Op::SUB, Op::GT, Op::IN, Op::OUT,
+                  Op::STARTP, Op::ENDP, Op::BSUB, Op::WSUB})
+        EXPECT_EQ(encodedOpLength(op), 1);
+    // less frequent ones take exactly one prefix
+    for (Op op : {Op::MUL, Op::MINT, Op::ALT, Op::MOVE, Op::LEND,
+                  Op::SHL, Op::TALTWT})
+        EXPECT_EQ(encodedOpLength(op), 2);
+}
+
+TEST(Disasm, ListsInstructionsWithFoldedOperands)
+{
+    std::vector<uint8_t> code;
+    emit(code, Fn::LDC, 0x754);
+    emit(code, Fn::STL, 3);
+    emitOp(code, Op::ADD);
+    emitOp(code, Op::MUL);
+    const auto lines = disassemble(code.data(), code.size(),
+                                   0x80000048u, word32);
+    ASSERT_EQ(lines.size(), 4u);
+    EXPECT_EQ(lines[0].address, 0x80000048u);
+    EXPECT_NE(lines[0].text.find("ldc"), std::string::npos);
+    EXPECT_EQ(lines[1].address, 0x8000004Bu);
+    EXPECT_NE(lines[2].text.find("add"), std::string::npos);
+    EXPECT_NE(lines[3].text.find("mul"), std::string::npos);
+}
+
+TEST(Cycles, PaperNormativeCosts)
+{
+    namespace cyc = isa::cycles;
+    // the inline tables of sections 3.2.6 / 3.2.9
+    EXPECT_EQ(cyc::direct(Fn::LDC), 1);
+    EXPECT_EQ(cyc::direct(Fn::STL), 1);
+    EXPECT_EQ(cyc::direct(Fn::LDL), 2);
+    EXPECT_EQ(cyc::direct(Fn::ADC), 1);
+    EXPECT_EQ(cyc::direct(Fn::STNL), 2);
+    EXPECT_EQ(cyc::op(Op::ADD), 1);
+    // multiply: 7 + wordlength including its prefix byte
+    EXPECT_EQ(1 + cyc::mul(word32), 7 + 32);
+    EXPECT_EQ(1 + cyc::mul(word16), 7 + 16);
+    // communication: max(24, 21 + 8n/wordlength), section 3.2.10
+    EXPECT_EQ(cyc::commFormula(word32, 4), 24);
+    EXPECT_EQ(cyc::commFormula(word32, 12), 24);
+    EXPECT_EQ(cyc::commFormula(word32, 16), 25);
+    EXPECT_EQ(cyc::commFormula(word32, 128), 53);
+    EXPECT_EQ(cyc::commFormula(word16, 4), 24);
+    EXPECT_EQ(cyc::commFormula(word16, 64), 53);
+    // the average of the two sides equals the formula
+    EXPECT_EQ((cyc::commSuspend + cyc::commComplete(word32, 128)) / 2,
+              cyc::commFormula(word32, 128));
+    // priority switching (section 3.2.4): 58-cycle worst case equals
+    // the longest atomic instruction (div) plus the switch itself
+    EXPECT_EQ(cyc::div(word32) + cyc::switchLowToHigh, 58);
+    EXPECT_EQ(cyc::switchHighToLow, 17);
+    EXPECT_FALSE(cyc::isInterruptible(Op::DIV));
+    EXPECT_TRUE(cyc::isInterruptible(Op::MOVE));
+}

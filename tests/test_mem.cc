@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Unit tests for the memory subsystem: the signed linear address
+ * space, the reserved map, word/byte access and wait states.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/memory.hh"
+
+using namespace transputer;
+using mem::Memory;
+
+TEST(Memory, ReservedMapMatchesT414Layout)
+{
+    Memory m(word32, 4096);
+    EXPECT_EQ(m.base(), 0x80000000u);
+    EXPECT_EQ(m.linkOutAddr(0), 0x80000000u);
+    EXPECT_EQ(m.linkOutAddr(3), 0x8000000Cu);
+    EXPECT_EQ(m.linkInAddr(0), 0x80000010u);
+    EXPECT_EQ(m.linkInAddr(3), 0x8000001Cu);
+    EXPECT_EQ(m.eventAddr(), 0x80000020u);
+    EXPECT_EQ(m.tptrLocAddr(0), 0x80000024u);
+    EXPECT_EQ(m.tptrLocAddr(1), 0x80000028u);
+    // MemStart on a T414-class 32-bit part is 0x80000048
+    EXPECT_EQ(m.memStart(), 0x80000048u);
+}
+
+TEST(Memory, ReservedMapScalesTo16Bit)
+{
+    Memory m(word16, 2048);
+    EXPECT_EQ(m.base(), 0x8000u);
+    EXPECT_EQ(m.linkInAddr(0), 0x8008u);
+    EXPECT_EQ(m.memStart(), 0x8000u + 18 * 2);
+}
+
+TEST(Memory, ByteAndWordAccessAgreeLittleEndian)
+{
+    Memory m(word32, 4096);
+    const Word a = m.memStart();
+    m.writeWord(a, 0x11223344u);
+    EXPECT_EQ(m.readByte(a + 0), 0x44);
+    EXPECT_EQ(m.readByte(a + 1), 0x33);
+    EXPECT_EQ(m.readByte(a + 2), 0x22);
+    EXPECT_EQ(m.readByte(a + 3), 0x11);
+    m.writeByte(a + 1, 0xAA);
+    EXPECT_EQ(m.readWord(a), 0x1122AA44u);
+}
+
+TEST(Memory, WordAccessIgnoresByteSelector)
+{
+    Memory m(word32, 4096);
+    const Word a = m.memStart();
+    m.writeWord(a + 3, 0xDEADBEEFu);
+    EXPECT_EQ(m.readWord(a), 0xDEADBEEFu);
+    EXPECT_EQ(m.readWord(a + 1), 0xDEADBEEFu);
+}
+
+TEST(Memory, OutOfRangeAccessFaults)
+{
+    Memory m(word32, 4096);
+    EXPECT_THROW(m.readByte(0x80001000u), mem::MemFault);
+    EXPECT_THROW(m.writeWord(0x00000000u, 1), mem::MemFault);
+    EXPECT_NO_THROW(m.readByte(0x80000FFFu));
+}
+
+TEST(Memory, ExternalMemoryExtendsTheSpaceWithWaits)
+{
+    Memory m(word32, 4096, 8192, 3);
+    EXPECT_TRUE(m.isOnChip(0x80000000u));
+    EXPECT_TRUE(m.isOnChip(0x80000FFFu));
+    EXPECT_FALSE(m.isOnChip(0x80001000u));
+    EXPECT_EQ(m.accessWaits(0x80000800u), 0);
+    EXPECT_EQ(m.accessWaits(0x80001000u), 3);
+    m.writeWord(0x80002000u, 42);
+    EXPECT_EQ(m.readWord(0x80002000u), 42u);
+    EXPECT_THROW(m.readByte(0x80003000u), mem::MemFault);
+}
+
+TEST(Memory, BulkLoadPlacesBytes)
+{
+    Memory m(word32, 4096);
+    const uint8_t data[] = {1, 2, 3, 4, 5};
+    m.load(m.memStart(), data, sizeof(data));
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(m.readByte(m.memStart() + i), i + 1);
+}
+
+TEST(Memory, SixteenBitWordsWrapCorrectly)
+{
+    Memory m(word16, 2048);
+    const Word a = m.memStart();
+    m.writeWord(a, 0xBEEF);
+    EXPECT_EQ(m.readWord(a), 0xBEEFu);
+    EXPECT_EQ(m.readByte(a), 0xEF);
+    EXPECT_EQ(m.readByte(a + 1), 0xBE);
+}
+
+TEST(WordShape, SignedInterpretation)
+{
+    EXPECT_EQ(word32.toSigned(0xFFFFFFFFu), -1);
+    EXPECT_EQ(word32.toSigned(0x80000000u), INT32_MIN);
+    EXPECT_EQ(word32.toSigned(0x7FFFFFFFu), INT32_MAX);
+    EXPECT_EQ(word16.toSigned(0xFFFFu), -1);
+    EXPECT_EQ(word16.toSigned(0x8000u), -32768);
+    EXPECT_EQ(word16.toSigned(0x1234u), 0x1234);
+}
+
+TEST(WordShape, PointerIndexingIsWordScaled)
+{
+    EXPECT_EQ(word32.index(0x80000000u, 18), 0x80000048u);
+    EXPECT_EQ(word32.index(0x80000048u, -1), 0x80000044u);
+    EXPECT_EQ(word16.index(0x8000u, 18), 0x8024u);
+    // pointers compare as signed integers across zero
+    EXPECT_LT(word32.toSigned(0x80000000u), word32.toSigned(0u));
+}

@@ -1,0 +1,322 @@
+/**
+ * @file
+ * Network-level tests: topology builders (behavioural connectivity),
+ * peripherals (console, block device, framebuffer), the event pin,
+ * and the occam boot helper.
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/network.hh"
+#include "net/occam_boot.hh"
+#include "net/vcd.hh"
+#include "net/peripherals.hh"
+
+using namespace transputer;
+using namespace transputer::net;
+
+namespace
+{
+
+/** Forwarder occam: in link -> out link. */
+std::string
+forwarder(int in_link, int out_link, int n)
+{
+    return "CHAN in, out:\n"
+           "PLACE in AT LINK" + std::to_string(in_link) + "IN:\n"
+           "PLACE out AT LINK" + std::to_string(out_link) + "OUT:\n"
+           "VAR x:\n"
+           "SEQ i = [1 FOR " + std::to_string(n) + "]\n"
+           "  SEQ\n"
+           "    in ? x\n"
+           "    out ! x + 1\n";
+}
+
+} // namespace
+
+TEST(Net, PipelineForwardsEndToEnd)
+{
+    Network net;
+    auto ids = buildPipeline(net, 4);
+    ConsoleSink console(net.queue(), link::WireConfig{});
+    net.attachPeripheral(ids.back(), 0, console);
+    bootOccamSource(net, ids[0],
+                    "CHAN out:\nPLACE out AT LINK1OUT:\n"
+                    "SEQ i = [1 FOR 3]\n"
+                    "  out ! i * 100\n");
+    bootOccamSource(net, ids[1], forwarder(dir::west, dir::east, 3));
+    bootOccamSource(net, ids[2], forwarder(dir::west, dir::east, 3));
+    bootOccamSource(net, ids[3],
+                    "CHAN in, out:\n"
+                    "PLACE in AT LINK3IN:\nPLACE out AT LINK0OUT:\n"
+                    "VAR x:\n"
+                    "SEQ i = [1 FOR 3]\n"
+                    "  SEQ\n"
+                    "    in ? x\n"
+                    "    out ! x\n");
+    net.run();
+    EXPECT_TRUE(net.quiescent());
+    const std::vector<Word> expect = {102, 202, 302};
+    EXPECT_EQ(console.words(4), expect);
+}
+
+TEST(Net, RingRoundTrip)
+{
+    Network net;
+    auto ids = buildRing(net, 4);
+    ConsoleSink console(net.queue(), link::WireConfig{});
+    net.attachPeripheral(ids[0], 0, console);
+    // node 0 sends a token around the ring, each node increments
+    bootOccamSource(net, ids[0],
+                    "CHAN out, in, con:\n"
+                    "PLACE out AT LINK1OUT:\nPLACE in AT LINK3IN:\n"
+                    "PLACE con AT LINK0OUT:\n"
+                    "VAR x:\n"
+                    "SEQ\n"
+                    "  out ! 0\n"
+                    "  in ? x\n"
+                    "  con ! x\n");
+    for (int i = 1; i < 4; ++i)
+        bootOccamSource(net, ids[i], forwarder(dir::west, dir::east, 1));
+    net.run();
+    ASSERT_EQ(console.words(4).size(), 1u);
+    EXPECT_EQ(console.words(4)[0], 3u); // incremented by 3 forwarders
+}
+
+TEST(Net, HypercubeDimensionLinks)
+{
+    Network net;
+    auto ids = buildHypercube(net, 3); // 8 nodes
+    ASSERT_EQ(ids.size(), 8u);
+    ConsoleSink console(net.queue(), link::WireConfig{});
+    // route 000 -> 001 -> 011 -> 111 across dimensions 0, 1, 2
+    net.attachPeripheral(ids[7], 3, console); // link 3 is free
+    bootOccamSource(net, ids[0],
+                    "CHAN out:\nPLACE out AT LINK0OUT:\n"
+                    "out ! 5\n");
+    bootOccamSource(net, ids[1], forwarder(0, 1, 1));
+    bootOccamSource(net, ids[3], forwarder(1, 2, 1));
+    bootOccamSource(net, ids[7],
+                    "CHAN in, out:\n"
+                    "PLACE in AT LINK2IN:\nPLACE out AT LINK3OUT:\n"
+                    "VAR x:\n"
+                    "SEQ\n"
+                    "  in ? x\n"
+                    "  out ! x\n");
+    net.run(100'000'000);
+    ASSERT_EQ(console.words(4).size(), 1u);
+    EXPECT_EQ(console.words(4)[0], 7u); // 5 + two increments
+}
+
+TEST(Net, BinaryTreeParentChild)
+{
+    Network net;
+    auto ids = buildBinaryTree(net, 3); // 7 nodes
+    ASSERT_EQ(ids.size(), 7u);
+    ConsoleSink console(net.queue(), link::WireConfig{});
+    net.attachPeripheral(ids[0], dir::north, console);
+    // leaves send 1 up; inner nodes sum children + 1
+    auto inner = [](bool root) {
+        std::string up = root ? "LINK0OUT" : "LINK0OUT";
+        return std::string("CHAN up, l, r:\n") +
+               "PLACE up AT " + up + ":\n"
+               "PLACE l AT LINK3IN:\n"
+               "PLACE r AT LINK1IN:\n"
+               "VAR a, b:\n"
+               "SEQ\n"
+               "  l ? a\n"
+               "  r ? b\n"
+               "  up ! (a + b) + 1\n";
+    };
+    bootOccamSource(net, ids[0], inner(true));
+    bootOccamSource(net, ids[1], inner(false));
+    bootOccamSource(net, ids[2], inner(false));
+    for (int leaf = 3; leaf < 7; ++leaf)
+        bootOccamSource(net, ids[leaf],
+                        "CHAN up:\nPLACE up AT LINK0OUT:\n"
+                        "up ! 1\n");
+    net.run();
+    ASSERT_EQ(console.words(4).size(), 1u);
+    EXPECT_EQ(console.words(4)[0], 7u); // 4 leaves + 3 inner
+}
+
+TEST(Net, BlockDeviceReadWrite)
+{
+    Network net;
+    const int n = net.addTransputer();
+    BlockDevice dev(net.queue(), link::WireConfig{}, 10'000);
+    net.attachPeripheral(n, 1, dev);
+    ConsoleSink console(net.queue(), link::WireConfig{});
+    net.attachPeripheral(n, 0, console);
+    for (size_t i = 0; i < 512; ++i)
+        dev.block(3)[i] = static_cast<uint8_t>(i & 0xFF);
+    // read block 3, sum first 4 words, write a block back
+    bootOccamSource(net, n,
+                    "CHAN out, cmd, data:\n"
+                    "PLACE out AT LINK0OUT:\n"
+                    "PLACE cmd AT LINK1OUT:\nPLACE data AT LINK1IN:\n"
+                    "VAR w, sum:\n"
+                    "SEQ\n"
+                    "  cmd ! 0\n"
+                    "  cmd ! 3\n"
+                    "  sum := 0\n"
+                    "  SEQ i = [0 FOR 128]\n"
+                    "    SEQ\n"
+                    "      data ? w\n"
+                    "      IF\n"
+                    "        i < 4\n"
+                    "          sum := sum + w\n"
+                    "        TRUE\n"
+                    "          SKIP\n"
+                    "  out ! sum\n"
+                    "  cmd ! 1\n"       // write command
+                    "  cmd ! 9\n"
+                    "  SEQ i = [0 FOR 128]\n"
+                    "    cmd ! i\n");
+    net.run(500'000'000);
+    ASSERT_EQ(console.words(4).size(), 1u);
+    // first 4 little-endian words of 0,1,2,...:
+    Word expect = 0;
+    for (int i = 0; i < 4; ++i) {
+        Word w = 0;
+        for (int j = 3; j >= 0; --j)
+            w = (w << 8) | static_cast<Word>(4 * i + j);
+        expect += w;
+    }
+    EXPECT_EQ(console.words(4)[0], expect);
+    EXPECT_EQ(dev.reads(), 1u);
+    EXPECT_EQ(dev.writes(), 1u);
+    // the written block holds words 0..127 little-endian
+    EXPECT_EQ(dev.block(9)[4], 1u);
+    EXPECT_EQ(dev.block(9)[8], 2u);
+}
+
+TEST(Net, FrameBufferPlotsPixels)
+{
+    Network net;
+    const int n = net.addTransputer();
+    FrameBuffer fb(net.queue(), link::WireConfig{}, 8, 8);
+    net.attachPeripheral(n, 1, fb);
+    bootOccamSource(net, n,
+                    "CHAN fb:\nPLACE fb AT LINK1OUT:\n"
+                    "SEQ i = [0 FOR 8]\n"
+                    "  SEQ\n"
+                    "    fb ! i\n"
+                    "    fb ! i\n"
+                    "    fb ! 100 + i\n");
+    net.run();
+    EXPECT_EQ(fb.plots(), 8u);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(fb.pixel(i, i), 100 + i);
+    EXPECT_EQ(fb.pixel(0, 1), 0);
+}
+
+TEST(Net, EventPinWakesOccamProcess)
+{
+    Network net;
+    const int n = net.addTransputer();
+    ConsoleSink console(net.queue(), link::WireConfig{});
+    net.attachPeripheral(n, 0, console);
+    bootOccamSource(net, n,
+                    "CHAN out, ev:\n"
+                    "PLACE out AT LINK0OUT:\nPLACE ev AT EVENT:\n"
+                    "VAR x:\n"
+                    "SEQ i = [1 FOR 3]\n"
+                    "  SEQ\n"
+                    "    ev ? x\n"
+                    "    out ! i\n");
+    auto &cpu = net.node(n);
+    net.queue().schedule(50'000, [&] { cpu.eventSignal(); });
+    net.queue().schedule(90'000, [&] { cpu.eventSignal(); });
+    net.queue().schedule(130'000, [&] { cpu.eventSignal(); });
+    net.run(10'000'000);
+    const std::vector<Word> expect = {1, 2, 3};
+    EXPECT_EQ(console.words(4), expect);
+}
+
+TEST(Net, QuiescenceDetection)
+{
+    Network net;
+    const int n = net.addTransputer();
+    ConsoleSink console(net.queue(), link::WireConfig{});
+    net.attachPeripheral(n, 0, console);
+    EXPECT_TRUE(net.quiescent()); // nothing booted yet
+    bootOccamSource(net, n, std::string("CHAN out:\n") +
+                                "PLACE out AT LINK0OUT:\nout ! 1\n");
+    EXPECT_FALSE(net.quiescent());
+    net.run();
+    EXPECT_TRUE(net.quiescent());
+}
+
+TEST(Net, DescribeReportsNodeStates)
+{
+    Network net;
+    const int a = net.addTransputer({}, "alpha");
+    ConsoleSink console(net.queue(), link::WireConfig{});
+    net.attachPeripheral(a, 0, console);
+    bootOccamSource(net, a, std::string("CHAN out:\n") +
+                                "PLACE out AT LINK0OUT:\nout ! 5\n");
+    net.run();
+    const std::string d = net.describe();
+    EXPECT_NE(d.find("alpha"), std::string::npos);
+    EXPECT_NE(d.find("idle"), std::string::npos);
+    EXPECT_NE(d.find("bytes sent"), std::string::npos);
+
+    // a deadlocked pair shows two idle nodes with few instructions
+    Network dead;
+    const int x = dead.addTransputer({}, "x");
+    const int y = dead.addTransputer({}, "y");
+    dead.connect(x, dir::east, y, dir::west);
+    // both input; nobody outputs: classic deadlock
+    bootOccamSource(dead, x,
+                    "CHAN c:\nPLACE c AT LINK1IN:\nVAR v:\nc ? v\n");
+    bootOccamSource(dead, y,
+                    "CHAN c:\nPLACE c AT LINK3IN:\nVAR v:\nc ? v\n");
+    dead.run(10'000'000);
+    EXPECT_TRUE(dead.quiescent());
+    const std::string dd = dead.describe();
+    EXPECT_NE(dd.find("x: idle"), std::string::npos);
+    EXPECT_NE(dd.find("y: idle"), std::string::npos);
+}
+
+TEST(Net, VcdTraceCapturesLinkWaveforms)
+{
+    Network net;
+    const int a = net.addTransputer({}, "tp0");
+    const int b = net.addTransputer({}, "tp1");
+    net.connect(a, dir::east, b, dir::west);
+    net::VcdTrace vcd;
+    vcd.attachNetwork(net);
+    bootOccamSource(net, a,
+                    "CHAN c:\nPLACE c AT LINK1OUT:\n"
+                    "SEQ i = [1 FOR 2]\n"
+                    "  c ! i\n");
+    bootOccamSource(net, b,
+                    "CHAN c:\nPLACE c AT LINK3IN:\n"
+                    "VAR x:\n"
+                    "SEQ i = [1 FOR 2]\n"
+                    "  c ? x\n");
+    net.run();
+    // 8 data bytes + 8 acknowledges
+    EXPECT_EQ(vcd.eventCount(), 16u);
+    const std::string v = vcd.render();
+    EXPECT_NE(v.find("$var wire 1 b0 tp0.link1.tx.busy $end"),
+              std::string::npos);
+    EXPECT_NE(v.find("$var wire 8 v0 tp0.link1.tx.byte $end"),
+              std::string::npos);
+    EXPECT_NE(v.find("$enddefinitions"), std::string::npos);
+    // the first data byte (value 1, LSB first on the wire; the VCD
+    // vector is plain binary)
+    EXPECT_NE(v.find("b00000001 v0"), std::string::npos);
+    // timestamps are monotone
+    Tick lastt = -1;
+    std::istringstream in(v);
+    std::string line;
+    while (std::getline(in, line)) {
+        if (!line.empty() && line[0] == '#') {
+            const Tick t = std::stoll(line.substr(1));
+            EXPECT_GE(t, lastt);
+            lastt = t;
+        }
+    }
+}

@@ -1,0 +1,764 @@
+/**
+ * @file
+ * Occam compiler tests: generated-code golden sequences against the
+ * paper's tables (section 3.2.6 / 3.2.9), and end-to-end execution of
+ * compiled programs on the emulator -- sequential constructs, arrays,
+ * procedures, PAR / PRI PAR, ALT, timers, and word-length
+ * independence (the same source running on 32-bit and 16-bit parts).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "net/network.hh"
+#include "net/occam_boot.hh"
+#include "net/peripherals.hh"
+#include "occam/compiler.hh"
+#include "occam/lexer.hh"
+#include "occam/parser.hh"
+
+using namespace transputer;
+using net::ConsoleSink;
+using net::Network;
+
+namespace
+{
+
+/** Mnemonic sequence of generated code (labels/operands stripped). */
+std::vector<std::string>
+mnemonics(const std::string &asm_text)
+{
+    std::vector<std::string> out;
+    std::istringstream in(asm_text);
+    std::string line;
+    while (std::getline(in, line)) {
+        std::istringstream ls(line);
+        std::string word;
+        if (!(ls >> word))
+            continue;
+        if (word.back() == ':' || word[0] == '.')
+            continue;
+        out.push_back(word);
+    }
+    return out;
+}
+
+/**
+ * Run an occam program on one transputer with a console on link 0;
+ * returns the words it output.  The program should PLACE its output
+ * channel AT LINK0OUT.
+ */
+std::vector<Word>
+runOccam(const std::string &src, const WordShape &shape = word32,
+         Tick limit = 500'000'000, bool *error_flag = nullptr,
+         const occam::Options &opt = {})
+{
+    Network net;
+    core::Config cfg;
+    cfg.shape = shape;
+    cfg.onchipBytes = shape.bits == 32 ? 4096 : 2048;
+    const int n = net.addTransputer(cfg);
+    ConsoleSink console(net.queue(), link::WireConfig{});
+    net.attachPeripheral(n, 0, console);
+    net::bootOccamSource(net, n, src, opt);
+    net.run(limit);
+    if (error_flag)
+        *error_flag = net.node(n).errorFlag();
+    return console.words(shape.bytes);
+}
+
+const char *outHeader =
+    "CHAN out:\n"
+    "PLACE out AT LINK0OUT:\n";
+
+} // namespace
+
+// ---------------------------------------------------------------
+// Golden code sequences (paper tables)
+// ---------------------------------------------------------------
+
+TEST(OccamCodegen, AssignmentsMatchPaperTable)
+{
+    // section 3.2.6: x := 0 -> ldc 0; stl x   x := y -> ldl y; stl x
+    auto c = occam::compile("VAR x, y:\n"
+                            "SEQ\n"
+                            "  x := 0\n"
+                            "  x := y\n",
+                            word32, 0x80000048u);
+    const auto m = mnemonics(c.asmSource);
+    const std::vector<std::string> expect = {"ldc", "stl", "ldl",
+                                             "stl", "stopp"};
+    EXPECT_EQ(m, expect);
+}
+
+TEST(OccamCodegen, ExpressionsMatchPaperTable)
+{
+    // section 3.2.9: x + 2 -> ldl x; adc 2
+    // (v+w)*(y+z) -> ldl ldl add ldl ldl add mul
+    auto c = occam::compile("VAR x, v, w, y, z:\n"
+                            "SEQ\n"
+                            "  x := x + 2\n"
+                            "  x := (v + w) * (y + z)\n",
+                            word32, 0x80000048u);
+    const auto m = mnemonics(c.asmSource);
+    const std::vector<std::string> expect = {
+        "ldl", "adc", "stl",
+        "ldl", "ldl", "add", "ldl", "ldl", "add", "mul", "stl",
+        "stopp"};
+    EXPECT_EQ(m, expect);
+}
+
+TEST(OccamCodegen, DeepExpressionSpillsToWorkspace)
+{
+    // needs a temporary: ((a+b)*(c+d))*((e+f)*(g+h)) has depth 4
+    auto c = occam::compile(
+        "VAR a, b, c, d, e, f, g, h, x:\n"
+        "x := ((a + b) * (c + d)) * ((e + f) * (g + h))\n",
+        word32, 0x80000048u);
+    const auto m = mnemonics(c.asmSource);
+    // a spill stores and reloads through workspace
+    EXPECT_NE(std::find(m.begin(), m.end(), "stl"), m.end());
+    // and the program still computes correctly (checked at runtime
+    // in OccamRun.DeepExpression below)
+}
+
+TEST(OccamCodegen, RejectsRecursionAndUnknownNames)
+{
+    EXPECT_THROW(occam::compile("PROC p =\n"
+                                "  p\n"
+                                ":\n"
+                                "p\n",
+                                word32, 0x80000048u),
+                 occam::OccamError);
+    EXPECT_THROW(occam::compile("x := 1\n", word32, 0x80000048u),
+                 occam::OccamError);
+    EXPECT_THROW(occam::compile("VAR x:\nVAR x:\nx := 1\n", word32,
+                                0x80000048u),
+                 occam::OccamError);
+}
+
+TEST(OccamCodegen, IndentationErrors)
+{
+    EXPECT_THROW(occam::compile("SEQ\n"
+                                " SKIP\n", // 1 space, not 2
+                                word32, 0x80000048u),
+                 occam::OccamError);
+}
+
+// ---------------------------------------------------------------
+// End-to-end execution
+// ---------------------------------------------------------------
+
+TEST(OccamRun, OutputConstant)
+{
+    const auto words = runOccam(std::string(outHeader) + "out ! 42\n");
+    ASSERT_EQ(words.size(), 1u);
+    EXPECT_EQ(words[0], 42u);
+}
+
+TEST(OccamRun, ArithmeticAndPrecedence)
+{
+    const auto words = runOccam(std::string(outHeader) +
+                                "DEF n = 6:\n"
+                                "VAR x:\n"
+                                "SEQ\n"
+                                "  x := (2 + 3) * n\n"
+                                "  out ! x\n"
+                                "  out ! 2 + (3 * n)\n"
+                                "  out ! 17 / 5\n"
+                                "  out ! 17 \\ 5\n"
+                                "  out ! -(4 - 9)\n"
+                                "  out ! (#F0 /\\ #3C) \\/ #400\n"
+                                "  out ! 3 << 4\n"
+                                "  out ! #100 >> 4\n");
+    ASSERT_EQ(words.size(), 8u);
+    EXPECT_EQ(words[0], 30u);
+    EXPECT_EQ(words[1], 20u);
+    EXPECT_EQ(words[2], 3u);
+    EXPECT_EQ(words[3], 2u);
+    EXPECT_EQ(words[4], 5u);
+    EXPECT_EQ(words[5], 0x430u);
+    EXPECT_EQ(words[6], 48u);
+    EXPECT_EQ(words[7], 0x10u);
+}
+
+TEST(OccamRun, BooleansAndComparisons)
+{
+    const auto words = runOccam(std::string(outHeader) +
+                                "VAR a, b:\n"
+                                "SEQ\n"
+                                "  a := 5\n"
+                                "  b := 9\n"
+                                "  out ! a < b\n"
+                                "  out ! a > b\n"
+                                "  out ! a <= 5\n"
+                                "  out ! a >= 6\n"
+                                "  out ! a = 5\n"
+                                "  out ! a <> 5\n"
+                                "  out ! (a < b) AND (b < 10)\n"
+                                "  out ! (a > b) OR (b = 9)\n"
+                                "  out ! NOT (a = 5)\n");
+    ASSERT_EQ(words.size(), 9u);
+    const std::vector<Word> expect = {1, 0, 1, 0, 1, 0, 1, 1, 0};
+    EXPECT_EQ(words, expect);
+}
+
+TEST(OccamRun, WhileLoopAndIf)
+{
+    const auto words = runOccam(std::string(outHeader) +
+                                "VAR i, sum, kind:\n"
+                                "SEQ\n"
+                                "  i := 1\n"
+                                "  sum := 0\n"
+                                "  WHILE i <= 10\n"
+                                "    SEQ\n"
+                                "      sum := sum + i\n"
+                                "      i := i + 1\n"
+                                "  out ! sum\n"
+                                "  IF\n"
+                                "    sum > 50\n"
+                                "      kind := 1\n"
+                                "    sum = 55\n"
+                                "      kind := 2\n"
+                                "    TRUE\n"
+                                "      kind := 3\n"
+                                "  out ! kind\n");
+    ASSERT_EQ(words.size(), 2u);
+    EXPECT_EQ(words[0], 55u);
+    EXPECT_EQ(words[1], 1u); // first true choice wins
+}
+
+TEST(OccamRun, ReplicatedSeqAndArrays)
+{
+    const auto words = runOccam(std::string(outHeader) +
+                                "DEF n = 8:\n"
+                                "VAR v[n], sum:\n"
+                                "SEQ\n"
+                                "  SEQ i = [0 FOR n]\n"
+                                "    v[i] := i * i\n"
+                                "  sum := 0\n"
+                                "  SEQ i = [0 FOR n]\n"
+                                "    sum := sum + v[i]\n"
+                                "  out ! sum\n"
+                                "  out ! v[7]\n"
+                                "  SEQ i = [0 FOR 0]\n"
+                                "    out ! 999\n" // zero-trip
+                                "  out ! 1\n");
+    ASSERT_EQ(words.size(), 3u);
+    EXPECT_EQ(words[0], 140u); // sum of squares 0..7
+    EXPECT_EQ(words[1], 49u);
+    EXPECT_EQ(words[2], 1u);
+}
+
+TEST(OccamRun, ArrayBoundsCheckSetsError)
+{
+    bool err = false;
+    runOccam(std::string(outHeader) +
+             "VAR v[4], i:\n"
+             "SEQ\n"
+             "  i := 9\n"
+             "  v[i] := 1\n"
+             "  out ! 1\n",
+             word32, 500'000'000, &err);
+    EXPECT_TRUE(err);
+    // and with checks disabled the error flag stays clear
+    occam::Options opt;
+    opt.boundsCheck = false;
+    bool err2 = false;
+    runOccam(std::string(outHeader) +
+             "VAR v[4], pad[16], i:\n"
+             "SEQ\n"
+             "  i := 9\n"
+             "  v[i] := 1\n"
+             "  out ! 1\n",
+             word32, 500'000'000, &err2, opt);
+    EXPECT_FALSE(err2);
+}
+
+TEST(OccamRun, Procedures)
+{
+    const auto words = runOccam(
+        std::string(outHeader) +
+        "VAR r:\n"
+        "PROC add3(VALUE a, b, c, VAR out.r) =\n"
+        "  out.r := (a + b) + c\n"
+        ":\n"
+        "PROC fivesum(VALUE a, b, c, d, e, VAR out.r) =\n"
+        "  out.r := (((a + b) + c) + d) + e\n"
+        ":\n"
+        "SEQ\n"
+        "  add3(1, 2, 3, r)\n"
+        "  out ! r\n"
+        "  fivesum(10, 20, 30, 40, 50, r)\n"
+        "  out ! r\n");
+    ASSERT_EQ(words.size(), 2u);
+    EXPECT_EQ(words[0], 6u);
+    EXPECT_EQ(words[1], 150u);
+}
+
+TEST(OccamRun, ProcedureWithChannelParam)
+{
+    const auto words = runOccam(std::string(outHeader) +
+                                "PROC emit(CHAN c, VALUE v) =\n"
+                                "  c ! v * 2\n"
+                                ":\n"
+                                "SEQ\n"
+                                "  emit(out, 21)\n"
+                                "  emit(out, 50)\n");
+    ASSERT_EQ(words.size(), 2u);
+    EXPECT_EQ(words[0], 42u);
+    EXPECT_EQ(words[1], 100u);
+}
+
+TEST(OccamRun, NestedProcedureCalls)
+{
+    const auto words = runOccam(std::string(outHeader) +
+                                "PROC dbl(VALUE a, VAR r) =\n"
+                                "  r := a + a\n"
+                                ":\n"
+                                "PROC quad(VALUE a, VAR r) =\n"
+                                "  VAR t:\n"
+                                "  SEQ\n"
+                                "    dbl(a, t)\n"
+                                "    dbl(t, r)\n"
+                                ":\n"
+                                "VAR x:\n"
+                                "SEQ\n"
+                                "  quad(5, x)\n"
+                                "  out ! x\n");
+    ASSERT_EQ(words.size(), 1u);
+    EXPECT_EQ(words[0], 20u);
+}
+
+TEST(OccamRun, ParCommunicatesOverInternalChannel)
+{
+    const auto words = runOccam(std::string(outHeader) +
+                                "CHAN c:\n"
+                                "VAR got:\n"
+                                "SEQ\n"
+                                "  PAR\n"
+                                "    c ! 123\n"
+                                "    c ? got\n"
+                                "  out ! got\n");
+    ASSERT_EQ(words.size(), 1u);
+    EXPECT_EQ(words[0], 123u);
+}
+
+TEST(OccamRun, ParPipelineOnOneChip)
+{
+    // producer -> doubler -> consumer via two internal channels
+    const auto words = runOccam(std::string(outHeader) +
+                                "CHAN a, b:\n"
+                                "PAR\n"
+                                "  SEQ i = [1 FOR 5]\n"
+                                "    a ! i\n"
+                                "  VAR x:\n"
+                                "  SEQ i = [1 FOR 5]\n"
+                                "    SEQ\n"
+                                "      a ? x\n"
+                                "      b ! x * x\n"
+                                "  VAR y:\n"
+                                "  SEQ i = [1 FOR 5]\n"
+                                "    SEQ\n"
+                                "      b ? y\n"
+                                "      out ! y\n");
+    const std::vector<Word> expect = {1, 4, 9, 16, 25};
+    EXPECT_EQ(words, expect);
+}
+
+TEST(OccamRun, ReplicatedPar)
+{
+    // each worker writes its replicator value into its own slot via a
+    // channel array, and a collector sums them
+    const auto words = runOccam(std::string(outHeader) +
+                                "DEF n = 4:\n"
+                                "CHAN c[n]:\n"
+                                "VAR sum, x:\n"
+                                "SEQ\n"
+                                "  PAR\n"
+                                "    PAR i = [0 FOR n]\n"
+                                "      c[i] ! (i + 1) * 10\n"
+                                "    SEQ\n"
+                                "      sum := 0\n"
+                                "      SEQ i = [0 FOR n]\n"
+                                "        SEQ\n"
+                                "          c[i] ? x\n"
+                                "          sum := sum + x\n"
+                                "  out ! sum\n");
+    ASSERT_EQ(words.size(), 1u);
+    EXPECT_EQ(words[0], 100u);
+}
+
+TEST(OccamRun, AltMergesTwoProducers)
+{
+    const auto words = runOccam(std::string(outHeader) +
+                                "CHAN a, b:\n"
+                                "VAR x, done:\n"
+                                "PAR\n"
+                                "  a ! 7\n"
+                                "  b ! 8\n"
+                                "  SEQ\n"
+                                "    done := 0\n"
+                                "    WHILE done < 2\n"
+                                "      ALT\n"
+                                "        a ? x\n"
+                                "          SEQ\n"
+                                "            out ! x\n"
+                                "            done := done + 1\n"
+                                "        b ? x\n"
+                                "          SEQ\n"
+                                "            out ! x + 100\n"
+                                "            done := done + 1\n");
+    ASSERT_EQ(words.size(), 2u);
+    // both messages arrive, each through its own branch
+    Word small = std::min(words[0], words[1]);
+    Word big = std::max(words[0], words[1]);
+    EXPECT_EQ(small, 7u);
+    EXPECT_EQ(big, 108u);
+}
+
+TEST(OccamRun, AltGuardConditions)
+{
+    const auto words = runOccam(std::string(outHeader) +
+                                "CHAN a, b:\n"
+                                "VAR x:\n"
+                                "PAR\n"
+                                "  a ! 1\n"
+                                "  b ! 2\n"
+                                "  SEQ\n"
+                                "    ALT\n"
+                                "      FALSE & a ? x\n"
+                                "        out ! 100 + x\n"
+                                "      TRUE & b ? x\n"
+                                "        out ! 200 + x\n"
+                                "    a ? x\n" // drain the blocked one
+                                "    out ! x\n");
+    ASSERT_EQ(words.size(), 2u);
+    EXPECT_EQ(words[0], 202u);
+    EXPECT_EQ(words[1], 1u);
+}
+
+TEST(OccamRun, AltTimeoutFires)
+{
+    const auto words = runOccam(std::string(outHeader) +
+                                "CHAN never:\n"
+                                "VAR t, x:\n"
+                                "SEQ\n"
+                                "  TIME ? t\n"
+                                "  ALT\n"
+                                "    never ? x\n"
+                                "      out ! 1\n"
+                                "    TIME ? AFTER t + 3\n"
+                                "      out ! 2\n");
+    ASSERT_EQ(words.size(), 1u);
+    EXPECT_EQ(words[0], 2u);
+}
+
+TEST(OccamRun, TimerReadAndDelay)
+{
+    Network net;
+    const int n = net.addTransputer();
+    ConsoleSink console(net.queue(), link::WireConfig{});
+    net.attachPeripheral(n, 0, console);
+    net::bootOccamSource(net, n,
+                         std::string(outHeader) +
+                             "VAR t0, t1:\n"
+                             "SEQ\n"
+                             "  TIME ? t0\n"
+                             "  TIME ? AFTER t0 + 5\n"
+                             "  TIME ? t1\n"
+                             "  out ! t1 - t0\n");
+    net.run(5'000'000'000);
+    const auto words = console.words(4);
+    ASSERT_EQ(words.size(), 1u);
+    // low-priority clock: 5 ticks of 64 us; strictly after
+    EXPECT_GE(words[0], 5u);
+    EXPECT_LE(words[0], 7u);
+    // the wait was ~384 us of simulated time, not busy work
+    EXPECT_GT(net.node(n).localTime(), 300'000);
+    EXPECT_LT(net.node(n).cycles(), 1000u);
+}
+
+TEST(OccamRun, PriParHighPreemptsLow)
+{
+    const auto words = runOccam(std::string(outHeader) +
+                                "CHAN sync:\n"
+                                "VAR t, x:\n"
+                                "PRI PAR\n"
+                                "  SEQ\n"          // high priority
+                                "    TIME ? t\n"
+                                "    TIME ? AFTER t + 2\n"
+                                "    sync ! 1\n"
+                                "  VAR spin:\n"    // low priority
+                                "  SEQ\n"
+                                "    spin := 0\n"
+                                "    WHILE spin >= 0\n"
+                                "      ALT\n"
+                                "        sync ? x\n"
+                                "          SEQ\n"
+                                "            out ! 7\n"
+                                "            spin := -1\n"
+                                "        TRUE & SKIP\n"
+                                "          spin := spin + 1\n");
+    ASSERT_EQ(words.size(), 1u);
+    EXPECT_EQ(words[0], 7u);
+}
+
+TEST(OccamRun, StopDeadlocksTheProcess)
+{
+    Network net;
+    const int n = net.addTransputer();
+    ConsoleSink console(net.queue(), link::WireConfig{});
+    net.attachPeripheral(n, 0, console);
+    net::bootOccamSource(net, n, std::string(outHeader) +
+                                     "SEQ\n"
+                                     "  out ! 1\n"
+                                     "  STOP\n"
+                                     "  out ! 2\n");
+    net.run(100'000'000);
+    EXPECT_EQ(console.words(4).size(), 1u);
+    EXPECT_TRUE(net.node(n).idle());
+}
+
+TEST(OccamRun, DeepExpression)
+{
+    const auto words = runOccam(
+        std::string(outHeader) +
+        "VAR a, b, c, d, e, f, g, h:\n"
+        "SEQ\n"
+        "  a := 1\n  b := 2\n  c := 3\n  d := 4\n"
+        "  e := 5\n  f := 6\n  g := 7\n  h := 8\n"
+        "  out ! ((a + b) * (c + d)) * ((e + f) * (g + h))\n");
+    ASSERT_EQ(words.size(), 1u);
+    EXPECT_EQ(words[0], 3u * 7u * 11u * 15u);
+}
+
+// ---------------------------------------------------------------
+// Word-length independence (paper sections 3.2.2, 3.3)
+// ---------------------------------------------------------------
+
+class OccamWordLength : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(OccamWordLength, SameProgramSameAnswers)
+{
+    const WordShape &s = GetParam() == 32 ? word32 : word16;
+    const auto words = runOccam(std::string(outHeader) +
+                                "VAR v[6], sum:\n"
+                                "SEQ\n"
+                                "  SEQ i = [0 FOR 6]\n"
+                                "    v[i] := (i + 1) * 3\n"
+                                "  sum := 0\n"
+                                "  SEQ i = [0 FOR 6]\n"
+                                "    sum := sum + v[i]\n"
+                                "  out ! sum\n"
+                                "  out ! 1000 / 24\n"
+                                "  out ! 30 - 70\n",
+                                s);
+    ASSERT_EQ(words.size(), 3u);
+    EXPECT_EQ(words[0], 63u);
+    EXPECT_EQ(words[1], 41u);
+    EXPECT_EQ(words[2], s.truncate(static_cast<uint64_t>(-40)));
+}
+
+INSTANTIATE_TEST_SUITE_P(WordWidths, OccamWordLength,
+                         ::testing::Values(32, 16));
+
+// ---------------------------------------------------------------
+// Multi-transputer occam (channels placed on links)
+// ---------------------------------------------------------------
+
+TEST(OccamNet, TwoChipsOverALink)
+{
+    Network net;
+    const int a = net.addTransputer();
+    const int b = net.addTransputer();
+    net.connect(a, net::dir::east, b, net::dir::west);
+    ConsoleSink console(net.queue(), link::WireConfig{});
+    net.attachPeripheral(b, 0, console);
+
+    net::bootOccamSource(net, a,
+                         "CHAN c:\n"
+                         "PLACE c AT LINK1OUT:\n"
+                         "SEQ i = [1 FOR 5]\n"
+                         "  c ! i * 11\n");
+    net::bootOccamSource(net, b,
+                         "CHAN c, out:\n"
+                         "PLACE c AT LINK3IN:\n"
+                         "PLACE out AT LINK0OUT:\n"
+                         "VAR x:\n"
+                         "SEQ i = [1 FOR 5]\n"
+                         "  SEQ\n"
+                         "    c ? x\n"
+                         "    out ! x + 1\n");
+    net.run();
+    EXPECT_TRUE(net.quiescent());
+    const std::vector<Word> expect = {12, 23, 34, 45, 56};
+    EXPECT_EQ(console.words(4), expect);
+}
+
+TEST(OccamNet, SameProgramSingleChipOrTwoChips)
+{
+    // the paper's central promise (section 1): the same logical
+    // program runs on one transputer (channels in memory) or on a
+    // network (channels on links), producing the same results
+    const std::vector<Word> expect = {2, 4, 6, 8};
+
+    // single chip: producer and doubler in one PAR
+    const auto single = runOccam(std::string(outHeader) +
+                                 "CHAN c:\n"
+                                 "PAR\n"
+                                 "  SEQ i = [1 FOR 4]\n"
+                                 "    c ! i\n"
+                                 "  VAR x:\n"
+                                 "  SEQ i = [1 FOR 4]\n"
+                                 "    SEQ\n"
+                                 "      c ? x\n"
+                                 "      out ! x * 2\n");
+    EXPECT_EQ(single, expect);
+
+    // two chips: same processes, channel c configured onto the link
+    Network net;
+    const int a = net.addTransputer();
+    const int b = net.addTransputer();
+    net.connect(a, net::dir::east, b, net::dir::west);
+    ConsoleSink console(net.queue(), link::WireConfig{});
+    net.attachPeripheral(b, 0, console);
+    net::bootOccamSource(net, a,
+                         "CHAN c:\n"
+                         "PLACE c AT LINK1OUT:\n"
+                         "SEQ i = [1 FOR 4]\n"
+                         "  c ! i\n");
+    net::bootOccamSource(net, b,
+                         "CHAN c, out:\n"
+                         "PLACE c AT LINK3IN:\n"
+                         "PLACE out AT LINK0OUT:\n"
+                         "VAR x:\n"
+                         "SEQ i = [1 FOR 4]\n"
+                         "  SEQ\n"
+                         "    c ? x\n"
+                         "    out ! x * 2\n");
+    net.run();
+    EXPECT_EQ(console.words(4), expect);
+}
+
+TEST(OccamCodegen, ParCompilesToStartpEndpScheme)
+{
+    // section 3.2.4: startp per child, endp per component against
+    // the (successor Iptr, count) pair
+    auto c = occam::compile("VAR a, b:\n"
+                            "PAR\n"
+                            "  a := 1\n"
+                            "  b := 2\n"
+                            "  SKIP\n",
+                            word32, 0x80000048u);
+    const auto m = mnemonics(c.asmSource);
+    auto count = [&](const std::string &op) {
+        return std::count(m.begin(), m.end(), op);
+    };
+    EXPECT_EQ(count("startp"), 2); // two children
+    EXPECT_EQ(count("endp"), 3);   // every component joins
+    // the join set-up loads the successor address (the ldap pseudo
+    // expands to ldc + ldpi)
+    EXPECT_GE(count("ldap"), 1);
+}
+
+TEST(OccamCodegen, AltCompilesToEnableWaitDisable)
+{
+    auto c = occam::compile("CHAN a, b:\n"
+                            "VAR x:\n"
+                            "ALT\n"
+                            "  a ? x\n"
+                            "    SKIP\n"
+                            "  b ? x\n"
+                            "    SKIP\n",
+                            word32, 0x80000048u);
+    const auto m = mnemonics(c.asmSource);
+    auto count = [&](const std::string &op) {
+        return std::count(m.begin(), m.end(), op);
+    };
+    EXPECT_EQ(count("alt"), 1);
+    EXPECT_EQ(count("enbc"), 2);
+    EXPECT_EQ(count("altwt"), 1);
+    EXPECT_EQ(count("disc"), 2);
+    EXPECT_EQ(count("altend"), 1);
+    EXPECT_EQ(count("in"), 2); // inputs happen in the branches
+    // structural order: alt < enbc < altwt < disc < altend
+    auto pos = [&](const std::string &op) {
+        return std::find(m.begin(), m.end(), op) - m.begin();
+    };
+    EXPECT_LT(pos("alt"), pos("enbc"));
+    EXPECT_LT(pos("enbc"), pos("altwt"));
+    EXPECT_LT(pos("altwt"), pos("disc"));
+    EXPECT_LT(pos("disc"), pos("altend"));
+}
+
+TEST(OccamCodegen, TimerAltUsesTaltInstructions)
+{
+    auto c = occam::compile("CHAN a:\n"
+                            "VAR x, t:\n"
+                            "SEQ\n"
+                            "  TIME ? t\n"
+                            "  ALT\n"
+                            "    a ? x\n"
+                            "      SKIP\n"
+                            "    TIME ? AFTER t + 5\n"
+                            "      SKIP\n",
+                            word32, 0x80000048u);
+    const auto m = mnemonics(c.asmSource);
+    auto has = [&](const std::string &op) {
+        return std::find(m.begin(), m.end(), op) != m.end();
+    };
+    EXPECT_TRUE(has("talt"));
+    EXPECT_TRUE(has("taltwt"));
+    EXPECT_TRUE(has("enbt"));
+    EXPECT_TRUE(has("dist"));
+    EXPECT_FALSE(has("altwt")); // the timer variants replace them
+}
+
+TEST(OccamCodegen, WhileLoopShape)
+{
+    auto c = occam::compile("VAR i:\n"
+                            "SEQ\n"
+                            "  i := 0\n"
+                            "  WHILE i < 10\n"
+                            "    i := i + 1\n",
+                            word32, 0x80000048u);
+    const auto m = mnemonics(c.asmSource);
+    // condition: ldl; ldc; rev; gt then cj out; body; j back
+    auto has = [&](const std::string &op) {
+        return std::find(m.begin(), m.end(), op) != m.end();
+    };
+    EXPECT_TRUE(has("gt"));
+    EXPECT_TRUE(has("cj"));
+    EXPECT_TRUE(has("j"));
+}
+
+TEST(OccamCodegen, ReplicatedSeqUsesLend)
+{
+    auto c = occam::compile("VAR s:\n"
+                            "SEQ\n"
+                            "  s := 0\n"
+                            "  SEQ i = [0 FOR 8]\n"
+                            "    s := s + i\n",
+                            word32, 0x80000048u);
+    const auto m = mnemonics(c.asmSource);
+    EXPECT_NE(std::find(m.begin(), m.end(), "lend"), m.end());
+}
+
+TEST(OccamCodegen, OutputUsesOutwordSingleInstruction)
+{
+    // "a communication primitive ... requires only one byte of
+    // program" -- a word output is a single outword operation
+    auto c = occam::compile("CHAN c:\nVAR x:\n"
+                            "PAR\n"
+                            "  c ! x\n"
+                            "  c ? x\n",
+                            word32, 0x80000048u);
+    const auto m = mnemonics(c.asmSource);
+    EXPECT_NE(std::find(m.begin(), m.end(), "outword"), m.end());
+    EXPECT_NE(std::find(m.begin(), m.end(), "in"), m.end());
+}

@@ -1,0 +1,348 @@
+/**
+ * @file
+ * Further occam-compiler features: ANY inputs, multi-item
+ * communications, AFTER in expressions, PRI ALT, array and
+ * channel-array parameters, nested PAR, numeric PLACE addresses and
+ * DEF expressions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "net/network.hh"
+#include "net/occam_boot.hh"
+#include "net/peripherals.hh"
+#include "occam/compiler.hh"
+#include "occam/lexer.hh"
+
+using namespace transputer;
+using net::ConsoleSink;
+using net::Network;
+
+namespace
+{
+
+std::vector<Word>
+runOccam(const std::string &src, Tick limit = 1'000'000'000)
+{
+    Network net;
+    core::Config cfg;
+    cfg.onchipBytes = 8192;
+    const int n = net.addTransputer(cfg);
+    ConsoleSink console(net.queue(), link::WireConfig{});
+    net.attachPeripheral(n, 0, console);
+    net::bootOccamSource(net, n, src);
+    net.run(limit);
+    return console.words(4);
+}
+
+const char *hdr = "CHAN out:\nPLACE out AT LINK0OUT:\n";
+
+} // namespace
+
+TEST(OccamExtra, AnyDiscardsInput)
+{
+    const auto w = runOccam(std::string(hdr) +
+                            "CHAN c:\n"
+                            "VAR x:\n"
+                            "PAR\n"
+                            "  SEQ\n"
+                            "    c ! 1\n"
+                            "    c ! 2\n"
+                            "    c ! 3\n"
+                            "  SEQ\n"
+                            "    c ? ANY\n"
+                            "    c ? x\n"
+                            "    c ? ANY\n"
+                            "    out ! x\n");
+    ASSERT_EQ(w.size(), 1u);
+    EXPECT_EQ(w[0], 2u);
+}
+
+TEST(OccamExtra, MultiItemCommunication)
+{
+    const auto w = runOccam(std::string(hdr) +
+                            "CHAN c:\n"
+                            "VAR a, b:\n"
+                            "PAR\n"
+                            "  c ! 11; 22; 33\n"
+                            "  SEQ\n"
+                            "    c ? a; b; ANY\n"
+                            "    out ! a\n"
+                            "    out ! b\n");
+    const std::vector<Word> expect = {11, 22};
+    EXPECT_EQ(w, expect);
+}
+
+TEST(OccamExtra, AfterComparesModularTime)
+{
+    const auto w = runOccam(std::string(hdr) +
+                            "VAR t:\n"
+                            "SEQ\n"
+                            "  out ! 5 AFTER 3\n"
+                            "  out ! 3 AFTER 5\n"
+                            "  out ! 3 AFTER 3\n"
+                            // wrap-around: MostNeg+1 is AFTER MostPos
+                            "  t := #7FFFFFFF\n"
+                            "  out ! (t + 2) AFTER t\n");
+    const std::vector<Word> expect = {1, 0, 0, 1};
+    EXPECT_EQ(w, expect);
+}
+
+TEST(OccamExtra, PriAltSelectsInTextualOrder)
+{
+    // both channels ready: PRI ALT must take the first
+    const auto w = runOccam(std::string(hdr) +
+                            "CHAN a, b:\n"
+                            "VAR x, spin:\n"
+                            "PAR\n"
+                            "  a ! 1\n"
+                            "  b ! 2\n"
+                            "  SEQ\n"
+                            "    SEQ spin = [0 FOR 200]\n"
+                            "      SKIP\n" // let both outputs arrive
+                            "    PRI ALT\n"
+                            "      a ? x\n"
+                            "        out ! 10 + x\n"
+                            "      b ? x\n"
+                            "        out ! 20 + x\n"
+                            "    b ? x\n"
+                            "    a ? x\n"); // drain whichever is left
+    ASSERT_GE(w.size(), 1u);
+    EXPECT_EQ(w[0], 11u);
+}
+
+TEST(OccamExtra, ArrayVarParameters)
+{
+    const auto w = runOccam(std::string(hdr) +
+                            "PROC fill(VAR v, VALUE n) =\n"
+                            "  SEQ i = [0 FOR n]\n"
+                            "    v[i] := i * i\n"
+                            ":\n"
+                            "PROC total(VAR v, VALUE n, VAR sum) =\n"
+                            "  SEQ\n"
+                            "    sum := 0\n"
+                            "    SEQ i = [0 FOR n]\n"
+                            "      sum := sum + v[i]\n"
+                            ":\n"
+                            "VAR data[10], s:\n"
+                            "SEQ\n"
+                            "  fill(data, 10)\n"
+                            "  total(data, 10, s)\n"
+                            "  out ! s\n"
+                            "  out ! data[3]\n");
+    const std::vector<Word> expect = {285, 9};
+    EXPECT_EQ(w, expect);
+}
+
+TEST(OccamExtra, ChannelArrayParameters)
+{
+    const auto w = runOccam(std::string(hdr) +
+                            "DEF n = 3:\n"
+                            "PROC drain(CHAN cs, VALUE k, CHAN res) =\n"
+                            "  VAR x, sum:\n"
+                            "  SEQ\n"
+                            "    sum := 0\n"
+                            "    SEQ i = [0 FOR k]\n"
+                            "      SEQ\n"
+                            "        cs[i] ? x\n"
+                            "        sum := sum + x\n"
+                            "    res ! sum\n"
+                            ":\n"
+                            "CHAN c[n]:\n"
+                            "PAR\n"
+                            "  PAR i = [0 FOR n]\n"
+                            "    c[i] ! (i + 1) * 7\n"
+                            "  drain(c, n, out)\n");
+    ASSERT_EQ(w.size(), 1u);
+    EXPECT_EQ(w[0], 7u + 14u + 21u);
+}
+
+TEST(OccamExtra, NestedParJoins)
+{
+    const auto w = runOccam(std::string(hdr) +
+                            "CHAN c:\n"
+                            "VAR a, b, total:\n"
+                            "SEQ\n"
+                            "  PAR\n"
+                            "    PAR\n"
+                            "      c ! 5\n"
+                            "      SEQ\n"
+                            "        c ? a\n"
+                            "        a := a + 1\n"
+                            "    b := 10\n"
+                            "  total := a + b\n"
+                            "  out ! total\n");
+    ASSERT_EQ(w.size(), 1u);
+    EXPECT_EQ(w[0], 16u);
+}
+
+TEST(OccamExtra, NumericPlaceAddress)
+{
+    // PLACE accepts any constant expression; LINK0OUT is MostNeg
+    const auto w = runOccam("CHAN out:\n"
+                            "PLACE out AT -2147483648:\n"
+                            "out ! 64\n");
+    ASSERT_EQ(w.size(), 1u);
+    EXPECT_EQ(w[0], 64u);
+}
+
+TEST(OccamExtra, DefExpressionsFold)
+{
+    const auto w = runOccam(std::string(hdr) +
+                            "DEF a = 6, b = a * 7, c = b + (a / 2):\n"
+                            "out ! c\n");
+    ASSERT_EQ(w.size(), 1u);
+    EXPECT_EQ(w[0], 45u);
+}
+
+TEST(OccamExtra, ParameterlessProcCall)
+{
+    // a PROC may use PLACEd channels and constants freely; both call
+    // syntaxes (bare name and empty parentheses) work
+    const auto w = runOccam(std::string(hdr) +
+                            "DEF k = 9:\n"
+                            "PROC beep =\n"
+                            "  out ! k\n"
+                            ":\n"
+                            "SEQ\n"
+                            "  beep\n"
+                            "  beep()\n");
+    const std::vector<Word> expect = {9, 9};
+    EXPECT_EQ(w, expect);
+}
+
+TEST(OccamExtra, FreeVariablesInProcsAreRejected)
+{
+    // a free workspace variable would compile to a wrong offset;
+    // the compiler must reject it with a helpful message
+    try {
+        occam::compile(std::string(hdr) +
+                           "VAR n:\n"
+                           "PROC bump =\n"
+                           "  n := n + 1\n"
+                           ":\n"
+                           "SEQ\n"
+                           "  n := 0\n"
+                           "  bump\n"
+                           "  out ! n\n",
+                       word32, 0x80000048u);
+        FAIL() << "expected OccamError";
+    } catch (const occam::OccamError &e) {
+        EXPECT_NE(std::string(e.what()).find("parameter"),
+                  std::string::npos);
+    }
+}
+
+TEST(OccamExtra, WordLengthIndependentBinary)
+{
+    // the same compiled BYTES run on both parts when placed at the
+    // 16-bit part's addresses: compile for 16-bit, run on both...
+    // (pointers differ between parts, so this tests the *source*
+    // running identically; binary-level independence is exercised by
+    // the instruction property tests)
+    for (const bool t2 : {false, true}) {
+        Network net;
+        core::Config cfg;
+        if (t2) {
+            cfg.shape = word16;
+            cfg.onchipBytes = 4096;
+        }
+        const int n = net.addTransputer(cfg);
+        ConsoleSink console(net.queue(), link::WireConfig{});
+        net.attachPeripheral(n, 0, console);
+        net::bootOccamSource(net, n,
+                             std::string(hdr) +
+                                 "VAR v[5]:\n"
+                                 "SEQ\n"
+                                 "  SEQ i = [0 FOR 5]\n"
+                                 "    v[i] := (i * 3) + 1\n"
+                                 "  out ! ((v[0] + v[1]) + v[2]) + "
+                                 "(v[3] + v[4])\n");
+        net.run(1'000'000'000);
+        const auto w = console.words(t2 ? 2 : 4);
+        ASSERT_EQ(w.size(), 1u);
+        EXPECT_EQ(w[0], 35u);
+    }
+}
+
+TEST(OccamExtra, ReplicatedAltMergesAChannelArray)
+{
+    const auto w = runOccam(std::string(hdr) +
+                            "DEF n = 4:\n"
+                            "CHAN c[n]:\n"
+                            "VAR x, done:\n"
+                            "PAR\n"
+                            "  PAR i = [0 FOR n]\n"
+                            "    c[i] ! (i + 1) * 10\n"
+                            "  SEQ\n"
+                            "    done := 0\n"
+                            "    WHILE done < n\n"
+                            "      ALT i = [0 FOR n]\n"
+                            "        c[i] ? x\n"
+                            "          SEQ\n"
+                            "            out ! (i * 1000) + x\n"
+                            "            done := done + 1\n");
+    ASSERT_EQ(w.size(), 4u);
+    std::vector<Word> sorted(w);
+    std::sort(sorted.begin(), sorted.end());
+    // guard i must have read channel i's value (i+1)*10
+    const std::vector<Word> expect = {10, 1020, 2030, 3040};
+    EXPECT_EQ(sorted, expect);
+}
+
+TEST(OccamExtra, ReplicatedAltWithGuardConditions)
+{
+    // only even-indexed guards are enabled
+    const auto w = runOccam(std::string(hdr) +
+                            "DEF n = 4:\n"
+                            "CHAN c[n]:\n"
+                            "VAR x:\n"
+                            "PAR\n"
+                            "  c[0] ! 5\n"
+                            "  c[2] ! 7\n"
+                            "  SEQ k = [0 FOR 2]\n"
+                            "    ALT i = [0 FOR n]\n"
+                            "      ((i \\ 2) = 0) & c[i] ? x\n"
+                            "        out ! (i * 100) + x\n");
+    ASSERT_EQ(w.size(), 2u);
+    std::vector<Word> sorted(w);
+    std::sort(sorted.begin(), sorted.end());
+    const std::vector<Word> expect = {5, 207};
+    EXPECT_EQ(sorted, expect);
+}
+
+TEST(OccamExtra, DeterministicAcrossRuns)
+{
+    // the whole co-simulation is deterministic: identical outputs and
+    // identical cycle counts on repeated runs
+    const std::string src = std::string(hdr) +
+                            "CHAN a, b:\n"
+                            "VAR x:\n"
+                            "PAR\n"
+                            "  SEQ i = [1 FOR 20]\n"
+                            "    a ! i\n"
+                            "  SEQ i = [1 FOR 20]\n"
+                            "    SEQ\n"
+                            "      a ? x\n"
+                            "      b ! x * 3\n"
+                            "  SEQ i = [1 FOR 20]\n"
+                            "    SEQ\n"
+                            "      b ? x\n"
+                            "      out ! x\n";
+    uint64_t cycles[2];
+    std::vector<Word> words[2];
+    for (int r = 0; r < 2; ++r) {
+        Network net;
+        const int n = net.addTransputer();
+        ConsoleSink console(net.queue(), link::WireConfig{});
+        net.attachPeripheral(n, 0, console);
+        net::bootOccamSource(net, n, src);
+        net.run();
+        cycles[r] = net.node(n).cycles();
+        words[r] = console.words(4);
+    }
+    EXPECT_EQ(cycles[0], cycles[1]);
+    EXPECT_EQ(words[0], words[1]);
+}

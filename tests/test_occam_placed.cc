@@ -1,0 +1,139 @@
+/**
+ * @file
+ * PLACED PAR configuration tests: the paper's central promise -- "the
+ * program may be configured for execution by a single transputer ...
+ * or for execution by a network of transputers" (section 1) -- with
+ * one source text describing the whole system.
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/network.hh"
+#include "net/occam_boot.hh"
+#include "net/peripherals.hh"
+#include "occam/lexer.hh"
+
+using namespace transputer;
+using namespace transputer::net;
+
+namespace
+{
+
+// a two-stage system in one source: PROCESSOR 0 produces, PROCESSOR 1
+// doubles and reports; shared PROCs and DEFs live outside the PAR
+const char *twoChip =
+    "DEF n = 4:\n"
+    "PROC produce(CHAN c) =\n"
+    "  SEQ i = [1 FOR n]\n"
+    "    c ! i\n"
+    ":\n"
+    "PROC relay(CHAN c, CHAN res) =\n"
+    "  VAR x:\n"
+    "  SEQ i = [1 FOR n]\n"
+    "    SEQ\n"
+    "      c ? x\n"
+    "      res ! x * 2\n"
+    ":\n"
+    "PLACED PAR\n"
+    "  PROCESSOR 0\n"
+    "    CHAN c:\n"
+    "    PLACE c AT LINK1OUT:\n"
+    "    produce(c)\n"
+    "  PROCESSOR 1\n"
+    "    CHAN c, out:\n"
+    "    PLACE c AT LINK3IN:\n"
+    "    PLACE out AT LINK0OUT:\n"
+    "    relay(c, out)\n";
+
+} // namespace
+
+TEST(OccamPlaced, OneSourceConfiguresTwoChips)
+{
+    Network net;
+    const int a = net.addTransputer();
+    const int b = net.addTransputer();
+    net.connect(a, dir::east, b, dir::west);
+    ConsoleSink console(net.queue(), link::WireConfig{});
+    net.attachPeripheral(b, 0, console);
+
+    bootPlacedSource(net, twoChip);
+    net.run();
+    EXPECT_TRUE(net.quiescent());
+    const std::vector<Word> expect = {2, 4, 6, 8};
+    EXPECT_EQ(console.words(4), expect);
+}
+
+TEST(OccamPlaced, ProcessorToNodeMapping)
+{
+    // the same configuration with the processors swapped onto nodes
+    Network net;
+    const int x = net.addTransputer(); // will be PROCESSOR 1
+    const int y = net.addTransputer(); // will be PROCESSOR 0
+    net.connect(y, dir::east, x, dir::west);
+    ConsoleSink console(net.queue(), link::WireConfig{});
+    net.attachPeripheral(x, 0, console);
+
+    bootPlacedSource(net, twoChip, {{0, y}, {1, x}});
+    net.run();
+    const std::vector<Word> expect = {2, 4, 6, 8};
+    EXPECT_EQ(console.words(4), expect);
+}
+
+TEST(OccamPlaced, PlacedProcessorsAreDiscoverable)
+{
+    const auto prog = occam::parse(twoChip);
+    const auto ids = occam::placedProcessors(prog);
+    const std::vector<int> expect = {0, 1};
+    EXPECT_EQ(ids, expect);
+    // a plain program has no placed processors
+    const auto plain = occam::parse("SKIP\n");
+    EXPECT_TRUE(occam::placedProcessors(plain).empty());
+}
+
+TEST(OccamPlaced, CompilingWithoutConfigurationIsAnError)
+{
+    EXPECT_THROW(
+        occam::compile(twoChip, word32, 0x80000048u),
+        occam::OccamError);
+    EXPECT_THROW(
+        occam::compile(twoChip, word32, 0x80000048u, {}, 7),
+        occam::OccamError);
+}
+
+TEST(OccamPlaced, ThreeStagePipelineOneSource)
+{
+    Network net;
+    auto ids = buildPipeline(net, 3);
+    ConsoleSink console(net.queue(), link::WireConfig{});
+    net.attachPeripheral(ids[2], 0, console);
+    bootPlacedSource(net,
+                     "DEF n = 5:\n"
+                     "PLACED PAR\n"
+                     "  PROCESSOR 0\n"
+                     "    CHAN e:\n"
+                     "    PLACE e AT LINK1OUT:\n"
+                     "    SEQ i = [1 FOR n]\n"
+                     "      e ! i\n"
+                     "  PROCESSOR 1\n"
+                     "    CHAN w, e:\n"
+                     "    PLACE w AT LINK3IN:\n"
+                     "    PLACE e AT LINK1OUT:\n"
+                     "    VAR x:\n"
+                     "    SEQ i = [1 FOR n]\n"
+                     "      SEQ\n"
+                     "        w ? x\n"
+                     "        e ! x * x\n"
+                     "  PROCESSOR 2\n"
+                     "    CHAN w, out:\n"
+                     "    PLACE w AT LINK3IN:\n"
+                     "    PLACE out AT LINK0OUT:\n"
+                     "    VAR x:\n"
+                     "    SEQ i = [1 FOR n]\n"
+                     "      SEQ\n"
+                     "        w ? x\n"
+                     "        out ! x\n",
+                     {{0, ids[0]}, {1, ids[1]}, {2, ids[2]}});
+    net.run();
+    const std::vector<Word> expect = {1, 4, 9, 16, 25};
+    EXPECT_EQ(console.words(4), expect);
+}

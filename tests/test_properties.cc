@@ -1,0 +1,321 @@
+/**
+ * @file
+ * Property tests over whole compiled programs.
+ *
+ * The paper grounds occam in "a number of behaviour-preserving
+ * transformations that should be applicable to any occam program"
+ * (section 2.2.1) and claims "programs can be transformed to have
+ * greater or less decentralisation without changing their logical
+ * behaviour".  These suites check such equivalences empirically on
+ * randomly generated programs:
+ *
+ *   - random expressions evaluate as the host reference does, on
+ *     both word lengths (word-length independence, section 3.3);
+ *   - SEQ of independent assignments == PAR of the same assignments;
+ *   - a two-stage pipeline gives the same stream whether the stages
+ *     run on one chip (memory channel) or two chips (link channel);
+ *   - random message payloads cross links intact regardless of size
+ *     and receiver timing (flow control, section 2.3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/format.hh"
+#include "base/random.hh"
+#include "net/network.hh"
+#include "net/occam_boot.hh"
+#include "net/peripherals.hh"
+
+using namespace transputer;
+using net::ConsoleSink;
+using net::Network;
+
+namespace
+{
+
+std::vector<Word>
+runOccam(const std::string &src, const WordShape &shape = word32)
+{
+    Network net;
+    core::Config cfg;
+    cfg.shape = shape;
+    cfg.onchipBytes = shape.bits == 32 ? 8192 : 4096;
+    const int n = net.addTransputer(cfg);
+    ConsoleSink console(net.queue(), link::WireConfig{});
+    net.attachPeripheral(n, 0, console);
+    net::bootOccamSource(net, n, src);
+    net.run(2'000'000'000);
+    return console.words(shape.bytes);
+}
+
+/** A random expression over variables a..f, with its host value. */
+struct RandExpr
+{
+    std::string text;
+    int64_t value; ///< host-evaluated, in int64 (then truncated)
+};
+
+RandExpr
+randomExpr(Random &rng, const std::vector<int64_t> &vars, int depth)
+{
+    if (depth == 0 || rng.chance(0.3)) {
+        if (rng.chance(0.5)) {
+            const int i = static_cast<int>(rng.below(vars.size()));
+            return RandExpr{std::string(1, static_cast<char>('a' + i)),
+                            vars[static_cast<size_t>(i)]};
+        }
+        const int64_t v = rng.range(0, 99);
+        return RandExpr{std::to_string(v), v};
+    }
+    const RandExpr l = randomExpr(rng, vars, depth - 1);
+    const RandExpr r = randomExpr(rng, vars, depth - 1);
+    switch (rng.below(6)) {
+      case 0:
+        return {"(" + l.text + " + " + r.text + ")",
+                l.value + r.value};
+      case 1:
+        return {"(" + l.text + " - " + r.text + ")",
+                l.value - r.value};
+      case 2:
+        return {"(" + l.text + " /\\ " + r.text + ")",
+                l.value & r.value};
+      case 3:
+        return {"(" + l.text + " \\/ " + r.text + ")",
+                l.value | r.value};
+      case 4:
+        return {"(" + l.text + " >< " + r.text + ")",
+                l.value ^ r.value};
+      default:
+        // multiplication kept small via masking one side
+        return {"(" + l.text + " * (" + r.text + " /\\ 7))",
+                l.value * (r.value & 7)};
+    }
+}
+
+} // namespace
+
+class ExprProperty : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(ExprProperty, RandomExpressionsMatchHostOnBothWidths)
+{
+    Random rng(1000 + GetParam());
+    for (int trial = 0; trial < 10; ++trial) {
+        std::vector<int64_t> vars;
+        std::string decl = "VAR a, b, c, d, e, f:\n";
+        std::string init;
+        for (int i = 0; i < 6; ++i) {
+            vars.push_back(rng.range(0, 999));
+            init += fmt("  {} := {}\n",
+                        std::string(1, static_cast<char>('a' + i)),
+                        vars.back());
+        }
+        const RandExpr e = randomExpr(rng, vars, 3);
+        const std::string src = std::string("CHAN out:\n") +
+                                "PLACE out AT LINK0OUT:\n" + decl +
+                                "SEQ\n" + init + "  out ! " + e.text +
+                                "\n";
+        for (const WordShape &s : {word32, word16}) {
+            const auto words = runOccam(src, s);
+            ASSERT_EQ(words.size(), 1u)
+                << "seed " << GetParam() << " trial " << trial
+                << "\n" << src;
+            EXPECT_EQ(words[0],
+                      s.truncate(static_cast<uint64_t>(e.value)))
+                << "seed " << GetParam() << " trial " << trial
+                << " width " << s.bits << "\n" << src;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExprProperty, ::testing::Range(0, 6));
+
+class SeqParProperty : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(SeqParProperty, IndependentAssignmentsCommute)
+{
+    // SEQ of assignments to distinct variables == PAR of the same
+    // (a behaviour-preserving decentralisation, section 2.2.1)
+    Random rng(77 + GetParam());
+    const int n = 6;
+    std::vector<int64_t> vals;
+    std::string assigns;
+    for (int i = 0; i < n; ++i) {
+        vals.push_back(rng.range(-500, 500));
+        assigns += fmt("    v{} := {}\n", i, vals.back());
+    }
+    std::string emit;
+    for (int i = 0; i < n; ++i)
+        emit += fmt("  out ! v{}\n", i);
+    std::string decls = "CHAN out:\nPLACE out AT LINK0OUT:\nVAR ";
+    for (int i = 0; i < n; ++i)
+        decls += fmt("v{}{}", i, i + 1 < n ? ", " : ":\n");
+
+    const auto seq = runOccam(decls + "SEQ\n  SEQ\n" + assigns + emit);
+    const auto par = runOccam(decls + "SEQ\n  PAR\n" + assigns + emit);
+    EXPECT_EQ(seq, par);
+    ASSERT_EQ(seq.size(), static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i)
+        EXPECT_EQ(seq[static_cast<size_t>(i)],
+                  word32.truncate(
+                      static_cast<uint64_t>(vals[static_cast<size_t>(i)])));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeqParProperty, ::testing::Range(0, 8));
+
+TEST(DecentralisationProperty, PipelineSameOnOneChipOrTwo)
+{
+    // the paper's configuration property (section 1): identical
+    // process logic, channel in memory vs channel on a link
+    Random rng(4242);
+    for (int trial = 0; trial < 4; ++trial) {
+        const int count = static_cast<int>(rng.range(3, 9));
+        const int mul = static_cast<int>(rng.range(2, 7));
+        const int add = static_cast<int>(rng.range(-9, 9));
+        const std::string producer =
+            fmt("SEQ i = [1 FOR {}]\n", count);
+        const std::string stage =
+            fmt("      out ! (x * {}) + {}\n", mul, add);
+
+        // one chip
+        const auto single = runOccam(
+            std::string("CHAN out:\nPLACE out AT LINK0OUT:\n") +
+            "CHAN c:\n"
+            "PAR\n"
+            "  " + producer +
+            "    c ! i * 3\n"
+            "  VAR x:\n"
+            "  " + producer +
+            "    SEQ\n"
+            "      c ? x\n" + stage);
+
+        // two chips
+        Network net;
+        const int a = net.addTransputer();
+        const int b = net.addTransputer();
+        net.connect(a, net::dir::east, b, net::dir::west);
+        ConsoleSink console(net.queue(), link::WireConfig{});
+        net.attachPeripheral(b, 0, console);
+        net::bootOccamSource(net, a,
+                             "CHAN c:\nPLACE c AT LINK1OUT:\n" +
+                                 producer + "  c ! i * 3\n");
+        net::bootOccamSource(
+            net, b,
+            "CHAN c, out:\nPLACE c AT LINK3IN:\n"
+            "PLACE out AT LINK0OUT:\n"
+            "VAR x:\n" +
+                producer + "  SEQ\n    c ? x\n" +
+                fmt("    out ! (x * {}) + {}\n", mul, add));
+        net.run();
+        EXPECT_EQ(single, console.words(4)) << "trial " << trial;
+    }
+}
+
+class LinkPayloadProperty : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(LinkPayloadProperty, RandomPayloadsSurviveRandomTiming)
+{
+    Random rng(9000 + GetParam());
+    for (int trial = 0; trial < 5; ++trial) {
+        const int n = static_cast<int>(rng.range(1, 120));
+        const int spin = static_cast<int>(rng.range(0, 400));
+        Network net;
+        core::Config cfg;
+        cfg.onchipBytes = 8192;
+        const int a = net.addTransputer(cfg);
+        const int b = net.addTransputer(cfg);
+        net.connect(a, net::dir::east, b, net::dir::west);
+
+        std::string data = "tab: .byte ";
+        std::vector<uint8_t> payload;
+        for (int i = 0; i < n; ++i) {
+            payload.push_back(static_cast<uint8_t>(rng.below(256)));
+            data += std::to_string(payload.back()) +
+                    (i + 1 < n ? ", " : "\n");
+        }
+        auto boot = [&](int node, const std::string &src) {
+            auto &t = net.node(node);
+            const auto img = tasm::assemble(
+                src, t.memory().memStart(), t.shape());
+            net.load(node, img);
+            const Word w = t.shape().index(
+                t.shape().wordAlign(img.end() + 3), 128);
+            t.boot(img.symbol("start"), w);
+            return w;
+        };
+        boot(a, fmt("start:\n mint\n ldnlp 1\n stl 1\n"
+                    " ldap tab\n ldl 1\n ldc {}\n out\n stopp\n{}",
+                    n, data));
+        // receiver waits a random while before posting the input
+        const Word wb = boot(
+            b, fmt("start:\n ldc {}\n stl 5\n"
+                   "spin:\n ldl 5\n adc -1\n stl 5\n ldl 5\n"
+                   " cj go\n j spin\n"
+                   "go:\n mint\n ldnlp 7\n stl 1\n"
+                   " ldlp 30\n ldl 1\n ldc {}\n in\n stopp\n",
+                   spin + 1, n));
+        net.run();
+        ASSERT_TRUE(net.quiescent());
+        auto &tb = net.node(b);
+        for (int i = 0; i < n; ++i)
+            ASSERT_EQ(tb.memory().readByte(tb.shape().truncate(
+                          tb.shape().index(wb, 30) + i)),
+                      payload[static_cast<size_t>(i)])
+                << "trial " << trial << " byte " << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LinkPayloadProperty,
+                         ::testing::Range(0, 6));
+
+class AltProperty : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(AltProperty, MergePreservesAllMessages)
+{
+    // three producers with random delays feed an ALT merge; every
+    // message must come out exactly once, values preserved
+    Random rng(300 + GetParam());
+    const int per = 5;
+    std::string producers;
+    std::vector<Word> sent;
+    for (int p = 0; p < 3; ++p) {
+        const int delay = static_cast<int>(rng.range(0, 60));
+        const int base = 100 * (p + 1);
+        producers += fmt("  SEQ i = [0 FOR {}]\n    SEQ\n", per);
+        producers += fmt("      SEQ j = [0 FOR {}]\n        SKIP\n",
+                         delay);
+        producers += fmt("      c{} ! {} + i\n", p, base);
+        for (int i = 0; i < per; ++i)
+            sent.push_back(static_cast<Word>(base + i));
+    }
+    const std::string src =
+        std::string("CHAN out:\nPLACE out AT LINK0OUT:\n") +
+        "CHAN c0, c1, c2:\n"
+        "VAR x, done:\n"
+        "PAR\n" + producers +
+        "  SEQ\n"
+        "    done := 0\n" +
+        fmt("    WHILE done < {}\n", 3 * per) +
+        "      ALT\n"
+        "        c0 ? x\n"
+        "          SEQ\n"
+        "            out ! x\n"
+        "            done := done + 1\n"
+        "        c1 ? x\n"
+        "          SEQ\n"
+        "            out ! x\n"
+        "            done := done + 1\n"
+        "        c2 ? x\n"
+        "          SEQ\n"
+        "            out ! x\n"
+        "            done := done + 1\n";
+    auto got = runOccam(src);
+    std::sort(got.begin(), got.end());
+    std::sort(sent.begin(), sent.end());
+    EXPECT_EQ(got, sent);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AltProperty, ::testing::Range(0, 6));

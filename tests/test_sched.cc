@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Scheduler tests (paper section 3.2.4): process start/end, the
+ * scheduling lists, stop/run, timeslicing, the two priority levels
+ * and preemption latency accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness.hh"
+#include "isa/cycles.hh"
+
+using namespace transputer;
+using transputer::test::SingleCpu;
+
+TEST(Sched, StartpEndpParJoin)
+{
+    // a two-branch PAR: the parent runs one branch, startp the other;
+    // endp joins on the (successor-Iptr, count) pair at slots 10/11
+    SingleCpu t;
+    t.runAsm("start:\n"
+             "  ldc 2\n stl 11\n"          // count
+             "  ldap succ\n stl 10\n"      // successor Iptr
+             "  ldc child - c0\n"
+             "  ldlp -20\n"                // child workspace
+             "  startp\n"
+             "c0:\n"
+             "  ldc 111\n stl 1\n"         // parent branch
+             "  ldlp 10\n endp\n"
+             "child:\n"
+             "  ldc 222\n stl 0\n"         // child branch (at W-20)
+             "  ldlp 30\n endp\n"          // W-20+30 = join pair
+             "succ:\n"
+             "  ajw -10\n"                 // back from join pair to W
+             "  ldc 99\n stl 2\n stopp\n");
+    EXPECT_EQ(t.local(1), 111u);
+    EXPECT_EQ(t.local(-20), 222u);
+    EXPECT_EQ(t.local(2), 99u);
+    EXPECT_TRUE(t.cpu.idle());
+}
+
+TEST(Sched, EndpCountsAllBranches)
+{
+    // three children + parent branch: only after all four endp does
+    // the successor run
+    SingleCpu t;
+    std::string src = "start:\n  ldc 4\n stl 11\n  ldap succ\n stl 10\n";
+    for (int i = 0; i < 3; ++i) {
+        const std::string ws = std::to_string(-20 * (i + 1));
+        src += "  ldc child" + std::to_string(i) + " - c" +
+               std::to_string(i) + "\n  ldlp " + ws + "\n  startp\n" +
+               "c" + std::to_string(i) + ":\n";
+    }
+    src += "  ldlp 10\n endp\n"; // parent branch does nothing
+    for (int i = 0; i < 3; ++i) {
+        const int ws = -20 * (i + 1);
+        src += "child" + std::to_string(i) + ":\n  ldc " +
+               std::to_string(100 + i) + "\n stl 0\n  ldlp " +
+               std::to_string(10 - ws) + "\n endp\n";
+    }
+    src += "succ:\n  ajw -10\n  ldc 7\n stl 1\n stopp\n";
+    t.runAsm(src);
+    EXPECT_EQ(t.local(1), 7u);
+    EXPECT_EQ(t.local(-20), 100u);
+    EXPECT_EQ(t.local(-40), 101u);
+    EXPECT_EQ(t.local(-60), 102u);
+}
+
+TEST(Sched, StoppAndRunpHandshake)
+{
+    // the booted process prepares a second process, runs it, stops
+    // itself; the second process restarts the first with runp
+    SingleCpu t;
+    t.runAsm("start:\n"
+             "  ldap other\n"
+             "  ldlp -30\n"
+             "  stnl -1\n"        // other's saved Iptr
+             "  ldlp -30\n"
+             "  ldc 1\n or\n"     // wdesc: low priority
+             "  runp\n"
+             "  stopp\n"          // deschedule self (resumed below)
+             "resumed:\n"
+             "  ldc 5\n stl 1\n stopp\n"
+             "other:\n"
+             "  ldc 6\n stl 0\n"  // at its own workspace W-30
+             "  ldlp 30\n"        // our wptr
+             "  ldc 1\n or\n"
+             "  runp\n"           // resume the first process
+             "  stopp\n");
+    EXPECT_EQ(t.local(1), 5u);
+    EXPECT_EQ(t.local(-30), 6u);
+}
+
+TEST(Sched, TimesliceSharesTheProcessor)
+{
+    // two low-priority spinners must both make progress (the paper:
+    // "a scheduler which enables any number of concurrent processes
+    // to be executed together, sharing the processor time")
+    SingleCpu t;
+    t.loadAsm("p1: ldl 1\n adc 1\n stl 1\n j p1\n"
+              "p2: ldl 1\n adc 1\n stl 1\n j p2\n");
+    auto &m = t.cpu.memory();
+    m.load(t.img.origin, t.img.bytes.data(), t.img.bytes.size());
+    const Word w1 = t.bootWptr();
+    const Word w2 = t.cpu.shape().index(w1, 16);
+    m.writeWord(t.cpu.shape().index(w1, 1), 0);
+    m.writeWord(t.cpu.shape().index(w2, 1), 0);
+    t.cpu.boot(t.img.symbol("p1"), w1);
+    t.cpu.addProcess(t.img.symbol("p2"), w2, 1);
+    t.queue.runUntil(20'000'000); // 20 ms
+    const Word c1 = m.readWord(t.cpu.shape().index(w1, 1));
+    const Word c2 = m.readWord(t.cpu.shape().index(w2, 1));
+    EXPECT_GT(c1, 1000u);
+    EXPECT_GT(c2, 1000u);
+    // roughly fair: within a factor of two of each other
+    EXPECT_LT(c1, 2 * c2 + 2000);
+    EXPECT_LT(c2, 2 * c1 + 2000);
+}
+
+TEST(Sched, HighPriorityPreemptsLow)
+{
+    SingleCpu t;
+    t.runAsm("start:\n"
+             "  ldap hp\n"
+             "  ldlp -30\n"
+             "  stnl -1\n"
+             "  ldlp -30\n"      // wdesc, priority bit clear = high
+             "  runp\n"          // becomes ready: preempts us
+             "  ldl 20\n stl 1\n" // low resumes after hp finished
+             "  stopp\n"
+             "hp:\n"
+             "  ldc 7\n stl 0\n"
+             "  ldc 7\n stl 50\n" // 50 above hp ws = W+20
+             "  stopp\n");
+    EXPECT_EQ(t.local(-30), 7u);
+    EXPECT_EQ(t.local(1), 7u); // proves hp ran before the low ldl
+    ASSERT_EQ(t.cpu.preemptLatency().count(), 1u);
+    EXPECT_LE(t.cpu.preemptLatency().max(), 58.0);
+}
+
+TEST(Sched, LdpriReportsPriority)
+{
+    SingleCpu t;
+    t.runAsm("start:\n"
+             "  ldpri\n stl 1\n"
+             "  ldap hp\n ldlp -30\n stnl -1\n"
+             "  ldlp -30\n runp\n"
+             "  stopp\n"
+             "hp:\n"
+             "  ldpri\n stl 0\n stopp\n");
+    EXPECT_EQ(t.local(1), 1u);
+    EXPECT_EQ(t.local(-30), 0u);
+}
+
+TEST(Sched, PreemptionLatencyBoundedBy58Cycles)
+{
+    // adversarial low-priority workload: back-to-back divides (the
+    // longest non-interruptible instruction) while a high-priority
+    // process is woken repeatedly by a timer.  Paper section 3.2.4:
+    // "the maximum time to switch from priority 1 to priority 0 is
+    // 58 cycles".
+    SingleCpu t;
+    t.runAsm("start:\n"
+             // set up the high-priority process: waits on timer, runs
+             "  ldap hp\n ldlp -40\n stnl -1\n"
+             "  ldlp -40\n runp\n"
+             // low-priority cruncher: endless checked divides
+             "  ldc 100\n stl 2\n"
+             "crunch:\n"
+             "  ldc 7\n ldc 1234567\n rev\n div\n stl 3\n"
+             "  ldc 9\n ldc 7654321\n rev\n div\n stl 3\n"
+             "  j crunch\n"
+             "hp:\n"                    // runs at priority 0
+             "  ldc 64\n stl 1\n"
+             "hploop:\n"
+             "  ldtimer\n adc 3\n tin\n" // sleep 3 us, then preempt
+             "  ldl 1\n adc -1\n stl 1\n"
+             "  ldl 1\n cj hpdone\n"
+             "  j hploop\n"
+             "hpdone:\n stopp\n",
+             "start", 30'000'000);
+    auto &lat = t.cpu.preemptLatency();
+    ASSERT_GE(lat.count(), 32u);
+    EXPECT_LE(lat.max(), 58.0);
+    EXPECT_GE(lat.max(), 25.0); // divides do delay the switch
+}
+
+TEST(Sched, InterruptibleMoveKeepsLatencyLow)
+{
+    // same shape, but the background instruction is a huge block move
+    // (interruptible): latency must stay at the bare switch cost even
+    // though one move takes far longer than 58 cycles
+    core::Config cfg;
+    cfg.onchipBytes = 16384;
+    SingleCpu t(cfg);
+    t.runAsm("start:\n"
+             "  ldap hp\n ldlp -40\n stnl -1\n"
+             "  ldlp -40\n runp\n"
+             "crunch:\n"
+             "  ldap src\n ldap dst\n ldc 2048\n move\n"
+             "  j crunch\n"
+             "hp:\n"
+             "  ldc 32\n stl 1\n"
+             "hploop:\n"
+             "  ldtimer\n adc 7\n tin\n"
+             "  ldl 1\n adc -1\n stl 1\n"
+             "  ldl 1\n cj hpdone\n"
+             "  j hploop\n"
+             "hpdone:\n stopp\n"
+             ".align\n"
+             "src: .space 2048\n"
+             "dst: .space 2048\n",
+             "start", 30'000'000);
+    auto &lat = t.cpu.preemptLatency();
+    ASSERT_GE(lat.count(), 16u);
+    // a 2 KB move is 8 + 2*512 = 1032 cycles; interruptibility keeps
+    // the observed latency at the 19-cycle switch cost
+    EXPECT_LE(lat.max(), 25.0);
+}
+
+TEST(Sched, SaveQueueRegisters)
+{
+    SingleCpu t;
+    t.runAsm("start:\n"
+             "  ldlp 30\n savel\n"
+             "  ldlp 32\n saveh\n"
+             "  stopp\n");
+    // both queues empty: all four saved words are NotProcess
+    EXPECT_EQ(t.local(30), 0x80000000u);
+    EXPECT_EQ(t.local(31), 0x80000000u);
+    EXPECT_EQ(t.local(32), 0x80000000u);
+    EXPECT_EQ(t.local(33), 0x80000000u);
+}

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+using namespace transputer;
+using transputer::sim::EventQueue;
+
+TEST(EventQueue, StartsEmptyAtTimeZero)
+{
+    EventQueue q;
+    EXPECT_EQ(q.now(), 0);
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.nextTime(), maxTick);
+    EXPECT_FALSE(q.runOne());
+}
+
+TEST(EventQueue, DispatchesInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+    q.runToQuiescence();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 30);
+}
+
+TEST(EventQueue, SameTickIsFifo)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 16; ++i)
+        q.schedule(5, [&order, i] { order.push_back(i); });
+    q.runToQuiescence();
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, CancelPreventsDispatch)
+{
+    EventQueue q;
+    bool ran = false;
+    auto id = q.schedule(10, [&] { ran = true; });
+    EXPECT_TRUE(q.cancel(id));
+    EXPECT_FALSE(q.cancel(id)); // second cancel is a no-op
+    q.runToQuiescence();
+    EXPECT_FALSE(ran);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, RunUntilStopsAtLimitAndAdvancesNow)
+{
+    EventQueue q;
+    int count = 0;
+    q.schedule(10, [&] { ++count; });
+    q.schedule(20, [&] { ++count; });
+    q.schedule(30, [&] { ++count; });
+    EXPECT_EQ(q.runUntil(20), 2u);
+    EXPECT_EQ(count, 2);
+    EXPECT_EQ(q.now(), 20);
+    q.runToQuiescence();
+    EXPECT_EQ(count, 3);
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents)
+{
+    EventQueue q;
+    int depth = 0;
+    std::function<void()> chain = [&] {
+        if (++depth < 100)
+            q.scheduleIn(7, chain);
+    };
+    q.schedule(0, chain);
+    q.runToQuiescence();
+    EXPECT_EQ(depth, 100);
+    EXPECT_EQ(q.now(), 99 * 7);
+}
+
+TEST(EventQueue, SchedulingInThePastPanics)
+{
+    EventQueue q;
+    q.schedule(100, [] {});
+    q.runToQuiescence();
+    EXPECT_THROW(q.schedule(50, [] {}), SimPanic);
+}
+
+TEST(EventQueue, NextTimeSkipsCancelledEvents)
+{
+    EventQueue q;
+    auto id = q.schedule(10, [] {});
+    q.schedule(20, [] {});
+    q.cancel(id);
+    EXPECT_EQ(q.nextTime(), 20);
+}
+
+TEST(EventQueue, RunToQuiescenceHonoursEventCap)
+{
+    EventQueue q;
+    std::function<void()> forever = [&] { q.scheduleIn(1, forever); };
+    q.schedule(0, forever);
+    EXPECT_EQ(q.runToQuiescence(1000), 1000u);
+    EXPECT_FALSE(q.empty());
+}

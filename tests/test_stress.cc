@@ -1,0 +1,214 @@
+/**
+ * @file
+ * System-level stress: many processes on one chip, long token rings
+ * across a torus of chips, sustained traffic on every link, and a
+ * mixed-word-width array -- the paper's "systems with large numbers
+ * of concurrent computing elements" exercised hard.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/dbsearch.hh"
+#include "base/format.hh"
+#include "net/network.hh"
+#include "net/occam_boot.hh"
+#include "net/peripherals.hh"
+
+using namespace transputer;
+using namespace transputer::net;
+
+TEST(Stress, ThirtyTwoProcessRingOnOneChip)
+{
+    // 32 processes in a channel ring pass a token 50 laps, each
+    // incrementing it: heavy scheduler + internal channel traffic
+    Network net;
+    core::Config cfg;
+    cfg.onchipBytes = 16384;
+    const int n = net.addTransputer(cfg);
+    ConsoleSink console(net.queue(), link::WireConfig{});
+    net.attachPeripheral(n, 0, console);
+
+    bootOccamSource(net, n,
+        "DEF n = 32, laps = 50:\n"
+        "CHAN out:\n"
+        "PLACE out AT LINK0OUT:\n"
+        "CHAN ring[n]:\n"
+        "PAR\n"
+        "  PAR i = [0 FOR n]\n"
+        "    VAR x, k:\n"
+        "    SEQ\n"
+        "      IF\n"
+        "        i = 0\n"          // worker 0 injects and collects
+        "          SEQ\n"
+        "            ring[1] ! 0\n"
+        "            SEQ k = [1 FOR laps]\n"
+        "              SEQ\n"
+        "                ring[0] ? x\n"
+        "                IF\n"
+        "                  k < laps\n"
+        "                    ring[1] ! x\n"
+        "                  TRUE\n"
+        "                    out ! x\n"
+        "        TRUE\n"
+        "          SEQ k = [1 FOR laps]\n"
+        "            SEQ\n"
+        "              ring[i] ? x\n"
+        "              ring[(i + 1) \\ n] ! x + 1\n"
+        "  SKIP\n");
+    net.run(20'000'000'000);
+    const auto w = console.words(4);
+    ASSERT_EQ(w.size(), 1u);
+    // 31 increments per lap, 50 laps
+    EXPECT_EQ(w[0], 31u * 50u);
+}
+
+TEST(Stress, TokenLapsAroundAnEightChipRing)
+{
+    Network net;
+    const int n = 8, laps = 40;
+    auto ids = buildRing(net, n);
+    ConsoleSink console(net.queue(), link::WireConfig{});
+    net.attachPeripheral(ids[0], 0, console);
+    // node 0 injects, counts laps; the others increment and forward
+    bootOccamSource(net, ids[0],
+                    fmt("DEF laps = {}:\n", laps) +
+                        "CHAN e, w, con:\n"
+                        "PLACE e AT LINK1OUT:\n"
+                        "PLACE w AT LINK3IN:\n"
+                        "PLACE con AT LINK0OUT:\n"
+                        "VAR x:\n"
+                        "SEQ\n"
+                        "  e ! 0\n"
+                        "  SEQ k = [1 FOR laps]\n"
+                        "    SEQ\n"
+                        "      w ? x\n"
+                        "      IF\n"
+                        "        k < laps\n"
+                        "          e ! x\n"
+                        "        TRUE\n"
+                        "          con ! x\n");
+    for (int i = 1; i < n; ++i)
+        bootOccamSource(net, ids[i],
+                        fmt("DEF laps = {}:\n", laps) +
+                            "CHAN w, e:\n"
+                            "PLACE w AT LINK3IN:\n"
+                            "PLACE e AT LINK1OUT:\n"
+                            "VAR x:\n"
+                            "SEQ k = [1 FOR laps]\n"
+                            "  SEQ\n"
+                            "    w ? x\n"
+                            "    e ! x + 1\n");
+    const Tick t = net.run(60'000'000'000);
+    ASSERT_EQ(console.words(4).size(), 1u);
+    EXPECT_EQ(console.words(4)[0],
+              static_cast<Word>((n - 1) * laps));
+    // sanity: ~7 links * 40 laps * ~6 us
+    EXPECT_GT(t, 1'000'000);
+}
+
+TEST(Stress, MixedWordWidthGridSearch)
+{
+    // a 2x2 search array built from 16-bit parts, driven by the same
+    // host logic: cross-checks occam, links and the search protocol
+    // at the other word length
+    apps::DbSearchConfig cfg;
+    cfg.width = 2;
+    cfg.height = 2;
+    cfg.recordsPerNode = 30;
+    cfg.node.shape = word16;
+    cfg.node.onchipBytes = 4096;
+    apps::DbSearch db(cfg);
+    db.inject(7);
+    db.runUntilAnswers(1);
+    ASSERT_EQ(db.answers().size(), 1u);
+    EXPECT_EQ(db.answers()[0].count, db.expectedCount(7));
+}
+
+TEST(Stress, AllLinksBusyWhileComputing)
+{
+    // two chips exchange streams on all four links while both also
+    // run a background computation at low priority
+    Network net;
+    core::Config cfg;
+    cfg.onchipBytes = 32768;
+    const int a = net.addTransputer(cfg);
+    const int b = net.addTransputer(cfg);
+    for (int l = 0; l < 4; ++l)
+        net.connect(a, l, b, l);
+    auto program = [&](bool is_a) {
+        std::string s = "DEF n = 64:\nPAR\n";
+        for (int l = 0; l < 4; ++l) {
+            const bool outp = is_a ? (l % 2 == 0) : (l % 2 == 1);
+            s += fmt("  CHAN c{}:\n", l);
+            s += fmt("  PLACE c{} AT LINK{}{}:\n", l, l,
+                     outp ? "OUT" : "IN");
+            if (outp) {
+                s += fmt("  SEQ i = [1 FOR n]\n    c{} ! i * {}\n", l,
+                         l + 1);
+            } else {
+                s += fmt("  VAR x{}:\n", l);
+                s += fmt("  SEQ i = [1 FOR n]\n    c{} ? x{}\n", l, l);
+            }
+        }
+        // a fifth component computes
+        s += "  VAR acc:\n"
+             "  SEQ\n"
+             "    acc := 0\n"
+             "    SEQ i = [1 FOR 500]\n"
+             "      acc := (acc + i) \\ 10007\n";
+        return s;
+    };
+    bootOccamSource(net, a, program(true));
+    bootOccamSource(net, b, program(false));
+    net.run(5'000'000'000);
+    EXPECT_TRUE(net.quiescent());
+    // every link moved its 64 words in each active direction
+    const std::string d = net.describe();
+    EXPECT_NE(d.find("1024 bytes sent"), std::string::npos) << d;
+}
+
+TEST(Stress, LongRunningTimesliceFairnessUnderLoad)
+{
+    // eight low-priority spinners plus one high-priority ticker that
+    // runs every 100 us for 20 ms: all spinners advance comparably
+    // and the ticker never misses
+    Network net;
+    core::Config cfg;
+    cfg.onchipBytes = 16384;
+    const int n = net.addTransputer(cfg);
+    ConsoleSink console(net.queue(), link::WireConfig{});
+    net.attachPeripheral(n, 0, console);
+    bootOccamSource(net, n,
+        "DEF nspin = 8, ticks = 50:\n"
+        "CHAN out:\n"
+        "PLACE out AT LINK0OUT:\n"
+        "VAR counts[nspin], go:\n"
+        "SEQ\n"
+        "  go := 1\n"
+        "  SEQ i = [0 FOR nspin]\n"
+        "    counts[i] := 0\n"
+        "  PRI PAR\n"
+        "    VAR t:\n"                 // high priority ticker
+        "    SEQ\n"
+        "      TIME ? t\n"
+        "      SEQ k = [1 FOR ticks]\n"
+        "        SEQ\n"
+        "          t := t + 600\n"     // 600 us per tick
+        "          TIME ? AFTER t\n"
+        "      go := 0\n"
+        "      SEQ i = [0 FOR nspin]\n"
+        "        out ! counts[i]\n"
+        "    PAR i = [0 FOR nspin]\n"  // low priority spinners
+        "      WHILE go = 1\n"
+        "        counts[i] := counts[i] + 1\n");
+    net.run(120'000'000'000);
+    const auto w = console.words(4);
+    ASSERT_EQ(w.size(), 8u);
+    Word lo = w[0], hi = w[0];
+    for (Word v : w) {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+    EXPECT_GT(lo, 100u);          // everyone ran
+    EXPECT_LT(hi, lo * 3 + 1000); // roughly fair
+}

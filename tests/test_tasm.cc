@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Unit tests for the assembler: parsing, directives, expressions,
+ * relative jumps and relaxation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/encoding.hh"
+#include "isa/opcodes.hh"
+#include "tasm/assembler.hh"
+
+using namespace transputer;
+using namespace transputer::tasm;
+using isa::Fn;
+using isa::Op;
+
+namespace
+{
+constexpr Word org = 0x80000048u;
+}
+
+TEST(Assembler, EmitsDirectInstructions)
+{
+    auto img = assemble("ldc 5\nstl 2\n", org, word32);
+    std::vector<uint8_t> expect;
+    isa::emit(expect, Fn::LDC, 5);
+    isa::emit(expect, Fn::STL, 2);
+    EXPECT_EQ(img.bytes, expect);
+    EXPECT_EQ(img.origin, org);
+}
+
+TEST(Assembler, EmitsOperations)
+{
+    auto img = assemble("add\nmul\nstartp\n", org, word32);
+    std::vector<uint8_t> expect;
+    isa::emitOp(expect, Op::ADD);
+    isa::emitOp(expect, Op::MUL);
+    isa::emitOp(expect, Op::STARTP);
+    EXPECT_EQ(img.bytes, expect);
+}
+
+TEST(Assembler, HexAndCharLiterals)
+{
+    auto img = assemble("ldc #7F\nldc 0x10\nldc 'A'\n", org, word32);
+    std::vector<uint8_t> expect;
+    isa::emit(expect, Fn::LDC, 0x7F);
+    isa::emit(expect, Fn::LDC, 0x10);
+    isa::emit(expect, Fn::LDC, 'A');
+    EXPECT_EQ(img.bytes, expect);
+}
+
+TEST(Assembler, CommentsAndBlankLines)
+{
+    auto img = assemble("; a comment\n"
+                        "  -- another comment\n"
+                        "\n"
+                        "ldc 1 ; trailing\n"
+                        "ldc 2 -- trailing too\n",
+                        org, word32);
+    EXPECT_EQ(img.bytes.size(), 2u);
+}
+
+TEST(Assembler, LabelsAndForwardJumps)
+{
+    auto img = assemble("start: ldc 0\n"
+                        "  cj done\n"
+                        "  ldc 9\n"
+                        "done: stl 1\n",
+                        org, word32);
+    // cj operand is relative to the next instruction: skips "ldc 9"
+    EXPECT_EQ(img.symbol("start"), org);
+    const Word done = img.symbol("done");
+    EXPECT_EQ(done, org + 3); // ldc(1) + cj(1) + ldc(1)
+    EXPECT_EQ(img.bytes[1], isa::instructionByte(Fn::CJ, 1));
+}
+
+TEST(Assembler, BackwardJump)
+{
+    auto img = assemble("loop: ldc 1\n"
+                        "  j loop\n",
+                        org, word32);
+    // j operand: target - next = org - (org + 3) = -3
+    std::vector<uint8_t> expect;
+    isa::emit(expect, Fn::LDC, 1);
+    isa::emit(expect, Fn::J, -3);
+    EXPECT_EQ(img.bytes, expect);
+}
+
+TEST(Assembler, RelaxationGrowsLongJumps)
+{
+    // a jump over >15 bytes needs a prefix; relaxation must converge
+    std::string src = "start: j far\n";
+    for (int i = 0; i < 40; ++i)
+        src += "  ldc 1\n";
+    src += "far: stl 0\n";
+    auto img = assemble(src, org, word32);
+    // jump over 40 bytes: operand 40 -> pfix + j (2 bytes)
+    EXPECT_EQ(img.symbol("far") - org, 42u);
+    const auto d = isa::decode(img.bytes.data(), img.bytes.size(), 0,
+                               word32);
+    EXPECT_EQ(d.fn, Fn::J);
+    EXPECT_EQ(word32.toSigned(d.operand), 40);
+}
+
+TEST(Assembler, EquAndExpressions)
+{
+    auto img = assemble(".equ x, 3\n"
+                        ".equ y, x + 2\n"
+                        "ldc x\n"
+                        "ldl y\n"
+                        "ldc y - x\n",
+                        org, word32);
+    std::vector<uint8_t> expect;
+    isa::emit(expect, Fn::LDC, 3);
+    isa::emit(expect, Fn::LDL, 5);
+    isa::emit(expect, Fn::LDC, 2);
+    EXPECT_EQ(img.bytes, expect);
+    EXPECT_EQ(img.symbol("y"), 5u);
+}
+
+TEST(Assembler, DataDirectives)
+{
+    auto img = assemble("ldc 0\n"
+                        ".align\n"
+                        "tab: .word 258, 1\n"
+                        ".byte 1, 2, 3\n"
+                        ".space 5\n"
+                        "end:\n",
+                        org, word32);
+    const Word tab = img.symbol("tab");
+    EXPECT_EQ(tab % 4, 0u);
+    EXPECT_EQ(img.bytes[tab - org], 2);     // 258 = 0x102 LE
+    EXPECT_EQ(img.bytes[tab - org + 1], 1);
+    EXPECT_EQ(img.symbol("end"), tab + 8 + 3 + 5);
+}
+
+TEST(Assembler, LdapLoadsAbsoluteAddress)
+{
+    auto img = assemble("start: ldap buf\n"
+                        "  stl 0\n"
+                        "  stopp\n"
+                        ".align\n"
+                        "buf: .word 0\n",
+                        org, word32);
+    // decode: ldc k; ldpi -> value = iptr_after_ldpi + k = buf
+    size_t pos = 0;
+    const auto d1 = isa::decode(img.bytes.data(), img.bytes.size(),
+                                pos, word32);
+    EXPECT_EQ(d1.fn, Fn::LDC);
+    pos += d1.length;
+    const auto d2 = isa::decode(img.bytes.data(), img.bytes.size(),
+                                pos, word32);
+    EXPECT_TRUE(d2.isOperation);
+    EXPECT_EQ(d2.operand, static_cast<Word>(Op::LDPI));
+    const Word after = org + pos + d2.length;
+    EXPECT_EQ(word32.truncate(after + d1.operand), img.symbol("buf"));
+}
+
+TEST(Assembler, ErrorsCarryLineNumbers)
+{
+    try {
+        assemble("ldc 1\nbogus 2\n", org, word32);
+        FAIL() << "expected AsmError";
+    } catch (const AsmError &e) {
+        EXPECT_NE(std::string(e.what()).find("line 2"),
+                  std::string::npos);
+    }
+    EXPECT_THROW(assemble("ldc undefined_sym\n", org, word32),
+                 AsmError);
+    EXPECT_THROW(assemble("dup: ldc 1\ndup: ldc 2\n", org, word32),
+                 AsmError);
+}
+
+TEST(Assembler, SixteenBitWordDirective)
+{
+    auto img = assemble("tab: .word #BEEF\n", 0x8024, word16);
+    ASSERT_EQ(img.bytes.size(), 2u);
+    EXPECT_EQ(img.bytes[0], 0xEF);
+    EXPECT_EQ(img.bytes[1], 0xBE);
+}
+
+TEST(Assembler, MultipleLabelsOnOneLine)
+{
+    auto img = assemble("a: b: ldc 1\n", org, word32);
+    EXPECT_EQ(img.symbol("a"), img.symbol("b"));
+    EXPECT_EQ(img.symbol("a"), org);
+}
+
+TEST(Assembler, RawOprEscape)
+{
+    auto img = assemble("opr #5A\n", org, word32); // dup via raw code
+    std::vector<uint8_t> expect;
+    isa::emitOp(expect, Op::DUP);
+    EXPECT_EQ(img.bytes, expect);
+}

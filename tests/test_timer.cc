@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Timer tests (paper section 2.2.2): the incrementing clocks (1 us
+ * high priority, 64 us low priority), delayed input (tin), the timer
+ * queue ordering, and timeouts in alternatives (timer ALT).
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness.hh"
+
+using namespace transputer;
+using transputer::test::SingleCpu;
+
+TEST(Timer, ClockAdvancesWithSimulatedTime)
+{
+    SingleCpu t;
+    // at 20 MHz, 20 cycles = 1 us of low/high-priority clock
+    t.runAsm("start:\n"
+             "  ldtimer\n stl 1\n"
+             "  ldc 400\n stl 2\n"         // ~400*7 cycles of spin
+             "spin:\n ldl 2\n adc -1\n stl 2\n ldl 2\n cj done\n"
+             "  j spin\n"
+             "done:\n ldtimer\n stl 3\n stopp\n");
+    const Word t0 = t.local(1), t1 = t.local(3);
+    // low priority clock ticks every 64 us; the spin is ~160 us
+    EXPECT_GE(t1, t0);
+    EXPECT_LE(t1 - t0, 10u);
+    // total elapsed cycles vs clock: consistent with 64 us ticks
+    const double us = static_cast<double>(t.cpu.cycles()) * 50 / 1000;
+    EXPECT_NEAR(static_cast<double>(t1 - t0), us / 64, 1.5);
+}
+
+TEST(Timer, HighPriorityClockTicksMicroseconds)
+{
+    SingleCpu t;
+    // run the same measurement in a high-priority process
+    t.loadAsm("start:\n"
+              "  ldtimer\n stl 1\n"
+              "  ldc 100\n stl 2\n"
+              "spin:\n ldl 2\n adc -1\n stl 2\n ldl 2\n cj done\n"
+              "  j spin\n"
+              "done:\n ldtimer\n stl 3\n stopp\n");
+    auto &m = t.cpu.memory();
+    m.load(t.img.origin, t.img.bytes.data(), t.img.bytes.size());
+    t.wptr0 = t.bootWptr();
+    t.cpu.boot(t.img.symbol("start"), t.wptr0, 0); // priority 0
+    t.queue.runToQuiescence();
+    const Word d = t.local(3) - t.local(1);
+    const double us = static_cast<double>(t.cpu.cycles()) * 50 / 1000;
+    EXPECT_NEAR(static_cast<double>(d), us, 2.0);
+}
+
+TEST(Timer, TinWaitsUntilAfterTheTime)
+{
+    SingleCpu t;
+    // high priority so the clock is in microseconds
+    t.loadAsm("start:\n"
+              "  ldtimer\n stl 1\n"
+              "  ldl 1\n adc 50\n tin\n"   // wait until after t0+50
+              "  ldtimer\n stl 2\n stopp\n");
+    auto &m = t.cpu.memory();
+    m.load(t.img.origin, t.img.bytes.data(), t.img.bytes.size());
+    t.wptr0 = t.bootWptr();
+    t.cpu.boot(t.img.symbol("start"), t.wptr0, 0);
+    t.queue.runToQuiescence();
+    const Word t0 = t.local(1), t1 = t.local(2);
+    EXPECT_GT(t1, t0 + 50);      // strictly AFTER
+    EXPECT_LE(t1, t0 + 53);      // and promptly
+    EXPECT_TRUE(t.cpu.idle());
+    // the wait was simulated time, not busy cycles
+    EXPECT_LT(t.cpu.cycles(), 200u);
+    EXPECT_GT(t.cpu.localTime(), 50'000);
+}
+
+TEST(Timer, TinInThePastContinuesImmediately)
+{
+    SingleCpu t;
+    t.loadAsm("start:\n"
+              "  ldtimer\n adc -10\n tin\n" // already past
+              "  ldc 1\n stl 1\n stopp\n");
+    auto &m = t.cpu.memory();
+    m.load(t.img.origin, t.img.bytes.data(), t.img.bytes.size());
+    t.wptr0 = t.bootWptr();
+    t.cpu.boot(t.img.symbol("start"), t.wptr0, 0);
+    t.queue.runToQuiescence();
+    EXPECT_EQ(t.local(1), 1u);
+    EXPECT_LT(t.cpu.localTime(), 10'000);
+}
+
+TEST(Timer, QueueWakesInDeadlineOrder)
+{
+    // three processes with wake times 30, 10, 20 us append their ids
+    // to a log as they wake: expect 2, 3, 1
+    SingleCpu t;
+    t.runAsm(
+        "start:\n"
+        "  ldc 0\n stl 30\n"              // log index
+        "  ldap p2\n ldlp -40\n stnl -1\n"
+        "  ldlp -40\n ldc 1\n or\n runp\n"
+        "  ldap p3\n ldlp -80\n stnl -1\n"
+        "  ldlp -80\n ldc 1\n or\n runp\n"
+        "  ldtimer\n adc 469\n tin\n"     // ~30 us in 64us ticks? no:
+        "  ldc 1\n call append\n stopp\n"
+        "p2:\n"
+        "  ldtimer\n adc 156\n tin\n"
+        "  ldc 2\n call append2\n stopp\n"
+        "p3:\n"
+        "  ldtimer\n adc 312\n tin\n"
+        "  ldc 3\n call append3\n stopp\n"
+        // append(v): log[idx++] = v; the three variants adjust for
+        // the different workspace bases (W, W-40, W-80)
+        "append:\n ldl 1\n ldl 34\n ldlp 35\n wsub\n stnl 0\n"
+        "  ldl 34\n adc 1\n stl 34\n ret\n"
+        "append2:\n ldl 1\n ldl 74\n ldlp 75\n wsub\n stnl 0\n"
+        "  ldl 74\n adc 1\n stl 74\n ret\n"
+        "append3:\n ldl 1\n ldl 114\n ldlp 115\n wsub\n stnl 0\n"
+        "  ldl 114\n adc 1\n stl 114\n ret\n");
+    // log at W+31..; index at W+30.  After a call, Wptr = base-4, so
+    // slot 34 is base+30, slot 35 is base+31.
+    EXPECT_EQ(t.local(30), 3u);
+    EXPECT_EQ(t.local(31), 2u);
+    EXPECT_EQ(t.local(32), 3u);
+    EXPECT_EQ(t.local(33), 1u);
+}
+
+TEST(Timer, TimerAltSelectsTimeoutWhenChannelSilent)
+{
+    SingleCpu t;
+    t.runAsm("start:\n"
+             "  mint\n stl 20\n"
+             "  ldtimer\n adc 5\n stl 2\n"      // the deadline
+             "  talt\n"
+             "  ldlp 20\n ldc 1\n enbc\n"
+             "  ldl 2\n ldc 1\n enbt\n"
+             "  taltwt\n"
+             "  ldlp 20\n ldc 1\n ldc b1 - done\n disc\n"
+             "  ldl 2\n ldc 1\n ldc b2 - done\n dist\n"
+             "  altend\n"
+             "done:\n"
+             "b1:\n ldc 1\n stl 1\n stopp\n"
+             "b2:\n ldc 2\n stl 1\n stopp\n");
+    EXPECT_EQ(t.local(1), 2u); // timeout branch
+    EXPECT_EQ(t.local(20), 0x80000000u);
+}
+
+TEST(Timer, TimerAltPrefersChannelWhenReady)
+{
+    SingleCpu t;
+    t.runAsm("start:\n"
+             "  mint\n stl 20\n"
+             "  ldap procb\n ldlp -40\n stnl -1\n"
+             "  ldlp -40\n ldc 1\n or\n runp\n"
+             "  ldtimer\n adc 10000\n stl 2\n"   // far deadline
+             "  talt\n"
+             "  ldlp 20\n ldc 1\n enbc\n"
+             "  ldl 2\n ldc 1\n enbt\n"
+             "  taltwt\n"
+             "  ldlp 20\n ldc 1\n ldc b1 - done\n disc\n"
+             "  ldl 2\n ldc 1\n ldc b2 - done\n dist\n"
+             "  altend\n"
+             "done:\n"
+             "b1:\n ldlp 10\n ldlp 20\n ldc 4\n in\n"
+             "  ldc 1\n stl 1\n stopp\n"
+             "b2:\n ldc 2\n stl 1\n stopp\n"
+             "procb:\n"
+             "  ldc 5\n stl 5\n"
+             "  ldlp 5\n ldlp 60\n ldc 4\n out\n stopp\n");
+    EXPECT_EQ(t.local(1), 1u);
+    EXPECT_EQ(t.local(10), 5u);
+    // well before the 10000-tick deadline
+    EXPECT_LT(t.cpu.localTime(), 1'000'000);
+}
+
+TEST(Timer, SttimerSetsBothClocks)
+{
+    SingleCpu t;
+    t.runAsm("start:\n"
+             "  ldc 1000\n sttimer\n"
+             "  ldtimer\n stl 1\n stopp\n");
+    EXPECT_GE(t.local(1), 1000u);
+    EXPECT_LE(t.local(1), 1001u);
+}

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * occamc -- compile (and optionally run) an occam program.
+ *
+ * Usage:
+ *   occamc [options] program.occ
+ *     --asm          print the generated I1 assembler source
+ *     --listing      print the disassembled image
+ *     --run          run on an emulated transputer; a channel
+ *                    PLACEd AT LINK0OUT reaches the console
+ *     --text         decode console output as bytes/text, not words
+ *     --t2           compile/run for a 16-bit T222-class part
+ *     --no-checks    disable array bounds checks
+ *     --time <ms>    simulation time limit when running (default 2000)
+ *     --trace        trace every executed instruction to stderr
+ *
+ * Reads from stdin when the file name is "-".
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "isa/disasm.hh"
+#include "net/network.hh"
+#include "net/occam_boot.hh"
+#include "net/peripherals.hh"
+#include "occam/compiler.hh"
+
+using namespace transputer;
+
+namespace
+{
+
+int
+usage()
+{
+    std::cerr <<
+        "usage: occamc [--asm] [--listing] [--run] [--text] [--t2]\n"
+        "              [--no-checks] [--time ms] [--trace] file.occ\n";
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool show_asm = false, show_listing = false, run = false;
+    bool text = false, t2 = false, trace = false;
+    occam::Options opt;
+    Tick limit_ms = 2000;
+    std::string file;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--asm")
+            show_asm = true;
+        else if (a == "--listing")
+            show_listing = true;
+        else if (a == "--run")
+            run = true;
+        else if (a == "--text")
+            text = true;
+        else if (a == "--t2")
+            t2 = true;
+        else if (a == "--no-checks")
+            opt.boundsCheck = false;
+        else if (a == "--trace")
+            trace = true;
+        else if (a == "--time" && i + 1 < argc)
+            limit_ms = std::stoll(argv[++i]);
+        else if (!a.empty() && a[0] == '-' && a != "-")
+            return usage();
+        else if (file.empty())
+            file = a;
+        else
+            return usage();
+    }
+    if (file.empty())
+        return usage();
+
+    std::string source;
+    if (file == "-") {
+        std::ostringstream ss;
+        ss << std::cin.rdbuf();
+        source = ss.str();
+    } else {
+        std::ifstream in(file);
+        if (!in) {
+            std::cerr << "occamc: cannot open " << file << "\n";
+            return 1;
+        }
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        source = ss.str();
+    }
+
+    try {
+        net::Network net;
+        core::Config cfg;
+        if (t2) {
+            cfg.shape = word16;
+            cfg.onchipBytes = 2048;
+        }
+        const int node = net.addTransputer(cfg);
+        auto &t = net.node(node);
+
+        const auto compiled = occam::compile(
+            source, t.shape(), t.memory().memStart(), opt);
+
+        std::cerr << "occamc: " << compiled.image.bytes.size()
+                  << " bytes of code, workspace "
+                  << compiled.frameWords << " words above + "
+                  << compiled.belowWords << " below\n";
+
+        if (show_asm)
+            std::cout << compiled.asmSource;
+        if (show_listing) {
+            const auto lines = isa::disassemble(
+                compiled.image.bytes.data(),
+                compiled.image.bytes.size(), compiled.image.origin,
+                t.shape());
+            std::cout << isa::listing(lines);
+        }
+        if (!run)
+            return 0;
+
+        net::ConsoleSink console(net.queue(), link::WireConfig{});
+        net.attachPeripheral(node, 0, console);
+        if (trace)
+            t.setTrace(&std::cerr);
+        net::bootOccam(net, node, compiled);
+        net.run(limit_ms * 1'000'000);
+
+        if (text) {
+            std::cout << console.text();
+        } else {
+            for (Word w : console.words(t.shape().bytes))
+                std::cout << t.shape().toSigned(w) << "\n";
+        }
+        std::cerr << "occamc: " << t.instructions()
+                  << " instructions, " << t.cycles() << " cycles, "
+                  << t.localTime() / 1000.0 << " us simulated"
+                  << (net.quiescent() ? "" : " (time limit reached)")
+                  << (t.errorFlag() ? " [error flag set]" : "")
+                  << "\n";
+        return t.errorFlag() ? 1 : 0;
+    } catch (const std::exception &e) {
+        std::cerr << "occamc: " << e.what() << "\n";
+        return 1;
+    }
+}

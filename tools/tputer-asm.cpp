@@ -1,0 +1,154 @@
+/**
+ * @file
+ * tputer-asm -- assemble (and optionally run or disassemble) I1
+ * assembler source.
+ *
+ * Usage:
+ *   tputer-asm [options] program.s
+ *     --listing      print the disassembled image
+ *     --hex          print the image bytes in hex
+ *     --run          run on an emulated transputer from label
+ *                    "start"; prints final A/B/C and stats
+ *     --t2           assemble/run for a 16-bit part
+ *     --time <ms>    simulation time limit (default 2000)
+ *     --trace        trace executed instructions to stderr
+ *     --dump <n>     after running, dump n workspace words
+ *
+ * Reads from stdin when the file name is "-".
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "base/format.hh"
+#include "core/transputer.hh"
+#include "isa/disasm.hh"
+#include "sim/event_queue.hh"
+#include "tasm/assembler.hh"
+
+using namespace transputer;
+
+namespace
+{
+
+int
+usage()
+{
+    std::cerr << "usage: tputer-asm [--listing] [--hex] [--run] "
+                 "[--t2] [--time ms] [--trace] [--dump n] file.s\n";
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool listing = false, hex = false, run = false, t2 = false;
+    bool trace = false;
+    Tick limit_ms = 2000;
+    int dump = 0;
+    std::string file;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--listing")
+            listing = true;
+        else if (a == "--hex")
+            hex = true;
+        else if (a == "--run")
+            run = true;
+        else if (a == "--t2")
+            t2 = true;
+        else if (a == "--trace")
+            trace = true;
+        else if (a == "--time" && i + 1 < argc)
+            limit_ms = std::stoll(argv[++i]);
+        else if (a == "--dump" && i + 1 < argc)
+            dump = std::stoi(argv[++i]);
+        else if (!a.empty() && a[0] == '-' && a != "-")
+            return usage();
+        else if (file.empty())
+            file = a;
+        else
+            return usage();
+    }
+    if (file.empty())
+        return usage();
+
+    std::string source;
+    if (file == "-") {
+        std::ostringstream ss;
+        ss << std::cin.rdbuf();
+        source = ss.str();
+    } else {
+        std::ifstream in(file);
+        if (!in) {
+            std::cerr << "tputer-asm: cannot open " << file << "\n";
+            return 1;
+        }
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        source = ss.str();
+    }
+
+    try {
+        core::Config cfg;
+        if (t2) {
+            cfg.shape = word16;
+            cfg.onchipBytes = 2048;
+        }
+        sim::EventQueue queue;
+        core::Transputer cpu(queue, cfg, "tp");
+
+        const auto img = tasm::assemble(
+            source, cpu.memory().memStart(), cpu.shape());
+        std::cerr << "tputer-asm: " << img.bytes.size()
+                  << " bytes at #" << hexWord(img.origin) << "\n";
+
+        if (hex) {
+            for (size_t i = 0; i < img.bytes.size(); ++i)
+                std::cout << hexWord(img.bytes[i], 2)
+                          << ((i % 16 == 15) ? "\n" : " ");
+            if (img.bytes.size() % 16)
+                std::cout << "\n";
+        }
+        if (listing) {
+            const auto lines =
+                isa::disassemble(img.bytes.data(), img.bytes.size(),
+                                 img.origin, cpu.shape());
+            std::cout << isa::listing(lines);
+        }
+        if (!run)
+            return 0;
+
+        cpu.memory().load(img.origin, img.bytes.data(),
+                          img.bytes.size());
+        const auto &s = cpu.shape();
+        const Word wptr = s.index(
+            s.wordAlign(img.end() + s.bytes - 1), 160);
+        if (trace)
+            cpu.setTrace(&std::cerr);
+        cpu.boot(img.symbol("start"), wptr);
+        queue.runUntil(limit_ms * 1'000'000);
+
+        std::cout << "A=" << hexWord(cpu.areg())
+                  << " B=" << hexWord(cpu.breg())
+                  << " C=" << hexWord(cpu.creg())
+                  << " error=" << (cpu.errorFlag() ? 1 : 0) << "\n";
+        for (int i = 0; i < dump; ++i)
+            std::cout << fmt("W[{}] = #{} ({})\n", i,
+                             hexWord(cpu.memory().readWord(
+                                 s.index(wptr, i))),
+                             s.toSigned(cpu.memory().readWord(
+                                 s.index(wptr, i))));
+        std::cerr << "tputer-asm: " << cpu.instructions()
+                  << " instructions, " << cpu.cycles() << " cycles\n";
+        return 0;
+    } catch (const std::exception &e) {
+        std::cerr << "tputer-asm: " << e.what() << "\n";
+        return 1;
+    }
+}
