@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_dbsearch.dir/bench_e10_dbsearch.cpp.o"
+  "CMakeFiles/bench_e10_dbsearch.dir/bench_e10_dbsearch.cpp.o.d"
+  "bench_e10_dbsearch"
+  "bench_e10_dbsearch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_dbsearch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

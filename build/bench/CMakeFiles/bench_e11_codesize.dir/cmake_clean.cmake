@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e11_codesize.dir/bench_e11_codesize.cpp.o"
+  "CMakeFiles/bench_e11_codesize.dir/bench_e11_codesize.cpp.o.d"
+  "bench_e11_codesize"
+  "bench_e11_codesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_codesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e12_scheduling.dir/bench_e12_scheduling.cpp.o"
+  "CMakeFiles/bench_e12_scheduling.dir/bench_e12_scheduling.cpp.o.d"
+  "bench_e12_scheduling"
+  "bench_e12_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e12_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_direct_functions.dir/bench_e1_direct_functions.cpp.o"
+  "CMakeFiles/bench_e1_direct_functions.dir/bench_e1_direct_functions.cpp.o.d"
+  "bench_e1_direct_functions"
+  "bench_e1_direct_functions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_direct_functions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_prefix.dir/bench_e3_prefix.cpp.o"
+  "CMakeFiles/bench_e3_prefix.dir/bench_e3_prefix.cpp.o.d"
+  "bench_e3_prefix"
+  "bench_e3_prefix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_prefix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

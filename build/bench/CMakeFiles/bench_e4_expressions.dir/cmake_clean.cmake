@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_expressions.dir/bench_e4_expressions.cpp.o"
+  "CMakeFiles/bench_e4_expressions.dir/bench_e4_expressions.cpp.o.d"
+  "bench_e4_expressions"
+  "bench_e4_expressions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_expressions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

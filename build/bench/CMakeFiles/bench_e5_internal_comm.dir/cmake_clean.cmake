@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_internal_comm.dir/bench_e5_internal_comm.cpp.o"
+  "CMakeFiles/bench_e5_internal_comm.dir/bench_e5_internal_comm.cpp.o.d"
+  "bench_e5_internal_comm"
+  "bench_e5_internal_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_internal_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_mips.dir/bench_e7_mips.cpp.o"
+  "CMakeFiles/bench_e7_mips.dir/bench_e7_mips.cpp.o.d"
+  "bench_e7_mips"
+  "bench_e7_mips.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_mips.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

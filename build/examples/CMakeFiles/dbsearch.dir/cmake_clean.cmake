@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbsearch.dir/dbsearch.cpp.o"
+  "CMakeFiles/dbsearch.dir/dbsearch.cpp.o.d"
+  "dbsearch"
+  "dbsearch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbsearch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

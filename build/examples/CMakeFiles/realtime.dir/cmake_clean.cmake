@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/realtime.dir/realtime.cpp.o"
+  "CMakeFiles/realtime.dir/realtime.cpp.o.d"
+  "realtime"
+  "realtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/realtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workstation.dir/workstation.cpp.o"
+  "CMakeFiles/workstation.dir/workstation.cpp.o.d"
+  "workstation"
+  "workstation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workstation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

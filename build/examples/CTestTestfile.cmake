@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;10;add_test;/root/repo/examples/CMakeLists.txt;13;transputer_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_workstation "/root/repo/build/examples/workstation")
+set_tests_properties(example_workstation PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;10;add_test;/root/repo/examples/CMakeLists.txt;14;transputer_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_dbsearch "/root/repo/build/examples/dbsearch")
+set_tests_properties(example_dbsearch PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;10;add_test;/root/repo/examples/CMakeLists.txt;15;transputer_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_sieve "/root/repo/build/examples/sieve")
+set_tests_properties(example_sieve PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;10;add_test;/root/repo/examples/CMakeLists.txt;16;transputer_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_realtime "/root/repo/build/examples/realtime")
+set_tests_properties(example_realtime PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;10;add_test;/root/repo/examples/CMakeLists.txt;17;transputer_example;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transputer_apps.dir/dbsearch.cc.o"
+  "CMakeFiles/transputer_apps.dir/dbsearch.cc.o.d"
+  "libtransputer_apps.a"
+  "libtransputer_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transputer_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/channel.cc" "src/core/CMakeFiles/transputer_core.dir/channel.cc.o" "gcc" "src/core/CMakeFiles/transputer_core.dir/channel.cc.o.d"
+  "/root/repo/src/core/exec.cc" "src/core/CMakeFiles/transputer_core.dir/exec.cc.o" "gcc" "src/core/CMakeFiles/transputer_core.dir/exec.cc.o.d"
+  "/root/repo/src/core/timer.cc" "src/core/CMakeFiles/transputer_core.dir/timer.cc.o" "gcc" "src/core/CMakeFiles/transputer_core.dir/timer.cc.o.d"
+  "/root/repo/src/core/transputer.cc" "src/core/CMakeFiles/transputer_core.dir/transputer.cc.o" "gcc" "src/core/CMakeFiles/transputer_core.dir/transputer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/transputer_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transputer_core.dir/channel.cc.o"
+  "CMakeFiles/transputer_core.dir/channel.cc.o.d"
+  "CMakeFiles/transputer_core.dir/exec.cc.o"
+  "CMakeFiles/transputer_core.dir/exec.cc.o.d"
+  "CMakeFiles/transputer_core.dir/timer.cc.o"
+  "CMakeFiles/transputer_core.dir/timer.cc.o.d"
+  "CMakeFiles/transputer_core.dir/transputer.cc.o"
+  "CMakeFiles/transputer_core.dir/transputer.cc.o.d"
+  "libtransputer_core.a"
+  "libtransputer_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transputer_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

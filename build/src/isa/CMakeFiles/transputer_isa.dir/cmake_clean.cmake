@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transputer_isa.dir/disasm.cc.o"
+  "CMakeFiles/transputer_isa.dir/disasm.cc.o.d"
+  "CMakeFiles/transputer_isa.dir/encoding.cc.o"
+  "CMakeFiles/transputer_isa.dir/encoding.cc.o.d"
+  "CMakeFiles/transputer_isa.dir/opcodes.cc.o"
+  "CMakeFiles/transputer_isa.dir/opcodes.cc.o.d"
+  "libtransputer_isa.a"
+  "libtransputer_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transputer_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

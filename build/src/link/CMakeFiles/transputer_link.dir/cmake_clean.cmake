@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transputer_link.dir/link.cc.o"
+  "CMakeFiles/transputer_link.dir/link.cc.o.d"
+  "libtransputer_link.a"
+  "libtransputer_link.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transputer_link.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transputer_net.dir/bootlink.cc.o"
+  "CMakeFiles/transputer_net.dir/bootlink.cc.o.d"
+  "CMakeFiles/transputer_net.dir/network.cc.o"
+  "CMakeFiles/transputer_net.dir/network.cc.o.d"
+  "libtransputer_net.a"
+  "libtransputer_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transputer_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/occam/codegen.cc" "src/occam/CMakeFiles/transputer_occam.dir/codegen.cc.o" "gcc" "src/occam/CMakeFiles/transputer_occam.dir/codegen.cc.o.d"
+  "/root/repo/src/occam/compiler.cc" "src/occam/CMakeFiles/transputer_occam.dir/compiler.cc.o" "gcc" "src/occam/CMakeFiles/transputer_occam.dir/compiler.cc.o.d"
+  "/root/repo/src/occam/lexer.cc" "src/occam/CMakeFiles/transputer_occam.dir/lexer.cc.o" "gcc" "src/occam/CMakeFiles/transputer_occam.dir/lexer.cc.o.d"
+  "/root/repo/src/occam/parser.cc" "src/occam/CMakeFiles/transputer_occam.dir/parser.cc.o" "gcc" "src/occam/CMakeFiles/transputer_occam.dir/parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/transputer_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/tasm/CMakeFiles/transputer_tasm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

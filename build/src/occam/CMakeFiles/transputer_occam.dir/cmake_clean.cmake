@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transputer_occam.dir/codegen.cc.o"
+  "CMakeFiles/transputer_occam.dir/codegen.cc.o.d"
+  "CMakeFiles/transputer_occam.dir/compiler.cc.o"
+  "CMakeFiles/transputer_occam.dir/compiler.cc.o.d"
+  "CMakeFiles/transputer_occam.dir/lexer.cc.o"
+  "CMakeFiles/transputer_occam.dir/lexer.cc.o.d"
+  "CMakeFiles/transputer_occam.dir/parser.cc.o"
+  "CMakeFiles/transputer_occam.dir/parser.cc.o.d"
+  "libtransputer_occam.a"
+  "libtransputer_occam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transputer_occam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

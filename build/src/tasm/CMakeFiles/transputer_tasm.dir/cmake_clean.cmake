@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transputer_tasm.dir/assembler.cc.o"
+  "CMakeFiles/transputer_tasm.dir/assembler.cc.o.d"
+  "libtransputer_tasm.a"
+  "libtransputer_tasm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transputer_tasm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

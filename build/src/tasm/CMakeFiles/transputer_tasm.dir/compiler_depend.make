@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for transputer_tasm.
+# This may be replaced when dependencies are built.

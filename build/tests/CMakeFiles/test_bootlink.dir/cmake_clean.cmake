@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bootlink.dir/test_bootlink.cc.o"
+  "CMakeFiles/test_bootlink.dir/test_bootlink.cc.o.d"
+  "test_bootlink"
+  "test_bootlink.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bootlink.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpu_basic.dir/test_cpu_basic.cc.o"
+  "CMakeFiles/test_cpu_basic.dir/test_cpu_basic.cc.o.d"
+  "test_cpu_basic"
+  "test_cpu_basic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpu_basic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

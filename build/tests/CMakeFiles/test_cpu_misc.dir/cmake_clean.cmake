@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpu_misc.dir/test_cpu_misc.cc.o"
+  "CMakeFiles/test_cpu_misc.dir/test_cpu_misc.cc.o.d"
+  "test_cpu_misc"
+  "test_cpu_misc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpu_misc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

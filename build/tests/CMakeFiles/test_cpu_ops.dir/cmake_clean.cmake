@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpu_ops.dir/test_cpu_ops.cc.o"
+  "CMakeFiles/test_cpu_ops.dir/test_cpu_ops.cc.o.d"
+  "test_cpu_ops"
+  "test_cpu_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpu_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

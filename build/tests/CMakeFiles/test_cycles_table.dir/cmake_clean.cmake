@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cycles_table.dir/test_cycles_table.cc.o"
+  "CMakeFiles/test_cycles_table.dir/test_cycles_table.cc.o.d"
+  "test_cycles_table"
+  "test_cycles_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cycles_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_occam.dir/test_occam.cc.o"
+  "CMakeFiles/test_occam.dir/test_occam.cc.o.d"
+  "test_occam"
+  "test_occam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_occam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

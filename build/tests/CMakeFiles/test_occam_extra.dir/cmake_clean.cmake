@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_occam_extra.dir/test_occam_extra.cc.o"
+  "CMakeFiles/test_occam_extra.dir/test_occam_extra.cc.o.d"
+  "test_occam_extra"
+  "test_occam_extra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_occam_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_occam_placed.dir/test_occam_placed.cc.o"
+  "CMakeFiles/test_occam_placed.dir/test_occam_placed.cc.o.d"
+  "test_occam_placed"
+  "test_occam_placed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_occam_placed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tasm.dir/test_tasm.cc.o"
+  "CMakeFiles/test_tasm.dir/test_tasm.cc.o.d"
+  "test_tasm"
+  "test_tasm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tasm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

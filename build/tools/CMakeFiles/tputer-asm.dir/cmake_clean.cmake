@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tputer-asm.dir/tputer-asm.cpp.o"
+  "CMakeFiles/tputer-asm.dir/tputer-asm.cpp.o.d"
+  "tputer-asm"
+  "tputer-asm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tputer-asm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

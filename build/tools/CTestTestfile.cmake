@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(occamc_hello "/root/repo/build/tools/occamc" "--run" "/root/repo/examples/occam/hello.occ")
+set_tests_properties(occamc_hello PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(occamc_squares "/root/repo/build/tools/occamc" "--run" "/root/repo/examples/occam/squares.occ")
+set_tests_properties(occamc_squares PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(occamc_fib "/root/repo/build/tools/occamc" "--run" "/root/repo/examples/occam/fib.occ")
+set_tests_properties(occamc_fib PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(occamc_buffer "/root/repo/build/tools/occamc" "--run" "/root/repo/examples/occam/buffer.occ")
+set_tests_properties(occamc_buffer PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(occamc_timerdemo "/root/repo/build/tools/occamc" "--run" "/root/repo/examples/occam/timerdemo.occ")
+set_tests_properties(occamc_timerdemo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(occamc_listing "/root/repo/build/tools/occamc" "--listing" "--asm" "/root/repo/examples/occam/hello.occ")
+set_tests_properties(occamc_listing PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
