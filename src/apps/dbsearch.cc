@@ -34,7 +34,10 @@ DbSearch::DbSearch(const DbSearchConfig &cfg)
             for (int j = bpw - 1; j >= 0; --j)
                 v = (v << 8) | pendingBytes_[static_cast<size_t>(j)];
             pendingBytes_.clear();
-            answers_.push_back(DbAnswer{v, net_->queue().now()});
+            // timestamp with the host endpoint's own queue: during a
+            // parallel run that is the clock of the shard the host
+            // lives on, not the (idle) master queue
+            answers_.push_back(DbAnswer{v, host_->queue().now()});
         }
     };
 

@@ -119,7 +119,7 @@ Transputer::timerExpire()
     timerEvent_ = sim::invalidEventId;
     // when the CPU is idle its local clock lags the event queue;
     // expiry happens in global time
-    time_ = std::max(time_, queue_.now());
+    time_ = std::max(time_, queue_->now());
     for (int pri = 0; pri < 2; ++pri) {
         const Word head_addr = mem_.tptrLocAddr(pri);
         Word head = readWord(head_addr);
@@ -155,13 +155,20 @@ Transputer::armTimerEvent()
         earliest = std::min(earliest, tickFor(pri, tv));
     }
     if (timerEvent_ != sim::invalidEventId) {
-        queue_.cancel(timerEvent_);
+        queue_->cancel(timerEvent_);
         timerEvent_ = sim::invalidEventId;
     }
     if (earliest == maxTick)
         return;
-    timerEvent_ = queue_.schedule(std::max(earliest, queue_.now()),
-                                  [this] { timerExpire(); });
+    // clamp an already-passed deadline to the CPU's architectural
+    // time, not the queue clock: the local clock is never behind the
+    // queue on any path that arms the timer, and the architectural
+    // time is identical in serial and shard-parallel runs (the queue
+    // clock depends on how execution was batched)
+    timerEvent_ = queue_->schedule(
+        std::max(earliest, time_),
+        sim::EventKey{actorId_, sim::chanTimer, ++selfSeq_},
+        [this] { timerExpire(); });
 }
 
 } // namespace transputer::core

@@ -12,7 +12,7 @@ namespace transputer::core
 Transputer::Transputer(sim::EventQueue &queue, const Config &cfg,
                        std::string name)
     : name_(std::move(name)), cfg_(cfg), shape_(cfg.shape),
-      queue_(queue),
+      queue_(&queue),
       mem_(cfg.shape, cfg.onchipBytes, cfg.externalBytes,
            cfg.externalWaits)
 {
@@ -57,7 +57,7 @@ void
 Transputer::boot(Word iptr, Word wptr, int pri)
 {
     TRANSPUTER_ASSERT(wptr_ == notProcess(), "already booted");
-    time_ = std::max(time_, queue_.now());
+    time_ = std::max(time_, queue_->now());
     iptr_ = iptr;
     wptr_ = shape_.wordAlign(wptr);
     pri_ = pri;
@@ -135,8 +135,9 @@ Transputer::scheduleStep()
     if (stepScheduled_)
         return;
     stepScheduled_ = true;
-    queue_.schedule(std::max(time_, queue_.now()),
-                    [this] { stepHandler(); });
+    queue_->schedule(std::max(time_, queue_->now()),
+                     sim::EventKey{actorId_, sim::chanStep, ++selfSeq_},
+                     [this] { stepHandler(); });
 }
 
 void
@@ -151,10 +152,12 @@ Transputer::stepHandler()
             serviceInterrupt();
         if (state_ != CpuState::Running)
             break;
-        // yield once local time passes the next pending event so the
-        // co-simulation stays exact; equality still executes (other
-        // agents' step events at the same tick would livelock us)
-        if (time_ > queue_.nextTime())
+        // yield once local time passes the next pending event -- or
+        // the queue's horizon, beyond which events from other shards
+        // may still arrive -- so the co-simulation stays exact;
+        // equality still executes (other agents' step events at the
+        // same tick would livelock us)
+        if (time_ > std::min(queue_->nextTime(), queue_->horizon()))
             break;
         executeOne();
         ++batch;
@@ -168,7 +171,7 @@ Transputer::wakeIfIdle()
 {
     if (state_ != CpuState::Idle)
         return;
-    time_ = std::max(time_, queue_.now());
+    time_ = std::max(time_, queue_->now());
     state_ = CpuState::Running;
     pickNext();
     if (state_ == CpuState::Running)
@@ -280,7 +283,7 @@ Transputer::scheduleProcess(Word wdesc)
         // a wake caused by the CPU's own instruction (runp/startp of a
         // high-priority descriptor) is "ready" at CPU time; an
         // external wake (link/timer event) is ready at the event time.
-        hpReadyTick_ = inExec_ ? time_ : queue_.now();
+        hpReadyTick_ = inExec_ ? time_ : queue_->now();
     }
 }
 

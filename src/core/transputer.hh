@@ -84,7 +84,18 @@ class Transputer
     const Config &config() const { return cfg_; }
     mem::Memory &memory() { return mem_; }
     const mem::Memory &memory() const { return mem_; }
-    sim::EventQueue &queue() { return queue_; }
+    sim::EventQueue &queue() { return *queue_; }
+
+    /**
+     * Re-home this CPU onto another event queue (shard-local
+     * simulation, src/par).  Only legal between runs; pending events
+     * must be migrated by the caller (EventQueue::extractPending).
+     */
+    void setQueue(sim::EventQueue &q) { queue_ = &q; }
+
+    /** Deterministic identity used to order simultaneous events. */
+    uint32_t actor() const { return actorId_; }
+    void setActor(uint32_t id) { actorId_ = id; }
 
     /** @name Setup */
     ///@{
@@ -257,7 +268,9 @@ class Transputer
     const std::string name_;
     const Config cfg_;
     const WordShape shape_;
-    sim::EventQueue &queue_;
+    sim::EventQueue *queue_;
+    uint32_t actorId_ = 0;
+    uint64_t selfSeq_ = 0; ///< seq for this actor's step/timer events
     mem::Memory mem_;
 
     // register file (Figure 2)

@@ -12,10 +12,25 @@ namespace transputer::link
 Tick
 Line::claim(Tick not_before, Tick duration)
 {
-    const Tick start = std::max({not_before, queue_.now(), busyUntil_});
+    const Tick start = std::max({not_before, queue_->now(), busyUntil_});
     busyUntil_ = start + duration;
     busyTime_ += duration;
     return start;
+}
+
+void
+Line::deliver(Tick when, std::function<void()> fn)
+{
+    // remote callbacks are keyed to the *receiving* endpoint: per-line
+    // deliveries are FIFO (when is monotone in seq because the line is
+    // serial), so the key order matches the wire order regardless of
+    // which queue the event lands on
+    const sim::EventKey key{remote_->actor(), sim::chanLine + lineId_,
+                            ++seq_};
+    if (route_)
+        route_(when, key, std::move(fn));
+    else
+        queue_->schedule(when, key, std::move(fn));
 }
 
 void
@@ -30,10 +45,10 @@ Line::transmitData(Tick not_before, uint8_t byte)
     LinkEndpoint *remote = remote_;
     // the receiver can classify the packet once the second bit (the
     // one following the start bit) has arrived
-    queue_.schedule(start + 2 * bit + cfg_.propagationDelay,
-                    [remote] { remote->onDataStart(); });
-    queue_.schedule(start + 11 * bit + cfg_.propagationDelay,
-                    [remote, byte] { remote->onDataEnd(byte); });
+    deliver(start + 2 * bit + cfg_.propagationDelay,
+            [remote] { remote->onDataStart(); });
+    deliver(start + 11 * bit + cfg_.propagationDelay,
+            [remote, byte] { remote->onDataEnd(byte); });
 }
 
 void
@@ -46,8 +61,8 @@ Line::transmitAck(Tick not_before)
     if (onPacket)
         onPacket(Packet{false, 0, start, start + 2 * bit});
     LinkEndpoint *remote = remote_;
-    queue_.schedule(start + 2 * bit + cfg_.propagationDelay,
-                    [remote] { remote->onAckEnd(); });
+    deliver(start + 2 * bit + cfg_.propagationDelay,
+            [remote] { remote->onAckEnd(); });
 }
 
 // ---------------------------------------------------------------------
@@ -108,8 +123,11 @@ LinkEngine::requestInput(Word wdesc, Word pointer, Word count)
         bufferValid_ = false;
         cpu_.memory().writeByte(inPtr_, buffer_);
         inReceived_ = 1;
-        // the freed buffer lets the sender proceed
-        sendAck();
+        // the freed buffer lets the sender proceed; this runs in CPU
+        // context, so the ack is timed by the CPU's architectural
+        // clock (identical in serial and shard-parallel runs), not the
+        // queue clock (which depends on how execution was batched)
+        sendAck(cpu_.localTime());
         if (inReceived_ == inCount_) {
             inActive_ = false;
             cpu_.completeInput(inWdesc_);
@@ -157,7 +175,7 @@ LinkEngine::onDataStart()
     // ack as soon as reception starts, if a process is waiting for
     // the byte (paper section 2.3): transmission can be continuous
     if (inActive_) {
-        sendAck();
+        sendAck(queue_->now());
         ackSentForCurrent_ = true;
     }
 }
@@ -171,7 +189,7 @@ LinkEngine::onDataEnd(uint8_t byte)
             cpu_.shape().truncate(inPtr_ + inReceived_), byte);
         ++inReceived_;
         if (!ackSentForCurrent_)
-            sendAck();
+            sendAck(queue_->now());
         ackSentForCurrent_ = false;
         if (inReceived_ == inCount_) {
             inActive_ = false;
@@ -203,7 +221,7 @@ LinkEngine::onAckEnd()
         cpu_.completeOutput(outWdesc_);
         return;
     }
-    sendNextByte(queue_.now());
+    sendNextByte(queue_->now());
 }
 
 void
@@ -225,9 +243,9 @@ LinkEngine::receiverCanAccept() const
 }
 
 void
-LinkEngine::sendAck()
+LinkEngine::sendAck(Tick not_before)
 {
-    tx_.transmitAck(queue_.now());
+    tx_.transmitAck(not_before);
 }
 
 } // namespace transputer::link

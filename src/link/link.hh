@@ -66,15 +66,24 @@ class LinkEndpoint;
 /**
  * One one-directional signal line: serializes packets, modelling the
  * multiplexing of data and acknowledge packets (Figure 1).
+ *
+ * The line is owned by its sending endpoint and is timed against the
+ * sender's event queue.  Packet arrival callbacks act on the remote
+ * endpoint, so their events are keyed to the remote actor and (when a
+ * router is installed by the parallel engine) may be posted into
+ * another shard's inbound queue instead of scheduled directly.
  */
 class Line
 {
   public:
     Line(sim::EventQueue &queue, const WireConfig &cfg)
-        : queue_(queue), cfg_(cfg)
+        : queue_(&queue), cfg_(cfg)
     {}
 
     void connectTo(LinkEndpoint *remote) { remote_ = remote; }
+
+    /** The endpoint this line delivers to (wiring introspection). */
+    LinkEndpoint *remote() const { return remote_; }
 
     /** Queue a data packet (11 bit times); not before not_before. */
     void transmitData(Tick not_before, uint8_t byte);
@@ -86,6 +95,35 @@ class Line
     Tick busyTime() const { return busyTime_; }
     uint64_t dataPackets() const { return dataPackets_; }
     uint64_t ackPackets() const { return ackPackets_; }
+
+    /** @name Parallel-simulation plumbing (src/par, net::Network) */
+    ///@{
+    /** Re-home the line onto the sending shard's queue. */
+    void setQueue(sim::EventQueue &q) { queue_ = &q; }
+
+    /** Identity of this line's delivery channel in event keys. */
+    void setLineId(uint32_t id) { lineId_ = id; }
+    uint32_t lineId() const { return lineId_; }
+
+    /**
+     * The minimum lead time between the queue clock when a packet is
+     * committed and its earliest remote callback: the receiver can
+     * classify a packet only after its second bit has crossed the
+     * wire.  This is the conservative lookahead a parallel run gets
+     * from cutting a network at this line.
+     */
+    Tick
+    minDeliveryLead() const
+    {
+        return 2 * cfg_.bitTime() + cfg_.propagationDelay;
+    }
+
+    /** Sink for remote deliveries (cross-shard); null: schedule. */
+    using Router =
+        std::function<void(Tick, const sim::EventKey &,
+                           std::function<void()>)>;
+    void setRouter(Router r) { route_ = std::move(r); }
+    ///@}
 
     /** One packet on the wire, as in the paper's Figure 1. */
     struct Packet
@@ -101,10 +139,14 @@ class Line
 
   private:
     Tick claim(Tick not_before, Tick duration);
+    void deliver(Tick when, std::function<void()> fn);
 
-    sim::EventQueue &queue_;
+    sim::EventQueue *queue_;
     const WireConfig cfg_;
     LinkEndpoint *remote_ = nullptr;
+    uint32_t lineId_ = 0;
+    uint64_t seq_ = 0; ///< FIFO sequence of this line's deliveries
+    Router route_;
     Tick busyUntil_ = 0;
     Tick busyTime_ = 0;
     uint64_t dataPackets_ = 0;
@@ -119,7 +161,7 @@ class LinkEndpoint
 {
   public:
     LinkEndpoint(sim::EventQueue &queue, const WireConfig &cfg)
-        : queue_(queue), tx_(queue, cfg)
+        : queue_(&queue), tx_(queue, cfg)
     {}
 
     virtual ~LinkEndpoint() = default;
@@ -144,8 +186,41 @@ class LinkEndpoint
 
     Line &tx() { return tx_; }
 
+    /** The event queue this endpoint currently lives on. */
+    sim::EventQueue &queue() { return *queue_; }
+
+    /** Deterministic identity used to order simultaneous events. */
+    uint32_t actor() const { return actor_; }
+    void setActor(uint32_t id) { actor_ = id; }
+
+    /**
+     * Re-home this endpoint (and its outgoing line) onto another
+     * event queue (shard-local simulation, src/par).
+     */
+    void
+    setHomeQueue(sim::EventQueue &q)
+    {
+        queue_ = &q;
+        tx_.setQueue(q);
+    }
+
   protected:
-    sim::EventQueue &queue_;
+    /**
+     * Schedule an endpoint-internal event (peripheral latency and the
+     * like) with a deterministic key.
+     */
+    sim::EventId
+    schedSelfIn(Tick delta, std::function<void()> fn)
+    {
+        return queue_->schedule(
+            queue_->now() + delta,
+            sim::EventKey{actor_, sim::chanSelf, ++selfSeq_},
+            std::move(fn));
+    }
+
+    sim::EventQueue *queue_;
+    uint32_t actor_ = 0;
+    uint64_t selfSeq_ = 0;
     Line tx_;
 };
 
@@ -189,7 +264,7 @@ class LinkEngine : public LinkEndpoint, public core::ChannelPort
   private:
     void sendNextByte(Tick not_before);
     bool receiverCanAccept() const;
-    void sendAck();
+    void sendAck(Tick not_before);
 
     core::Transputer &cpu_;
     const int linkIndex_;

@@ -45,9 +45,17 @@ Network::attachPeripheral(int n, int l, Peripheral &p,
 {
     auto engine =
         std::make_unique<link::LinkEngine>(node(n), l, wire);
+    engine->setActor(node(n).actor());
+    p.setActor(++nextActor_);
     link::LinkEndpoint::join(*engine, p);
     node(n).attachOutputPort(l, engine.get());
     node(n).attachInputPort(l, engine.get());
+    // the peripheral is co-located with its host node: both
+    // directions of its link are shard-internal by construction
+    registerLine(engine->tx(), n, n);
+    registerLine(p.tx(), n, n);
+    endpoints_.push_back(EndpointRec{engine.get(), n});
+    endpoints_.push_back(EndpointRec{&p, n});
     link::LinkEngine &ref = *engine;
     engines_.push_back(std::move(engine));
     return ref;

@@ -37,6 +37,23 @@ constexpr int west = 3;
 
 class Peripheral;
 
+/** How Network::run(limit, RunOptions) maps nodes onto shards. */
+enum class Partition
+{
+    Contiguous, ///< node i -> shard i * threads / nodes (blocks)
+    Striped,    ///< node i -> shard i % threads (round robin)
+    Custom,     ///< RunOptions::shardOf supplies the map
+};
+
+/** Options for a (possibly parallel) simulation run. */
+struct RunOptions
+{
+    int threads = 1;      ///< number of shards / worker threads
+    Partition partition = Partition::Contiguous;
+    /** Custom node -> shard map (Partition::Custom only). */
+    std::vector<int> shardOf;
+};
+
 /** A collection of transputers wired by links, with one time base. */
 class Network
 {
@@ -55,6 +72,7 @@ class Network
             name = "tp" + std::to_string(nodes_.size());
         nodes_.push_back(std::make_unique<core::Transputer>(
             queue_, cfg, std::move(name)));
+        nodes_.back()->setActor(++nextActor_);
         return static_cast<int>(nodes_.size() - 1);
     }
 
@@ -73,7 +91,13 @@ class Network
                                                      ack);
         auto eb = std::make_unique<link::LinkEngine>(node(b), lb, wire,
                                                      ack);
+        ea->setActor(node(a).actor());
+        eb->setActor(node(b).actor());
         link::LinkEngine::connect(*ea, *eb);
+        registerLine(ea->tx(), a, b);
+        registerLine(eb->tx(), b, a);
+        endpoints_.push_back(EndpointRec{ea.get(), a});
+        endpoints_.push_back(EndpointRec{eb.get(), b});
         engines_.push_back(std::move(ea));
         engines_.push_back(std::move(eb));
     }
@@ -128,12 +152,27 @@ class Network
     Tick
     run(Tick limit = maxTick)
     {
-        if (limit == maxTick)
+        if (limit == maxTick) {
             queue_.runToQuiescence();
-        else
+        } else {
+            // bound the CPUs' instruction run-ahead at the limit, so
+            // how far each CPU free-runs past the last event is a
+            // function of the limit alone (and in particular the same
+            // in serial and shard-parallel runs)
+            queue_.setHorizon(limit);
             queue_.runUntil(limit);
+            queue_.setHorizon(maxTick);
+        }
         return queue_.now();
     }
+
+    /**
+     * Run the simulation on opts.threads shards (conservative
+     * parallel discrete-event simulation, src/par).  Bit-identical to
+     * the serial run(limit).  Defined in src/par/parallel_engine.cc:
+     * callers must link transputer_par.
+     */
+    Tick run(Tick limit, const RunOptions &opts);
 
     /** Visit every link engine (tracing, statistics). */
     template <typename Fn>
@@ -144,6 +183,30 @@ class Network
             fn(*e);
     }
 
+    /** @name Wiring introspection (src/par, tests) */
+    ///@{
+    /** One directional line and the node indices it connects. */
+    struct LineRec
+    {
+        link::Line *line;
+        int srcNode; ///< node owning the sending endpoint
+        int dstNode; ///< node owning the receiving endpoint
+    };
+
+    /** A link endpoint and the node it is co-located with. */
+    struct EndpointRec
+    {
+        link::LinkEndpoint *ep;
+        int homeNode;
+    };
+
+    const std::vector<LineRec> &lines() const { return lines_; }
+    const std::vector<EndpointRec> &endpoints() const
+    {
+        return endpoints_;
+    }
+    ///@}
+
     /**
      * A human-readable status report: per-node execution state and
      * counters plus aggregate link traffic.  Useful when a run ends
@@ -153,9 +216,20 @@ class Network
     std::string describe() const;
 
   private:
+    void
+    registerLine(link::Line &line, int src, int dst)
+    {
+        line.setLineId(++nextLineId_);
+        lines_.push_back(LineRec{&line, src, dst});
+    }
+
     sim::EventQueue queue_;
     std::vector<std::unique_ptr<core::Transputer>> nodes_;
     std::vector<std::unique_ptr<link::LinkEngine>> engines_;
+    std::vector<LineRec> lines_;
+    std::vector<EndpointRec> endpoints_;
+    uint32_t nextActor_ = 0;  ///< 0 reserved for unkeyed events
+    uint32_t nextLineId_ = 0; ///< 0 reserved (no line)
 };
 
 /** @name Topology builders

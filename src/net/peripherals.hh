@@ -72,7 +72,7 @@ class Peripheral : public link::LinkEndpoint
     void
     onDataStart() override
     {
-        tx_.transmitAck(queue_.now()); // always room host-side
+        tx_.transmitAck(queue_->now()); // always room host-side
     }
 
     void
@@ -101,7 +101,7 @@ class Peripheral : public link::LinkEndpoint
         if (awaitingAck_ || txQueue_.empty())
             return;
         awaitingAck_ = true;
-        tx_.transmitData(queue_.now(), txQueue_.front());
+        tx_.transmitData(queue_->now(), txQueue_.front());
     }
 
   private:
@@ -200,7 +200,7 @@ class BlockDevice : public Peripheral
             const uint32_t n = word(4);
             ++reads_;
             cmd_.clear();
-            queue_.scheduleIn(latency_, [this, n] {
+            schedSelfIn(latency_, [this, n] {
                 sendBytes(block(n));
             });
         } else if (op == 1 && cmd_.size() == 8 + blockSize) {

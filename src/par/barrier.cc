@@ -1,0 +1,51 @@
+#include "par/barrier.hh"
+
+#include <thread>
+
+namespace transputer::par
+{
+
+namespace
+{
+
+/** Spin iterations before blocking (when a core per party exists). */
+constexpr int spinLimit = 4096;
+
+} // namespace
+
+Barrier::Barrier(int parties)
+    : parties_(parties),
+      spinFirst_(std::thread::hardware_concurrency() >=
+                 static_cast<unsigned>(parties))
+{}
+
+void
+Barrier::arriveAndWait()
+{
+    const uint64_t my_gen = gen_.load(std::memory_order_acquire);
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        parties_) {
+        // last arriver: open the next generation.  The reset must be
+        // ordered before the generation bump, because a released
+        // party may re-arrive immediately.
+        arrived_.store(0, std::memory_order_relaxed);
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            gen_.store(my_gen + 1, std::memory_order_release);
+        }
+        cv_.notify_all();
+        return;
+    }
+    if (spinFirst_) {
+        for (int i = 0; i < spinLimit; ++i) {
+            if (gen_.load(std::memory_order_acquire) != my_gen)
+                return;
+        }
+    }
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] {
+        return gen_.load(std::memory_order_acquire) != my_gen;
+    });
+}
+
+} // namespace transputer::par

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * A reusable synchronization barrier for the shard worker threads.
+ *
+ * Conservative parallel simulation is barrier-heavy: every window
+ * round crosses two barriers, and windows are short when the link
+ * lookahead is small.  The barrier therefore spins briefly before
+ * falling back to a condition variable -- but only when the machine
+ * actually has a core per party, so an oversubscribed run (more
+ * shards than cores, the common case in CI containers) degrades to
+ * plain blocking instead of burning the quantum of the thread it is
+ * waiting for.
+ */
+
+#ifndef TRANSPUTER_PAR_BARRIER_HH
+#define TRANSPUTER_PAR_BARRIER_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace transputer::par
+{
+
+/** A sense-reversing (generation-counting) reusable barrier. */
+class Barrier
+{
+  public:
+    explicit Barrier(int parties);
+
+    /**
+     * Arrive at the barrier and wait for every party.  All memory
+     * effects of every party before its arrival are visible to every
+     * party after its return (acquire/release on the generation).
+     */
+    void arriveAndWait();
+
+  private:
+    const int parties_;
+    const bool spinFirst_;
+    std::atomic<int> arrived_{0};
+    std::atomic<uint64_t> gen_{0};
+    std::mutex mutex_;
+    std::condition_variable cv_;
+};
+
+} // namespace transputer::par
+
+#endif // TRANSPUTER_PAR_BARRIER_HH

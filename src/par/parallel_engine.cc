@@ -1,0 +1,244 @@
+/**
+ * @file
+ * The conservative window-round scheduler (see parallel_engine.hh).
+ *
+ * Round protocol.  Two barriers per round:
+ *
+ *   barrier A  -- every shard has finished dispatching the previous
+ *                 window, so every cross-shard delivery it produced
+ *                 is in the destination inbox;
+ *   (each shard drains its inbox and publishes its next event time)
+ *   barrier B  -- every shard has published;
+ *   (every shard independently computes the same global next time and
+ *    window end, then dispatches its events inside the window)
+ *
+ * Safety.  Every event a shard dispatches in a round has
+ * when >= globalNext.  A cross-shard delivery it produces is timed at
+ * least Line::minDeliveryLead() after its cause, so it lands at
+ * when >= globalNext + lookahead = windowEnd: nothing a shard
+ * dispatches inside the window can be affected by a delivery that has
+ * not yet been drained.  Determinism then follows from the
+ * (tick, actor, channel, seq) dispatch order, which is the same total
+ * order the serial queue uses.
+ */
+
+#include "par/parallel_engine.hh"
+
+#include <algorithm>
+#include <memory>
+#include <thread>
+#include <unordered_map>
+
+#include "base/logging.hh"
+#include "par/barrier.hh"
+#include "par/shard.hh"
+
+namespace transputer::par
+{
+
+namespace
+{
+
+/** a + b clamped to maxTick (a, b >= 0). */
+Tick
+satAdd(Tick a, Tick b)
+{
+    return b >= maxTick - a ? maxTick : a + b;
+}
+
+/** Shared round state (written before the spawn / at barriers). */
+struct Coord
+{
+    explicit Coord(int parties) : barrier(parties) {}
+
+    Barrier barrier;
+    Tick limit = maxTick;
+    Tick limitCap = maxTick;  ///< satAdd(limit, 1): dispatch bound
+    Tick lookahead = maxTick; ///< window width (maxTick: uncut)
+};
+
+/**
+ * One shard's round loop.  Every worker computes the same global next
+ * time from the published per-shard values, so no coordinator thread
+ * is needed and all workers exit the loop on the same round.
+ */
+void
+workerLoop(Shard &self, std::vector<std::unique_ptr<Shard>> &shards,
+           Coord &c, uint64_t *rounds)
+{
+    while (true) {
+        c.barrier.arriveAndWait(); // A: all deliveries posted
+        self.inbox.drainTo(self.queue);
+        self.localNext.store(self.queue.nextTime(),
+                             std::memory_order_release);
+        c.barrier.arriveAndWait(); // B: all next times published
+        Tick global_next = maxTick;
+        for (auto &s : shards)
+            global_next =
+                std::min(global_next,
+                         s->localNext.load(std::memory_order_acquire));
+        if (global_next >= c.limitCap)
+            return; // quiescent, or nothing left inside the limit
+        if (rounds)
+            ++*rounds;
+        const Tick window_end =
+            std::min(satAdd(global_next, c.lookahead), c.limitCap);
+        // CPUs may batch instructions ahead of dispatched events, but
+        // not into the next window (another shard's delivery may land
+        // there) and not past the limit (so the final run-ahead
+        // matches the serial run's horizon)
+        self.queue.setHorizon(std::min(window_end, c.limit));
+        while (self.queue.nextTime() < window_end) {
+            self.queue.runOne();
+            ++self.events;
+        }
+    }
+}
+
+} // namespace
+
+std::vector<int>
+computePartition(size_t nodes, const net::RunOptions &opts)
+{
+    if (opts.partition == net::Partition::Custom) {
+        TRANSPUTER_ASSERT(opts.shardOf.size() == nodes,
+                          "custom partition must map every node");
+        for (int s : opts.shardOf)
+            TRANSPUTER_ASSERT(s >= 0 && s < opts.threads,
+                              "custom partition shard out of range");
+        return opts.shardOf;
+    }
+    const size_t t = std::clamp<size_t>(
+        static_cast<size_t>(std::max(opts.threads, 1)), 1,
+        std::max<size_t>(nodes, 1));
+    std::vector<int> map(nodes, 0);
+    for (size_t i = 0; i < nodes; ++i)
+        map[i] = opts.partition == net::Partition::Striped
+                     ? static_cast<int>(i % t)
+                     : static_cast<int>(i * t / nodes);
+    return map;
+}
+
+Tick
+runParallel(net::Network &net, Tick limit, const net::RunOptions &opts,
+            RunStats *stats)
+{
+    auto &master = net.queue();
+    const size_t n = net.size();
+    if (n == 0)
+        return net.run(limit);
+
+    const std::vector<int> shard_of = computePartition(n, opts);
+    const int nshards =
+        opts.partition == net::Partition::Custom
+            ? std::max(opts.threads, 1)
+            : *std::max_element(shard_of.begin(), shard_of.end()) + 1;
+
+    std::vector<std::unique_ptr<Shard>> shards;
+    for (int s = 0; s < nshards; ++s) {
+        shards.push_back(std::make_unique<Shard>());
+        shards.back()->queue.setNow(master.now());
+    }
+    for (size_t i = 0; i < n; ++i)
+        shards[shard_of[i]]->nodes.push_back(static_cast<int>(i));
+
+    // actor -> shard (actor 0, the legacy unkeyed channel, pins to
+    // shard 0: unkeyed events must not touch nodes of other shards)
+    std::unordered_map<uint32_t, int> shard_of_actor;
+    shard_of_actor[0] = 0;
+    for (size_t i = 0; i < n; ++i)
+        shard_of_actor[net.node(i).actor()] = shard_of[i];
+    for (const auto &er : net.endpoints())
+        shard_of_actor[er.ep->actor()] = shard_of[er.homeNode];
+
+    // re-home every node and endpoint onto its shard's queue, and
+    // migrate the pending events to the shard of their actor
+    for (size_t i = 0; i < n; ++i)
+        net.node(i).setQueue(shards[shard_of[i]]->queue);
+    for (const auto &er : net.endpoints())
+        er.ep->setHomeQueue(shards[shard_of[er.homeNode]]->queue);
+    for (auto &p : master.extractPending()) {
+        const auto it = shard_of_actor.find(p.key.actor);
+        const int s = it == shard_of_actor.end() ? 0 : it->second;
+        shards[s]->queue.insertPending(std::move(p));
+    }
+
+    // route cut lines into the destination shard's inbox; the
+    // narrowest cut line sets the lookahead
+    Tick lookahead = maxTick;
+    for (const auto &lr : net.lines()) {
+        if (shard_of[lr.srcNode] == shard_of[lr.dstNode]) {
+            lr.line->setRouter({});
+            continue;
+        }
+        lookahead = std::min(lookahead, lr.line->minDeliveryLead());
+        Inbox *inbox = &shards[shard_of[lr.dstNode]]->inbox;
+        lr.line->setRouter([inbox](Tick when, const sim::EventKey &key,
+                                   std::function<void()> fn) {
+            inbox->push(when, key, std::move(fn));
+        });
+    }
+    TRANSPUTER_ASSERT(lookahead > 0, "cut line with zero lookahead");
+
+    Coord coord(nshards);
+    coord.limit = limit;
+    coord.limitCap = satAdd(limit, 1);
+    coord.lookahead = lookahead;
+
+    uint64_t rounds = 0;
+    std::vector<std::thread> workers;
+    for (int s = 1; s < nshards; ++s)
+        workers.emplace_back([&shards, &coord, s] {
+            workerLoop(*shards[s], shards, coord, nullptr);
+        });
+    workerLoop(*shards[0], shards, coord, &rounds);
+    for (auto &w : workers)
+        w.join();
+
+    // merge back: any undelivered (post-limit) deliveries first, then
+    // every shard's remaining events, then the clock; finally restore
+    // the serial wiring
+    Tick reached = master.now();
+    for (auto &sh : shards) {
+        sh->inbox.drainTo(sh->queue);
+        reached = std::max(reached, sh->queue.now());
+        for (auto &p : sh->queue.extractPending())
+            master.insertPending(std::move(p));
+    }
+    if (limit != maxTick)
+        reached = std::max(master.now(), limit);
+    master.setNow(reached);
+
+    for (size_t i = 0; i < n; ++i)
+        net.node(i).setQueue(master);
+    for (const auto &er : net.endpoints())
+        er.ep->setHomeQueue(master);
+    for (const auto &lr : net.lines())
+        lr.line->setRouter({});
+
+    if (stats) {
+        stats->rounds = rounds;
+        stats->lookahead = lookahead;
+        stats->shards.clear();
+        for (const auto &sh : shards)
+            stats->shards.push_back(ShardStats{
+                static_cast<int>(sh->nodes.size()), sh->events});
+    }
+    return master.now();
+}
+
+} // namespace transputer::par
+
+namespace transputer::net
+{
+
+// declared in net/network.hh; lives here so transputer_net does not
+// depend on transputer_par (callers of the parallel overload link
+// transputer_par explicitly)
+Tick
+Network::run(Tick limit, const RunOptions &opts)
+{
+    return par::runParallel(*this, limit, opts);
+}
+
+} // namespace transputer::net

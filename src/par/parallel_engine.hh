@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Conservative parallel discrete-event simulation of a network.
+ *
+ * The network's nodes are partitioned into shards, one worker thread
+ * each, and the simulation advances in barrier-synchronized window
+ * rounds.  The window width is the link lookahead: a link's earliest
+ * remote effect trails its local cause by at least
+ * Line::minDeliveryLead() (two bit times plus the propagation delay),
+ * so every shard can dispatch events up to globalNext + lookahead
+ * without waiting for the others.  Cross-shard deliveries travel
+ * through lock-free inboxes and carry their (tick, actor, channel,
+ * seq) dispatch keys, so each shard's queue dispatches exactly the
+ * event sequence the single serial queue would: an N-thread run is
+ * bit-identical to the serial run.  There is no rollback.
+ */
+
+#ifndef TRANSPUTER_PAR_PARALLEL_ENGINE_HH
+#define TRANSPUTER_PAR_PARALLEL_ENGINE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/types.hh"
+#include "net/network.hh"
+
+namespace transputer::par
+{
+
+/** What one parallel run did (per-shard breakdown). */
+struct ShardStats
+{
+    int nodes = 0;        ///< nodes assigned to the shard
+    uint64_t events = 0;  ///< events the shard dispatched
+};
+
+struct RunStats
+{
+    uint64_t rounds = 0;  ///< synchronization windows executed
+    Tick lookahead = 0;   ///< window width (maxTick: uncut network)
+    std::vector<ShardStats> shards;
+
+    uint64_t
+    totalEvents() const
+    {
+        uint64_t n = 0;
+        for (const auto &s : shards)
+            n += s.events;
+        return n;
+    }
+};
+
+/**
+ * The node -> shard map Network::run(limit, opts) will use.  Exposed
+ * for tests and benchmarks.  The shard count is opts.threads clamped
+ * to the node count (Custom maps are taken as given and validated).
+ */
+std::vector<int> computePartition(size_t nodes,
+                                  const net::RunOptions &opts);
+
+/**
+ * Run the network on opts.threads shard worker threads until limit
+ * (maxTick: to quiescence).  Bit-identical to net.run(limit).
+ * @return the simulated time reached.
+ */
+Tick runParallel(net::Network &net, Tick limit,
+                 const net::RunOptions &opts,
+                 RunStats *stats = nullptr);
+
+} // namespace transputer::par
+
+#endif // TRANSPUTER_PAR_PARALLEL_ENGINE_HH

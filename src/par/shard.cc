@@ -1,0 +1,44 @@
+#include "par/shard.hh"
+
+namespace transputer::par
+{
+
+Inbox::~Inbox()
+{
+    Node *n = head_.exchange(nullptr, std::memory_order_acquire);
+    while (n) {
+        Node *next = n->next;
+        delete n;
+        n = next;
+    }
+}
+
+void
+Inbox::push(Tick when, const sim::EventKey &key,
+            std::function<void()> fn)
+{
+    Node *node = new Node{when, key, std::move(fn), nullptr};
+    node->next = head_.load(std::memory_order_relaxed);
+    while (!head_.compare_exchange_weak(node->next, node,
+                                        std::memory_order_release,
+                                        std::memory_order_relaxed)) {
+        // node->next refreshed by the failed CAS
+    }
+}
+
+size_t
+Inbox::drainTo(sim::EventQueue &q)
+{
+    Node *n = head_.exchange(nullptr, std::memory_order_acquire);
+    size_t count = 0;
+    while (n) {
+        q.schedule(n->when, n->key, std::move(n->fn));
+        Node *next = n->next;
+        delete n;
+        n = next;
+        ++count;
+    }
+    return count;
+}
+
+} // namespace transputer::par

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * One shard of a partitioned network simulation.
+ *
+ * A shard owns a slice of the network's nodes, a private event queue
+ * for them, and a lock-free inbound queue (Inbox) that other shards
+ * post cross-link deliveries into.  The inbox is a Treiber stack:
+ * producers push with a CAS, the owning shard drains it with a single
+ * exchange at the start of each window round.  Stack (LIFO) order is
+ * irrelevant because every delivery carries its (tick, actor,
+ * channel, seq) dispatch key -- the event queue restores the order.
+ */
+
+#ifndef TRANSPUTER_PAR_SHARD_HH
+#define TRANSPUTER_PAR_SHARD_HH
+
+#include <atomic>
+#include <functional>
+#include <vector>
+
+#include "base/types.hh"
+#include "sim/event_queue.hh"
+
+namespace transputer::par
+{
+
+/** A lock-free multi-producer single-consumer event mailbox. */
+class Inbox
+{
+  public:
+    Inbox() = default;
+    Inbox(const Inbox &) = delete;
+    Inbox &operator=(const Inbox &) = delete;
+    ~Inbox();
+
+    /** Post an event (any thread). */
+    void push(Tick when, const sim::EventKey &key,
+              std::function<void()> fn);
+
+    /**
+     * Move every posted event into the queue (owning thread only;
+     * concurrent pushes land in the next drain).
+     * @return number of events moved.
+     */
+    size_t drainTo(sim::EventQueue &q);
+
+  private:
+    struct Node
+    {
+        Tick when;
+        sim::EventKey key;
+        std::function<void()> fn;
+        Node *next;
+    };
+
+    std::atomic<Node *> head_{nullptr};
+};
+
+/** Per-shard simulation state (one worker thread each). */
+struct Shard
+{
+    sim::EventQueue queue;
+    Inbox inbox;
+    /** This shard's next event time, published at the round barrier. */
+    std::atomic<Tick> localNext{maxTick};
+    /** Node indices assigned to this shard. */
+    std::vector<int> nodes;
+    /** Events dispatched by this shard (statistics). */
+    uint64_t events = 0;
+};
+
+} // namespace transputer::par
+
+#endif // TRANSPUTER_PAR_SHARD_HH

@@ -2,20 +2,34 @@
  * @file
  * The discrete-event simulation kernel.
  *
- * One EventQueue drives a whole Network: CPUs, link engines, wires and
- * peripherals all interact exclusively through scheduled events, which
- * makes multi-transputer co-simulation exact at event granularity.
- * Events at the same tick fire in scheduling order (FIFO), which keeps
- * the simulation deterministic.
+ * An EventQueue drives a set of actors (CPUs, link engines, wires,
+ * peripherals) that interact exclusively through scheduled events,
+ * which makes multi-transputer co-simulation exact at event
+ * granularity.
+ *
+ * Determinism.  Events are dispatched in the total order
+ * (tick, actor, channel, seq): `actor` is the component the event
+ * acts upon, `channel` is a structural source within that actor (CPU
+ * step, timer, per-link wire, ...) and `seq` is a per-channel FIFO
+ * sequence number assigned by the scheduling side.  Because the order
+ * never depends on heap internals or on *when* an event was inserted
+ * relative to other actors' activity, a network partitioned across
+ * several shard-local queues (src/par) dispatches each actor's events
+ * in exactly the order the single serial queue would -- the basis of
+ * the serial/parallel bit-equivalence guarantee.  Events scheduled
+ * through the legacy unkeyed API fall into actor 0 / channel 0 and
+ * keep their classic FIFO-among-ties behaviour.
  */
 
 #ifndef TRANSPUTER_SIM_EVENT_QUEUE_HH
 #define TRANSPUTER_SIM_EVENT_QUEUE_HH
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <queue>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "base/logging.hh"
@@ -31,34 +45,100 @@ using EventId = uint64_t;
 constexpr EventId invalidEventId = 0;
 
 /**
+ * Deterministic dispatch key for simultaneous events.
+ *
+ * Same-tick events fire in (actor, channel, seq) order.  Channels are
+ * structural: a given (actor, channel) pair always names the same
+ * event source, so the order of two simultaneous events never depends
+ * on scheduling history.
+ */
+struct EventKey
+{
+    uint32_t actor = 0;   ///< component the event acts upon (0: none)
+    uint32_t channel = 0; ///< structural source within the actor
+    uint64_t seq = 0;     ///< FIFO sequence within (actor, channel)
+};
+
+/** @name Channel numbering convention (shared by core/link/net) */
+///@{
+constexpr uint32_t chanStep = 0;  ///< CPU instruction-batch events
+constexpr uint32_t chanTimer = 1; ///< timer expiry events
+constexpr uint32_t chanSelf = 2;  ///< actor-internal (peripherals)
+constexpr uint32_t chanLine = 8;  ///< + line id: wire deliveries
+///@}
+
+/**
  * A time-ordered queue of callbacks.
  *
  * Cancellation is lazy: cancelled entries stay in the heap and are
  * skipped when popped, which keeps schedule/cancel O(log n) without a
  * decrease-key structure.
+ *
+ * Event ids are unique across every EventQueue instance in the
+ * process, so an event migrated between queues (src/par shard
+ * partitioning) keeps a valid cancellation handle.
  */
 class EventQueue
 {
   public:
+    EventQueue() : nextId_(s_idEpoch.fetch_add(1) << idEpochShift) {}
+
     /** Current simulated time (time of the last dispatched event). */
     Tick now() const { return now_; }
+
+    /**
+     * Force the clock forward (no events before t may be pending).
+     * Used when handing simulated time between queues (src/par) and
+     * by runUntil.
+     */
+    void
+    setNow(Tick t)
+    {
+        TRANSPUTER_ASSERT(t >= now_, "setNow must move time forward");
+        TRANSPUTER_ASSERT(nextTime() >= t,
+                          "setNow would skip pending events");
+        now_ = t;
+    }
+
+    /**
+     * The time horizon this queue is allowed to see (maxTick when
+     * unbounded).  A conservative parallel run bounds each shard's
+     * horizon to the synchronization window; actors that run ahead of
+     * dispatched events (the CPU instruction batcher) must not advance
+     * past it, because events from other shards may still arrive up to
+     * the horizon.
+     */
+    Tick horizon() const { return horizon_; }
+    void setHorizon(Tick h) { horizon_ = h; }
 
     /** Number of live (non-cancelled) pending events. */
     size_t pending() const { return live_.size(); }
 
     /**
-     * Schedule fn at absolute time when (>= now).
+     * Schedule fn at absolute time when (>= now) with a deterministic
+     * dispatch key.
      * @return a handle usable with cancel().
      */
     EventId
-    schedule(Tick when, std::function<void()> fn)
+    schedule(Tick when, const EventKey &key, std::function<void()> fn)
     {
         TRANSPUTER_ASSERT(when >= now_,
                           "event scheduled in the past");
         const EventId id = ++nextId_;
-        live_.emplace(id, std::move(fn));
-        heap_.push(HeapEntry{when, id});
+        live_.emplace(id, Live{std::move(fn), when, key});
+        heap_.push(HeapEntry{when, key, id});
         return id;
+    }
+
+    /**
+     * Schedule fn at absolute time when (>= now).  Legacy unkeyed
+     * form: actor 0, channel 0, FIFO among ties on this queue.
+     */
+    EventId
+    schedule(Tick when, std::function<void()> fn)
+    {
+        return schedule(when, EventKey{0, 0, ++defaultSeq_},
+                        std::move(fn));
     }
 
     /** Schedule fn delta ticks from now. */
@@ -108,7 +188,7 @@ class EventQueue
         heap_.pop();
         auto it = live_.find(e.id);
         TRANSPUTER_ASSERT(it != live_.end());
-        auto fn = std::move(it->second);
+        auto fn = std::move(it->second.fn);
         live_.erase(it);
         TRANSPUTER_ASSERT(e.when >= now_, "time went backwards");
         now_ = e.when;
@@ -141,10 +221,59 @@ class EventQueue
         return n;
     }
 
+    /** A pending event in transit between queues (src/par). */
+    struct Pending
+    {
+        Tick when;
+        EventKey key;
+        EventId id;
+        std::function<void()> fn;
+    };
+
+    /**
+     * Remove and return every live pending event (in no particular
+     * order; the keys carry the dispatch order).  The queue is left
+     * empty with its clock unchanged.
+     */
+    std::vector<Pending>
+    extractPending()
+    {
+        std::vector<Pending> out;
+        out.reserve(live_.size());
+        for (auto &[id, ev] : live_)
+            out.push_back(
+                Pending{ev.when, ev.key, id, std::move(ev.fn)});
+        live_.clear();
+        heap_ = {};
+        return out;
+    }
+
+    /**
+     * Insert an event extracted from another queue, preserving its id
+     * (so cancellation handles stay valid) and key (so the dispatch
+     * order is unchanged).
+     */
+    void
+    insertPending(Pending p)
+    {
+        TRANSPUTER_ASSERT(p.when >= now_,
+                          "migrated event in the past");
+        heap_.push(HeapEntry{p.when, p.key, p.id});
+        live_.emplace(p.id, Live{std::move(p.fn), p.when, p.key});
+    }
+
   private:
+    struct Live
+    {
+        std::function<void()> fn;
+        Tick when;
+        EventKey key;
+    };
+
     struct HeapEntry
     {
         Tick when;
+        EventKey key;
         EventId id;
 
         /** std::priority_queue is a max-heap; order inverted. */
@@ -153,7 +282,13 @@ class EventQueue
         {
             if (when != o.when)
                 return when > o.when;
-            return id > o.id; // FIFO among same-tick events
+            if (key.actor != o.key.actor)
+                return key.actor > o.key.actor;
+            if (key.channel != o.key.channel)
+                return key.channel > o.key.channel;
+            if (key.seq != o.key.seq)
+                return key.seq > o.key.seq;
+            return id > o.id;
         }
     };
 
@@ -165,10 +300,16 @@ class EventQueue
             heap_.pop();
     }
 
+    /** Per-queue id epoch: ids unique across all queues. */
+    static constexpr int idEpochShift = 40;
+    static inline std::atomic<uint64_t> s_idEpoch{0};
+
     Tick now_ = 0;
-    EventId nextId_ = 0;
+    Tick horizon_ = maxTick;
+    EventId nextId_;
+    uint64_t defaultSeq_ = 0;
     std::priority_queue<HeapEntry> heap_;
-    std::unordered_map<EventId, std::function<void()>> live_;
+    std::unordered_map<EventId, Live> live_;
 };
 
 } // namespace transputer::sim
