@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Host-side interpreter throughput: simulated instructions per
+ * wall-clock second with the predecoded instruction cache on vs off
+ * (see DESIGN.md "Interpreter fast path").
+ *
+ * Two workloads:
+ *   - the E7 MIPS loop (straight-line single-cycle code, the fast
+ *     path's best case and the acceptance bar: >= 2x);
+ *   - the database-search kernel on a small grid (channels, links and
+ *     scheduling in the mix), toggled through RunOptions::predecode.
+ *
+ * Results go to stdout and BENCH_interp.json.  Simulated results
+ * (instructions, cycles, answers) must be identical in both modes --
+ * the cache is architecturally invisible; this harness checks that
+ * too and fails loudly if it ever drifts.
+ */
+
+#include <chrono>
+#include <ctime>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/dbsearch.hh"
+#include "par/parallel_engine.hh"
+
+#include "util.hh"
+
+using namespace transputer;
+using namespace transputer::bench;
+
+namespace
+{
+
+constexpr int reps = 5; ///< take the best time of these
+
+/** Process CPU time (all threads -- the dbsearch run dispatches on a
+ *  worker): immune to the container's scheduling noise. */
+double
+cpuSeconds()
+{
+    timespec ts{};
+    clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+struct Measure
+{
+    double ips = 0;          ///< simulated instructions per wall second
+    uint64_t instructions = 0;
+    uint64_t cycles = 0;
+    uint64_t icacheHits = 0;
+    uint64_t icacheMisses = 0;
+};
+
+std::string
+e7LoopSource(int iterations)
+{
+    std::string body;
+    for (int r = 0; r < 6; ++r)
+        body += "  ldc 5\n stl 1\n adc 3\n stl 2\n ldc 9\n"
+                "  adc 1\n stl 3\n ldlp 4\n stl 4\n";
+    return "start:\n"
+           "  ldc " + std::to_string(iterations) + "\n stl 30\n"
+           "outer:\n" + body +
+           "  ldl 30\n adc -1\n stl 30\n"
+           "  ldl 30\n cj done\n  j outer\n"
+           "done: stopp\n";
+}
+
+Measure
+runE7(bool predecode)
+{
+    Measure best;
+    for (int r = 0; r < reps; ++r) {
+        core::Config cfg;
+        cfg.predecode = predecode;
+        AsmRig rig(cfg);
+        const double t0 = cpuSeconds();
+        rig.run(e7LoopSource(200'000));
+        const double secs = cpuSeconds() - t0;
+        Measure m;
+        m.instructions = rig.cpu.instructions();
+        m.cycles = rig.cpu.cycles();
+        m.icacheHits = rig.cpu.icache().hits();
+        m.icacheMisses = rig.cpu.icache().misses();
+        m.ips = static_cast<double>(m.instructions) / secs;
+        if (m.ips > best.ips)
+            best = m;
+    }
+    return best;
+}
+
+Measure
+runDbSearch(bool predecode)
+{
+    Measure best;
+    for (int r = 0; r < reps; ++r) {
+        apps::DbSearchConfig cfg;
+        cfg.width = 4;
+        cfg.height = 4;
+        auto db = std::make_unique<apps::DbSearch>(cfg);
+        for (int q = 0; q < 4; ++q)
+            db->inject(static_cast<Word>(7 * q + 3));
+        const Tick limit = db->network().queue().now() + 2'000'000;
+        net::RunOptions opts;
+        opts.threads = 1;
+        opts.predecode = predecode; // the RunOptions toggle
+        const double t0 = cpuSeconds();
+        db->network().run(limit, opts);
+        const double secs = cpuSeconds() - t0;
+        Measure m;
+        for (size_t i = 0; i < db->network().size(); ++i) {
+            auto &n = db->network().node(static_cast<int>(i));
+            m.instructions += n.instructions();
+            m.cycles += n.cycles();
+            m.icacheHits += n.icache().hits();
+            m.icacheMisses += n.icache().misses();
+        }
+        m.ips = static_cast<double>(m.instructions) / secs;
+        if (m.ips > best.ips)
+            best = m;
+    }
+    return best;
+}
+
+struct Workload
+{
+    const char *name;
+    Measure on, off;
+    double speedup() const { return on.ips / off.ips; }
+    /** The simulated outcome must not depend on the cache. */
+    bool
+    identical() const
+    {
+        return on.instructions == off.instructions &&
+               on.cycles == off.cycles;
+    }
+};
+
+} // namespace
+
+int
+main()
+{
+    heading("interpreter fast path: instructions/second, "
+            "predecode cache on vs off");
+
+    std::vector<Workload> loads;
+    loads.push_back({"e7_mips_loop", runE7(true), runE7(false)});
+    loads.push_back(
+        {"dbsearch_4x4", runDbSearch(true), runDbSearch(false)});
+
+    Table t({16, 14, 14, 10, 12, 12});
+    t.row("workload", "on (instr/s)", "off (instr/s)", "speedup",
+          "hit rate", "identical");
+    t.rule();
+    bool all_identical = true;
+    for (const auto &w : loads) {
+        const double lookups = static_cast<double>(
+            w.on.icacheHits + w.on.icacheMisses);
+        t.row(w.name, w.on.ips, w.off.ips, w.speedup(),
+              lookups ? static_cast<double>(w.on.icacheHits) / lookups
+                      : 0.0,
+              w.identical() ? "yes" : "NO");
+        all_identical = all_identical && w.identical();
+    }
+    t.rule();
+
+    const double e7_speedup = loads[0].speedup();
+    const bool pass = e7_speedup >= 2.0 && all_identical;
+    std::cout << "\ne7 loop speedup: " << e7_speedup
+              << " (acceptance: >= 2x)\n";
+
+    std::ofstream json("BENCH_interp.json");
+    json << "{\n  \"bench\": \"interp_fast_path\",\n"
+         << "  \"e7_speedup\": " << e7_speedup << ",\n"
+         << "  \"pass_2x\": " << (pass ? "true" : "false") << ",\n"
+         << "  \"identical\": " << (all_identical ? "true" : "false")
+         << ",\n  \"workloads\": [\n";
+    for (size_t i = 0; i < loads.size(); ++i) {
+        const auto &w = loads[i];
+        json << "    {\"name\": \"" << w.name << "\""
+             << ", \"ips_on\": " << w.on.ips
+             << ", \"ips_off\": " << w.off.ips
+             << ", \"speedup\": " << w.speedup()
+             << ", \"instructions\": " << w.on.instructions
+             << ", \"icache_hits\": " << w.on.icacheHits
+             << ", \"icache_misses\": " << w.on.icacheMisses << "}"
+             << (i + 1 < loads.size() ? "," : "") << "\n";
+    }
+    json << "  ]\n}\n";
+    std::cout << "wrote BENCH_interp.json\n";
+    return pass ? 0 : 1;
+}

@@ -12,6 +12,7 @@
 #include "isa/cycles.hh"
 #include "isa/disasm.hh"
 #include "isa/encoding.hh"
+#include "isa/predecode.hh"
 
 namespace transputer::core
 {
@@ -32,6 +33,23 @@ overflows(const WordShape &s, int64_t v)
 
 } // namespace
 
+bool
+Transputer::fetchBufferHolds(Word word_addr) const
+{
+    // the buffered word must be the right one AND unwritten since it
+    // was buffered (self-modifying code, link DMA into code)
+    return lastFetchValid_ && lastFetchWord_ == word_addr &&
+           mem_.writeGen(word_addr) == lastFetchGen_;
+}
+
+void
+Transputer::setFetchBuffer(Word word_addr)
+{
+    lastFetchWord_ = word_addr;
+    lastFetchGen_ = mem_.writeGen(word_addr);
+    lastFetchValid_ = true;
+}
+
 uint8_t
 Transputer::fetchByte()
 {
@@ -41,9 +59,9 @@ Transputer::fetchByte()
     // its wait states once per word of instructions, not per byte
     if (!mem_.isOnChip(iptr_)) {
         const Word w = shape_.wordAlign(iptr_);
-        if (w != lastFetchWord_) {
+        if (!fetchBufferHolds(w)) {
             chargeCycles(mem_.accessWaits(iptr_));
-            lastFetchWord_ = w;
+            setFetchBuffer(w);
         }
     }
     const uint8_t b = mem_.readByte(iptr_);
@@ -52,7 +70,304 @@ Transputer::fetchByte()
 }
 
 void
+Transputer::chargeFetchSpan(Word start, int length)
+{
+    // same word-granular accounting as fetchByte, for a whole
+    // predecoded chain at once
+    Word w = shape_.wordAlign(start);
+    const Word last = shape_.wordAlign(
+        shape_.truncate(start + static_cast<Word>(length - 1)));
+    while (true) {
+        if (!mem_.isOnChip(w) && !fetchBufferHolds(w)) {
+            chargeCycles(mem_.accessWaits(w));
+            setFetchBuffer(w);
+        }
+        if (w == last)
+            break;
+        w = shape_.truncate(w + static_cast<Word>(shape_.bytes));
+    }
+}
+
+bool
 Transputer::executeOne()
+{
+    // Predecode fast path: a cache hit executes the whole prefix
+    // chain in one step.  Resuming mid-chain after an interrupt
+    // (oreg_ != 0) and tracing keep the byte-at-a-time path.
+    if (predecodeEnabled_ && oreg_ == 0 && !trace_) {
+        if (const auto *e = icache_.lookup(iptr_)) {
+            executePredecoded(*e);
+            return (e->flags & isa::pflag::kFast) != 0;
+        }
+    }
+    executeOneSlow();
+    return false;
+}
+
+void
+Transputer::executePredecoded(const PredecodeCache::Entry &e)
+{
+    lastInstrInterruptible_ = false;
+    inExec_ = true;
+    if (e.offChip)
+        chargeFetchSpan(iptr_, e.length);
+    instructions_ += e.length;
+    if (const int prefixes = e.pfixes + e.nfixes) {
+        fnCounts_[static_cast<size_t>(Fn::PFIX)] += e.pfixes;
+        fnCounts_[static_cast<size_t>(Fn::NFIX)] += e.nfixes;
+        chargeCycles(prefixes);
+    }
+    // after the prefix charges, so the interruptible-instruction
+    // window seen by serviceInterrupt matches the byte-at-a-time path
+    // (which starts a fresh instruction at the final chain byte)
+    lastInstrStart_ = time_;
+    ++fnCounts_[e.fn];
+    iptr_ = shape_.truncate(iptr_ + e.length);
+    const Fn fn = static_cast<Fn>(e.fn);
+    if (fn == Fn::OPR)
+        execOp(e.operand);
+    else
+        execDirect(fn, e.operand);
+    inExec_ = false;
+    if (errorFlag_ && haltOnError_)
+        state_ = CpuState::Halted;
+}
+
+int
+Transputer::runFused(Tick bound, int budget)
+{
+    // The fused inner loop: cached fast (event-free, non-descheduling)
+    // instructions execute with the common direct functions inlined
+    // and the hot CPU state (registers, iptr, local time) hoisted
+    // into locals -- stores into the byte-addressed memory image may
+    // alias any member, so working through `this` would force the
+    // compiler to reload everything after every write.  Anything not
+    // inlined here (cache miss, non-fast entry, call, opr) returns to
+    // the caller, which runs one instruction through the generic path
+    // and re-enters.  The cycle charges and side-effect order below
+    // mirror execDirect exactly; the cache on/off bit-equivalence
+    // tests guard the duplication.
+    if (!predecodeEnabled_ || oreg_ != 0 || trace_ || budget <= 0)
+        return 0;
+    // no inlined instruction is interruptible, and serviceInterrupt
+    // only reads lastInstrStart_ when the last one was
+    lastInstrInterruptible_ = false;
+    inExec_ = true;
+    const Tick period = cfg_.cyclePeriod;
+    const bool halt_on_err = haltOnError_;
+    const WordShape s = shape_;
+    Word iptr = iptr_, a = areg_, b = breg_, c = creg_, wp = wptr_;
+    Tick t = time_;
+    uint64_t cyc = cycles_, icount = instructions_;
+    bool err = errorFlag_;
+    int n = 0;
+    const auto spill = [&] {
+        iptr_ = iptr;
+        areg_ = a;
+        breg_ = b;
+        creg_ = c;
+        wptr_ = wp;
+        time_ = t;
+        cycles_ = cyc;
+        instructions_ = icount;
+    };
+    const auto reload = [&] {
+        iptr = iptr_;
+        a = areg_;
+        b = breg_;
+        c = creg_;
+        wp = wptr_;
+        t = time_;
+        cyc = cycles_;
+    };
+    const PredecodeCache::Entry *const entries =
+        icache_.entriesData();
+    const uint32_t *const gens = icache_.gensData();
+    uint64_t hits = 0;
+    bool running = state_ == CpuState::Running;
+    try {
+        while (n < budget && t <= bound && running) {
+            const auto &e = entries[static_cast<size_t>(iptr) &
+                                    PredecodeCache::kIndexMask];
+            if (!(e.length && e.tag == iptr &&
+                  gens[e.gidx] == e.gen && gens[e.gidx2] == e.gen2))
+                break; // miss: the generic path fills and executes
+            if (!(e.flags & isa::pflag::kFast))
+                break;
+            const Fn fn = static_cast<Fn>(e.fn);
+            if (fn == Fn::OPR || fn == Fn::CALL)
+                break; // generic path handles these (fused if fast)
+            ++hits;
+            if (e.offChip) {
+                time_ = t;
+                cycles_ = cyc;
+                chargeFetchSpan(iptr, e.length);
+                t = time_;
+                cyc = cycles_;
+            }
+            icount += e.length;
+            if (const int pf = e.pfixes + e.nfixes) {
+                fnCounts_[static_cast<size_t>(Fn::PFIX)] += e.pfixes;
+                fnCounts_[static_cast<size_t>(Fn::NFIX)] += e.nfixes;
+                cyc += static_cast<uint64_t>(pf);
+                t += pf * period;
+            }
+            ++fnCounts_[e.fn];
+            iptr = s.truncate(iptr + e.length);
+            const Word operand = e.operand;
+            switch (fn) {
+              case Fn::J:
+                cyc += 3;
+                t += 3 * period;
+                iptr = s.truncate(iptr + operand);
+                flushFetchBuffer();
+                spill();
+                timesliceCheck(); // a descheduling point
+                reload();
+                running = state_ == CpuState::Running;
+                break;
+
+              case Fn::LDLP:
+                cyc += 1;
+                t += period;
+                c = b;
+                b = a;
+                a = s.index(wp, s.toSigned(operand));
+                break;
+
+              case Fn::LDNL: {
+                cyc += 2;
+                t += 2 * period;
+                const Word addr =
+                    s.index(s.wordAlign(a), s.toSigned(operand));
+                if (const int w = mem_.accessWaits(addr)) {
+                    cyc += static_cast<uint64_t>(w);
+                    t += w * period;
+                }
+                a = mem_.readWord(addr);
+                break;
+              }
+
+              case Fn::LDC:
+                cyc += 1;
+                t += period;
+                c = b;
+                b = a;
+                a = operand;
+                break;
+
+              case Fn::LDNLP:
+                cyc += 1;
+                t += period;
+                a = s.index(a, s.toSigned(operand));
+                break;
+
+              case Fn::LDL: {
+                cyc += 2;
+                t += 2 * period;
+                const Word addr = s.index(wp, s.toSigned(operand));
+                if (const int w = mem_.accessWaits(addr)) {
+                    cyc += static_cast<uint64_t>(w);
+                    t += w * period;
+                }
+                const Word v = mem_.readWord(addr);
+                c = b;
+                b = a;
+                a = v;
+                break;
+              }
+
+              case Fn::ADC: {
+                cyc += 1;
+                t += period;
+                const int64_t r =
+                    s.toSigned(a) + s.toSigned(operand);
+                if (overflows(s, r)) {
+                    err = true;
+                    errorFlag_ = true;
+                }
+                a = s.truncate(static_cast<uint64_t>(r));
+                break;
+              }
+
+              case Fn::CJ:
+                if (a == 0) {
+                    cyc += 4;
+                    t += 4 * period;
+                    iptr = s.truncate(iptr + operand);
+                    flushFetchBuffer();
+                } else {
+                    cyc += 2;
+                    t += 2 * period;
+                    a = b;
+                    b = c;
+                }
+                break;
+
+              case Fn::AJW:
+                cyc += 1;
+                t += period;
+                wp = s.index(wp, s.toSigned(operand));
+                break;
+
+              case Fn::EQC:
+                cyc += 2;
+                t += 2 * period;
+                a = (a == operand) ? 1 : 0;
+                break;
+
+              case Fn::STL: {
+                cyc += 1;
+                t += period;
+                const Word addr = s.index(wp, s.toSigned(operand));
+                const Word v = a;
+                a = b;
+                b = c;
+                if (const int w = mem_.accessWaits(addr)) {
+                    cyc += static_cast<uint64_t>(w);
+                    t += w * period;
+                }
+                mem_.writeWord(addr, v);
+                break;
+              }
+
+              case Fn::STNL: {
+                cyc += 2;
+                t += 2 * period;
+                const Word addr =
+                    s.index(s.wordAlign(a), s.toSigned(operand));
+                if (const int w = mem_.accessWaits(addr)) {
+                    cyc += static_cast<uint64_t>(w);
+                    t += w * period;
+                }
+                mem_.writeWord(addr, b);
+                a = c;
+                break;
+              }
+
+              default:
+                break; // unreachable: pfix/nfix never end a chain
+            }
+            ++n;
+            if (err && halt_on_err) {
+                state_ = CpuState::Halted;
+                break;
+            }
+        }
+    } catch (...) {
+        spill();
+        icache_.addHits(hits);
+        inExec_ = false;
+        throw;
+    }
+    spill();
+    icache_.addHits(hits);
+    inExec_ = false;
+    return n;
+}
+
+void
+Transputer::executeOneSlow()
 {
     lastInstrStart_ = time_;
     lastInstrInterruptible_ = false;
@@ -110,6 +425,7 @@ Transputer::execDirect(Fn fn, Word operand)
       case Fn::J:
         chargeCycles(cyc::direct(fn));
         iptr_ = shape_.truncate(iptr_ + operand);
+        flushFetchBuffer();
         timesliceCheck(); // a descheduling point (section 3.2.4)
         break;
 
@@ -157,6 +473,7 @@ Transputer::execDirect(Fn fn, Word operand)
         areg_ = iptr_; // return address available to the callee
         wptr_ = w;
         iptr_ = shape_.truncate(iptr_ + operand);
+        flushFetchBuffer();
         break;
       }
 
@@ -164,6 +481,7 @@ Transputer::execDirect(Fn fn, Word operand)
         if (areg_ == 0) {
             chargeCycles(cyc::direct(fn, true));
             iptr_ = shape_.truncate(iptr_ + operand);
+            flushFetchBuffer();
         } else {
             chargeCycles(cyc::direct(fn, false));
             pop();
@@ -232,6 +550,7 @@ Transputer::execOp(Word operation)
             // last component: continue as the successor process
             wptr_ = p;
             iptr_ = readWord(shape_.index(p, 0));
+            flushFetchBuffer();
         } else {
             writeWord(shape_.index(p, 1), shape_.truncate(count - 1));
             descheduleCurrent(false); // this component terminates
@@ -255,6 +574,7 @@ Transputer::execOp(Word operation)
 
       case Op::GCALL:
         std::swap(areg_, iptr_);
+        flushFetchBuffer();
         break;
 
       case Op::IN: {
@@ -443,6 +763,7 @@ Transputer::execOp(Word operation)
       case Op::RET:
         iptr_ = readWord(wptr_);
         wptr_ = shape_.index(wptr_, 4);
+        flushFetchBuffer();
         break;
 
       case Op::LEND: {
@@ -456,6 +777,7 @@ Transputer::execOp(Word operation)
             writeWord(ctrl,
                       shape_.truncate(readWord(ctrl) + 1)); // index++
             iptr_ = shape_.truncate(iptr_ - areg_);
+            flushFetchBuffer();
             timesliceCheck(); // a descheduling point
         }
         break;
@@ -712,6 +1034,7 @@ Transputer::execOp(Word operation)
 
       case Op::ALTEND:
         iptr_ = shape_.truncate(iptr_ + readWord(wptr_));
+        flushFetchBuffer();
         break;
 
       case Op::AND:

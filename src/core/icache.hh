@@ -1,0 +1,161 @@
+/**
+ * @file
+ * The per-transputer predecoded instruction cache (see DESIGN.md
+ * "Interpreter fast path").
+ *
+ * A direct-mapped array of isa::Predecoded entries keyed by the exact
+ * byte address of a chain start.  Validity is generation-based rather
+ * than flush-based: mem::Memory bumps a per-64-byte-block write
+ * generation on every store (CPU stores, link DMA, boot loads), and
+ * each entry records the generations of the blocks holding its first
+ * and last byte at decode time.  A hit therefore requires the tag to
+ * match *and* both generations to be unchanged, which makes
+ * self-modifying code exact without searching the cache on writes:
+ * invalidation is O(1) per store and lookups simply re-decode when
+ * stale.  Nothing architectural lives here -- dropping any entry (or
+ * the whole cache) at any moment is always correct.
+ */
+
+#ifndef TRANSPUTER_CORE_ICACHE_HH
+#define TRANSPUTER_CORE_ICACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/types.hh"
+#include "isa/predecode.hh"
+#include "mem/memory.hh"
+
+namespace transputer::core
+{
+
+class PredecodeCache
+{
+  public:
+    /** One cached chain; ~24 bytes, see isa::Predecoded. */
+    struct Entry
+    {
+        Word tag = 0;       ///< iptr of the chain start
+        Word operand = 0;   ///< folded operand
+        uint32_t gidx = 0;  ///< generation slot of the first byte
+        uint32_t gidx2 = 0; ///< generation slot of the last byte
+        uint32_t gen = 0;   ///< write generation of the first byte
+        uint32_t gen2 = 0;  ///< write generation of the last byte
+        uint8_t length = 0; ///< bytes, including prefixes; 0: invalid
+        uint8_t pfixes = 0;
+        uint8_t nfixes = 0;
+        uint8_t fn = 0;     ///< final isa::Fn (never PFIX/NFIX)
+        uint8_t flags = 0;  ///< isa::pflag:: bits
+        bool offChip = false; ///< any byte outside on-chip RAM
+    };
+
+    explicit PredecodeCache(mem::Memory &mem)
+        : mem_(&mem), gens_(mem.invalBlocks(), 1), entries_(kEntries)
+    {
+        mem_->attachWriteGens(gens_.data());
+    }
+
+    ~PredecodeCache() { mem_->attachWriteGens(nullptr); }
+
+    PredecodeCache(const PredecodeCache &) = delete;
+    PredecodeCache &operator=(const PredecodeCache &) = delete;
+
+    /**
+     * The entry for the chain starting at iptr, decoding on a miss.
+     * @return nullptr when the chain is not cacheable (it runs past
+     * populated memory or exceeds isa::maxChainBytes): the caller
+     * must fall back to byte-at-a-time execution.
+     */
+    const Entry *
+    lookup(Word iptr)
+    {
+        // hot: the per-instruction hit check is two direct loads into
+        // the generation array (the slots were resolved at fill time)
+        Entry &e = entries_[indexOf(iptr)];
+        if (e.length && e.tag == iptr && gens_[e.gidx] == e.gen &&
+            gens_[e.gidx2] == e.gen2) {
+            ++hits_;
+            return &e;
+        }
+        return fill(iptr);
+    }
+
+    /** @name Statistics (bench_interp) */
+    ///@{
+    uint64_t hits() const { return hits_; }
+    uint64_t misses() const { return misses_; }
+    ///@}
+
+    /** @name Raw access for the fused interpreter loop
+     *
+     * core/exec.cc's runFused keeps these in locals so the hot hit
+     * check does not re-load vector data pointers after every store
+     * (uint8_t stores into the memory image may alias anything).  A
+     * miss there simply falls back to lookup(), which fills.
+     */
+    ///@{
+    static constexpr size_t kIndexMask = 2047;
+    const Entry *entriesData() const { return entries_.data(); }
+    const uint32_t *gensData() const { return gens_.data(); }
+    void addHits(uint64_t n) { hits_ += n; }
+    ///@}
+
+  private:
+    static constexpr size_t kEntries = kIndexMask + 1; ///< slots
+
+    static size_t
+    indexOf(Word iptr)
+    {
+        return static_cast<size_t>(iptr) & (kEntries - 1);
+    }
+
+    Word
+    lastByte(Word iptr, uint8_t length) const
+    {
+        return mem_->shape().truncate(
+            iptr + static_cast<Word>(length - 1));
+    }
+
+    const Entry *
+    fill(Word iptr)
+    {
+        ++misses_;
+        const WordShape &s = mem_->shape();
+        uint8_t buf[isa::maxChainBytes];
+        size_t n = 0;
+        while (n < isa::maxChainBytes &&
+               mem_->contains(s.truncate(iptr + n))) {
+            buf[n] = mem_->readByte(s.truncate(iptr + n));
+            ++n;
+        }
+        const isa::Predecoded d = isa::predecode(buf, n, s);
+        if (!d.complete())
+            return nullptr;
+        Entry &e = entries_[indexOf(iptr)];
+        e.tag = iptr;
+        e.operand = d.operand;
+        e.gidx = static_cast<uint32_t>(mem_->blockIndex(iptr));
+        e.gidx2 = static_cast<uint32_t>(
+            mem_->blockIndex(lastByte(iptr, d.length)));
+        e.gen = gens_[e.gidx];
+        e.gen2 = gens_[e.gidx2];
+        e.length = d.length;
+        e.pfixes = d.pfixes;
+        e.nfixes = d.nfixes;
+        e.fn = static_cast<uint8_t>(d.fn);
+        e.flags = d.flags;
+        e.offChip = !mem_->isOnChip(iptr) ||
+                    !mem_->isOnChip(lastByte(iptr, d.length));
+        return &e;
+    }
+
+    mem::Memory *mem_;
+    std::vector<uint32_t> gens_; ///< per-block write generations
+    std::vector<Entry> entries_;
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+};
+
+} // namespace transputer::core
+
+#endif // TRANSPUTER_CORE_ICACHE_HH

@@ -14,7 +14,11 @@ Transputer::Transputer(sim::EventQueue &queue, const Config &cfg,
     : name_(std::move(name)), cfg_(cfg), shape_(cfg.shape),
       queue_(&queue),
       mem_(cfg.shape, cfg.onchipBytes, cfg.externalBytes,
-           cfg.externalWaits)
+           cfg.externalWaits),
+      icache_(mem_), predecodeEnabled_(cfg.predecode),
+      stepEvent_([](void *ctx) {
+          static_cast<Transputer *>(ctx)->stepHandler();
+      }, this)
 {
     fptr_[0] = fptr_[1] = notProcess();
     bptr_[0] = bptr_[1] = notProcess();
@@ -67,6 +71,7 @@ Transputer::boot(Word iptr, Word wptr, int pri)
     timerBase_ = time_;
     timerOffset_[0] = timerOffset_[1] = 0;
     sliceStartCycles_ = static_cast<int64_t>(cycles_);
+    flushFetchBuffer();
     state_ = CpuState::Running;
     scheduleStep();
 }
@@ -135,9 +140,9 @@ Transputer::scheduleStep()
     if (stepScheduled_)
         return;
     stepScheduled_ = true;
-    queue_->schedule(std::max(time_, queue_->now()),
-                     sim::EventKey{actorId_, sim::chanStep, ++selfSeq_},
-                     [this] { stepHandler(); });
+    queue_->scheduleStatic(
+        std::max(time_, queue_->now()),
+        sim::EventKey{actorId_, sim::chanStep, ++selfSeq_}, stepEvent_);
 }
 
 void
@@ -157,10 +162,29 @@ Transputer::stepHandler()
         // may still arrive -- so the co-simulation stays exact;
         // equality still executes (other agents' step events at the
         // same tick would livelock us)
-        if (time_ > std::min(queue_->nextTime(), queue_->horizon()))
+        const Tick bound =
+            std::min(queue_->nextTime(), queue_->horizon());
+        if (time_ > bound)
             break;
-        executeOne();
+        // fused run: a kFast instruction can neither schedule nor
+        // cancel an event nor raise a preemption, so the bound stays
+        // valid and straight-line code executes back to back inside
+        // this one dispatch
+        bool fast = executeOne();
         ++batch;
+        while (fast && state_ == CpuState::Running &&
+               !preemptPending_ && batch < cfg_.maxBatch &&
+               time_ <= bound) {
+            // bulk of the run: the inlined fused loop; it stops at
+            // instructions it does not inline, which the generic
+            // executeOne then handles before re-entering
+            batch += runFused(bound, cfg_.maxBatch - batch);
+            if (state_ != CpuState::Running || preemptPending_ ||
+                batch >= cfg_.maxBatch || time_ > bound)
+                break;
+            fast = executeOne();
+            ++batch;
+        }
     }
     if (state_ == CpuState::Running)
         scheduleStep();
@@ -319,6 +343,9 @@ void
 Transputer::pickNext()
 {
     TRANSPUTER_ASSERT(wptr_ == notProcess());
+    // control moves to a different Iptr: the fetch buffer's word no
+    // longer matches the instruction stream
+    flushFetchBuffer();
     if (fptr_[0] != notProcess()) {
         const Word w = fptr_[0];
         fptr_[0] = (w == bptr_[0]) ? notProcess()

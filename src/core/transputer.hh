@@ -33,6 +33,7 @@
 #include "base/types.hh"
 #include "isa/opcodes.hh"
 #include "mem/memory.hh"
+#include "core/icache.hh"
 #include "core/ports.hh"
 #include "sim/event_queue.hh"
 
@@ -59,6 +60,7 @@ struct Config
     Tick cyclePeriod = 50;         ///< ns per processor cycle (20 MHz)
     int64_t timesliceCycles = 20480; ///< ~1 ms low-priority timeslice
     int maxBatch = 8192;           ///< instructions per event-loop turn
+    bool predecode = true;         ///< use the predecoded instruction cache
 };
 
 /** Execution state of the whole part. */
@@ -166,6 +168,15 @@ class Transputer
 
     /** Stream to trace every executed instruction to (nullptr: off). */
     void setTrace(std::ostream *os) { trace_ = os; }
+
+    /**
+     * Toggle the predecoded instruction cache at runtime
+     * (architecturally invisible; bench_interp and the equivalence
+     * tests run both ways).
+     */
+    void setPredecodeEnabled(bool on) { predecodeEnabled_ = on; }
+    bool predecodeEnabled() const { return predecodeEnabled_; }
+    const PredecodeCache &icache() const { return icache_; }
     ///@}
 
     /** @name Architectural constants (word-shape dependent) */
@@ -188,13 +199,26 @@ class Transputer
     ///@{
     void scheduleStep();
     void stepHandler();
-    void executeOne();
+    /** @return true if the instruction was a fused-path (kFast) one. */
+    bool executeOne();
     void wakeIfIdle();
     ///@}
 
     /** @name Instruction execution (exec.cc) */
     ///@{
     uint8_t fetchByte();
+    void executeOneSlow();
+    void executePredecoded(const PredecodeCache::Entry &e);
+    /** Fused inner loop over cached fast instructions; returns the
+     *  number executed.  Stops at the bound, the budget, a cache
+     *  miss, or any instruction it does not inline. */
+    int runFused(Tick bound, int budget);
+    /** Off-chip fetch-wait charges for a whole predecoded chain. */
+    void chargeFetchSpan(Word start, int length);
+    bool fetchBufferHolds(Word word_addr) const;
+    void setFetchBuffer(Word word_addr);
+    /** Forget the fetch buffer (process switch / interrupt / boot). */
+    void flushFetchBuffer() { lastFetchValid_ = false; }
     void execDirect(isa::Fn fn, Word operand);
     void execOp(Word operation);
     ///@}
@@ -272,6 +296,9 @@ class Transputer
     uint32_t actorId_ = 0;
     uint64_t selfSeq_ = 0; ///< seq for this actor's step/timer events
     mem::Memory mem_;
+    PredecodeCache icache_;
+    bool predecodeEnabled_;
+    sim::StaticEvent stepEvent_; ///< allocation-free CPU-step event
 
     // register file (Figure 2)
     Word iptr_ = 0;
@@ -297,8 +324,12 @@ class Transputer
     bool lowSaved_ = false;
     Tick lowDebtTicks_ = 0;    ///< interrupted-instruction tail to repay
 
-    // instruction fetch buffer (word-granular off-chip fetch)
-    Word lastFetchWord_ = 0xFFFFFFFFu;
+    // instruction fetch buffer (word-granular off-chip fetch); valid
+    // only while the buffered word is unwritten (generation match) and
+    // until the next process switch, interrupt or boot
+    Word lastFetchWord_ = 0;
+    uint32_t lastFetchGen_ = 0;
+    bool lastFetchValid_ = false;
 
     // preemption bookkeeping
     bool inExec_ = false;      ///< inside executeOne (for wake timing)

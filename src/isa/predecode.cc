@@ -1,0 +1,102 @@
+#include "isa/predecode.hh"
+
+#include "isa/cycles.hh"
+
+namespace transputer::isa
+{
+
+bool
+fastOp(Op op)
+{
+    if (cycles::isInterruptible(op))
+        return false;
+    switch (op) {
+      // channel / port operations (may drive a link engine, which
+      // schedules wire events)
+      case Op::IN:
+      case Op::OUT:
+      case Op::OUTBYTE:
+      case Op::OUTWORD:
+      case Op::RESETCH:
+      case Op::ENBC:
+      case Op::DISC:
+      // process scheduling (may raise a preemption or deschedule into
+      // a context the caller wants to observe promptly)
+      case Op::ENDP:
+      case Op::STARTP:
+      case Op::STOPP:
+      case Op::RUNP:
+      case Op::STOPERR:
+      // timer-queue operations (schedule/cancel the expiry event)
+      case Op::TIN:
+      case Op::ENBT:
+      case Op::DIST:
+      case Op::STTIMER:
+      // ALT control (may deschedule; TALTWT is interruptible anyway)
+      case Op::ALT:
+      case Op::ALTWT:
+      case Op::ALTEND:
+      case Op::ENBS:
+      case Op::DISS:
+      case Op::TALT:
+      // scheduler register accesses (kernel-level; keep off the fused
+      // path so their interleaving with events is never deferred)
+      case Op::STLB:
+      case Op::STHF:
+      case Op::STLF:
+      case Op::STHB:
+      case Op::SAVEL:
+      case Op::SAVEH:
+        return false;
+      default:
+        return true;
+    }
+}
+
+bool
+fastFn(Fn fn)
+{
+    // Direct functions touch only registers and memory; j/lend's
+    // timeslice rotation deschedules but never schedules an event.
+    return fn != Fn::PFIX && fn != Fn::NFIX;
+}
+
+Predecoded
+predecode(const uint8_t *bytes, size_t n, const WordShape &shape)
+{
+    Predecoded d;
+    Word oreg = 0;
+    for (size_t pos = 0; pos < n && pos < maxChainBytes; ++pos) {
+        const uint8_t b = bytes[pos];
+        const Fn fn = static_cast<Fn>(b >> 4);
+        const Word data = b & 0x0F;
+        if (fn == Fn::PFIX) {
+            oreg = shape.truncate((oreg | data) << 4);
+            ++d.pfixes;
+        } else if (fn == Fn::NFIX) {
+            oreg = shape.truncate(~(oreg | data) << 4);
+            ++d.nfixes;
+        } else {
+            d.fn = fn;
+            d.operand = shape.truncate(oreg | data);
+            d.length = static_cast<uint8_t>(pos + 1);
+            d.flags = pflag::kComplete;
+            if (fn == Fn::OPR) {
+                if (opDefined(d.operand)) {
+                    d.flags |= pflag::kOpDefined;
+                    const Op op = static_cast<Op>(d.operand);
+                    if (fastOp(op))
+                        d.flags |= pflag::kFast;
+                    if (cycles::isInterruptible(op))
+                        d.flags |= pflag::kInterruptible;
+                }
+            } else if (fastFn(fn)) {
+                d.flags |= pflag::kFast;
+            }
+            return d;
+        }
+    }
+    return d; // incomplete: chain longer than the supplied bytes
+}
+
+} // namespace transputer::isa

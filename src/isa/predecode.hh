@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Instruction predecoding (the decode half of the interpreter's fast
+ * path; see DESIGN.md "Interpreter fast path").
+ *
+ * The paper's I1 encoding re-derives the same information on every
+ * dynamic execution of a byte: the prefix chain is folded into Oreg
+ * one byte at a time and the final function byte is dispatched twice
+ * (function nibble, then operation).  predecode() performs that fold
+ * exactly once per static location, producing a small fixed struct --
+ * resolved function, accumulated operand, chain length, prefix
+ * counts, the base cycle charge and behaviour flags -- which the core
+ * caches (core/icache.hh) and replays until the underlying bytes are
+ * written.
+ *
+ * The classification here is deliberately conservative: kFast marks
+ * instructions that touch only registers, memory and the CPU's local
+ * clock, so a run of them can execute inside one event dispatch
+ * without re-reading the event queue (they can neither schedule nor
+ * cancel events, raise a preemption, nor start a link transfer).
+ */
+
+#ifndef TRANSPUTER_ISA_PREDECODE_HH
+#define TRANSPUTER_ISA_PREDECODE_HH
+
+#include <cstdint>
+#include <cstddef>
+
+#include "base/types.hh"
+#include "isa/opcodes.hh"
+
+namespace transputer::isa
+{
+
+/** Behaviour flags of a predecoded instruction. */
+namespace pflag
+{
+/** Complete chain decoded (unset: ran off the supplied bytes). */
+constexpr uint8_t kComplete = 1 << 0;
+/**
+ * Register/memory/clock-local: cannot schedule or cancel an event,
+ * wake another process, drive a port, or block.  A run of kFast
+ * instructions may execute back-to-back inside one event dispatch.
+ */
+constexpr uint8_t kFast = 1 << 1;
+/** A priority switch may occur mid-instruction (cycles.hh). */
+constexpr uint8_t kInterruptible = 1 << 2;
+/** The operand of an OPR names a defined operation. */
+constexpr uint8_t kOpDefined = 1 << 3;
+} // namespace pflag
+
+/**
+ * One predecoded instruction: a whole prefix chain plus its final
+ * function byte, folded.
+ */
+struct Predecoded
+{
+    Word operand = 0;       ///< accumulated operand (word-masked)
+    Fn fn = Fn::OPR;        ///< final function (never PFIX/NFIX)
+    uint8_t length = 0;     ///< bytes consumed, including prefixes
+    uint8_t pfixes = 0;     ///< pfix bytes in the chain
+    uint8_t nfixes = 0;     ///< nfix bytes in the chain
+    uint8_t flags = 0;      ///< pflag:: bits
+
+    bool complete() const { return flags & pflag::kComplete; }
+    bool fast() const { return flags & pflag::kFast; }
+    bool isOperation() const { return fn == Fn::OPR; }
+};
+
+/** Longest chain predecode() will fold (8 prefixes + final byte). */
+constexpr size_t maxChainBytes = 9;
+
+/**
+ * Fold one complete instruction starting at bytes[0].  Mirrors the
+ * hardware's per-byte Oreg accumulation for the given word shape.
+ * If the chain does not finish within n bytes the result has
+ * kComplete unset (and must not be cached).
+ */
+Predecoded predecode(const uint8_t *bytes, size_t n,
+                     const WordShape &shape);
+
+/**
+ * True if the operation only reads/writes registers, memory and the
+ * local clock (see pflag::kFast).  Channel and port operations,
+ * process scheduling, timer-queue operations and the interruptible
+ * instructions are all excluded.
+ */
+bool fastOp(Op op);
+
+/** True if the direct function is kFast (all of them are). */
+bool fastFn(Fn fn);
+
+} // namespace transputer::isa
+
+#endif // TRANSPUTER_ISA_PREDECODE_HH

@@ -21,7 +21,9 @@
 #ifndef TRANSPUTER_MEM_MEMORY_HH
 #define TRANSPUTER_MEM_MEMORY_HH
 
+#include <bit>
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
 #include "base/logging.hh"
@@ -136,6 +138,53 @@ class Memory
         return offset(addr) < onchipBytes_;
     }
 
+    /** True if the address lies within populated memory. */
+    bool
+    contains(Word addr) const
+    {
+        return offset(addr) < bytes_.size();
+    }
+
+    /** @name Write-invalidation hook (core/icache.hh)
+     *
+     * Every store -- CPU writes, link DMA, boot loads -- funnels
+     * through writeByte/writeWord, so bumping a per-block generation
+     * counter here catches every way code can change, including
+     * self-modifying programs.  The observer array is owned by the
+     * attached predecode cache; a null pointer (no cache, bare Memory
+     * in tests) makes the hook a single predictable branch.
+     */
+    ///@{
+    /** log2 of the invalidation granule (64-byte blocks). */
+    static constexpr int invalBlockShift = 6;
+
+    /** Number of generation counters an observer must provide. */
+    size_t
+    invalBlocks() const
+    {
+        return (bytes_.size() >> invalBlockShift) + 1;
+    }
+
+    /** Attach (or detach, with nullptr) the generation array. */
+    void attachWriteGens(uint32_t *gens) { writeGens_ = gens; }
+
+    /** Generation-counter slot for the block containing addr. */
+    size_t
+    blockIndex(Word addr) const
+    {
+        return static_cast<size_t>(offset(addr)) >> invalBlockShift;
+    }
+
+    /** Current generation of the block containing addr. */
+    uint32_t
+    writeGen(Word addr) const
+    {
+        return writeGens_
+                   ? writeGens_[offset(addr) >> invalBlockShift]
+                   : 0;
+    }
+    ///@}
+
     /** Extra cycles the CPU must charge for touching this address. */
     int
     accessWaits(Word addr) const
@@ -152,7 +201,10 @@ class Memory
     void
     writeByte(Word addr, uint8_t v)
     {
-        bytes_[checkedOffset(addr)] = v;
+        const size_t off = checkedOffset(addr);
+        if (writeGens_)
+            ++writeGens_[off >> invalBlockShift];
+        bytes_[off] = v;
     }
 
     /** Read the word containing addr (byte selector ignored). */
@@ -161,6 +213,17 @@ class Memory
     {
         const Word a = shape_.wordAlign(addr);
         const size_t off = checkedOffset(a);
+        // the byte fold below is a little-endian load; take it in one
+        // step for the common 32-bit shape on little-endian hosts
+        // (the loop's trip count is a runtime value, so the compiler
+        // cannot merge it on its own)
+        if constexpr (std::endian::native == std::endian::little) {
+            if (shape_.bytes == 4) {
+                uint32_t v;
+                std::memcpy(&v, bytes_.data() + off, sizeof(v));
+                return v;
+            }
+        }
         Word v = 0;
         for (int i = shape_.bytes - 1; i >= 0; --i)
             v = (v << 8) | bytes_[off + i];
@@ -173,6 +236,15 @@ class Memory
     {
         const Word a = shape_.wordAlign(addr);
         const size_t off = checkedOffset(a);
+        if (writeGens_)
+            ++writeGens_[off >> invalBlockShift];
+        if constexpr (std::endian::native == std::endian::little) {
+            if (shape_.bytes == 4) {
+                const uint32_t u = static_cast<uint32_t>(v);
+                std::memcpy(bytes_.data() + off, &u, sizeof(u));
+                return;
+            }
+        }
         for (int i = 0; i < shape_.bytes; ++i) {
             bytes_[off + i] = static_cast<uint8_t>(v & 0xFF);
             v >>= 8;
@@ -221,6 +293,7 @@ class Memory
     const Word onchipBytes_;
     const int externalWaits_;
     std::vector<uint8_t> bytes_;
+    uint32_t *writeGens_ = nullptr; ///< per-block write generations
 };
 
 } // namespace transputer::mem

@@ -15,6 +15,7 @@
 #define TRANSPUTER_NET_NETWORK_HH
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -52,6 +53,11 @@ struct RunOptions
     Partition partition = Partition::Contiguous;
     /** Custom node -> shard map (Partition::Custom only). */
     std::vector<int> shardOf;
+    /**
+     * Force the predecoded instruction cache on/off on every node for
+     * this run; unset leaves each node's own setting alone.
+     */
+    std::optional<bool> predecode;
 };
 
 /** A collection of transputers wired by links, with one time base. */

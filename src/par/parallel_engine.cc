@@ -125,6 +125,9 @@ runParallel(net::Network &net, Tick limit, const net::RunOptions &opts,
 {
     auto &master = net.queue();
     const size_t n = net.size();
+    if (opts.predecode)
+        for (size_t i = 0; i < n; ++i)
+            net.node(i).setPredecodeEnabled(*opts.predecode);
     if (n == 0)
         return net.run(limit);
 

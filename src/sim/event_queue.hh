@@ -67,6 +67,49 @@ constexpr uint32_t chanSelf = 2;  ///< actor-internal (peripherals)
 constexpr uint32_t chanLine = 8;  ///< + line id: wire deliveries
 ///@}
 
+class EventQueue;
+
+/**
+ * A preallocated, reusable event: the allocation-free fast path for
+ * high-frequency periodic events (the CPU-step channel).
+ *
+ * The object is the slab: it lives inside its owner (one per
+ * transputer), carries a plain function pointer + context instead of
+ * a std::function, and is tracked by an intrusive list in the queue
+ * instead of the heap-allocating live-event map.  Arming it
+ * (EventQueue::scheduleStatic) therefore performs no allocation
+ * beyond the amortized heap-vector push.
+ *
+ * At most one arming may be outstanding; the owner re-arms it from
+ * inside the fire callback (or later).  Migration between queues
+ * (EventQueue::extractPending, src/par) wraps it into an ordinary
+ * closure event, preserving its dispatch key and id.
+ */
+class StaticEvent
+{
+  public:
+    using FireFn = void (*)(void *);
+
+    StaticEvent(FireFn fire, void *ctx) : fire_(fire), ctx_(ctx) {}
+    StaticEvent(const StaticEvent &) = delete;
+    StaticEvent &operator=(const StaticEvent &) = delete;
+
+    /** True while armed on some queue. */
+    bool pending() const { return armed_; }
+
+  private:
+    friend class EventQueue;
+
+    FireFn fire_;
+    void *ctx_;
+    Tick when_ = 0;
+    EventKey key_{};
+    EventId id_ = invalidEventId;
+    bool armed_ = false;
+    StaticEvent *prev_ = nullptr;
+    StaticEvent *next_ = nullptr;
+};
+
 /**
  * A time-ordered queue of callbacks.
  *
@@ -112,7 +155,46 @@ class EventQueue
     void setHorizon(Tick h) { horizon_ = h; }
 
     /** Number of live (non-cancelled) pending events. */
-    size_t pending() const { return live_.size(); }
+    size_t pending() const { return live_.size() + staticLive_; }
+
+    /**
+     * Arm a StaticEvent at absolute time when (>= now): the
+     * allocation-free path used by the CPU-step channel.  The event
+     * must not already be pending.
+     * @return the dispatch id (for determinism tie-breaks; static
+     * events are cancelled via cancelStatic, not this id).
+     */
+    EventId
+    scheduleStatic(Tick when, const EventKey &key, StaticEvent &ev)
+    {
+        TRANSPUTER_ASSERT(when >= now_,
+                          "event scheduled in the past");
+        TRANSPUTER_ASSERT(!ev.armed_, "static event already pending");
+        const EventId id = ++nextId_;
+        ev.when_ = when;
+        ev.key_ = key;
+        ev.id_ = id;
+        ev.armed_ = true;
+        linkStatic(ev);
+        ++staticLive_;
+        heap_.push(HeapEntry{when, key, id, &ev});
+        return id;
+    }
+
+    /**
+     * Disarm a pending StaticEvent (lazy, like cancel()).
+     * @return true if it was pending on this queue.
+     */
+    bool
+    cancelStatic(StaticEvent &ev)
+    {
+        if (!ev.armed_)
+            return false;
+        unlinkStatic(ev);
+        ev.armed_ = false;
+        --staticLive_;
+        return true;
+    }
 
     /**
      * Schedule fn at absolute time when (>= now) with a deterministic
@@ -186,11 +268,20 @@ class EventQueue
             return false;
         const HeapEntry e = heap_.top();
         heap_.pop();
+        TRANSPUTER_ASSERT(e.when >= now_, "time went backwards");
+        if (e.sev) {
+            StaticEvent &ev = *e.sev;
+            unlinkStatic(ev);
+            ev.armed_ = false;
+            --staticLive_;
+            now_ = e.when;
+            ev.fire_(ev.ctx_);
+            return true;
+        }
         auto it = live_.find(e.id);
         TRANSPUTER_ASSERT(it != live_.end());
         auto fn = std::move(it->second.fn);
         live_.erase(it);
-        TRANSPUTER_ASSERT(e.when >= now_, "time went backwards");
         now_ = e.when;
         fn();
         return true;
@@ -239,10 +330,23 @@ class EventQueue
     extractPending()
     {
         std::vector<Pending> out;
-        out.reserve(live_.size());
+        out.reserve(live_.size() + staticLive_);
         for (auto &[id, ev] : live_)
             out.push_back(
                 Pending{ev.when, ev.key, id, std::move(ev.fn)});
+        // armed static events migrate as ordinary closure events (the
+        // wrap allocates, but migration is a per-run event, not a
+        // per-step one); they re-arm statically on their new queue
+        // the next time their owner schedules them
+        while (staticHead_) {
+            StaticEvent &ev = *staticHead_;
+            unlinkStatic(ev);
+            ev.armed_ = false;
+            --staticLive_;
+            out.push_back(Pending{
+                ev.when_, ev.key_, ev.id_,
+                [fire = ev.fire_, ctx = ev.ctx_] { fire(ctx); }});
+        }
         live_.clear();
         heap_ = {};
         return out;
@@ -275,6 +379,7 @@ class EventQueue
         Tick when;
         EventKey key;
         EventId id;
+        StaticEvent *sev = nullptr; ///< non-null: static fast path
 
         /** std::priority_queue is a max-heap; order inverted. */
         bool
@@ -296,9 +401,41 @@ class EventQueue
     void
     skipDead()
     {
-        while (!heap_.empty() && !live_.count(heap_.top().id))
+        while (!heap_.empty()) {
+            const HeapEntry &t = heap_.top();
+            const bool alive =
+                t.sev ? (t.sev->armed_ && t.sev->id_ == t.id)
+                      : live_.count(t.id) != 0;
+            if (alive)
+                break;
             heap_.pop();
+        }
     }
+
+    /** @name Intrusive list of armed static events */
+    ///@{
+    void
+    linkStatic(StaticEvent &ev)
+    {
+        ev.prev_ = nullptr;
+        ev.next_ = staticHead_;
+        if (staticHead_)
+            staticHead_->prev_ = &ev;
+        staticHead_ = &ev;
+    }
+
+    void
+    unlinkStatic(StaticEvent &ev)
+    {
+        if (ev.prev_)
+            ev.prev_->next_ = ev.next_;
+        else
+            staticHead_ = ev.next_;
+        if (ev.next_)
+            ev.next_->prev_ = ev.prev_;
+        ev.prev_ = ev.next_ = nullptr;
+    }
+    ///@}
 
     /** Per-queue id epoch: ids unique across all queues. */
     static constexpr int idEpochShift = 40;
@@ -310,6 +447,8 @@ class EventQueue
     uint64_t defaultSeq_ = 0;
     std::priority_queue<HeapEntry> heap_;
     std::unordered_map<EventId, Live> live_;
+    StaticEvent *staticHead_ = nullptr; ///< armed static events
+    size_t staticLive_ = 0;
 };
 
 } // namespace transputer::sim

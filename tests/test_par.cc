@@ -345,12 +345,20 @@ using BuildFn = std::function<void(Rig &)>;
 /** Build the workload twice; run one serially and one sharded; every
  *  observable must be identical. */
 void
-checkEquivalence(const BuildFn &build, Tick limit,
-                 const RunOptions &opts, const std::string &what)
+checkEquivalence(const BuildFn &build, Tick limit, RunOptions opts,
+                 const std::string &what, bool predecode = true)
 {
     Rig serial, parallel;
     build(serial);
     build(parallel);
+    if (!predecode) {
+        // serial side directly; parallel side through the RunOptions
+        // plumbing, so both get exercised
+        for (size_t i = 0; i < serial.net.size(); ++i)
+            serial.net.node(static_cast<int>(i))
+                .setPredecodeEnabled(false);
+        opts.predecode = false;
+    }
     const Tick ts = serial.net.run(limit);
     const Tick tp = parallel.net.run(limit, opts);
     EXPECT_EQ(ts, tp) << what;
@@ -587,6 +595,28 @@ TEST(ParEquivalence, HypercubeDimensionRoute)
     checkEquivalence(buildHypercubeRig, maxTick,
                      options(4, Partition::Striped),
                      "hypercube striped/4");
+}
+
+TEST(ParEquivalence, TopologiesWithPredecodeDisabled)
+{
+    // every topology once more with the predecode cache off: the
+    // serial/parallel guarantee must not depend on the interpreter
+    // fast path (and RunOptions::predecode must reach every node)
+    auto grid = [](Rig &r) { buildGridRig(r, 4, 3, 2); };
+    checkEquivalence(buildPipelineRig, maxTick,
+                     options(2, Partition::Contiguous),
+                     "pipeline no-predecode", false);
+    checkEquivalence(buildRingRig, maxTick,
+                     options(2, Partition::Contiguous),
+                     "ring no-predecode", false);
+    checkEquivalence(grid, maxTick, options(3, Partition::Contiguous),
+                     "grid no-predecode", false);
+    checkEquivalence(buildTorusRig, maxTick,
+                     options(2, Partition::Contiguous),
+                     "torus no-predecode", false);
+    checkEquivalence(buildHypercubeRig, maxTick,
+                     options(2, Partition::Contiguous),
+                     "hypercube no-predecode", false);
 }
 
 TEST(ParEquivalence, RepeatedParallelRunsAreIdentical)

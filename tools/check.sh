@@ -1,0 +1,26 @@
+#!/bin/sh
+# Smoke check: configure, build and run the tier-1 suite for the
+# default preset, then the tsan preset's parallel-engine suite (the
+# "par" label, the only tests with cross-thread interactions).
+#
+# Usage: tools/check.sh [--no-tsan]
+set -eu
+
+cd "$(dirname "$0")/.."
+
+run_preset() {
+    preset=$1
+    shift
+    echo "== preset: $preset =="
+    cmake --preset "$preset"
+    cmake --build --preset "$preset" -j "$@"
+    ctest --preset "$preset" -j
+}
+
+run_preset default
+
+if [ "${1:-}" != "--no-tsan" ]; then
+    run_preset tsan --target test_par
+fi
+
+echo "== all checks passed =="
