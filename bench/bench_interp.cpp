@@ -54,6 +54,36 @@ struct Measure
     uint64_t cycles = 0;
     uint64_t icacheHits = 0;
     uint64_t icacheMisses = 0;
+    uint64_t fusedRuns = 0;
+    uint64_t fusedInstructions = 0;
+
+    double
+    hitRate() const
+    {
+        const double n =
+            static_cast<double>(icacheHits + icacheMisses);
+        return n ? static_cast<double>(icacheHits) / n : 0.0;
+    }
+
+    /** Instructions the fused loop inlined per entry (on-mode only). */
+    double
+    fusedMeanRun() const
+    {
+        return fusedRuns ? static_cast<double>(fusedInstructions) /
+                               static_cast<double>(fusedRuns)
+                         : 0.0;
+    }
+
+    void
+    fill(const obs::Counters &c)
+    {
+        instructions = c.instructions;
+        cycles = c.cycles;
+        icacheHits = c.icacheHits;
+        icacheMisses = c.icacheMisses;
+        fusedRuns = c.fused.runs;
+        fusedInstructions = c.fused.instructions;
+    }
 };
 
 std::string
@@ -83,10 +113,7 @@ runE7(bool predecode)
         rig.run(e7LoopSource(200'000));
         const double secs = cpuSeconds() - t0;
         Measure m;
-        m.instructions = rig.cpu.instructions();
-        m.cycles = rig.cpu.cycles();
-        m.icacheHits = rig.cpu.icache().hits();
-        m.icacheMisses = rig.cpu.icache().misses();
+        m.fill(rig.cpu.counters());
         m.ips = static_cast<double>(m.instructions) / secs;
         if (m.ips > best.ips)
             best = m;
@@ -113,13 +140,7 @@ runDbSearch(bool predecode)
         db->network().run(limit, opts);
         const double secs = cpuSeconds() - t0;
         Measure m;
-        for (size_t i = 0; i < db->network().size(); ++i) {
-            auto &n = db->network().node(static_cast<int>(i));
-            m.instructions += n.instructions();
-            m.cycles += n.cycles();
-            m.icacheHits += n.icache().hits();
-            m.icacheMisses += n.icache().misses();
-        }
+        m.fill(db->network().counters());
         m.ips = static_cast<double>(m.instructions) / secs;
         if (m.ips > best.ips)
             best = m;
@@ -154,17 +175,14 @@ main()
     loads.push_back(
         {"dbsearch_4x4", runDbSearch(true), runDbSearch(false)});
 
-    Table t({16, 14, 14, 10, 12, 12});
+    Table t({16, 14, 14, 10, 12, 11, 12});
     t.row("workload", "on (instr/s)", "off (instr/s)", "speedup",
-          "hit rate", "identical");
+          "hit rate", "fused run", "identical");
     t.rule();
     bool all_identical = true;
     for (const auto &w : loads) {
-        const double lookups = static_cast<double>(
-            w.on.icacheHits + w.on.icacheMisses);
         t.row(w.name, w.on.ips, w.off.ips, w.speedup(),
-              lookups ? static_cast<double>(w.on.icacheHits) / lookups
-                      : 0.0,
+              w.on.hitRate(), w.on.fusedMeanRun(),
               w.identical() ? "yes" : "NO");
         all_identical = all_identical && w.identical();
     }
@@ -189,7 +207,10 @@ main()
              << ", \"speedup\": " << w.speedup()
              << ", \"instructions\": " << w.on.instructions
              << ", \"icache_hits\": " << w.on.icacheHits
-             << ", \"icache_misses\": " << w.on.icacheMisses << "}"
+             << ", \"icache_misses\": " << w.on.icacheMisses
+             << ", \"icache_hit_rate\": " << w.on.hitRate()
+             << ", \"fused_runs\": " << w.on.fusedRuns
+             << ", \"fused_mean_run\": " << w.on.fusedMeanRun() << "}"
              << (i + 1 < loads.size() ? "," : "") << "\n";
     }
     json << "  ]\n}\n";

@@ -15,6 +15,7 @@
  * JSON records hardware_concurrency so readers can tell.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <fstream>
 #include <memory>
@@ -44,6 +45,22 @@ struct Result
     uint64_t rounds;
     Tick simulated;
     std::vector<Word> counts;
+    std::vector<par::ShardStats> shards;
+    obs::Counters ctrs;
+
+    /** Load imbalance: busiest shard's events over the mean (1.0 is
+     *  perfectly balanced). */
+    double
+    balance() const
+    {
+        if (shards.empty() || !events)
+            return 1.0;
+        uint64_t most = 0;
+        for (const auto &s : shards)
+            most = std::max(most, s.events);
+        return static_cast<double>(most) * shards.size() /
+               static_cast<double>(events);
+    }
 };
 
 Result
@@ -72,11 +89,13 @@ runOnce(int threads)
         par::runParallel(db->network(), limit, opts, &stats);
         r.events = stats.totalEvents();
         r.rounds = stats.rounds;
+        r.shards = stats.shards;
     }
     const auto t1 = std::chrono::steady_clock::now();
     r.wall_ms =
         std::chrono::duration<double, std::milli>(t1 - t0).count();
     r.simulated = db->network().queue().now() - start;
+    r.ctrs = db->network().counters();
     for (const auto &a : db->answers())
         r.counts.push_back(a.count);
     return r;
@@ -101,18 +120,20 @@ main()
     bool identical = true;
     for (const auto &r : results)
         identical = identical && r.counts == results.front().counts &&
-                    r.simulated == results.front().simulated;
+                    r.simulated == results.front().simulated &&
+                    obs::sameArchitectural(r.ctrs,
+                                           results.front().ctrs);
 
-    Table t({10, 12, 12, 14, 10, 10});
+    Table t({10, 12, 12, 14, 10, 10, 10});
     t.row("engine", "wall (ms)", "events", "events/s", "rounds",
-          "speedup");
+          "balance", "speedup");
     t.rule();
     for (const auto &r : results) {
         const double eps =
             r.events ? r.events / (r.wall_ms / 1000.0) : 0.0;
         t.row(r.threads == 0 ? std::string("serial")
                              : fmt("{} shard", r.threads),
-              r.wall_ms, r.events, eps, r.rounds,
+              r.wall_ms, r.events, eps, r.rounds, r.balance(),
               serial_ms / r.wall_ms);
     }
     t.rule();
@@ -135,8 +156,17 @@ main()
              << ", \"wall_ms\": " << r.wall_ms
              << ", \"events\": " << r.events
              << ", \"rounds\": " << r.rounds
-             << ", \"speedup\": " << serial_ms / r.wall_ms << "}"
-             << (i + 1 < results.size() ? "," : "") << "\n";
+             << ", \"balance\": " << r.balance()
+             << ", \"speedup\": " << serial_ms / r.wall_ms
+             << ", \"shards\": [";
+        for (size_t s = 0; s < r.shards.size(); ++s) {
+            const auto &sh = r.shards[s];
+            json << (s ? ", " : "") << "{\"nodes\": " << sh.nodes
+                 << ", \"events\": " << sh.events
+                 << ", \"inbox_pushes\": " << sh.inboxPushes
+                 << ", \"stalls\": " << sh.stalls << "}";
+        }
+        json << "]}" << (i + 1 < results.size() ? "," : "") << "\n";
     }
     json << "  ]\n}\n";
     std::cout << "wrote BENCH_par_scaling.json\n";

@@ -61,8 +61,10 @@ Transputer::channelIn(Word count, Word chan, Word ptr)
     const int idx = portIndexFor(chan);
     if (idx >= 0) {
         ChannelPort *port = portFor(chan);
+        ++ctrs_.chanLinkIn;
         chargeCycles(cyc::commSuspend);
         const Word w = wdesc();
+        trc(obs::Ev::WaitChan, w, chan);
         descheduleCurrent(true);
         port->requestInput(w, ptr, count);
         return;
@@ -76,8 +78,10 @@ Transputer::channelOut(Word count, Word chan, Word ptr)
     const int idx = portIndexFor(chan);
     if (idx >= 0) {
         ChannelPort *port = portFor(chan);
+        ++ctrs_.chanLinkOut;
         chargeCycles(cyc::commSuspend);
         const Word w = wdesc();
+        trc(obs::Ev::WaitChan, w, chan);
         descheduleCurrent(true);
         port->requestOutput(w, ptr, count);
         return;
@@ -88,12 +92,14 @@ Transputer::channelOut(Word count, Word chan, Word ptr)
 void
 Transputer::internalIn(Word count, Word chan, Word ptr)
 {
+    ++ctrs_.chanInternalIn;
     const Word word = readWord(chan);
     if (word == notProcess()) {
         // first at the rendezvous: wait for the outputter
         chargeCycles(cyc::commSuspend);
         writeWord(chan, wdesc());
         wsWrite(wptr_, ws::state, ptr);
+        trc(obs::Ev::WaitChan, wdesc(), chan);
         descheduleCurrent(true);
         return;
     }
@@ -103,17 +109,20 @@ Transputer::internalIn(Word count, Word chan, Word ptr)
     const Word src = wsRead(other, ws::state);
     copyMessage(ptr, src, count);
     writeWord(chan, notProcess());
+    trc(obs::Ev::Rendezvous, word, chan, count);
     scheduleProcess(word);
 }
 
 void
 Transputer::internalOut(Word count, Word chan, Word ptr)
 {
+    ++ctrs_.chanInternalOut;
     const Word word = readWord(chan);
     if (word == notProcess()) {
         chargeCycles(cyc::commSuspend);
         writeWord(chan, wdesc());
         wsWrite(wptr_, ws::state, ptr);
+        trc(obs::Ev::WaitChan, wdesc(), chan);
         descheduleCurrent(true);
         return;
     }
@@ -126,6 +135,7 @@ Transputer::internalOut(Word count, Word chan, Word ptr)
         writeWord(chan, wdesc());
         wsWrite(wptr_, ws::state, ptr);
         const Word their_wdesc = word;
+        trc(obs::Ev::WaitChan, wdesc(), chan);
         descheduleCurrent(true);
         if (st == enabling()) {
             wsWrite(other, ws::state, readyAlt());
@@ -140,6 +150,7 @@ Transputer::internalOut(Word count, Word chan, Word ptr)
     const Word dst = st;
     copyMessage(dst, ptr, count);
     writeWord(chan, notProcess());
+    trc(obs::Ev::Rendezvous, wdesc(), chan, count);
     scheduleProcess(word);
 }
 

@@ -5,6 +5,7 @@
  * 3.2.5 - 3.2.9).
  */
 
+#include <bit>
 #include <ostream>
 
 #include "base/format.hh"
@@ -113,15 +114,15 @@ Transputer::executePredecoded(const PredecodeCache::Entry &e)
         chargeFetchSpan(iptr_, e.length);
     instructions_ += e.length;
     if (const int prefixes = e.pfixes + e.nfixes) {
-        fnCounts_[static_cast<size_t>(Fn::PFIX)] += e.pfixes;
-        fnCounts_[static_cast<size_t>(Fn::NFIX)] += e.nfixes;
+        ctrs_.fn[static_cast<size_t>(Fn::PFIX)] += e.pfixes;
+        ctrs_.fn[static_cast<size_t>(Fn::NFIX)] += e.nfixes;
         chargeCycles(prefixes);
     }
     // after the prefix charges, so the interruptible-instruction
     // window seen by serviceInterrupt matches the byte-at-a-time path
     // (which starts a fresh instruction at the final chain byte)
     lastInstrStart_ = time_;
-    ++fnCounts_[e.fn];
+    ++ctrs_.fn[e.fn];
     iptr_ = shape_.truncate(iptr_ + e.length);
     const Fn fn = static_cast<Fn>(e.fn);
     if (fn == Fn::OPR)
@@ -129,8 +130,10 @@ Transputer::executePredecoded(const PredecodeCache::Entry &e)
     else
         execDirect(fn, e.operand);
     inExec_ = false;
-    if (errorFlag_ && haltOnError_)
+    if (errorFlag_ && haltOnError_) {
         state_ = CpuState::Halted;
+        trc(obs::Ev::Halt, wdesc());
+    }
 }
 
 int
@@ -207,12 +210,12 @@ Transputer::runFused(Tick bound, int budget)
             }
             icount += e.length;
             if (const int pf = e.pfixes + e.nfixes) {
-                fnCounts_[static_cast<size_t>(Fn::PFIX)] += e.pfixes;
-                fnCounts_[static_cast<size_t>(Fn::NFIX)] += e.nfixes;
+                ctrs_.fn[static_cast<size_t>(Fn::PFIX)] += e.pfixes;
+                ctrs_.fn[static_cast<size_t>(Fn::NFIX)] += e.nfixes;
                 cyc += static_cast<uint64_t>(pf);
                 t += pf * period;
             }
-            ++fnCounts_[e.fn];
+            ++ctrs_.fn[e.fn];
             iptr = s.truncate(iptr + e.length);
             const Word operand = e.operand;
             switch (fn) {
@@ -351,6 +354,8 @@ Transputer::runFused(Tick bound, int budget)
             ++n;
             if (err && halt_on_err) {
                 state_ = CpuState::Halted;
+                trcAt(t, obs::Ev::Halt,
+                      wp | static_cast<Word>(pri_));
                 break;
             }
         }
@@ -362,6 +367,11 @@ Transputer::runFused(Tick bound, int budget)
     }
     spill();
     icache_.addHits(hits);
+    // host-side statistics: one fused run of n instructions (bucketed
+    // by bit_width, so bucket 0 is the empty run)
+    ++ctrs_.fused.runs;
+    ctrs_.fused.instructions += static_cast<uint64_t>(n);
+    ++ctrs_.fused.lenLog2[std::bit_width(static_cast<uint32_t>(n))];
     inExec_ = false;
     return n;
 }
@@ -388,7 +398,7 @@ Transputer::executeOneSlow()
     const uint8_t b = fetchByte();
     ++instructions_;
     const Fn fn = static_cast<Fn>(b >> 4);
-    ++fnCounts_[b >> 4];
+    ++ctrs_.fn[b >> 4];
     oreg_ = shape_.truncate(oreg_ | (b & 0x0F));
     switch (fn) {
       case Fn::PFIX:
@@ -413,8 +423,10 @@ Transputer::executeOneSlow()
       }
     }
     inExec_ = false;
-    if (errorFlag_ && haltOnError_)
+    if (errorFlag_ && haltOnError_) {
         state_ = CpuState::Halted;
+        trc(obs::Ev::Halt, wdesc());
+    }
 }
 
 void
@@ -525,6 +537,7 @@ Transputer::execOp(Word operation)
         fatal("{}: undefined operation #{} at iptr #{}", name_,
               hexWord(operation, 4), hexWord(iptr_));
     const Op op = static_cast<Op>(operation);
+    ++ctrs_.op[operation];
     chargeCycles(cyc::op(op));
     const int bits = shape_.bits;
 

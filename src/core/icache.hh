@@ -80,10 +80,14 @@ class PredecodeCache
         return fill(iptr);
     }
 
-    /** @name Statistics (bench_interp) */
+    /** @name Statistics (bench_interp, src/obs) */
     ///@{
     uint64_t hits() const { return hits_; }
     uint64_t misses() const { return misses_; }
+    /** Refills of an entry whose tag matched but whose generations
+     *  were stale: a store landed in the cached chain's blocks
+     *  (self-modifying code, link DMA, boot loads). */
+    uint64_t invalidations() const { return invalidations_; }
     ///@}
 
     /** @name Raw access for the fused interpreter loop
@@ -120,6 +124,9 @@ class PredecodeCache
     fill(Word iptr)
     {
         ++misses_;
+        if (entries_[indexOf(iptr)].length &&
+            entries_[indexOf(iptr)].tag == iptr)
+            ++invalidations_; // same chain, stale generations
         const WordShape &s = mem_->shape();
         uint8_t buf[isa::maxChainBytes];
         size_t n = 0;
@@ -154,6 +161,7 @@ class PredecodeCache
     std::vector<Entry> entries_;
     uint64_t hits_ = 0;
     uint64_t misses_ = 0;
+    uint64_t invalidations_ = 0;
 };
 
 } // namespace transputer::core

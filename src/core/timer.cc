@@ -67,6 +67,8 @@ Transputer::timeAfter(int pri, Word tv) const
 void
 Transputer::timerInsert(int pri, Word wptr, Word tv)
 {
+    ++ctrs_.timerWaits;
+    trc(obs::Ev::WaitTimer, wptr | static_cast<Word>(pri), tv);
     const Word head_addr = mem_.tptrLocAddr(pri);
     const Word now_clock = clockAt(pri, time_);
     const int64_t key = shape_.toSigned(shape_.truncate(tv - now_clock));
@@ -128,6 +130,7 @@ Transputer::timerExpire()
             const Word next = wsRead(head, ws::tlink);
             writeWord(head_addr, next);
             wsWrite(head, ws::tlink, timeNotSet());
+            ++ctrs_.timerWakes;
             const Word st = wsRead(head, ws::state);
             if (st == waitingAlt()) {
                 // a timer-ALT waiter: make it ready

@@ -33,6 +33,8 @@ Transputer::Transputer(sim::EventQueue &queue, const Config &cfg,
     mem_.writeWord(mem_.eventAddr(), notProcess());
     mem_.writeWord(mem_.tptrLocAddr(0), notProcess());
     mem_.writeWord(mem_.tptrLocAddr(1), notProcess());
+    if (cfg.trace)
+        setTraceEnabled(true);
 }
 
 Word
@@ -73,6 +75,8 @@ Transputer::boot(Word iptr, Word wptr, int pri)
     sliceStartCycles_ = static_cast<int64_t>(cycles_);
     flushFetchBuffer();
     state_ = CpuState::Running;
+    ++ctrs_.processStarts;
+    trc(obs::Ev::Run, wdesc());
     scheduleStep();
 }
 
@@ -196,6 +200,11 @@ Transputer::wakeIfIdle()
     if (state_ != CpuState::Idle)
         return;
     time_ = std::max(time_, queue_->now());
+    // both ends of the idle span are architectural times (idleSince_
+    // is the local clock at the idle transition; the wake lands at the
+    // deterministic event time), so this total is serial/parallel
+    // bit-identical
+    ctrs_.idleTicks += time_ - idleSince_;
     state_ = CpuState::Running;
     pickNext();
     if (state_ == CpuState::Running)
@@ -297,6 +306,11 @@ Transputer::enqueueProcess(Word wdesc)
 void
 Transputer::scheduleProcess(Word wdesc)
 {
+    ++ctrs_.processStarts;
+    // an external wake (link/timer completion) can land while the
+    // local clock lags the queue; stamp with whichever is ahead so the
+    // ring stays chronological
+    trcAt(std::max(time_, queue_->now()), obs::Ev::Ready, wdesc);
     enqueueProcess(wdesc);
     const int p = static_cast<int>(wdesc & 1);
     if (state_ == CpuState::Idle) {
@@ -332,6 +346,8 @@ Transputer::timesliceCheck()
     if (fptr_[1] == notProcess())
         return; // nobody else to run
     // move to the back of the low-priority list
+    ++ctrs_.timeslices;
+    trc(obs::Ev::Timeslice, wptr_ | 1u);
     wsWrite(wptr_, ws::iptr, iptr_);
     enqueueProcess(wptr_ | 1u);
     wptr_ = notProcess();
@@ -354,6 +370,7 @@ Transputer::pickNext()
         pri_ = 0;
         iptr_ = wsRead(w, ws::iptr);
         state_ = CpuState::Running;
+        trc(obs::Ev::Run, wdesc());
         return;
     }
     if (lowSaved_) {
@@ -369,9 +386,12 @@ Transputer::pickNext()
         iptr_ = wsRead(w, ws::iptr);
         sliceStartCycles_ = static_cast<int64_t>(cycles_);
         state_ = CpuState::Running;
+        trc(obs::Ev::Run, wdesc());
         return;
     }
     state_ = CpuState::Idle;
+    idleSince_ = time_;
+    trc(obs::Ev::Idle, 0);
 }
 
 void
@@ -398,10 +418,13 @@ Transputer::serviceInterrupt()
     preemptLatency_.add(
         static_cast<double>(arch_switch_done - hpReadyTick_) /
         static_cast<double>(cp));
+    ++ctrs_.priorityInterrupts;
+    const Word low = wdesc();
     saveLowContext();
     wptr_ = notProcess();
     pickNext();
     TRANSPUTER_ASSERT(pri_ == 0);
+    trc(obs::Ev::Interrupt, wdesc(), low);
 }
 
 void
@@ -448,6 +471,7 @@ Transputer::restoreLowContext()
     // against the resumed process (otherwise frequent interrupts
     // would starve the other low-priority processes of rotation)
     state_ = CpuState::Running;
+    trc(obs::Ev::Run, wdesc());
 }
 
 } // namespace transputer::core

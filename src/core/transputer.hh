@@ -35,6 +35,8 @@
 #include "mem/memory.hh"
 #include "core/icache.hh"
 #include "core/ports.hh"
+#include "obs/counters.hh"
+#include "obs/trace.hh"
 #include "sim/event_queue.hh"
 
 namespace transputer::core
@@ -61,6 +63,8 @@ struct Config
     int64_t timesliceCycles = 20480; ///< ~1 ms low-priority timeslice
     int maxBatch = 8192;           ///< instructions per event-loop turn
     bool predecode = true;         ///< use the predecoded instruction cache
+    bool trace = false;            ///< record scheduler/channel/link events
+    unsigned traceDepth = 16;      ///< log2 of the trace ring capacity
 };
 
 /** Execution state of the whole part. */
@@ -157,7 +161,55 @@ class Transputer
     Word notProcess() const { return shape_.mostNeg; }
 
     /** Dynamic per-opcode execution counts (for the MIPS bench). */
-    const std::array<uint64_t, 16> &fnCounts() const { return fnCounts_; }
+    const std::array<uint64_t, 16> &fnCounts() const { return ctrs_.fn; }
+
+    /**
+     * Snapshot of this node's performance counters (src/obs).  Link
+     * byte totals live in the link engines; Network::counters adds
+     * them in for whole-node views.
+     */
+    obs::Counters
+    counters() const
+    {
+        obs::Counters c = ctrs_;
+        c.instructions = instructions_;
+        c.cycles = cycles_;
+        c.icacheHits = icache_.hits();
+        c.icacheMisses = icache_.misses();
+        c.icacheInvalidations = icache_.invalidations();
+        return c;
+    }
+
+    /**
+     * Toggle event tracing at runtime.  The ring buffer is allocated
+     * on first enable and kept (with its records) across disables so
+     * exporters can read it after a run.  Tracing never perturbs
+     * architectural state or event order.
+     */
+    void
+    setTraceEnabled(bool on)
+    {
+        if (on && !traceBuf_)
+            traceBuf_ =
+                std::make_unique<obs::TraceBuffer>(cfg_.traceDepth);
+        obsTrace_ = on ? traceBuf_.get() : nullptr;
+    }
+    bool traceEnabled() const { return obsTrace_ != nullptr; }
+    /** The trace ring, or nullptr if tracing was never enabled. */
+    const obs::TraceBuffer *traceBuffer() const { return traceBuf_.get(); }
+
+    /** Record a link-level event (called by the link engines, which
+     *  always run on the thread that owns this node). */
+    void
+    traceLink(obs::Ev ev, uint64_t a, uint64_t b = 0, uint32_t c = 0)
+    {
+#ifdef TRANSPUTER_OBS
+        if (obsTrace_)
+            obsTrace_->record(queue_->now(), ev, a, b, c);
+#else
+        (void)ev; (void)a; (void)b; (void)c;
+#endif
+    }
 
     /**
      * Latency samples, in cycles, from a high-priority process
@@ -194,6 +246,28 @@ class Transputer
 
   private:
     friend class ExecContext;
+
+    /** Record a trace event at an explicit timestamp.  Compiles to
+     *  nothing without TRANSPUTER_OBS; otherwise one branch on a
+     *  pointer when tracing is off. */
+    void
+    trcAt(Tick when, obs::Ev ev, uint64_t a, uint64_t b = 0,
+          uint32_t c = 0)
+    {
+#ifdef TRANSPUTER_OBS
+        if (obsTrace_)
+            obsTrace_->record(when, ev, a, b, c);
+#else
+        (void)when; (void)ev; (void)a; (void)b; (void)c;
+#endif
+    }
+
+    /** Record a CPU-side trace event at the local clock. */
+    void
+    trc(obs::Ev ev, uint64_t a, uint64_t b = 0, uint32_t c = 0)
+    {
+        trcAt(time_, ev, a, b, c);
+    }
 
     /** @name Event-loop integration */
     ///@{
@@ -356,9 +430,16 @@ class Transputer
     Word eventAltWaiter_;      ///< wdesc ALT-enabled on event
     bool eventInAlt_ = false;
 
-    // statistics
-    std::array<uint64_t, 16> fnCounts_{};
+    // statistics (src/obs); instructions_/cycles_/icache stats stay in
+    // their hot members and are folded in by counters()
+    obs::Counters ctrs_;
+    Tick idleSince_ = 0; ///< local clock at the last idle transition
     Distribution preemptLatency_;
+
+    // event tracer: the ring is allocated lazily and owned here; the
+    // raw pointer is the single runtime gate (null = disabled)
+    std::unique_ptr<obs::TraceBuffer> traceBuf_;
+    obs::TraceBuffer *obsTrace_ = nullptr;
 
     std::ostream *trace_ = nullptr;
 };

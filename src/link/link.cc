@@ -130,6 +130,8 @@ LinkEngine::requestInput(Word wdesc, Word pointer, Word count)
         sendAck(cpu_.localTime());
         if (inReceived_ == inCount_) {
             inActive_ = false;
+            cpu_.traceLink(obs::Ev::LinkMsgIn, inWdesc_, flowIn(),
+                           static_cast<uint32_t>(linkIndex_));
             cpu_.completeInput(inWdesc_);
         }
     }
@@ -193,6 +195,8 @@ LinkEngine::onDataEnd(uint8_t byte)
         ackSentForCurrent_ = false;
         if (inReceived_ == inCount_) {
             inActive_ = false;
+            cpu_.traceLink(obs::Ev::LinkMsgIn, inWdesc_, flowIn(),
+                           static_cast<uint32_t>(linkIndex_));
             cpu_.completeInput(inWdesc_);
         }
         return;
@@ -218,6 +222,8 @@ LinkEngine::onAckEnd()
         return;
     if (outSent_ == outCount_) {
         outActive_ = false;
+        cpu_.traceLink(obs::Ev::LinkMsgOut, outWdesc_, flowOut(),
+                       static_cast<uint32_t>(linkIndex_));
         cpu_.completeOutput(outWdesc_);
         return;
     }
@@ -233,6 +239,8 @@ LinkEngine::sendNextByte(Tick not_before)
     ++outSent_;
     ++bytesSent_;
     awaitingAck_ = true;
+    cpu_.traceLink(obs::Ev::LinkByte, byte, flowOut(),
+                   static_cast<uint32_t>(linkIndex_));
     tx_.transmitData(not_before, byte);
 }
 
@@ -245,6 +253,8 @@ LinkEngine::receiverCanAccept() const
 void
 LinkEngine::sendAck(Tick not_before)
 {
+    cpu_.traceLink(obs::Ev::LinkAck, 0, 0,
+                   static_cast<uint32_t>(linkIndex_));
     tx_.transmitAck(not_before);
 }
 

@@ -193,6 +193,13 @@ class LinkEndpoint
     uint32_t actor() const { return actor_; }
     void setActor(uint32_t id) { actor_ = id; }
 
+    /** Id of the line that delivers *to* this endpoint (set by
+     *  net::Network when the line is registered).  Together with a
+     *  cumulative byte count it identifies a message end-to-end, which
+     *  is how the trace exporter pairs send/receive flow arrows. */
+    uint32_t rxLineId() const { return rxLineId_; }
+    void setRxLineId(uint32_t id) { rxLineId_ = id; }
+
     /**
      * Re-home this endpoint (and its outgoing line) onto another
      * event queue (shard-local simulation, src/par).
@@ -220,6 +227,7 @@ class LinkEndpoint
 
     sim::EventQueue *queue_;
     uint32_t actor_ = 0;
+    uint32_t rxLineId_ = 0;
     uint64_t selfSeq_ = 0;
     Line tx_;
 };
@@ -265,6 +273,29 @@ class LinkEngine : public LinkEndpoint, public core::ChannelPort
     void sendNextByte(Tick not_before);
     bool receiverCanAccept() const;
     void sendAck(Tick not_before);
+
+    /** @name Trace flow ids
+     *
+     * A message is identified end-to-end by (line id, cumulative byte
+     * count on that line).  The sender's count at completion (last ack
+     * received) equals the receiver's at its completion (last byte
+     * received, or buffered byte consumed): the line is serial and
+     * FIFO, so the exporter can pair LinkMsgOut/LinkMsgIn records from
+     * two different ring buffers without any shared state.
+     */
+    ///@{
+    uint64_t
+    flowOut() const
+    {
+        return (static_cast<uint64_t>(tx_.lineId()) << 40) | bytesSent_;
+    }
+    uint64_t
+    flowIn() const
+    {
+        return (static_cast<uint64_t>(rxLineId()) << 40) |
+               bytesReceived_;
+    }
+    ///@}
 
     core::Transputer &cpu_;
     const int linkIndex_;

@@ -39,6 +39,26 @@ Network::describe() const
     return os.str();
 }
 
+std::string
+Network::dumpMetrics() const
+{
+    std::ostringstream os;
+    os << "{\n  \"simulated_ns\": " << queue_.now() << ",\n"
+       << "  \"nodes\": " << nodes_.size() << ",\n"
+       << "  \"queue\": {\"dispatched\": " << queue_.dispatched()
+       << ", \"pending\": " << queue_.pending()
+       << ", \"high_water\": " << queue_.highWater() << "},\n"
+       << "  \"total\": " << obs::countersJson(counters()) << ",\n"
+       << "  \"per_node\": {\n";
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+        os << "    \"" << nodes_[i]->name() << "\": "
+           << obs::countersJson(nodeCounters(static_cast<int>(i)))
+           << (i + 1 < nodes_.size() ? "," : "") << "\n";
+    }
+    os << "  }\n}\n";
+    return os.str();
+}
+
 link::LinkEngine &
 Network::attachPeripheral(int n, int l, Peripheral &p,
                           const link::WireConfig &wire)

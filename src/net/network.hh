@@ -58,6 +58,12 @@ struct RunOptions
      * this run; unset leaves each node's own setting alone.
      */
     std::optional<bool> predecode;
+    /**
+     * Force event tracing on/off on every node for this run; unset
+     * leaves each node's own setting alone.  Tracing never perturbs
+     * the simulation (src/obs).
+     */
+    std::optional<bool> trace;
 };
 
 /** A collection of transputers wired by links, with one time base. */
@@ -221,11 +227,62 @@ class Network
      */
     std::string describe() const;
 
+    /** @name Observability (src/obs) */
+    ///@{
+    /** Enable/disable event tracing on every node. */
+    void
+    setTraceEnabled(bool on)
+    {
+        for (auto &n : nodes_)
+            n->setTraceEnabled(on);
+    }
+
+    /**
+     * Counter snapshot of node i, including the byte totals of the
+     * link engines attached to it.
+     */
+    obs::Counters
+    nodeCounters(int i) const
+    {
+        obs::Counters c = nodes_.at(i)->counters();
+        for (const auto &e : engines_) {
+            if (&e->cpu() != nodes_[i].get())
+                continue;
+            c.linkBytesOut += e->bytesSent();
+            c.linkBytesIn += e->bytesReceived();
+        }
+        return c;
+    }
+
+    /** Aggregate counters over the whole network. */
+    obs::Counters
+    counters() const
+    {
+        obs::Counters total;
+        for (size_t i = 0; i < nodes_.size(); ++i)
+            total += nodeCounters(static_cast<int>(i));
+        return total;
+    }
+
+    /**
+     * Flat metrics JSON: the aggregate counters, per-node counters,
+     * and master event-queue statistics.  Consumed by the bench suite
+     * and tools/tprof.  NB the queue numbers describe the master
+     * queue: a shard-parallel run dispatches on shard-local queues and
+     * reports its own totals through par::RunStats instead.
+     */
+    std::string dumpMetrics() const;
+    ///@}
+
   private:
     void
     registerLine(link::Line &line, int src, int dst)
     {
         line.setLineId(++nextLineId_);
+        // the endpoint this line delivers to learns the id, so both
+        // sides of a message can name the wire in trace records
+        if (auto *remote = line.remote())
+            remote->setRxLineId(nextLineId_);
         lines_.push_back(LineRec{&line, src, dst});
     }
 

@@ -1,11 +1,14 @@
 /**
  * @file
- * VCD (value-change-dump) tracing of link activity.
+ * VCD (value-change-dump) tracing of link and scheduler activity.
  *
  * Figure 1 of the paper is a waveform; this module produces real
  * waveforms: every traced line gets a 1-bit busy signal and an 8-bit
  * data-byte vector, with acknowledges visible as short busy pulses.
- * The output loads in any VCD viewer (GTKWave etc.).
+ * A transputer can additionally contribute a process signal -- which
+ * Wdesc is running, rendered from its observability trace buffer
+ * (src/obs) -- so channel waits line up with the wire traffic that
+ * resolves them.  The output loads in any VCD viewer (GTKWave etc.).
  */
 
 #ifndef TRANSPUTER_NET_VCD_HH
@@ -14,11 +17,13 @@
 #include <algorithm>
 #include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "base/format.hh"
 #include "link/link.hh"
 #include "net/network.hh"
+#include "obs/trace.hh"
 
 namespace transputer::net
 {
@@ -27,6 +32,22 @@ namespace transputer::net
 class VcdTrace
 {
   public:
+    VcdTrace() = default;
+    /** Write the VCD to this path on destruction. */
+    explicit VcdTrace(std::string path) : autoPath_(std::move(path)) {}
+
+    // attached lines hold callbacks capturing `this`
+    VcdTrace(const VcdTrace &) = delete;
+    VcdTrace &operator=(const VcdTrace &) = delete;
+
+    /** Flushes to the constructor path (if any); the stream is closed
+     *  by ofstream RAII inside write(). */
+    ~VcdTrace()
+    {
+        if (!autoPath_.empty())
+            write(autoPath_);
+    }
+
     /**
      * Attach a line under the given signal name (e.g. "tp0.link1.out").
      * Must be called before traffic flows on the line.
@@ -45,6 +66,21 @@ class VcdTrace
         };
     }
 
+    /**
+     * Attach a transputer's "which process is running" signal: a
+     * 32-bit Wdesc vector plus a 1-bit running flag, replayed from the
+     * node's trace buffer at render time.  The node must have tracing
+     * enabled (Config::trace / setTraceEnabled) or the signal stays
+     * empty.
+     */
+    void
+    attachProcess(const core::Transputer &t, std::string name = "")
+    {
+        if (name.empty())
+            name = t.name();
+        procs_.push_back(Proc{&t, std::move(name)});
+    }
+
     /** Attach both directions of every link engine of a network. */
     void
     attachNetwork(Network &net)
@@ -55,6 +91,14 @@ class VcdTrace
         });
     }
 
+    /** Attach the process signal of every node of a network. */
+    void
+    attachProcesses(Network &net)
+    {
+        for (size_t i = 0; i < net.size(); ++i)
+            attachProcess(net.node(static_cast<int>(i)));
+    }
+
     /** Number of packet events collected so far. */
     size_t eventCount() const { return events_.size() / 2; }
 
@@ -62,9 +106,50 @@ class VcdTrace
     std::string
     render() const
     {
-        std::vector<Event> ev = events_;
-        std::stable_sort(ev.begin(), ev.end(),
-                         [](const Event &a, const Event &b) {
+        struct Change
+        {
+            Tick when;
+            std::string text;
+        };
+        std::vector<Change> ch;
+        ch.reserve(events_.size());
+        for (const auto &e : events_) {
+            std::string text = fmt(
+                "{}{}\n", e.busy ? 1 : 0,
+                busyId(static_cast<size_t>(e.id)));
+            if (e.isData) {
+                text += "b";
+                for (int bit = 7; bit >= 0; --bit)
+                    text += (e.byte >> bit) & 1 ? '1' : '0';
+                text += fmt(" {}\n", byteId(static_cast<size_t>(e.id)));
+            }
+            ch.push_back(Change{e.when, std::move(text)});
+        }
+        for (size_t i = 0; i < procs_.size(); ++i) {
+            const obs::TraceBuffer *buf = procs_[i].cpu->traceBuffer();
+            if (!buf)
+                continue;
+            buf->forEach([&](const obs::Record &r) {
+                switch (r.ev) {
+                  case obs::Ev::Run:
+                    ch.push_back(Change{
+                        r.when,
+                        fmt("{} {}\n1{}\n", wdescBits(r.a), wdescId(i),
+                            runId(i))});
+                    break;
+                  case obs::Ev::Idle:
+                  case obs::Ev::Halt:
+                    ch.push_back(Change{
+                        r.when,
+                        fmt("bx {}\n0{}\n", wdescId(i), runId(i))});
+                    break;
+                  default:
+                    break;
+                }
+            });
+        }
+        std::stable_sort(ch.begin(), ch.end(),
+                         [](const Change &a, const Change &b) {
                              return a.when < b.when;
                          });
         std::string out;
@@ -76,22 +161,25 @@ class VcdTrace
             out += fmt("$var wire 8 {} {}.byte $end\n", byteId(i),
                        signals_[i]);
         }
-        out += "$upscope $end\n$enddefinitions $end\n";
+        out += "$upscope $end\n";
+        if (!procs_.empty()) {
+            out += "$scope module procs $end\n";
+            for (size_t i = 0; i < procs_.size(); ++i) {
+                out += fmt("$var wire 32 {} {}.wdesc $end\n",
+                           wdescId(i), procs_[i].name);
+                out += fmt("$var wire 1 {} {}.running $end\n",
+                           runId(i), procs_[i].name);
+            }
+            out += "$upscope $end\n";
+        }
+        out += "$enddefinitions $end\n";
         Tick last = -1;
-        for (const auto &e : ev) {
-            if (e.when != last) {
-                out += fmt("#{}\n", e.when);
-                last = e.when;
+        for (const auto &c : ch) {
+            if (c.when != last) {
+                out += fmt("#{}\n", c.when);
+                last = c.when;
             }
-            out += fmt("{}{}\n", e.busy ? 1 : 0,
-                       busyId(static_cast<size_t>(e.id)));
-            if (e.isData) {
-                std::string bits = "b";
-                for (int bit = 7; bit >= 0; --bit)
-                    bits += (e.byte >> bit) & 1 ? '1' : '0';
-                out += fmt("{} {}\n", bits,
-                           byteId(static_cast<size_t>(e.id)));
-            }
+            out += c.text;
         }
         return out;
     }
@@ -114,6 +202,12 @@ class VcdTrace
         uint8_t byte;
     };
 
+    struct Proc
+    {
+        const core::Transputer *cpu;
+        std::string name;
+    };
+
     static std::string
     busyId(size_t i)
     {
@@ -126,8 +220,31 @@ class VcdTrace
         return "v" + std::to_string(i);
     }
 
+    static std::string
+    wdescId(size_t i)
+    {
+        return "p" + std::to_string(i);
+    }
+
+    static std::string
+    runId(size_t i)
+    {
+        return "r" + std::to_string(i);
+    }
+
+    static std::string
+    wdescBits(uint64_t wdesc)
+    {
+        std::string bits = "b";
+        for (int bit = 31; bit >= 0; --bit)
+            bits += (wdesc >> bit) & 1 ? '1' : '0';
+        return bits;
+    }
+
+    std::string autoPath_;
     std::vector<std::string> signals_;
     std::vector<Event> events_;
+    std::vector<Proc> procs_;
 };
 
 } // namespace transputer::net

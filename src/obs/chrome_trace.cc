@@ -1,0 +1,179 @@
+#include "obs/chrome_trace.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "net/network.hh"
+#include "obs/trace.hh"
+
+namespace transputer::obs
+{
+
+namespace
+{
+
+/** Trace-event timestamps are microseconds; ticks are nanoseconds. */
+void
+putTs(std::ostream &os, const char *key, Tick ns)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "\"%s\": %lld.%03lld", key,
+                  static_cast<long long>(ns / 1000),
+                  static_cast<long long>(ns % 1000));
+    os << buf;
+}
+
+void
+putWdesc(std::ostream &os, uint64_t wdesc)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "W#%06llx%s",
+                  static_cast<unsigned long long>(wdesc & ~1ull),
+                  (wdesc & 1) ? " lo" : " hi");
+    os << buf;
+}
+
+/** An emitter for one node's track (pid 1, tid = node index + 1). */
+class Track
+{
+  public:
+    Track(std::ostream &os, bool &first, int tid)
+        : os_(os), first_(first), tid_(tid)
+    {}
+
+    void
+    meta(const std::string &name)
+    {
+        open("M", 0);
+        os_ << ", \"name\": \"thread_name\", \"args\": {\"name\": \""
+            << name << "\"}}";
+    }
+
+    void
+    slice(Tick start, Tick end, uint64_t wdesc)
+    {
+        if (end < start)
+            end = start;
+        open("X", start);
+        os_ << ", ";
+        putTs(os_, "dur", end - start);
+        os_ << ", \"name\": \"";
+        putWdesc(os_, wdesc);
+        os_ << "\", \"cat\": \"proc\"}";
+    }
+
+    void
+    instant(Tick when, const char *name)
+    {
+        open("i", when);
+        os_ << ", \"s\": \"t\", \"name\": \"" << name
+            << "\", \"cat\": \"sched\"}";
+    }
+
+    void
+    flow(Tick when, bool start, uint64_t id, uint32_t link)
+    {
+        open(start ? "s" : "f", when);
+        if (!start)
+            os_ << ", \"bp\": \"e\"";
+        os_ << ", \"id\": " << id << ", \"name\": \"link" << link
+            << "\", \"cat\": \"link\"}";
+    }
+
+  private:
+    void
+    open(const char *ph, Tick when)
+    {
+        if (!first_)
+            os_ << ",\n";
+        first_ = false;
+        os_ << "  {\"ph\": \"" << ph << "\", \"pid\": 1, \"tid\": "
+            << tid_ << ", ";
+        putTs(os_, "ts", when);
+    }
+
+    std::ostream &os_;
+    bool &first_;
+    int tid_;
+};
+
+} // namespace
+
+std::string
+chromeTrace(net::Network &net)
+{
+    std::ostringstream os;
+    os << "{\"traceEvents\": [\n";
+    bool first = true;
+    for (size_t i = 0; i < net.size(); ++i) {
+        auto &node = net.node(static_cast<int>(i));
+        Track track(os, first, static_cast<int>(i) + 1);
+        track.meta(node.name());
+        const TraceBuffer *buf = node.traceBuffer();
+        if (!buf)
+            continue;
+        // replay scheduler boundaries into occupancy slices; a Run
+        // record both ends the previous slice (preemption) and starts
+        // the next one
+        bool running = false;
+        Tick sliceStart = 0;
+        uint64_t sliceWdesc = 0;
+        buf->forEach([&](const Record &r) {
+            switch (r.ev) {
+              case Ev::Run:
+                if (running)
+                    track.slice(sliceStart, r.when, sliceWdesc);
+                running = true;
+                sliceStart = r.when;
+                sliceWdesc = r.a;
+                break;
+              case Ev::Idle:
+              case Ev::Halt:
+                if (running)
+                    track.slice(sliceStart, r.when, sliceWdesc);
+                running = false;
+                if (r.ev == Ev::Halt)
+                    track.instant(r.when, "halt");
+                break;
+              case Ev::Timeslice:
+                track.instant(r.when, "timeslice");
+                break;
+              case Ev::Interrupt:
+                track.instant(r.when, "interrupt");
+                break;
+              case Ev::Rendezvous:
+                track.instant(r.when, "rendezvous");
+                break;
+              case Ev::LinkMsgOut:
+                track.flow(r.when, true, r.b, r.c);
+                break;
+              case Ev::LinkMsgIn:
+                track.flow(r.when, false, r.b, r.c);
+                break;
+              default:
+                break; // Ready/WaitChan/WaitTimer/LinkByte/LinkAck:
+                       // recorded for programmatic analysis, too noisy
+                       // for the timeline
+            }
+        });
+        if (running)
+            track.slice(sliceStart,
+                        std::max(sliceStart, node.localTime()),
+                        sliceWdesc);
+    }
+    os << "\n], \"displayTimeUnit\": \"ns\"}\n";
+    return os.str();
+}
+
+bool
+writeChromeTrace(net::Network &net, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << chromeTrace(net);
+    return static_cast<bool>(out);
+}
+
+} // namespace transputer::obs

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Chrome trace-event JSON exporter (see DESIGN.md "Observability").
+ *
+ * Converts the per-node TraceBuffers of a simulated network into the
+ * Chrome trace-event format that Perfetto (https://ui.perfetto.dev)
+ * and chrome://tracing load directly:
+ *
+ *   - one thread track per transputer, named after the node;
+ *   - "X" occupancy slices from each Run record to the next scheduler
+ *     boundary (Run/Idle/Halt), labelled with the running Wdesc;
+ *   - "i" instants for rendezvous, timeslices and interrupts;
+ *   - "s"/"f" flow arrows from a link message's completion on the
+ *     sending node to its completion on the receiving node, paired by
+ *     the (line id, cumulative byte count) flow id both ends record.
+ *
+ * Export runs after the simulation has stopped, so reading the rings
+ * is race-free.  Perfetto does not require events sorted by timestamp,
+ * so records are emitted in ring order.
+ */
+
+#ifndef TRANSPUTER_OBS_CHROME_TRACE_HH
+#define TRANSPUTER_OBS_CHROME_TRACE_HH
+
+#include <string>
+
+namespace transputer::net
+{
+class Network;
+}
+
+namespace transputer::obs
+{
+
+/** Render the network's trace buffers as a Chrome trace JSON string. */
+std::string chromeTrace(net::Network &net);
+
+/**
+ * Write chromeTrace(net) to a file.
+ * @return false when the file could not be opened.
+ */
+bool writeChromeTrace(net::Network &net, const std::string &path);
+
+} // namespace transputer::obs
+
+#endif // TRANSPUTER_OBS_CHROME_TRACE_HH

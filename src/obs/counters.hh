@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Per-transputer performance counters (see DESIGN.md "Observability").
+ *
+ * A Counters value is a plain snapshot: Transputer::counters() fills
+ * one from the live core, Network::counters() adds the link-engine
+ * byte totals, and operator+= folds node snapshots into network
+ * aggregates.  Every field except the `fused` block is *architectural*
+ * -- a function of the executed instruction stream alone -- and is
+ * therefore bit-identical between serial and shard-parallel runs
+ * (tests/test_obs.cc).  The fused block counts host-side interpreter
+ * behaviour (how many instructions the fused loop inlined per entry),
+ * which legitimately depends on event batching and window horizons;
+ * sameArchitectural() excludes it.
+ *
+ * The counters themselves are always compiled in: each is a single
+ * unconditional increment on an already-memory-touching path, which
+ * keeps bench_interp within its < 2% regression budget (measured in
+ * EXPERIMENTS notes) without a compile-time gate.
+ */
+
+#ifndef TRANSPUTER_OBS_COUNTERS_HH
+#define TRANSPUTER_OBS_COUNTERS_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "base/types.hh"
+#include "isa/opcodes.hh"
+
+namespace transputer::obs
+{
+
+/** Slots for the indirect-operation histogram (Op codes are dense). */
+constexpr size_t kOpSlots = static_cast<size_t>(isa::Op::DUP) + 1;
+
+/** Host-side interpreter statistics (not architectural). */
+struct FusedStats
+{
+    uint64_t runs = 0;         ///< entries into the fused inner loop
+    uint64_t instructions = 0; ///< instructions those entries inlined
+    /** Histogram of run lengths: bucket i counts runs of length n
+     *  with bit_width(n) == i (bucket 0: runs that inlined nothing). */
+    std::array<uint64_t, 17> lenLog2{};
+
+    double
+    meanRunLength() const
+    {
+        return runs ? static_cast<double>(instructions) /
+                          static_cast<double>(runs)
+                    : 0.0;
+    }
+
+    FusedStats &
+    operator+=(const FusedStats &o)
+    {
+        runs += o.runs;
+        instructions += o.instructions;
+        for (size_t i = 0; i < lenLog2.size(); ++i)
+            lenLog2[i] += o.lenLog2[i];
+        return *this;
+    }
+};
+
+/** One snapshot of a transputer's (or a whole network's) counters. */
+struct Counters
+{
+    // instruction mix
+    std::array<uint64_t, 16> fn{};     ///< per direct function
+    std::array<uint64_t, kOpSlots> op{}; ///< per indirect operation
+    uint64_t instructions = 0;
+    uint64_t cycles = 0;
+
+    // predecoded instruction cache
+    uint64_t icacheHits = 0;
+    uint64_t icacheMisses = 0;
+    uint64_t icacheInvalidations = 0; ///< refills of a stale tag hit
+
+    // scheduler
+    uint64_t processStarts = 0;      ///< processes made ready (runp)
+    uint64_t timeslices = 0;         ///< low-priority rotations
+    uint64_t priorityInterrupts = 0; ///< low -> high preemptions
+
+    // channels (counted at the in/out instruction, per endpoint)
+    uint64_t chanInternalIn = 0;
+    uint64_t chanInternalOut = 0;
+    uint64_t chanLinkIn = 0;
+    uint64_t chanLinkOut = 0;
+
+    // timers
+    uint64_t timerWaits = 0; ///< processes queued on a timer list
+    uint64_t timerWakes = 0; ///< processes woken by timer expiry
+
+    /** Ticks spent with no runnable process (accounted at wake). */
+    Tick idleTicks = 0;
+
+    // link traffic (filled by Network::counters from the engines)
+    uint64_t linkBytesOut = 0;
+    uint64_t linkBytesIn = 0;
+
+    // host-side interpreter statistics (excluded from arch equality)
+    FusedStats fused;
+
+    uint64_t
+    icacheLookups() const
+    {
+        return icacheHits + icacheMisses;
+    }
+
+    double
+    icacheHitRate() const
+    {
+        const uint64_t n = icacheLookups();
+        return n ? static_cast<double>(icacheHits) /
+                       static_cast<double>(n)
+                 : 0.0;
+    }
+
+    Counters &
+    operator+=(const Counters &o)
+    {
+        for (size_t i = 0; i < fn.size(); ++i)
+            fn[i] += o.fn[i];
+        for (size_t i = 0; i < op.size(); ++i)
+            op[i] += o.op[i];
+        instructions += o.instructions;
+        cycles += o.cycles;
+        icacheHits += o.icacheHits;
+        icacheMisses += o.icacheMisses;
+        icacheInvalidations += o.icacheInvalidations;
+        processStarts += o.processStarts;
+        timeslices += o.timeslices;
+        priorityInterrupts += o.priorityInterrupts;
+        chanInternalIn += o.chanInternalIn;
+        chanInternalOut += o.chanInternalOut;
+        chanLinkIn += o.chanLinkIn;
+        chanLinkOut += o.chanLinkOut;
+        timerWaits += o.timerWaits;
+        timerWakes += o.timerWakes;
+        idleTicks += o.idleTicks;
+        linkBytesOut += o.linkBytesOut;
+        linkBytesIn += o.linkBytesIn;
+        fused += o.fused;
+        return *this;
+    }
+};
+
+/**
+ * Equality over the architectural fields only: everything except
+ * `fused`, which depends on host-side batching (the parallel engine's
+ * window horizon clips fused runs differently than a serial run).
+ */
+inline bool
+sameArchitectural(const Counters &a, const Counters &b)
+{
+    return a.fn == b.fn && a.op == b.op &&
+           a.instructions == b.instructions && a.cycles == b.cycles &&
+           a.icacheHits == b.icacheHits &&
+           a.icacheMisses == b.icacheMisses &&
+           a.icacheInvalidations == b.icacheInvalidations &&
+           a.processStarts == b.processStarts &&
+           a.timeslices == b.timeslices &&
+           a.priorityInterrupts == b.priorityInterrupts &&
+           a.chanInternalIn == b.chanInternalIn &&
+           a.chanInternalOut == b.chanInternalOut &&
+           a.chanLinkIn == b.chanLinkIn &&
+           a.chanLinkOut == b.chanLinkOut &&
+           a.timerWaits == b.timerWaits &&
+           a.timerWakes == b.timerWakes &&
+           a.idleTicks == b.idleTicks &&
+           a.linkBytesOut == b.linkBytesOut &&
+           a.linkBytesIn == b.linkBytesIn;
+}
+
+/**
+ * Render a Counters snapshot as one JSON object.  The per-function
+ * and per-operation histograms emit only non-zero entries, keyed by
+ * mnemonic, so dumps stay readable.
+ */
+inline std::string
+countersJson(const Counters &c)
+{
+    std::string out = "{";
+    const auto num = [&](const char *key, uint64_t v, bool comma = true) {
+        out += '"';
+        out += key;
+        out += "\": ";
+        out += std::to_string(v);
+        if (comma)
+            out += ", ";
+    };
+    num("instructions", c.instructions);
+    num("cycles", c.cycles);
+    num("icache_hits", c.icacheHits);
+    num("icache_misses", c.icacheMisses);
+    num("icache_invalidations", c.icacheInvalidations);
+    out += "\"icache_hit_rate\": " +
+           std::to_string(c.icacheHitRate()) + ", ";
+    num("fused_runs", c.fused.runs);
+    num("fused_instructions", c.fused.instructions);
+    out += "\"fused_mean_run\": " +
+           std::to_string(c.fused.meanRunLength()) + ", ";
+    num("process_starts", c.processStarts);
+    num("timeslices", c.timeslices);
+    num("priority_interrupts", c.priorityInterrupts);
+    num("chan_internal_in", c.chanInternalIn);
+    num("chan_internal_out", c.chanInternalOut);
+    num("chan_link_in", c.chanLinkIn);
+    num("chan_link_out", c.chanLinkOut);
+    num("timer_waits", c.timerWaits);
+    num("timer_wakes", c.timerWakes);
+    num("idle_ns", static_cast<uint64_t>(c.idleTicks));
+    num("link_bytes_out", c.linkBytesOut);
+    num("link_bytes_in", c.linkBytesIn);
+    out += "\"fn\": {";
+    bool first = true;
+    for (size_t i = 0; i < c.fn.size(); ++i) {
+        if (!c.fn[i])
+            continue;
+        if (!first)
+            out += ", ";
+        first = false;
+        out += '"';
+        out += isa::fnName(static_cast<isa::Fn>(i));
+        out += "\": " + std::to_string(c.fn[i]);
+    }
+    out += "}, \"op\": {";
+    first = true;
+    for (size_t i = 0; i < c.op.size(); ++i) {
+        if (!c.op[i])
+            continue;
+        if (!first)
+            out += ", ";
+        first = false;
+        out += '"';
+        out += isa::opName(static_cast<isa::Op>(i));
+        out += "\": " + std::to_string(c.op[i]);
+    }
+    out += "}}";
+    return out;
+}
+
+} // namespace transputer::obs
+
+#endif // TRANSPUTER_OBS_COUNTERS_HH

@@ -88,10 +88,13 @@ workerLoop(Shard &self, std::vector<std::unique_ptr<Shard>> &shards,
         // there) and not past the limit (so the final run-ahead
         // matches the serial run's horizon)
         self.queue.setHorizon(std::min(window_end, c.limit));
+        const uint64_t before = self.events;
         while (self.queue.nextTime() < window_end) {
             self.queue.runOne();
             ++self.events;
         }
+        if (self.events == before)
+            ++self.stalls;
     }
 }
 
@@ -128,6 +131,9 @@ runParallel(net::Network &net, Tick limit, const net::RunOptions &opts,
     if (opts.predecode)
         for (size_t i = 0; i < n; ++i)
             net.node(i).setPredecodeEnabled(*opts.predecode);
+    if (opts.trace)
+        for (size_t i = 0; i < n; ++i)
+            net.node(i).setTraceEnabled(*opts.trace);
     if (n == 0)
         return net.run(limit);
 
@@ -225,7 +231,8 @@ runParallel(net::Network &net, Tick limit, const net::RunOptions &opts,
         stats->shards.clear();
         for (const auto &sh : shards)
             stats->shards.push_back(ShardStats{
-                static_cast<int>(sh->nodes.size()), sh->events});
+                static_cast<int>(sh->nodes.size()), sh->events,
+                sh->inbox.pushes(), sh->stalls});
     }
     return master.now();
 }

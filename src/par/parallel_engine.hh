@@ -30,8 +30,10 @@ namespace transputer::par
 /** What one parallel run did (per-shard breakdown). */
 struct ShardStats
 {
-    int nodes = 0;        ///< nodes assigned to the shard
-    uint64_t events = 0;  ///< events the shard dispatched
+    int nodes = 0;            ///< nodes assigned to the shard
+    uint64_t events = 0;      ///< events the shard dispatched
+    uint64_t inboxPushes = 0; ///< cross-shard events posted to it
+    uint64_t stalls = 0;      ///< rounds where it dispatched nothing
 };
 
 struct RunStats

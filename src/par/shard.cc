@@ -18,6 +18,7 @@ Inbox::push(Tick when, const sim::EventKey &key,
             std::function<void()> fn)
 {
     Node *node = new Node{when, key, std::move(fn), nullptr};
+    pushes_.fetch_add(1, std::memory_order_relaxed);
     node->next = head_.load(std::memory_order_relaxed);
     while (!head_.compare_exchange_weak(node->next, node,
                                         std::memory_order_release,

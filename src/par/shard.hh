@@ -44,6 +44,13 @@ class Inbox
      */
     size_t drainTo(sim::EventQueue &q);
 
+    /** Events ever posted (cross-shard traffic statistic). */
+    uint64_t
+    pushes() const
+    {
+        return pushes_.load(std::memory_order_relaxed);
+    }
+
   private:
     struct Node
     {
@@ -54,6 +61,7 @@ class Inbox
     };
 
     std::atomic<Node *> head_{nullptr};
+    std::atomic<uint64_t> pushes_{0};
 };
 
 /** Per-shard simulation state (one worker thread each). */
@@ -67,6 +75,9 @@ struct Shard
     std::vector<int> nodes;
     /** Events dispatched by this shard (statistics). */
     uint64_t events = 0;
+    /** Window rounds in which this shard had nothing to dispatch:
+     *  barrier overhead paid for no work (horizon stalls). */
+    uint64_t stalls = 0;
 };
 
 } // namespace transputer::par

@@ -157,6 +157,14 @@ class EventQueue
     /** Number of live (non-cancelled) pending events. */
     size_t pending() const { return live_.size() + staticLive_; }
 
+    /** @name Queue statistics (src/obs, Network::dumpMetrics) */
+    ///@{
+    /** Events dispatched by runOne over this queue's lifetime. */
+    uint64_t dispatched() const { return dispatched_; }
+    /** Largest live pending-event count ever observed. */
+    size_t highWater() const { return highWater_; }
+    ///@}
+
     /**
      * Arm a StaticEvent at absolute time when (>= now): the
      * allocation-free path used by the CPU-step channel.  The event
@@ -178,6 +186,7 @@ class EventQueue
         linkStatic(ev);
         ++staticLive_;
         heap_.push(HeapEntry{when, key, id, &ev});
+        noteHighWater();
         return id;
     }
 
@@ -209,6 +218,7 @@ class EventQueue
         const EventId id = ++nextId_;
         live_.emplace(id, Live{std::move(fn), when, key});
         heap_.push(HeapEntry{when, key, id});
+        noteHighWater();
         return id;
     }
 
@@ -275,6 +285,7 @@ class EventQueue
             ev.armed_ = false;
             --staticLive_;
             now_ = e.when;
+            ++dispatched_;
             ev.fire_(ev.ctx_);
             return true;
         }
@@ -283,6 +294,7 @@ class EventQueue
         auto fn = std::move(it->second.fn);
         live_.erase(it);
         now_ = e.when;
+        ++dispatched_;
         fn();
         return true;
     }
@@ -364,6 +376,7 @@ class EventQueue
                           "migrated event in the past");
         heap_.push(HeapEntry{p.when, p.key, p.id});
         live_.emplace(p.id, Live{std::move(p.fn), p.when, p.key});
+        noteHighWater();
     }
 
   private:
@@ -396,6 +409,14 @@ class EventQueue
             return id > o.id;
         }
     };
+
+    void
+    noteHighWater()
+    {
+        const size_t n = live_.size() + staticLive_;
+        if (n > highWater_)
+            highWater_ = n;
+    }
 
     /** Drop cancelled entries from the top of the heap. */
     void
@@ -443,6 +464,8 @@ class EventQueue
 
     Tick now_ = 0;
     Tick horizon_ = maxTick;
+    uint64_t dispatched_ = 0;
+    size_t highWater_ = 0;
     EventId nextId_;
     uint64_t defaultSeq_ = 0;
     std::priority_queue<HeapEntry> heap_;

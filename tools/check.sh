@@ -1,7 +1,9 @@
 #!/bin/sh
 # Smoke check: configure, build and run the tier-1 suite for the
-# default preset, then the tsan preset's parallel-engine suite (the
-# "par" label, the only tests with cross-thread interactions).
+# default preset, run a traced dbsearch through tprof and validate its
+# JSON outputs, then the tsan preset's parallel-engine suite (the
+# "par" label, the only tests with cross-thread interactions --
+# including the observability counter/tracer tests).
 #
 # Usage: tools/check.sh [--no-tsan]
 set -eu
@@ -19,8 +21,20 @@ run_preset() {
 
 run_preset default
 
+# observability smoke: a traced dbsearch run must produce Chrome trace
+# and metrics JSON that a strict parser accepts
+echo "== tprof: traced dbsearch -> Perfetto + metrics JSON =="
+obs_dir=build/obs-smoke
+mkdir -p "$obs_dir"
+./build/tools/tprof --queries 4 \
+    --trace "$obs_dir/dbsearch.trace.json" \
+    --metrics "$obs_dir/dbsearch.metrics.json"
+python3 -m json.tool "$obs_dir/dbsearch.trace.json" > /dev/null
+python3 -m json.tool "$obs_dir/dbsearch.metrics.json" > /dev/null
+echo "trace + metrics JSON validate"
+
 if [ "${1:-}" != "--no-tsan" ]; then
-    run_preset tsan --target test_par
+    run_preset tsan --target test_par --target test_obs
 fi
 
 echo "== all checks passed =="
