@@ -37,6 +37,22 @@ struct DbSearchConfig
     int recordsPerNode = 200;///< paper: "each transputer can hold 200"
     int keySpace = 50;       ///< synthetic keys lie in [0, keySpace)
     core::Config node;       ///< per-node part configuration
+
+    /**
+     * Degraded-mode operation (DESIGN.md section 4.4): every node
+     * also stores a backup copy of its buddy's records (node i backs
+     * up node (i+1) mod N), mergers collect children through an ALT
+     * with a timeout scaled to the subtree depth and remember dead
+     * children, and recovery queries (see recoverKey) search a
+     * victim's backup shard on the survivors.  Requires link
+     * watchdogs (linkWatchdog > 0) so forwarding into a dead node
+     * aborts instead of deadlocking, and queries must then be issued
+     * one at a time: an aborted transfer only surfaces as a wrong
+     * answer, which pipelining would let propagate.
+     */
+    bool resilient = false;
+    Tick linkWatchdog = 0;      ///< > 0: armed on every engine
+    int deadTimeoutTicks = 64;  ///< merger timeout base, 64 us ticks
 };
 
 /** One collected answer. */
@@ -68,6 +84,41 @@ class DbSearch
 
     /** Number of matches the whole array should report for key. */
     Word expectedCount(Word key) const;
+
+    /** Number of matches node id alone holds for key. */
+    Word expectedNodeCount(int id, Word key) const;
+
+    /** Query words at or above this encode recovery searches. */
+    static constexpr Word kRecoverBase = 1000000;
+
+    /**
+     * The query word that searches key in the backup copy of the
+     * victim's records (resilient arrays only): every node whose
+     * buddy is the victim scans its backup shard, everyone else
+     * reports zero.
+     */
+    Word
+    recoverKey(int victim, Word key) const
+    {
+        return kRecoverBase +
+               static_cast<Word>(victim) * cfg_.keySpace + key;
+    }
+
+    /** The node holding the backup copy of victim's records. */
+    int
+    backupHolder(int victim) const
+    {
+        const int n = cfg_.width * cfg_.height;
+        return (victim + n - 1) % n;
+    }
+
+    /**
+     * One degraded-mode search round-trip: inject the key, collect
+     * the (possibly partial) answer, then recover the shard of every
+     * killed node from its backup holder.  Returns the combined
+     * count; resilient arrays only, one query in flight at a time.
+     */
+    Word degradedSearch(Word key, Tick limit = 60'000'000'000);
 
     /** Queue a query key into the corner node. */
     void inject(Word key);

@@ -387,7 +387,9 @@ Transputer::executeOneSlow()
         for (int i = 0; i < 8; ++i)
             buf[i] = mem_.readByte(shape_.truncate(iptr_ + i));
         const auto d = isa::decode(buf, sizeof(buf), 0, shape_);
-        std::string text = d.isOperation && isa::opDefined(d.operand)
+        std::string text = !d.complete
+            ? std::string("pfix chain...")
+            : d.isOperation && isa::opDefined(d.operand)
             ? std::string(isa::opName(static_cast<Op>(d.operand)))
             : fmt("{} #{}", isa::fnName(d.fn), hexWord(d.operand, 4));
         *trace_ << name_ << " t=" << time_ << " I=" << hexWord(iptr_)

@@ -135,6 +135,45 @@ Transputer::clockReg(int pri) const
 }
 
 // ---------------------------------------------------------------------
+// fault injection (src/fault)
+// ---------------------------------------------------------------------
+
+void
+Transputer::stall(Tick until)
+{
+    if (state_ == CpuState::Halted)
+        return;
+    trc(obs::Ev::FaultStall, wdesc(), static_cast<uint64_t>(until));
+    stallUntil_ = std::max(stallUntil_, until);
+    // when running, the local clock at a keyed event's dispatch is
+    // architectural (the CPU never batches past a pending event), so
+    // pushing it forward is deterministic; when idle, wakeIfIdle
+    // applies the floor at the next wake
+    if (state_ == CpuState::Running)
+        time_ = std::max(time_, until);
+}
+
+void
+Transputer::kill()
+{
+    if (state_ == CpuState::Halted)
+        return;
+    trc(obs::Ev::FaultKill, wdesc());
+    killed_ = true;
+    state_ = CpuState::Halted;
+    preemptPending_ = false;
+    if (stepScheduled_) {
+        queue_->cancelStatic(stepEvent_);
+        stepScheduled_ = false;
+    }
+    if (timerEvent_ != sim::invalidEventId) {
+        queue_->cancel(timerEvent_);
+        timerEvent_ = sim::invalidEventId;
+    }
+    timersRunning_ = false;
+}
+
+// ---------------------------------------------------------------------
 // event-loop integration
 // ---------------------------------------------------------------------
 
@@ -199,7 +238,7 @@ Transputer::wakeIfIdle()
 {
     if (state_ != CpuState::Idle)
         return;
-    time_ = std::max(time_, queue_->now());
+    time_ = std::max({time_, queue_->now(), stallUntil_});
     // both ends of the idle span are architectural times (idleSince_
     // is the local clock at the idle transition; the wake lands at the
     // deterministic event time), so this total is serial/parallel
@@ -437,7 +476,10 @@ Transputer::saveLowContext()
     writeWord(mem_.intSaveAddr(3), breg_);
     writeWord(mem_.intSaveAddr(4), creg_);
     writeWord(mem_.intSaveAddr(5), oreg_);
-    writeWord(mem_.intSaveAddr(6), errorFlag_ ? 1 : 0);
+    // the error flag is NOT part of the saved context: there is one
+    // flag shared by both priority levels (like HaltOnError), so an
+    // error raised -- or consumed by testerr -- at high priority must
+    // stay visible after the return to low priority
     oreg_ = 0;
     lowSaved_ = true;
 }
@@ -455,7 +497,6 @@ Transputer::restoreLowContext()
     breg_ = readWord(mem_.intSaveAddr(3));
     creg_ = readWord(mem_.intSaveAddr(4));
     oreg_ = readWord(mem_.intSaveAddr(5));
-    errorFlag_ = readWord(mem_.intSaveAddr(6)) != 0;
     chargeCycles(isa::cycles::switchHighToLow);
     // the repaid debt is the tail of an interrupted interruptible
     // instruction: a further high-priority wake landing inside it

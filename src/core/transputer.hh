@@ -138,6 +138,26 @@ class Transputer
     void eventSignal();
     ///@}
 
+    /** @name Fault injection (src/fault) */
+    ///@{
+    /**
+     * Transient node stall: freeze the local clock forward to `until`
+     * (no instructions issue in the gap).  Must be invoked from a
+     * keyed event, where the local clock is architectural, so faulty
+     * runs stay serial/parallel bit-identical.
+     */
+    void stall(Tick until);
+
+    /**
+     * Permanent node death: stop executing and cancel the node's
+     * pending self-events.  Unlike an error halt the machine state is
+     * simply abandoned mid-flight; attached link engines are silenced
+     * separately (LinkEngine::setDead) so neighbours see stuck links.
+     */
+    void kill();
+    bool killed() const { return killed_; }
+    ///@}
+
     /** @name Observation */
     ///@{
     CpuState state() const { return state_; }
@@ -415,6 +435,8 @@ class Transputer
     // event-loop state
     CpuState state_ = CpuState::Idle;
     bool stepScheduled_ = false;
+    bool killed_ = false;      ///< halted by fault::kill, not by error
+    Tick stallUntil_ = 0;      ///< injected stall: no issue before this
     Tick time_ = 0;
     uint64_t cycles_ = 0;
     uint64_t instructions_ = 0;

@@ -1,0 +1,188 @@
+#include "fault/fault.hh"
+
+#include "base/logging.hh"
+#include "core/transputer.hh"
+#include "obs/trace.hh"
+
+namespace transputer::fault
+{
+
+/**
+ * The per-line decision source.  Every probabilistic draw is guarded
+ * by its (run-constant) config field, so the PRNG consumption -- and
+ * with it every later decision -- is a pure function of the packet
+ * sequence on this line, which the simulation engine keeps identical
+ * between serial and shard-parallel runs.
+ */
+struct FaultInjector::Tap final : link::LineFaultTap
+{
+    Tap(const LineFaultConfig &c, uint64_t seed, link::Line *l,
+        core::Transputer *src)
+        : cfg(c), rng(seed), line(l), srcCpu(src)
+    {}
+
+    link::FaultAction
+    onDataPacket(Tick at, uint8_t byte) override
+    {
+        link::FaultAction fa;
+        if (cfg.stuckFrom > 0 && at >= cfg.stuckFrom) {
+            fa.drop = true;
+            mark(obs::Ev::FaultDrop, byte, 1);
+            return fa;
+        }
+        if (cfg.dataLoss > 0 && rng.chance(cfg.dataLoss)) {
+            fa.drop = true;
+            mark(obs::Ev::FaultDrop, byte, 1);
+            return fa;
+        }
+        if (cfg.corrupt > 0 && rng.chance(cfg.corrupt)) {
+            fa.flip = static_cast<uint8_t>(rng.range(1, 255));
+            mark(obs::Ev::FaultCorrupt, byte, fa.flip);
+        }
+        if (cfg.jitterChance > 0 && cfg.jitterMax > 0 &&
+            rng.chance(cfg.jitterChance)) {
+            fa.jitter = rng.range(1, static_cast<int64_t>(cfg.jitterMax));
+            mark(obs::Ev::FaultJitter, byte,
+                 static_cast<uint64_t>(fa.jitter));
+        }
+        return fa;
+    }
+
+    link::FaultAction
+    onAckPacket(Tick at) override
+    {
+        link::FaultAction fa;
+        if (cfg.stuckFrom > 0 && at >= cfg.stuckFrom) {
+            fa.drop = true;
+            mark(obs::Ev::FaultDrop, 0, 0);
+            return fa;
+        }
+        if (cfg.ackLoss > 0 && rng.chance(cfg.ackLoss)) {
+            fa.drop = true;
+            mark(obs::Ev::FaultDrop, 0, 0);
+            return fa;
+        }
+        if (cfg.jitterChance > 0 && cfg.jitterMax > 0 &&
+            rng.chance(cfg.jitterChance)) {
+            fa.jitter = rng.range(1, static_cast<int64_t>(cfg.jitterMax));
+            mark(obs::Ev::FaultJitter, 0,
+                 static_cast<uint64_t>(fa.jitter));
+        }
+        return fa;
+    }
+
+    /** Fault mark in the sending node's trace ring (Perfetto). */
+    void
+    mark(obs::Ev ev, uint64_t a, uint64_t b)
+    {
+        if (srcCpu)
+            srcCpu->traceLink(ev, a, b, line->lineId());
+    }
+
+    LineFaultConfig cfg;
+    Random rng;
+    link::Line *line;
+    core::Transputer *srcCpu;
+};
+
+FaultInjector::FaultInjector() = default;
+
+FaultInjector::~FaultInjector() { disarm(); }
+
+void
+FaultInjector::arm(net::Network &net, const FaultPlan &plan)
+{
+    TRANSPUTER_ASSERT(!net_, "injector already armed");
+    net_ = &net;
+
+#ifndef TRANSPUTER_FAULT
+    TRANSPUTER_ASSERT(!plan.anyLineFaults(),
+                      "line-fault hooks compiled out (TRANSPUTER_FAULT "
+                      "is OFF); rebuild or drop the line faults");
+#endif
+
+    for (const auto &lr : net.lines()) {
+        const LineFaultConfig &cfg =
+            plan.configFor(lr.srcNode, lr.dstNode);
+        if (!cfg.any())
+            continue;
+        // seed per line id: independent streams, and stable across
+        // serial/parallel runs of the same wiring
+        const uint64_t seed =
+            plan.seed * 0x9E3779B97F4A7C15ull + lr.line->lineId();
+        taps_.push_back(std::make_unique<Tap>(
+            cfg, seed, lr.line, &net.node(lr.srcNode)));
+        lr.line->setFaultTap(taps_.back().get());
+    }
+
+    auto &q = net.queue();
+    for (const auto &kv : plan.nodes) {
+        core::Transputer &node = net.node(kv.first);
+        const NodeFaultConfig &nc = kv.second;
+        if (nc.stallAt > 0 && nc.stallFor > 0) {
+            TRANSPUTER_ASSERT(nc.stallAt >= q.now(),
+                              "node stall planned in the past");
+            nodeEvents_.push_back(q.schedule(
+                nc.stallAt,
+                sim::EventKey{node.actor(), sim::chanFault,
+                              ++faultSeq_},
+                [&node, until = nc.stallAt + nc.stallFor] {
+                    node.stall(until);
+                }));
+        }
+        if (nc.killAt > 0) {
+            TRANSPUTER_ASSERT(nc.killAt >= q.now(),
+                              "node kill planned in the past");
+            // silence the node's link engines along with the CPU so
+            // neighbours see stuck links, not a polite peer
+            std::vector<link::LinkEngine *> engines;
+            net.forEachEngine([&](link::LinkEngine &e) {
+                if (&e.cpu() == &node)
+                    engines.push_back(&e);
+            });
+            nodeEvents_.push_back(q.schedule(
+                nc.killAt,
+                sim::EventKey{node.actor(), sim::chanFault,
+                              ++faultSeq_},
+                [&node, engines = std::move(engines)] {
+                    node.kill();
+                    for (auto *e : engines)
+                        e->setDead();
+                }));
+        }
+    }
+}
+
+void
+FaultInjector::disarm()
+{
+    if (!net_)
+        return;
+    for (const auto &lr : net_->lines())
+        for (const auto &tap : taps_)
+            if (lr.line == tap->line)
+                lr.line->setFaultTap(nullptr);
+    // node events may have migrated to shard queues and back; their
+    // ids stay valid on whichever queue currently holds them, and the
+    // master holds everything between runs
+    for (const sim::EventId id : nodeEvents_)
+        net_->queue().cancel(id);
+    nodeEvents_.clear();
+    taps_.clear();
+    net_ = nullptr;
+}
+
+FaultInjector::Stats
+FaultInjector::stats() const
+{
+    Stats s;
+    for (const auto &tap : taps_) {
+        s.dataDropped += tap->line->dataDropped();
+        s.acksDropped += tap->line->acksDropped();
+        s.dataCorrupted += tap->line->dataCorrupted();
+        s.jitter += tap->line->faultJitter();
+    }
+    return s;
+}
+
+} // namespace transputer::fault

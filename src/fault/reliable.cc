@@ -1,0 +1,146 @@
+#include "fault/reliable.hh"
+
+#include <string>
+
+namespace transputer::fault
+{
+
+namespace
+{
+
+/** Occam source assembler: lines at a running indentation. */
+class Block
+{
+  public:
+    explicit Block(int indent) : indent_(indent) {}
+
+    Block &
+    line(int extra, const std::string &text)
+    {
+        src_.append(static_cast<size_t>(indent_ + extra), ' ');
+        src_ += text;
+        src_ += '\n';
+        return *this;
+    }
+
+    std::string take() { return std::move(src_); }
+
+  private:
+    int indent_;
+    std::string src_;
+};
+
+/** The frame checksum over header h and payload p (see reliable.hh:
+ *  XOR alone is byte-local and survives alignment slips). */
+std::string
+checksumExpr(const std::string &h, const std::string &p)
+{
+    return "((" + h + " >< " + p + ") >< ((" + p + " << 7) \\/ (" + p +
+           " >> 25)))";
+}
+
+} // namespace
+
+std::string
+reliableSendBlock(int indent, const std::string &out,
+                  const std::string &ackIn,
+                  const std::string &payloadExpr,
+                  const std::string &seqVar, const std::string &okVar,
+                  const ReliableConfig &cfg)
+{
+    const std::string sq = "(" + seqVar + " \\ 65536)";
+    const std::string hdr =
+        "((" + std::to_string(kMagic) + " * 65536) + " + sq + ")";
+    const std::string ack =
+        "((" + std::to_string(kAckMagic) + " * 65536) + " + sq + ")";
+
+    Block b(indent);
+    b.line(0, "VAR rl.h, rl.p, rl.a, rl.try, rl.to:");
+    b.line(0, "SEQ");
+    b.line(2, "rl.h := " + hdr);
+    b.line(2, "rl.p := " + payloadExpr);
+    b.line(2, "rl.try := 0");
+    b.line(2, "rl.to := " + std::to_string(cfg.timeoutTicks));
+    b.line(2, okVar + " := 0");
+    b.line(2, "WHILE (" + okVar + " = 0) AND (rl.try < " +
+                  std::to_string(cfg.maxRetries) + ")");
+    b.line(4, "VAR rl.t:");
+    b.line(4, "SEQ");
+    b.line(6, out + " ! rl.h");
+    b.line(6, out + " ! rl.p");
+    b.line(6, out + " ! " + checksumExpr("rl.h", "rl.p"));
+    b.line(6, "TIME ? rl.t");
+    b.line(6, "ALT");
+    b.line(8, ackIn + " ? rl.a");
+    b.line(10, "IF");
+    b.line(12, "rl.a = " + ack);
+    b.line(14, okVar + " := 1");
+    b.line(12, "TRUE");
+    // a stale or mangled ack: fall out of the ALT and resend
+    // immediately (no backoff step -- the wire is alive)
+    b.line(14, "SKIP");
+    b.line(8, "TIME ? AFTER rl.t + rl.to");
+    b.line(10, "SEQ");
+    b.line(12, "rl.try := rl.try + 1");
+    b.line(12, "rl.to := rl.to + rl.to");
+    b.line(12, "IF");
+    b.line(14, "rl.to > " + std::to_string(cfg.maxTimeoutTicks));
+    b.line(16, "rl.to := " + std::to_string(cfg.maxTimeoutTicks));
+    b.line(14, "TRUE");
+    b.line(16, "SKIP");
+    b.line(2, seqVar + " := " + seqVar + " + 1");
+    return b.take();
+}
+
+std::string
+reliableRecvBlock(int indent, const std::string &in,
+                  const std::string &ackOut, const std::string &valVar,
+                  const std::string &expVar, const ReliableConfig &cfg)
+{
+    Block b(indent);
+    b.line(0, "VAR rl.h, rl.p, rl.s, rl.q, rl.got:");
+    b.line(0, "SEQ");
+    b.line(2, "rl.got := 0");
+    b.line(2, "WHILE rl.got = 0");
+    b.line(4, "SEQ");
+    b.line(6, in + " ? rl.h");
+    b.line(6, in + " ? rl.p");
+    b.line(6, in + " ? rl.s");
+    b.line(6, "IF");
+    b.line(8, "((rl.h >> 16) = " + std::to_string(kMagic) +
+                  ") AND (" + checksumExpr("rl.h", "rl.p") +
+                  " = rl.s)");
+    b.line(10, "SEQ");
+    b.line(12, "rl.q := rl.h /\\ 65535");
+    b.line(12, "IF");
+    b.line(14, "rl.q = (" + expVar + " \\ 65536)");
+    b.line(16, "SEQ");
+    b.line(18, valVar + " := rl.p");
+    b.line(18, expVar + " := " + expVar + " + 1");
+    b.line(18, "rl.got := 1");
+    b.line(14, "TRUE");
+    // duplicate of an already-delivered frame (its ack was
+    // lost): drop the payload but re-ack below
+    b.line(16, "SKIP");
+    b.line(12, ackOut + " ! (" + std::to_string(kAckMagic) +
+                   " * 65536) + rl.q");
+    b.line(8, "TRUE");
+    // garbled frame: drain the wire until it has been quiet
+    // for drainTicks, so the coming retransmission starts on
+    // a word boundary
+    b.line(10, "VAR rl.t, rl.on, rl.j:");
+    b.line(10, "SEQ");
+    b.line(12, "rl.on := 1");
+    b.line(12, "WHILE rl.on = 1");
+    b.line(14, "SEQ");
+    b.line(16, "TIME ? rl.t");
+    b.line(16, "ALT");
+    b.line(18, in + " ? rl.j");
+    b.line(20, "SKIP");
+    b.line(18, "TIME ? AFTER rl.t + " +
+                   std::to_string(cfg.drainTicks));
+    b.line(20, "rl.on := 0");
+    return b.take();
+}
+
+} // namespace transputer::fault

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * fault::ReliableChannel -- a software reliable-transport layer for
+ * raw transputer links, generated as occam code that runs *on* the
+ * transputers (the way the 256-node RTNN machine and other real
+ * deployments did it; see DESIGN.md section 4.4).
+ *
+ * The hardware link protocol (src/link) has no redundancy: a dropped
+ * data packet or acknowledge deadlocks the byte handshake, and a
+ * corrupted byte is delivered as truth.  With link-health watchdogs
+ * armed (LinkEngine::setWatchdog) a stalled transfer is abandoned
+ * instead, which restores liveness but surfaces the damage as short
+ * or trashed messages.  On top of that, this layer implements
+ * stop-and-wait ARQ with framing:
+ *
+ *   data frame   [ header | payload | checksum ]   (3 words)
+ *       header   = kMagic * 2^16 + (seq mod 2^16)
+ *       checksum = header >< payload >< rot7(payload)
+ *   ack frame    [ kAckMagic * 2^16 + (seq mod 2^16) ]  (1 word)
+ *
+ * The checksum mixes in the payload rotated by 7 bits (all of it
+ * overflow-free occam: ><, <<, >>, \/).  A plain XOR is not enough:
+ * under heavy loss a watchdog abort can slip the receiver's word
+ * alignment so that a payload word picks up checksum bytes while the
+ * checksum word picks up the matching payload bytes -- and because
+ * retransmitted frames repeat the same bytes and XOR is byte-local,
+ * such a swapped triple still satisfies checksum = header >< payload.
+ * The rotation makes every checksum byte depend on non-local payload
+ * bits, so byte-aligned slips are caught.  (Word layout is 32-bit:
+ * the rotation pair is << 7 / >> 25.)
+ *
+ * The sender retransmits on a timer with bounded exponential backoff
+ * and declares the link dead after maxRetries attempts; the receiver
+ * accepts in-order frames, re-acknowledges duplicates, and resyncs
+ * after a garbled frame by draining the wire until it has been quiet
+ * for a moment (so retransmissions meet a realigned receiver).
+ *
+ * Correctness constraints (see DESIGN.md for the reasoning):
+ *   - the engine watchdog timeout must exceed the normal ack round
+ *     trip but stay below the initial occam retry timeout;
+ *   - the retry timeout must exceed watchdog + drain, so every
+ *     retransmission meets a receiver already re-armed at its input.
+ */
+
+#ifndef TRANSPUTER_FAULT_RELIABLE_HH
+#define TRANSPUTER_FAULT_RELIABLE_HH
+
+#include <cstdint>
+#include <string>
+
+namespace transputer::fault
+{
+
+/** Frame tags (16-bit, so tagged words stay positive on 32-bit). */
+constexpr int32_t kMagic = 23130;    ///< data-frame header tag
+constexpr int32_t kAckMagic = 21845; ///< ack-frame tag
+
+/** Retry/timeout parameters, in low-priority timer ticks (64 us). */
+struct ReliableConfig
+{
+    int timeoutTicks = 4; ///< initial ack timeout (then doubled)
+    int maxRetries = 16;  ///< attempts before declaring the link dead
+    int drainTicks = 2;   ///< receiver resync quiet window
+    /** Backoff ceiling: the doubled timeout never exceeds this, so a
+     *  long retry run keeps probing instead of sleeping forever. */
+    int maxTimeoutTicks = 64;
+};
+
+/**
+ * Occam block: send one word reliably.
+ *
+ * Emits a block at the given indentation that transmits
+ * `payloadExpr` as one frame on channel `out`, collects the matching
+ * acknowledge from `ackIn`, and retries with exponential backoff.
+ * On exit `okVar` is 1 (delivered and acknowledged) or 0 (link
+ * declared dead after maxRetries), and `seqVar` has been advanced.
+ * `seqVar` must be initialised to 0 by the caller and used by no one
+ * else; scratch variables are declared inside the block.
+ */
+std::string reliableSendBlock(int indent, const std::string &out,
+                              const std::string &ackIn,
+                              const std::string &payloadExpr,
+                              const std::string &seqVar,
+                              const std::string &okVar,
+                              const ReliableConfig &cfg = {});
+
+/**
+ * Occam block: receive the next new word reliably.
+ *
+ * Emits a block that loops on channel `in` until an intact, in-order
+ * frame arrives: duplicates are re-acknowledged and dropped, garbled
+ * frames trigger the drain-until-quiet resync.  On exit `valVar`
+ * holds the payload and `expVar` (the expected-sequence counter, the
+ * receiver's mirror of the sender's `seqVar`; caller-initialised to
+ * 0) has been advanced.  Blocks indefinitely if the sender gave up:
+ * wrap in an ALT (or bound the run) to detect abandoned peers.
+ */
+std::string reliableRecvBlock(int indent, const std::string &in,
+                              const std::string &ackOut,
+                              const std::string &valVar,
+                              const std::string &expVar,
+                              const ReliableConfig &cfg = {});
+
+} // namespace transputer::fault
+
+#endif // TRANSPUTER_FAULT_RELIABLE_HH

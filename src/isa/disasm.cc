@@ -51,6 +51,12 @@ disassemble(const uint8_t *bytes, size_t size, Word base,
         DisasmLine line;
         line.address = shape.truncate(base + pos);
         line.raw.assign(bytes + pos, bytes + pos + d.length);
+        if (!d.complete) {
+            // the range ends inside a prefix chain
+            line.text = "truncated prefix chain";
+            lines.push_back(std::move(line));
+            break;
+        }
         const Word next = shape.truncate(base + pos + d.length);
         line.text = render(d, next, shape);
         lines.push_back(std::move(line));

@@ -62,11 +62,10 @@ decode(const uint8_t *bytes, size_t size, size_t pos,
 {
     Word oreg = 0;
     const size_t start = pos;
-    while (true) {
-        if (pos >= size)
-            panic("decode ran off the end of the byte stream");
+    Fn fn = Fn::PFIX;
+    while (pos < size) {
         const uint8_t b = bytes[pos++];
-        const Fn fn = static_cast<Fn>(b >> 4);
+        fn = static_cast<Fn>(b >> 4);
         const Word data = b & 0x0F;
         if (fn == Fn::PFIX) {
             oreg = shape.truncate((oreg | data) << 4);
@@ -75,9 +74,12 @@ decode(const uint8_t *bytes, size_t size, size_t pos,
         } else {
             oreg = shape.truncate(oreg | data);
             return Decoded{fn, oreg, static_cast<int>(pos - start),
-                           fn == Fn::OPR};
+                           fn == Fn::OPR, true};
         }
     }
+    // ran off the stream inside a prefix chain: report how far we got
+    return Decoded{fn, oreg, static_cast<int>(pos - start), false,
+                   false};
 }
 
 } // namespace transputer::isa

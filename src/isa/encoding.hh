@@ -48,12 +48,15 @@ struct Decoded
     Word operand;      ///< full accumulated operand (word-masked)
     int length;        ///< bytes consumed, including prefixes
     bool isOperation;  ///< true if fn == OPR and the operand is an Op
+    bool complete;     ///< false: the stream ended inside the chain
 };
 
 /**
  * Decode one complete instruction (prefix chain included) starting at
  * position pos of the byte stream.  The operand accumulates into a
  * word of the given shape, mirroring the hardware's operand register.
+ * A stream that ends mid-chain yields a result with complete unset
+ * (fn is the last prefix seen); decoding never reads past size.
  */
 Decoded decode(const uint8_t *bytes, size_t size, size_t pos,
                const WordShape &shape);

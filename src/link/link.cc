@@ -37,11 +37,31 @@ void
 Line::transmitData(Tick not_before, uint8_t byte)
 {
     TRANSPUTER_ASSERT(remote_, "line not connected");
+    FaultAction fa;
+#ifdef TRANSPUTER_FAULT
+    if (fault_)
+        fa = fault_->onDataPacket(std::max(not_before, busyUntil_),
+                                  byte);
+#endif
     const Tick bit = cfg_.bitTime();
-    const Tick start = claim(not_before, 11 * bit);
+    // jitter is modelled as extra lead-in on the wire: the packet's
+    // first bit leaves late, so every delivery is only ever delayed
+    // and minDeliveryLead() (the parallel engine's lookahead) holds
+    const Tick start =
+        claim(not_before, fa.jitter + 11 * bit) + fa.jitter;
     ++dataPackets_;
+    faultJitter_ += fa.jitter;
+    if (fa.flip) {
+        byte ^= fa.flip;
+        ++dataCorrupted_;
+    }
     if (onPacket)
         onPacket(Packet{true, byte, start, start + 11 * bit});
+    if (fa.drop) {
+        // the sender still drove the wire; the receiver saw noise
+        ++dataDropped_;
+        return;
+    }
     LinkEndpoint *remote = remote_;
     // the receiver can classify the packet once the second bit (the
     // one following the start bit) has arrived
@@ -55,11 +75,22 @@ void
 Line::transmitAck(Tick not_before)
 {
     TRANSPUTER_ASSERT(remote_, "line not connected");
+    FaultAction fa;
+#ifdef TRANSPUTER_FAULT
+    if (fault_)
+        fa = fault_->onAckPacket(std::max(not_before, busyUntil_));
+#endif
     const Tick bit = cfg_.bitTime();
-    const Tick start = claim(not_before, 2 * bit);
+    const Tick start =
+        claim(not_before, fa.jitter + 2 * bit) + fa.jitter;
     ++ackPackets_;
+    faultJitter_ += fa.jitter;
     if (onPacket)
         onPacket(Packet{false, 0, start, start + 2 * bit});
+    if (fa.drop) {
+        ++acksDropped_;
+        return;
+    }
     LinkEndpoint *remote = remote_;
     deliver(start + 2 * bit + cfg_.propagationDelay,
             [remote] { remote->onAckEnd(); });
@@ -93,6 +124,8 @@ void
 LinkEngine::requestOutput(Word wdesc, Word pointer, Word count)
 {
     TRANSPUTER_ASSERT(!outActive_, "link output already in use");
+    if (dead_)
+        return; // a dead chip never completes; the process stays put
     if (count == 0) {
         cpu_.completeOutput(wdesc);
         return;
@@ -110,6 +143,8 @@ void
 LinkEngine::requestInput(Word wdesc, Word pointer, Word count)
 {
     TRANSPUTER_ASSERT(!inActive_, "link input already in use");
+    if (dead_)
+        return; // a dead chip never completes; the process stays put
     if (count == 0) {
         cpu_.completeInput(wdesc);
         return;
@@ -133,7 +168,11 @@ LinkEngine::requestInput(Word wdesc, Word pointer, Word count)
             cpu_.traceLink(obs::Ev::LinkMsgIn, inWdesc_, flowIn(),
                            static_cast<uint32_t>(linkIndex_));
             cpu_.completeInput(inWdesc_);
+            return;
         }
+#ifdef TRANSPUTER_FAULT
+        armInWatchdog(cpu_.localTime());
+#endif
     }
 }
 
@@ -164,6 +203,10 @@ LinkEngine::reset()
     bufferValid_ = false;
     ackSentForCurrent_ = false;
     altEnabled_ = false;
+#ifdef TRANSPUTER_FAULT
+    disarmOutWatchdog();
+    disarmInWatchdog();
+#endif
 }
 
 // ----- wire side ------------------------------------------------------
@@ -171,6 +214,8 @@ LinkEngine::reset()
 void
 LinkEngine::onDataStart()
 {
+    if (dead_)
+        return; // no acknowledge: the remote end sees a stuck link
     ackSentForCurrent_ = false;
     if (ackMode_ != AckMode::Overlap)
         return;
@@ -185,6 +230,10 @@ LinkEngine::onDataStart()
 void
 LinkEngine::onDataEnd(uint8_t byte)
 {
+    if (dead_) {
+        ++deadDrops_;
+        return;
+    }
     ++bytesReceived_;
     if (inActive_) {
         cpu_.memory().writeByte(
@@ -195,16 +244,30 @@ LinkEngine::onDataEnd(uint8_t byte)
         ackSentForCurrent_ = false;
         if (inReceived_ == inCount_) {
             inActive_ = false;
+#ifdef TRANSPUTER_FAULT
+            disarmInWatchdog();
+#endif
             cpu_.traceLink(obs::Ev::LinkMsgIn, inWdesc_, flowIn(),
                            static_cast<uint32_t>(linkIndex_));
             cpu_.completeInput(inWdesc_);
+            return;
         }
+#ifdef TRANSPUTER_FAULT
+        armInWatchdog(queue_->now());
+#endif
         return;
     }
     // no process: the single-byte buffer takes it; the deferred ack
     // is sent when a process inputs the byte
-    TRANSPUTER_ASSERT(!bufferValid_,
-                      "link protocol violation: byte overrun");
+    if (bufferValid_) {
+        // a fault-tolerant link counts the overrun a stale ack can
+        // produce and keeps the older byte; strict mode treats it as
+        // the protocol violation it would be on perfect wires
+        TRANSPUTER_ASSERT(watchdogTimeout_ > 0,
+                          "link protocol violation: byte overrun");
+        ++overrunDrops_;
+        return;
+    }
     bufferValid_ = true;
     buffer_ = byte;
     ackSentForCurrent_ = false;
@@ -215,9 +278,21 @@ LinkEngine::onDataEnd(uint8_t byte)
 void
 LinkEngine::onAckEnd()
 {
-    TRANSPUTER_ASSERT(awaitingAck_,
-                      "link protocol violation: unexpected ack");
+    if (dead_)
+        return;
+    if (!awaitingAck_) {
+        // the receiver acknowledged a byte whose output the watchdog
+        // has already abandoned: tolerated (counted) on a supervised
+        // link, a protocol violation on perfect wires
+        TRANSPUTER_ASSERT(watchdogTimeout_ > 0,
+                          "link protocol violation: unexpected ack");
+        ++staleAcks_;
+        return;
+    }
     awaitingAck_ = false;
+#ifdef TRANSPUTER_FAULT
+    disarmOutWatchdog();
+#endif
     if (!outActive_)
         return;
     if (outSent_ == outCount_) {
@@ -242,6 +317,92 @@ LinkEngine::sendNextByte(Tick not_before)
     cpu_.traceLink(obs::Ev::LinkByte, byte, flowOut(),
                    static_cast<uint32_t>(linkIndex_));
     tx_.transmitData(not_before, byte);
+#ifdef TRANSPUTER_FAULT
+    armOutWatchdog(not_before);
+#endif
+}
+
+// ----- link health (src/fault) ---------------------------------------
+
+void
+LinkEngine::armOutWatchdog(Tick from)
+{
+    if (watchdogTimeout_ == 0 || dead_)
+        return;
+    disarmOutWatchdog();
+    // `from` is architectural (the CPU clock or a dispatched event's
+    // time), so the deadline -- and everything an abort then does --
+    // is bit-identical between serial and shard-parallel runs
+    outWdog_ = queue_->schedule(
+        std::max(queue_->now(), from + watchdogTimeout_),
+        sim::EventKey{actor_, sim::chanSelf, ++selfSeq_},
+        [this] { outWatchdogFired(); });
+}
+
+void
+LinkEngine::armInWatchdog(Tick from)
+{
+    if (watchdogTimeout_ == 0 || dead_)
+        return;
+    disarmInWatchdog();
+    inWdog_ = queue_->schedule(
+        std::max(queue_->now(), from + watchdogTimeout_),
+        sim::EventKey{actor_, sim::chanSelf, ++selfSeq_},
+        [this] { inWatchdogFired(); });
+}
+
+void
+LinkEngine::disarmOutWatchdog()
+{
+    if (outWdog_ == sim::invalidEventId)
+        return;
+    queue_->cancel(outWdog_);
+    outWdog_ = sim::invalidEventId;
+}
+
+void
+LinkEngine::disarmInWatchdog()
+{
+    if (inWdog_ == sim::invalidEventId)
+        return;
+    queue_->cancel(inWdog_);
+    inWdog_ = sim::invalidEventId;
+}
+
+void
+LinkEngine::outWatchdogFired()
+{
+    outWdog_ = sim::invalidEventId;
+    if (dead_ || !awaitingAck_)
+        return;
+    // abandon the transfer; hardware never retransmits.  The process
+    // resumes as if the message completed -- only frame-level software
+    // (fault::ReliableChannel) can tell the difference, by checksum.
+    ++outAborts_;
+    cpu_.traceLink(obs::Ev::LinkAbortOut, outWdesc_, flowOut(),
+                   static_cast<uint32_t>(linkIndex_));
+    awaitingAck_ = false;
+    if (!outActive_)
+        return;
+    outActive_ = false;
+    cpu_.completeOutput(outWdesc_);
+}
+
+void
+LinkEngine::inWatchdogFired()
+{
+    inWdog_ = sim::invalidEventId;
+    if (dead_ || !inActive_)
+        return;
+    // a partly received message has stalled: complete it short.  The
+    // unwritten tail of the process's buffer is stale, which is what
+    // the frame checksum exists to catch.
+    ++inAborts_;
+    cpu_.traceLink(obs::Ev::LinkAbortIn, inWdesc_, flowIn(),
+                   static_cast<uint32_t>(linkIndex_));
+    inActive_ = false;
+    ackSentForCurrent_ = false;
+    cpu_.completeInput(inWdesc_);
 }
 
 bool

@@ -64,6 +64,35 @@ struct WireConfig
 class LinkEndpoint;
 
 /**
+ * What the fault layer does to one packet about to be transmitted
+ * (src/fault).  The default value is a no-op: transmit faithfully.
+ */
+struct FaultAction
+{
+    bool drop = false;  ///< occupy the wire, but never deliver
+    uint8_t flip = 0;   ///< XOR mask applied to the data bits
+    Tick jitter = 0;    ///< extra lead-in before the first bit
+};
+
+/**
+ * Per-line fault decision source, consulted once per packet at
+ * transmit time (implemented by fault::FaultInjector).  Decisions are
+ * drawn in transmit order, which the event engine already makes
+ * deterministic, so a seeded tap yields bit-identical faulty runs in
+ * serial and shard-parallel simulations.
+ */
+class LineFaultTap
+{
+  public:
+    virtual ~LineFaultTap() = default;
+    /** @param at  earliest tick the packet can start on the wire (an
+     *  architectural time: max of the caller's clock and the line's
+     *  busy horizon, never the batching-dependent queue clock). */
+    virtual FaultAction onDataPacket(Tick at, uint8_t byte) = 0;
+    virtual FaultAction onAckPacket(Tick at) = 0;
+};
+
+/**
  * One one-directional signal line: serializes packets, modelling the
  * multiplexing of data and acknowledge packets (Figure 1).
  *
@@ -137,6 +166,17 @@ class Line
     /** Observe every packet this line transmits (tracing). */
     std::function<void(const Packet &)> onPacket;
 
+    /** @name Fault injection (src/fault; compile-gated, null = off) */
+    ///@{
+    void setFaultTap(LineFaultTap *tap) { fault_ = tap; }
+    LineFaultTap *faultTap() const { return fault_; }
+    uint64_t dataDropped() const { return dataDropped_; }
+    uint64_t acksDropped() const { return acksDropped_; }
+    uint64_t dataCorrupted() const { return dataCorrupted_; }
+    /** Total injected extra lead-in (latency jitter), in ticks. */
+    Tick faultJitter() const { return faultJitter_; }
+    ///@}
+
   private:
     Tick claim(Tick not_before, Tick duration);
     void deliver(Tick when, std::function<void()> fn);
@@ -151,6 +191,11 @@ class Line
     Tick busyTime_ = 0;
     uint64_t dataPackets_ = 0;
     uint64_t ackPackets_ = 0;
+    LineFaultTap *fault_ = nullptr;
+    uint64_t dataDropped_ = 0;
+    uint64_t acksDropped_ = 0;
+    uint64_t dataCorrupted_ = 0;
+    Tick faultJitter_ = 0;
 };
 
 /**
@@ -269,10 +314,51 @@ class LinkEngine : public LinkEndpoint, public core::ChannelPort
     int linkIndex() const { return linkIndex_; }
     core::Transputer &cpu() { return cpu_; }
 
+    /** @name Link health (src/fault)
+     *
+     * A timeout > 0 arms a watchdog while a transfer can stall on the
+     * remote end: on the output side whenever a data byte is awaiting
+     * its acknowledge, on the input side whenever a message is partly
+     * received.  A fired watchdog *abandons* the transfer (hardware
+     * never retransmits): the blocked process resumes with a short or
+     * unacknowledged message and software -- fault::ReliableChannel --
+     * detects the damage by checksum and retries at frame level.  A
+     * non-zero timeout also downgrades the protocol-violation asserts
+     * that injected faults can legitimately trigger (a stale ack for
+     * an abandoned output, a byte overrunning the full buffer) to
+     * counted drops.  Zero (the default) keeps the strict hardware
+     * model and costs one predictable branch per transfer step.
+     */
+    ///@{
+    void setWatchdog(Tick timeout) { watchdogTimeout_ = timeout; }
+    Tick watchdog() const { return watchdogTimeout_; }
+
+    /**
+     * Mark the engine dead (permanent node failure, src/fault): it
+     * stops transmitting, acknowledging and receiving, so the remote
+     * end sees a stuck link and its own watchdog/retry machinery must
+     * cope.
+     */
+    void setDead() { dead_ = true; }
+    bool dead() const { return dead_; }
+
+    uint64_t outAborts() const { return outAborts_; }
+    uint64_t inAborts() const { return inAborts_; }
+    uint64_t staleAcks() const { return staleAcks_; }
+    uint64_t overrunDrops() const { return overrunDrops_; }
+    uint64_t deadDrops() const { return deadDrops_; }
+    ///@}
+
   private:
     void sendNextByte(Tick not_before);
     bool receiverCanAccept() const;
     void sendAck(Tick not_before);
+    void armOutWatchdog(Tick from);
+    void armInWatchdog(Tick from);
+    void disarmOutWatchdog();
+    void disarmInWatchdog();
+    void outWatchdogFired();
+    void inWatchdogFired();
 
     /** @name Trace flow ids
      *
@@ -323,6 +409,17 @@ class LinkEngine : public LinkEndpoint, public core::ChannelPort
 
     uint64_t bytesSent_ = 0;
     uint64_t bytesReceived_ = 0;
+
+    // link health (src/fault); timeout 0 = strict hardware model
+    Tick watchdogTimeout_ = 0;
+    bool dead_ = false;
+    sim::EventId outWdog_ = sim::invalidEventId;
+    sim::EventId inWdog_ = sim::invalidEventId;
+    uint64_t outAborts_ = 0;
+    uint64_t inAborts_ = 0;
+    uint64_t staleAcks_ = 0;
+    uint64_t overrunDrops_ = 0;
+    uint64_t deadDrops_ = 0;
 };
 
 } // namespace transputer::link

@@ -47,8 +47,8 @@ constexpr int linkIn0 = 4;       ///< link 0..3 input channel words
 constexpr int event = 8;         ///< event-pin channel word
 constexpr int tptrLoc0 = 9;      ///< high-priority timer queue head
 constexpr int tptrLoc1 = 10;     ///< low-priority timer queue head
-constexpr int intSave = 11;      ///< 7-word interrupt save area
-constexpr int intSaveWords = 7;
+constexpr int intSave = 11;      ///< interrupt save area (word 6 spare:
+constexpr int intSaveWords = 7;  ///< the error flag is shared, not saved)
 constexpr int memStart = 18;     ///< first program-usable word
 } // namespace reserved
 

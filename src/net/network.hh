@@ -195,6 +195,21 @@ class Network
             fn(*e);
     }
 
+    /**
+     * Arm a link-health watchdog on every link engine (src/fault): a
+     * transfer that stalls for `timeout` ticks is abandoned and the
+     * blocked process released, turning injected losses and dead
+     * neighbours into short/unacknowledged messages that frame-level
+     * software (fault::ReliableChannel) detects and retries.  Zero
+     * disables supervision (the strict hardware model, the default).
+     */
+    void
+    setLinkWatchdogs(Tick timeout)
+    {
+        for (auto &e : engines_)
+            e->setWatchdog(timeout);
+    }
+
     /** @name Wiring introspection (src/par, tests) */
     ///@{
     /** One directional line and the node indices it connects. */
@@ -250,6 +265,18 @@ class Network
                 continue;
             c.linkBytesOut += e->bytesSent();
             c.linkBytesIn += e->bytesReceived();
+            c.linkOutAborts += e->outAborts();
+            c.linkInAborts += e->inAborts();
+            c.linkStaleAcks += e->staleAcks();
+            c.linkOverrunDrops += e->overrunDrops();
+            c.linkDeadDrops += e->deadDrops();
+            // the outgoing line is owned (and driven) by this node's
+            // engine, so its injected faults are charged here
+            const link::Line &tx = e->tx();
+            c.faultDataDrops += tx.dataDropped();
+            c.faultAckDrops += tx.acksDropped();
+            c.faultCorrupts += tx.dataCorrupted();
+            c.faultJitterTicks += tx.faultJitter();
         }
         return c;
     }

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <sstream>
 
 #include "net/network.hh"
@@ -119,6 +120,11 @@ chromeTrace(net::Network &net)
         bool running = false;
         Tick sliceStart = 0;
         uint64_t sliceWdesc = 0;
+        // an output abort opens a retransmit arrow that the next
+        // message started on the same link closes; the id space has
+        // the top bit set to stay clear of the message flow ids
+        std::map<uint32_t, uint64_t> pendingAbort;
+        uint64_t abortSeq = 0;
         buf->forEach([&](const Record &r) {
             switch (r.ev) {
               case Ev::Run:
@@ -145,11 +151,41 @@ chromeTrace(net::Network &net)
               case Ev::Rendezvous:
                 track.instant(r.when, "rendezvous");
                 break;
-              case Ev::LinkMsgOut:
+              case Ev::LinkMsgOut: {
                 track.flow(r.when, true, r.b, r.c);
+                const auto it = pendingAbort.find(r.c);
+                if (it != pendingAbort.end()) {
+                    track.flow(r.when, false, it->second, r.c);
+                    pendingAbort.erase(it);
+                }
                 break;
+              }
               case Ev::LinkMsgIn:
                 track.flow(r.when, false, r.b, r.c);
+                break;
+              case Ev::LinkAbortOut: {
+                track.instant(r.when, "link.abort.out");
+                const uint64_t id = (1ull << 63) |
+                                    (static_cast<uint64_t>(r.c) << 40) |
+                                    ++abortSeq;
+                pendingAbort[r.c] = id;
+                track.flow(r.when, true, id, r.c);
+                break;
+              }
+              case Ev::LinkAbortIn:
+                track.instant(r.when, "link.abort.in");
+                break;
+              case Ev::FaultDrop:
+                track.instant(r.when, "fault.drop");
+                break;
+              case Ev::FaultCorrupt:
+                track.instant(r.when, "fault.corrupt");
+                break;
+              case Ev::FaultStall:
+                track.instant(r.when, "fault.stall");
+                break;
+              case Ev::FaultKill:
+                track.instant(r.when, "fault.kill");
                 break;
               default:
                 break; // Ready/WaitChan/WaitTimer/LinkByte/LinkAck:

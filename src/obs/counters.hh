@@ -99,6 +99,21 @@ struct Counters
     uint64_t linkBytesOut = 0;
     uint64_t linkBytesIn = 0;
 
+    // fault injection and link health (src/fault; filled by
+    // Network::nodeCounters from this node's lines and engines).
+    // Injected faults are drawn in transmit order from seeded
+    // per-line PRNGs and watchdog deadlines are architectural, so all
+    // of these are serial/parallel bit-identical too.
+    uint64_t faultDataDrops = 0;  ///< injected data-packet losses
+    uint64_t faultAckDrops = 0;   ///< injected ack-packet losses
+    uint64_t faultCorrupts = 0;   ///< injected data corruptions
+    Tick faultJitterTicks = 0;    ///< injected extra wire latency
+    uint64_t linkOutAborts = 0;   ///< outputs abandoned by watchdog
+    uint64_t linkInAborts = 0;    ///< inputs abandoned by watchdog
+    uint64_t linkStaleAcks = 0;   ///< acks for abandoned outputs
+    uint64_t linkOverrunDrops = 0; ///< bytes dropped on a full buffer
+    uint64_t linkDeadDrops = 0;   ///< bytes that arrived at a dead node
+
     // host-side interpreter statistics (excluded from arch equality)
     FusedStats fused;
 
@@ -141,6 +156,15 @@ struct Counters
         idleTicks += o.idleTicks;
         linkBytesOut += o.linkBytesOut;
         linkBytesIn += o.linkBytesIn;
+        faultDataDrops += o.faultDataDrops;
+        faultAckDrops += o.faultAckDrops;
+        faultCorrupts += o.faultCorrupts;
+        faultJitterTicks += o.faultJitterTicks;
+        linkOutAborts += o.linkOutAborts;
+        linkInAborts += o.linkInAborts;
+        linkStaleAcks += o.linkStaleAcks;
+        linkOverrunDrops += o.linkOverrunDrops;
+        linkDeadDrops += o.linkDeadDrops;
         fused += o.fused;
         return *this;
     }
@@ -170,7 +194,16 @@ sameArchitectural(const Counters &a, const Counters &b)
            a.timerWakes == b.timerWakes &&
            a.idleTicks == b.idleTicks &&
            a.linkBytesOut == b.linkBytesOut &&
-           a.linkBytesIn == b.linkBytesIn;
+           a.linkBytesIn == b.linkBytesIn &&
+           a.faultDataDrops == b.faultDataDrops &&
+           a.faultAckDrops == b.faultAckDrops &&
+           a.faultCorrupts == b.faultCorrupts &&
+           a.faultJitterTicks == b.faultJitterTicks &&
+           a.linkOutAborts == b.linkOutAborts &&
+           a.linkInAborts == b.linkInAborts &&
+           a.linkStaleAcks == b.linkStaleAcks &&
+           a.linkOverrunDrops == b.linkOverrunDrops &&
+           a.linkDeadDrops == b.linkDeadDrops;
 }
 
 /**
@@ -213,6 +246,15 @@ countersJson(const Counters &c)
     num("idle_ns", static_cast<uint64_t>(c.idleTicks));
     num("link_bytes_out", c.linkBytesOut);
     num("link_bytes_in", c.linkBytesIn);
+    num("fault_data_drops", c.faultDataDrops);
+    num("fault_ack_drops", c.faultAckDrops);
+    num("fault_corrupts", c.faultCorrupts);
+    num("fault_jitter_ns", static_cast<uint64_t>(c.faultJitterTicks));
+    num("link_out_aborts", c.linkOutAborts);
+    num("link_in_aborts", c.linkInAborts);
+    num("link_stale_acks", c.linkStaleAcks);
+    num("link_overrun_drops", c.linkOverrunDrops);
+    num("link_dead_drops", c.linkDeadDrops);
     out += "\"fn\": {";
     bool first = true;
     for (size_t i = 0; i < c.fn.size(); ++i) {

@@ -49,6 +49,13 @@ enum class Ev : uint8_t
     LinkMsgIn,  ///< link message fully received (a = Wdesc, b = flow)
     LinkByte,   ///< one data byte sent on link c (a = byte value)
     LinkAck,    ///< one ack sent on link c
+    LinkAbortOut, ///< watchdog abandoned an output on link c (a = Wdesc)
+    LinkAbortIn,  ///< watchdog abandoned an input on link c (a = Wdesc)
+    FaultDrop,    ///< injected packet loss on line c (a = byte, b = isData)
+    FaultCorrupt, ///< injected bit corruption on line c (a = byte, b = mask)
+    FaultJitter,  ///< injected latency on line c (b = extra ticks)
+    FaultStall,   ///< injected transient stall (b = resume tick)
+    FaultKill,    ///< injected permanent node death
 };
 
 constexpr const char *
@@ -68,6 +75,13 @@ evName(Ev e)
       case Ev::LinkMsgIn: return "link.msg.in";
       case Ev::LinkByte: return "link.byte";
       case Ev::LinkAck: return "link.ack";
+      case Ev::LinkAbortOut: return "link.abort.out";
+      case Ev::LinkAbortIn: return "link.abort.in";
+      case Ev::FaultDrop: return "fault.drop";
+      case Ev::FaultCorrupt: return "fault.corrupt";
+      case Ev::FaultJitter: return "fault.jitter";
+      case Ev::FaultStall: return "fault.stall";
+      case Ev::FaultKill: return "fault.kill";
     }
     return "?";
 }

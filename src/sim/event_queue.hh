@@ -64,6 +64,7 @@ struct EventKey
 constexpr uint32_t chanStep = 0;  ///< CPU instruction-batch events
 constexpr uint32_t chanTimer = 1; ///< timer expiry events
 constexpr uint32_t chanSelf = 2;  ///< actor-internal (peripherals)
+constexpr uint32_t chanFault = 3; ///< fault-plan events (src/fault)
 constexpr uint32_t chanLine = 8;  ///< + line id: wire deliveries
 ///@}
 

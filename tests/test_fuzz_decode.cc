@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Decoder robustness: random and truncated byte streams through the
+ * isa decoder, the predecoder and the disassembler.  Nothing may
+ * crash, read out of bounds (the buffers are exactly sized so the
+ * sanitizer presets catch any overread), or disagree: wherever both
+ * paths fold a complete chain they must produce identical results,
+ * because the interpreter's fast path trusts the predecoder to be a
+ * drop-in for the byte-at-a-time hardware fold.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "base/random.hh"
+#include "base/types.hh"
+#include "isa/disasm.hh"
+#include "isa/encoding.hh"
+#include "isa/predecode.hh"
+
+using namespace transputer;
+
+namespace
+{
+
+/** Exactly-sized random byte buffer (no slack for overreads). */
+std::vector<uint8_t>
+randomBytes(Random &rng, size_t n)
+{
+    std::vector<uint8_t> b(n);
+    for (auto &x : b)
+        x = static_cast<uint8_t>(rng.below(256));
+    return b;
+}
+
+void
+expectAgreement(const std::vector<uint8_t> &bytes, size_t pos,
+                const WordShape &shape)
+{
+    const isa::Decoded d =
+        isa::decode(bytes.data(), bytes.size(), pos, shape);
+    const isa::Predecoded p = isa::predecode(
+        bytes.data() + pos, bytes.size() - pos, shape);
+    if (!p.complete())
+        return; // over-long chain or truncation: predecode declines
+    ASSERT_TRUE(d.complete);
+    EXPECT_EQ(d.fn, p.fn);
+    EXPECT_EQ(d.operand, p.operand);
+    EXPECT_EQ(d.length, static_cast<int>(p.length));
+}
+
+} // namespace
+
+TEST(FuzzDecode, RandomStreamsNeverCrashAndPathsAgree)
+{
+    Random rng(0xF00D);
+    for (int round = 0; round < 400; ++round) {
+        const size_t n = 1 + rng.below(64);
+        const auto bytes = randomBytes(rng, n);
+        const WordShape &shape = (round % 2) ? word16 : word32;
+        // walk the stream the way the icache does: chain by chain
+        size_t pos = 0;
+        while (pos < n) {
+            const isa::Decoded d =
+                isa::decode(bytes.data(), n, pos, shape);
+            ASSERT_GE(d.length, 1);
+            ASSERT_LE(pos + static_cast<size_t>(d.length), n);
+            expectAgreement(bytes, pos, shape);
+            if (!d.complete)
+                break;
+            pos += static_cast<size_t>(d.length);
+        }
+        // and at every offset, the way a wild jump would land
+        for (size_t at = 0; at < n; ++at)
+            expectAgreement(bytes, at, shape);
+    }
+}
+
+TEST(FuzzDecode, TruncatedChainsReportIncomplete)
+{
+    const WordShape &shape = word32;
+    // an all-prefix buffer can never complete
+    for (size_t n = 1; n <= 12; ++n) {
+        std::vector<uint8_t> pfx(
+            n, isa::instructionByte(isa::Fn::PFIX, 5));
+        const auto d = isa::decode(pfx.data(), n, 0, shape);
+        EXPECT_FALSE(d.complete);
+        EXPECT_EQ(d.length, static_cast<int>(n));
+        const auto p = isa::predecode(pfx.data(), n, shape);
+        EXPECT_FALSE(p.complete());
+    }
+    // a real instruction cut anywhere before its final byte
+    std::vector<uint8_t> enc;
+    isa::emit(enc, isa::Fn::LDC, 0x12345);
+    ASSERT_GT(enc.size(), 2u);
+    for (size_t cut = 1; cut < enc.size(); ++cut) {
+        const auto d = isa::decode(enc.data(), cut, 0, shape);
+        EXPECT_FALSE(d.complete);
+        const auto p = isa::predecode(enc.data(), cut, shape);
+        EXPECT_FALSE(p.complete());
+    }
+    const auto whole =
+        isa::decode(enc.data(), enc.size(), 0, shape);
+    EXPECT_TRUE(whole.complete);
+    EXPECT_EQ(whole.operand, Word{0x12345});
+    EXPECT_EQ(whole.fn, isa::Fn::LDC);
+}
+
+TEST(FuzzDecode, RoundTripThroughTheEncoder)
+{
+    Random rng(0xBEEF);
+    const WordShape &shape = word32;
+    for (int round = 0; round < 2000; ++round) {
+        const auto fn = static_cast<isa::Fn>(rng.below(16));
+        if (fn == isa::Fn::PFIX || fn == isa::Fn::NFIX)
+            continue;
+        const auto operand = static_cast<int64_t>(rng.next() % 0x1FFFFFFFFull) -
+                             0xFFFFFFFFll;
+        std::vector<uint8_t> enc;
+        isa::emit(enc, fn, operand);
+        const auto d = isa::decode(enc.data(), enc.size(), 0, shape);
+        ASSERT_TRUE(d.complete);
+        EXPECT_EQ(d.fn, fn);
+        EXPECT_EQ(d.operand, shape.truncate(static_cast<Word>(operand)));
+        EXPECT_EQ(d.length, static_cast<int>(enc.size()));
+        expectAgreement(enc, 0, shape);
+    }
+}
+
+TEST(FuzzDecode, DisassemblerSurvivesGarbage)
+{
+    Random rng(0xD15A);
+    for (int round = 0; round < 100; ++round) {
+        const size_t n = 1 + rng.below(128);
+        const auto bytes = randomBytes(rng, n);
+        const auto lines = isa::disassemble(
+            bytes.data(), n, 0x80000000u, word32);
+        ASSERT_FALSE(lines.empty());
+        // every byte is accounted for exactly once, in order
+        size_t covered = 0;
+        for (const auto &l : lines)
+            covered += l.raw.size();
+        EXPECT_EQ(covered, n);
+        EXPECT_FALSE(isa::listing(lines).empty());
+    }
+    // the all-prefix pathological case ends in a truncation marker
+    std::vector<uint8_t> pfx(
+        32, isa::instructionByte(isa::Fn::NFIX, 0xF));
+    const auto lines = isa::disassemble(pfx.data(), pfx.size(), 0, word32);
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_EQ(lines[0].text, "truncated prefix chain");
+}

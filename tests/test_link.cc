@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <vector>
 
 #include "net/network.hh"
 
@@ -289,3 +290,129 @@ TEST(Link, BidirectionalTrafficSharesTheWirePair)
     EXPECT_GT(t, 1'250'000);
     EXPECT_LT(t, 1'500'000);
 }
+
+TEST(Link, OverlappedAckArrivesDuringTheDataPacket)
+{
+    // AckMode edge case: with the receiver already waiting, the ack
+    // for each byte goes back onto the reverse line while that byte
+    // is still being transmitted (paper Figure 1), and the data
+    // packets stream back to back at exactly 11 bit times
+    Network net;
+    const int a = net.addTransputer();
+    const int b = net.addTransputer();
+    net.connect(a, east, b, west);
+    std::vector<link::Line::Packet> data, acks;
+    for (const auto &lr : net.lines()) {
+        if (lr.srcNode == a)
+            lr.line->onPacket = [&](const link::Line::Packet &p) {
+                if (p.isData)
+                    data.push_back(p);
+            };
+        else
+            lr.line->onPacket = [&](const link::Line::Packet &p) {
+                if (!p.isData)
+                    acks.push_back(p);
+            };
+    }
+    bootAsm(net, a, senderSrc(8));
+    bootAsm(net, b, receiverSrc(8));
+    net.run();
+    EXPECT_TRUE(net.quiescent());
+    ASSERT_EQ(data.size(), 8u);
+    ASSERT_EQ(acks.size(), 8u);
+    // steady state: zero inter-packet gap on the data line
+    for (size_t i = 1; i < data.size(); ++i)
+        EXPECT_EQ(data[i].start, data[i - 1].end) << "byte " << i;
+    // every ack starts strictly inside its data packet's wire time
+    // (it is sent when the second bit has been classified)
+    for (size_t i = 1; i < data.size(); ++i) {
+        EXPECT_GT(acks[i].start, data[i].start) << "ack " << i;
+        EXPECT_LT(acks[i].end, data[i].end) << "ack " << i;
+    }
+}
+
+TEST(Link, EndOfByteAckSetsThirteenBitPacketSpacing)
+{
+    // AckMode edge case: back-to-back packets at the minimum spacing
+    // each mode allows -- 11 bit times overlapped, 13 (11 data + 2
+    // ack) when the ack waits for the end of the byte.  Exact
+    // spacing, not just a throughput ratio.
+    for (const auto mode :
+         {link::AckMode::Overlap, link::AckMode::EndOfByte}) {
+        Network net;
+        const int a = net.addTransputer();
+        const int b = net.addTransputer();
+        net.connect(a, east, b, west, link::WireConfig{}, mode);
+        std::vector<link::Line::Packet> data;
+        for (const auto &lr : net.lines())
+            if (lr.srcNode == a)
+                lr.line->onPacket =
+                    [&](const link::Line::Packet &p) {
+                        if (p.isData)
+                            data.push_back(p);
+                    };
+        bootAsm(net, a, senderSrc(16));
+        bootAsm(net, b, receiverSrc(16));
+        net.run();
+        EXPECT_TRUE(net.quiescent());
+        ASSERT_EQ(data.size(), 16u);
+        const Tick bit = link::WireConfig{}.bitTime();
+        const Tick spacing =
+            mode == link::AckMode::Overlap ? 11 * bit : 13 * bit;
+        // skip the first gap (instruction setup); all later packets
+        // run at the protocol minimum exactly
+        for (size_t i = 2; i < data.size(); ++i)
+            EXPECT_EQ(data[i].start - data[i - 1].start, spacing)
+                << "byte " << i;
+    }
+}
+
+#ifdef TRANSPUTER_FAULT
+TEST(Link, WireReconfigurationMidMessage)
+{
+    // AckMode edge case: the wire's behaviour changes *during* a
+    // message -- a fault tap slowing every data packet is installed
+    // after the transfer is underway and removed before it finishes
+    // (the documented mid-flight arm/disarm path).  The transfer must
+    // complete intact either way; only the middle window is slowed.
+    struct SlowWire final : link::LineFaultTap
+    {
+        link::FaultAction
+        onDataPacket(Tick, uint8_t) override
+        {
+            link::FaultAction fa;
+            fa.jitter = 500; // half a byte time of extra lead-in
+            return fa;
+        }
+        link::FaultAction onAckPacket(Tick) override { return {}; }
+    };
+    Network net;
+    const int a = net.addTransputer();
+    const int b = net.addTransputer();
+    net.connect(a, east, b, west);
+    link::Line *wire = nullptr;
+    for (const auto &lr : net.lines())
+        if (lr.srcNode == a)
+            wire = lr.line;
+    ASSERT_NE(wire, nullptr);
+    bootAsm(net, a, senderSrc(64));
+    const Word wb = bootAsm(net, b, receiverSrc(64));
+    // 64 back-to-back bytes take ~70 us; reconfigure at 1/3 and 2/3
+    SlowWire slow;
+    net.run(30'000);
+    wire->setFaultTap(&slow);
+    net.run(55'000);
+    wire->setFaultTap(nullptr);
+    net.run();
+    EXPECT_TRUE(net.quiescent());
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(byteAt(net, b, wb, 30, i), (i + 1) & 0xFF);
+    EXPECT_EQ(wordAt(net, b, wb, 2), 1u); // receiver completed
+    // only the middle window was jittered: more than none of the
+    // packets, fewer than all of them
+    EXPECT_GT(wire->faultJitter(), 0);
+    EXPECT_LT(wire->faultJitter(), 64 * 500);
+    EXPECT_EQ(wire->dataPackets(), 64u);
+    EXPECT_EQ(wire->dataDropped(), 0u);
+}
+#endif // TRANSPUTER_FAULT

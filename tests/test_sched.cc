@@ -231,3 +231,59 @@ TEST(Sched, SaveQueueRegisters)
     EXPECT_EQ(t.local(32), 0x80000000u);
     EXPECT_EQ(t.local(33), 0x80000000u);
 }
+
+TEST(Sched, HighPrioritySeterrPropagatesToLow)
+{
+    // the error flag is machine state shared by both priority levels
+    // (like HaltOnError): an error raised by a high-priority handler
+    // must still be standing when the interrupted low-priority
+    // process resumes, not clobbered by the context restore
+    SingleCpu t;
+    t.runAsm("start:\n"
+             "  ldap hp\n ldlp -30\n stnl -1\n"
+             "  ldlp -30\n runp\n"  // high priority: preempts us
+             "  testerr\n stl 1\n"  // 0 = error was (still) set
+             "  stopp\n"
+             "hp:\n"
+             "  seterr\n stopp\n");
+    EXPECT_EQ(t.local(1), 0u);
+    EXPECT_FALSE(t.cpu.errorFlag()); // the testerr consumed it
+}
+
+TEST(Sched, TesterrAtHighPriorityConsumesTheSharedFlag)
+{
+    // complementary direction: a high-priority supervisor that
+    // reads-and-clears the flag with testerr must not see the error
+    // resurrected when the low-priority context is restored
+    SingleCpu t;
+    t.runAsm("start:\n"
+             "  seterr\n"
+             "  ldap hp\n ldlp -30\n stnl -1\n"
+             "  ldlp -30\n runp\n"
+             "  testerr\n stl 1\n"  // 1 = flag clear by now
+             "  stopp\n"
+             "hp:\n"
+             "  testerr\n stl 0\n stopp\n"); // 0 = error was set
+    EXPECT_EQ(t.local(-30), 0u);
+    EXPECT_EQ(t.local(1), 1u);
+    EXPECT_FALSE(t.cpu.errorFlag());
+}
+
+TEST(Sched, LowPrioritySeterrSurvivesPreemptionAndHalts)
+{
+    // seterr raised at low priority with HaltOnError armed halts the
+    // machine even with a high-priority preemption in the mix
+    SingleCpu t;
+    t.runAsm("start:\n"
+             "  sethalterr\n"
+             "  ldap hp\n ldlp -30\n stnl -1\n"
+             "  ldlp -30\n runp\n"   // high priority runs, returns
+             "  seterr\n"            // must halt right here...
+             "  ldc 1\n stl 1\n stopp\n" // ...so this never runs
+             "hp:\n"
+             "  ldc 7\n stl 0\n stopp\n");
+    EXPECT_TRUE(t.cpu.halted());
+    EXPECT_TRUE(t.cpu.errorFlag());
+    EXPECT_EQ(t.local(-30), 7u);
+    EXPECT_EQ(t.local(1), 0u);
+}

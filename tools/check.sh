@@ -1,11 +1,15 @@
 #!/bin/sh
 # Smoke check: configure, build and run the tier-1 suite for the
 # default preset, run a traced dbsearch through tprof and validate its
-# JSON outputs, then the tsan preset's parallel-engine suite (the
-# "par" label, the only tests with cross-thread interactions --
-# including the observability counter/tracer tests).
+# JSON outputs, then the sanitizer presets: tsan runs the
+# parallel-engine suite (the "par" label, the only tests with
+# cross-thread interactions -- including the observability
+# counter/tracer tests), asan+ubsan runs the fault-injection and
+# decoder-fuzz suite (the "fault" label, the tests that feed hostile
+# input -- random byte streams, corrupted packets, dead nodes -- into
+# the simulator).
 #
-# Usage: tools/check.sh [--no-tsan]
+# Usage: tools/check.sh [--no-tsan] [--no-asan]
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -18,6 +22,16 @@ run_preset() {
     cmake --build --preset "$preset" -j "$@"
     ctest --preset "$preset" -j
 }
+
+want() {
+    for arg in "$@"; do
+        case " $args " in
+        *" $arg "*) return 1 ;;
+        esac
+    done
+    return 0
+}
+args="$*"
 
 run_preset default
 
@@ -33,8 +47,13 @@ python3 -m json.tool "$obs_dir/dbsearch.trace.json" > /dev/null
 python3 -m json.tool "$obs_dir/dbsearch.metrics.json" > /dev/null
 echo "trace + metrics JSON validate"
 
-if [ "${1:-}" != "--no-tsan" ]; then
-    run_preset tsan --target test_par --target test_obs
+if want --no-tsan; then
+    run_preset tsan --target test_par --target test_obs \
+        --target test_fault
+fi
+
+if want --no-asan; then
+    run_preset asan --target test_fault --target test_fuzz_decode
 fi
 
 echo "== all checks passed =="
