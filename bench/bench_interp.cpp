@@ -34,7 +34,9 @@ using namespace transputer::bench;
 namespace
 {
 
-constexpr int reps = 5; ///< take the best time of these
+constexpr int warmup = 2; ///< discarded priming runs (cold caches,
+                          ///< allocator growth, CPU frequency ramp)
+constexpr int reps = 7;   ///< take the best time of these
 
 /** Process CPU time (all threads -- the dbsearch run dispatches on a
  *  worker): immune to the container's scheduling noise. */
@@ -105,13 +107,15 @@ Measure
 runE7(bool predecode)
 {
     Measure best;
-    for (int r = 0; r < reps; ++r) {
+    for (int r = -warmup; r < reps; ++r) {
         core::Config cfg;
         cfg.predecode = predecode;
         AsmRig rig(cfg);
         const double t0 = cpuSeconds();
         rig.run(e7LoopSource(200'000));
         const double secs = cpuSeconds() - t0;
+        if (r < 0)
+            continue; // warmup: prime before timing counts
         Measure m;
         m.fill(rig.cpu.counters());
         m.ips = static_cast<double>(m.instructions) / secs;
@@ -125,7 +129,7 @@ Measure
 runDbSearch(bool predecode)
 {
     Measure best;
-    for (int r = 0; r < reps; ++r) {
+    for (int r = -warmup; r < reps; ++r) {
         apps::DbSearchConfig cfg;
         cfg.width = 4;
         cfg.height = 4;
@@ -139,6 +143,8 @@ runDbSearch(bool predecode)
         const double t0 = cpuSeconds();
         db->network().run(limit, opts);
         const double secs = cpuSeconds() - t0;
+        if (r < 0)
+            continue; // warmup: prime before timing counts
         Measure m;
         m.fill(db->network().counters());
         m.ips = static_cast<double>(m.instructions) / secs;

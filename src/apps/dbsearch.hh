@@ -72,6 +72,11 @@ class DbSearch
     net::Network &network() { return *net_; }
     const DbSearchConfig &config() const { return cfg_; }
 
+    /** The host-side link peripheral.  Exposed so checkpoint/restore
+     *  (src/snap) can include it in Save/RestoreOptions; its byte
+     *  stream holds every answer word the array has produced. */
+    net::ConsoleSink &host() { return *host_; }
+
     /** Longest path from the corner, in links (paper: 24 for 128). */
     int longestPath() const { return cfg_.width + cfg_.height - 2; }
 

@@ -67,6 +67,17 @@ class Random
         return real() < p;
     }
 
+    /** @name Raw generator state (src/snap checkpoint/restore)
+     *
+     * The whole generator is one 64-bit word, so capturing and
+     * restoring it resumes the stream mid-sequence exactly.  setState
+     * bypasses the seed scramble: the argument must come from state().
+     */
+    ///@{
+    uint64_t state() const { return state_; }
+    void setState(uint64_t s) { state_ = s ? s : 0x2545F4914F6CDD1Dull; }
+    ///@}
+
   private:
     uint64_t state_;
 };

@@ -51,6 +51,18 @@ Transputer::setFetchBuffer(Word word_addr)
     lastFetchValid_ = true;
 }
 
+void
+Transputer::repinFetchBuffer()
+{
+    // after a restore the buffered word's content is byte-identical
+    // to what was buffered (the whole image round-trips), but the
+    // write-generation counters are process-local and were bumped by
+    // the restore itself; re-reading the current generation keeps the
+    // buffer valid without re-charging the fetch
+    if (lastFetchValid_)
+        lastFetchGen_ = mem_.writeGen(lastFetchWord_);
+}
+
 uint8_t
 Transputer::fetchByte()
 {

@@ -90,6 +90,34 @@ class PredecodeCache
     uint64_t invalidations() const { return invalidations_; }
     ///@}
 
+    /** @name Restore hooks (src/snap)
+     *
+     * Predecoded chains are a pure acceleration structure, so a
+     * snapshot never serializes them: restore drops every entry and
+     * lets execution re-decode from the restored memory image.  The
+     * statistics, however, are architectural observables (they feed
+     * obs::Counters), so they round-trip explicitly.
+     */
+    ///@{
+    /** Drop every cached chain (entries refill lazily). */
+    void
+    invalidateAll()
+    {
+        for (Entry &e : entries_)
+            e.length = 0;
+    }
+
+    /** Overwrite the statistic counters with snapshotted values. */
+    void
+    restoreStats(uint64_t hits, uint64_t misses,
+                 uint64_t invalidations)
+    {
+        hits_ = hits;
+        misses_ = misses;
+        invalidations_ = invalidations;
+    }
+    ///@}
+
     /** @name Raw access for the fused interpreter loop
      *
      * core/exec.cc's runFused keeps these in locals so the hot hit

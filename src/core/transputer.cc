@@ -163,7 +163,8 @@ Transputer::kill()
     state_ = CpuState::Halted;
     preemptPending_ = false;
     if (stepScheduled_) {
-        queue_->cancelStatic(stepEvent_);
+        if (!queue_->cancelStatic(stepEvent_))
+            queue_->cancel(stepEvent_.id());
         stepScheduled_ = false;
     }
     if (timerEvent_ != sim::invalidEventId) {
@@ -171,6 +172,158 @@ Transputer::kill()
         timerEvent_ = sim::invalidEventId;
     }
     timersRunning_ = false;
+}
+
+// ---------------------------------------------------------------------
+// checkpoint/restore (src/snap)
+// ---------------------------------------------------------------------
+
+CpuSnap
+Transputer::exportSnap() const
+{
+    TRANSPUTER_ASSERT(!inExec_,
+                      "snapshot from inside an instruction");
+    CpuSnap s;
+    s.iptr = iptr_;
+    s.wptr = wptr_;
+    s.areg = areg_;
+    s.breg = breg_;
+    s.creg = creg_;
+    s.oreg = oreg_;
+    s.pri = pri_;
+    s.fptr[0] = fptr_[0];
+    s.fptr[1] = fptr_[1];
+    s.bptr[0] = bptr_[0];
+    s.bptr[1] = bptr_[1];
+    s.errorFlag = errorFlag_;
+    s.haltOnError = haltOnError_;
+    s.timersRunning = timersRunning_;
+    s.timerBase = timerBase_;
+    s.timerOffset[0] = timerOffset_[0];
+    s.timerOffset[1] = timerOffset_[1];
+    if (timerEvent_ != sim::invalidEventId) {
+        sim::EventKey key;
+        s.timerArmed =
+            queue_->pendingInfo(timerEvent_, s.timerWhen, key);
+        s.timerSeq = key.seq;
+    }
+    s.lowSaved = lowSaved_;
+    s.lowDebtTicks = lowDebtTicks_;
+    s.lastFetchWord = lastFetchWord_;
+    s.lastFetchValid = lastFetchValid_;
+    s.preemptPending = preemptPending_;
+    s.hpReadyTick = hpReadyTick_;
+    s.lastInstrStart = lastInstrStart_;
+    s.lastInstrInterruptible = lastInstrInterruptible_;
+    s.state = static_cast<uint8_t>(state_);
+    s.killed = killed_;
+    s.stallUntil = stallUntil_;
+    s.time = time_;
+    s.sliceStartCycles = sliceStartCycles_;
+    if (stepScheduled_) {
+        s.stepArmed = true;
+        if (stepEvent_.pending()) {
+            s.stepWhen = stepEvent_.scheduledAt();
+            s.stepSeq = stepEvent_.scheduledKey().seq;
+        } else {
+            // a parallel run migrated the arm between queues as an
+            // ordinary event; it kept the static event's id
+            sim::EventKey key;
+            const bool live =
+                queue_->pendingInfo(stepEvent_.id(), s.stepWhen, key);
+            TRANSPUTER_ASSERT(live,
+                              "step arm neither static nor migrated");
+            s.stepSeq = key.seq;
+        }
+    }
+    s.eventPending = eventPending_;
+    s.eventWaiter = eventWaiter_;
+    s.eventAltWaiter = eventAltWaiter_;
+    s.eventInAlt = eventInAlt_;
+    s.selfSeq = selfSeq_;
+    s.idleSince = idleSince_;
+    s.ctrs = counters();
+    return s;
+}
+
+void
+Transputer::importSnap(const CpuSnap &s)
+{
+    // drop whatever this CPU had pending: restore replaces it (the
+    // arm may be live as a migrated ordinary event after a parallel
+    // run, hence the id-based fallback)
+    if (stepScheduled_) {
+        if (!queue_->cancelStatic(stepEvent_))
+            queue_->cancel(stepEvent_.id());
+        stepScheduled_ = false;
+    }
+    if (timerEvent_ != sim::invalidEventId) {
+        queue_->cancel(timerEvent_);
+        timerEvent_ = sim::invalidEventId;
+    }
+    iptr_ = s.iptr;
+    wptr_ = s.wptr;
+    areg_ = s.areg;
+    breg_ = s.breg;
+    creg_ = s.creg;
+    oreg_ = s.oreg;
+    pri_ = s.pri;
+    fptr_[0] = s.fptr[0];
+    fptr_[1] = s.fptr[1];
+    bptr_[0] = s.bptr[0];
+    bptr_[1] = s.bptr[1];
+    errorFlag_ = s.errorFlag;
+    haltOnError_ = s.haltOnError;
+    timersRunning_ = s.timersRunning;
+    timerBase_ = s.timerBase;
+    timerOffset_[0] = s.timerOffset[0];
+    timerOffset_[1] = s.timerOffset[1];
+    lowSaved_ = s.lowSaved;
+    lowDebtTicks_ = s.lowDebtTicks;
+    lastFetchWord_ = s.lastFetchWord;
+    lastFetchValid_ = s.lastFetchValid;
+    repinFetchBuffer();
+    inExec_ = false;
+    preemptPending_ = s.preemptPending;
+    hpReadyTick_ = s.hpReadyTick;
+    lastInstrStart_ = s.lastInstrStart;
+    lastInstrInterruptible_ = s.lastInstrInterruptible;
+    state_ = static_cast<CpuState>(s.state);
+    killed_ = s.killed;
+    stallUntil_ = s.stallUntil;
+    time_ = s.time;
+    sliceStartCycles_ = s.sliceStartCycles;
+    eventPending_ = s.eventPending;
+    eventWaiter_ = s.eventWaiter;
+    eventAltWaiter_ = s.eventAltWaiter;
+    eventInAlt_ = s.eventInAlt;
+    selfSeq_ = s.selfSeq;
+    idleSince_ = s.idleSince;
+    // counters: the hot members fold into counters() by assignment,
+    // so splitting the saved totals back out makes an immediate
+    // re-capture bit-identical
+    ctrs_ = s.ctrs;
+    instructions_ = s.ctrs.instructions;
+    cycles_ = s.ctrs.cycles;
+    icache_.invalidateAll();
+    icache_.restoreStats(s.ctrs.icacheHits, s.ctrs.icacheMisses,
+                         s.ctrs.icacheInvalidations);
+    // re-arm the pending events with their exact original keys: the
+    // continuation dispatches them in the same total order as the
+    // uninterrupted run
+    if (s.stepArmed) {
+        stepScheduled_ = true;
+        queue_->scheduleStatic(
+            s.stepWhen,
+            sim::EventKey{actorId_, sim::chanStep, s.stepSeq},
+            stepEvent_);
+    }
+    if (s.timerArmed) {
+        timerEvent_ = queue_->schedule(
+            s.timerWhen,
+            sim::EventKey{actorId_, sim::chanTimer, s.timerSeq},
+            [this] { timerExpire(); });
+    }
 }
 
 // ---------------------------------------------------------------------

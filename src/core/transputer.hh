@@ -76,6 +76,70 @@ enum class CpuState
 };
 
 /**
+ * Everything one CPU must save to resume bit-exactly (src/snap):
+ * the register file, scheduler list heads, timer and event-pin state,
+ * the local clock, and the exact (tick, seq) of its two pending event
+ * arms (CPU step, timer expiry) so restore re-schedules them under
+ * their original dispatch keys.  The memory image and the predecode
+ * cache are NOT here: memory is serialized page-wise by the snapshot
+ * layer, and predecoded chains are dropped and re-decoded on demand
+ * (only their statistics, inside ctrs, are architectural).
+ */
+struct CpuSnap
+{
+    // register file (Figure 2) and scheduling lists (Figure 3)
+    Word iptr = 0, wptr = 0;
+    Word areg = 0, breg = 0, creg = 0, oreg = 0;
+    int pri = 1;
+    Word fptr[2] = {0, 0}, bptr[2] = {0, 0};
+    bool errorFlag = false, haltOnError = false;
+
+    // timers
+    bool timersRunning = false;
+    Tick timerBase = 0;
+    Word timerOffset[2] = {0, 0};
+    bool timerArmed = false;
+    Tick timerWhen = 0;
+    uint64_t timerSeq = 0;
+
+    // interrupted low-priority context
+    bool lowSaved = false;
+    Tick lowDebtTicks = 0;
+
+    // fetch buffer (the generation is re-pinned against the restored
+    // memory image, which is byte-identical, so validity carries over)
+    Word lastFetchWord = 0;
+    bool lastFetchValid = false;
+
+    // preemption bookkeeping
+    bool preemptPending = false;
+    Tick hpReadyTick = 0;
+    Tick lastInstrStart = 0;
+    bool lastInstrInterruptible = false;
+
+    // event-loop state
+    uint8_t state = 0; ///< CpuState
+    bool killed = false;
+    Tick stallUntil = 0;
+    Tick time = 0;
+    int64_t sliceStartCycles = 0;
+    bool stepArmed = false;
+    Tick stepWhen = 0;
+    uint64_t stepSeq = 0;
+
+    // event pin
+    int eventPending = 0;
+    Word eventWaiter = 0;
+    Word eventAltWaiter = 0;
+    bool eventInAlt = false;
+
+    uint64_t selfSeq = 0; ///< step/timer key sequence counter
+    Tick idleSince = 0;
+
+    obs::Counters ctrs; ///< full counters() output at the snapshot
+};
+
+/**
  * One transputer: processor + memory + scheduler + timers, with up to
  * four links and an event pin attached via ChannelPorts.
  */
@@ -251,6 +315,27 @@ class Transputer
     const PredecodeCache &icache() const { return icache_; }
     ///@}
 
+    /** @name Checkpoint/restore (src/snap) */
+    ///@{
+    /**
+     * Capture the CPU's resumable state.  Must be called between
+     * event dispatches (never from inside executeOne); the memory
+     * image is captured separately by the snapshot layer.
+     */
+    CpuSnap exportSnap() const;
+
+    /**
+     * Overwrite the CPU with a captured state and re-schedule its
+     * pending events under their original keys.  The memory image
+     * must already be restored (the fetch buffer re-pins against it)
+     * and the owning queue's clock already reset to the snapshot
+     * tick.  The predecode cache is dropped wholesale: entries from
+     * before the restore describe a memory image that no longer
+     * exists.
+     */
+    void importSnap(const CpuSnap &s);
+    ///@}
+
     /** @name Architectural constants (word-shape dependent) */
     ///@{
     Word enabling() const { return shape_.truncate(shape_.mostNeg + 1); }
@@ -313,6 +398,8 @@ class Transputer
     void setFetchBuffer(Word word_addr);
     /** Forget the fetch buffer (process switch / interrupt / boot). */
     void flushFetchBuffer() { lastFetchValid_ = false; }
+    /** Re-pin the fetch buffer's write generation after a restore. */
+    void repinFetchBuffer();
     void execDirect(isa::Fn fn, Word operand);
     void execOp(Word operation);
     ///@}

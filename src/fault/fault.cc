@@ -117,40 +117,52 @@ FaultInjector::arm(net::Network &net, const FaultPlan &plan)
 
     auto &q = net.queue();
     for (const auto &kv : plan.nodes) {
-        core::Transputer &node = net.node(kv.first);
         const NodeFaultConfig &nc = kv.second;
         if (nc.stallAt > 0 && nc.stallFor > 0) {
             TRANSPUTER_ASSERT(nc.stallAt >= q.now(),
                               "node stall planned in the past");
-            nodeEvents_.push_back(q.schedule(
-                nc.stallAt,
-                sim::EventKey{node.actor(), sim::chanFault,
-                              ++faultSeq_},
-                [&node, until = nc.stallAt + nc.stallFor] {
-                    node.stall(until);
-                }));
+            scheduleNodeEvent(
+                net, Planned{sim::invalidEventId, kv.first, 0,
+                             nc.stallAt, nc.stallAt + nc.stallFor,
+                             ++faultSeq_});
         }
         if (nc.killAt > 0) {
             TRANSPUTER_ASSERT(nc.killAt >= q.now(),
                               "node kill planned in the past");
-            // silence the node's link engines along with the CPU so
-            // neighbours see stuck links, not a polite peer
-            std::vector<link::LinkEngine *> engines;
-            net.forEachEngine([&](link::LinkEngine &e) {
-                if (&e.cpu() == &node)
-                    engines.push_back(&e);
-            });
-            nodeEvents_.push_back(q.schedule(
-                nc.killAt,
-                sim::EventKey{node.actor(), sim::chanFault,
-                              ++faultSeq_},
-                [&node, engines = std::move(engines)] {
-                    node.kill();
-                    for (auto *e : engines)
-                        e->setDead();
-                }));
+            scheduleNodeEvent(net,
+                              Planned{sim::invalidEventId, kv.first,
+                                      1, nc.killAt, 0, ++faultSeq_});
         }
     }
+}
+
+void
+FaultInjector::scheduleNodeEvent(net::Network &net, const Planned &p)
+{
+    core::Transputer &node = net.node(p.node);
+    auto &q = net.queue();
+    Planned rec = p;
+    const sim::EventKey key{node.actor(), sim::chanFault, p.seq};
+    if (p.kind == 0) {
+        rec.id = q.schedule(p.when, key, [&node, until = p.until] {
+            node.stall(until);
+        });
+    } else {
+        // silence the node's link engines along with the CPU so
+        // neighbours see stuck links, not a polite peer
+        std::vector<link::LinkEngine *> engines;
+        net.forEachEngine([&](link::LinkEngine &e) {
+            if (&e.cpu() == &node)
+                engines.push_back(&e);
+        });
+        rec.id = q.schedule(
+            p.when, key, [&node, engines = std::move(engines)] {
+                node.kill();
+                for (auto *e : engines)
+                    e->setDead();
+            });
+    }
+    nodeEvents_.push_back(rec);
 }
 
 void
@@ -165,11 +177,92 @@ FaultInjector::disarm()
     // node events may have migrated to shard queues and back; their
     // ids stay valid on whichever queue currently holds them, and the
     // master holds everything between runs
-    for (const sim::EventId id : nodeEvents_)
-        net_->queue().cancel(id);
+    for (const Planned &p : nodeEvents_)
+        net_->queue().cancel(p.id);
     nodeEvents_.clear();
     taps_.clear();
     net_ = nullptr;
+}
+
+// ---------------------------------------------------------------------
+// checkpoint/restore (src/snap)
+// ---------------------------------------------------------------------
+
+FaultInjector::FaultSnap
+FaultInjector::exportSnap() const
+{
+    TRANSPUTER_ASSERT(net_, "snapshot of an unarmed injector");
+    FaultSnap s;
+    s.faultSeq = faultSeq_;
+    for (const auto &tap : taps_)
+        s.taps.push_back(
+            TapSnap{tap->line->lineId(), tap->rng.state()});
+    for (const Planned &p : nodeEvents_) {
+        Tick when;
+        sim::EventKey key;
+        if (!net_->queue().pendingInfo(p.id, when, key))
+            continue; // already fired: its effect is in the state
+        s.events.push_back(
+            PlannedSnap{p.node, p.kind, p.when, p.until, p.seq});
+    }
+    return s;
+}
+
+size_t
+FaultInjector::pendingNodeEvents() const
+{
+    if (!net_)
+        return 0;
+    size_t n = 0;
+    Tick when;
+    sim::EventKey key;
+    for (const Planned &p : nodeEvents_)
+        if (net_->queue().pendingInfo(p.id, when, key))
+            ++n;
+    return n;
+}
+
+void
+FaultInjector::armRestored(net::Network &net, const FaultPlan &plan,
+                           const FaultSnap &snap)
+{
+    TRANSPUTER_ASSERT(!net_, "injector already armed");
+    net_ = &net;
+    for (const auto &lr : net.lines()) {
+        const LineFaultConfig &cfg =
+            plan.configFor(lr.srcNode, lr.dstNode);
+        if (!cfg.any())
+            continue;
+        const uint64_t seed =
+            plan.seed * 0x9E3779B97F4A7C15ull + lr.line->lineId();
+        taps_.push_back(std::make_unique<Tap>(
+            cfg, seed, lr.line, &net.node(lr.srcNode)));
+        lr.line->setFaultTap(taps_.back().get());
+    }
+    if (taps_.size() != snap.taps.size())
+        fatal("fault plan arms {} line taps but the snapshot saved "
+              "{}: the plan differs from the one the snapshot was "
+              "taken under",
+              taps_.size(), snap.taps.size());
+    for (const TapSnap &ts : snap.taps) {
+        Tap *match = nullptr;
+        for (const auto &tap : taps_) {
+            if (tap->line->lineId() == ts.lineId) {
+                match = tap.get();
+                break;
+            }
+        }
+        if (!match)
+            fatal("snapshot has a fault tap on line {} the plan does "
+                  "not arm", ts.lineId);
+        // resume the decision stream mid-sequence
+        match->rng.setState(ts.rngState);
+    }
+    faultSeq_ = snap.faultSeq;
+    for (const PlannedSnap &e : snap.events)
+        scheduleNodeEvent(net,
+                          Planned{sim::invalidEventId, e.node, e.kind,
+                                  e.when, e.until, e.seq});
 }
 
 FaultInjector::Stats

@@ -146,12 +146,76 @@ class FaultInjector
     };
     Stats stats() const;
 
+    /** @name Checkpoint/restore (src/snap)
+     *
+     * A snapshot of an armed injector is small: the per-line PRNG
+     * states (so every future draw continues its stream mid-sequence)
+     * and the node-fault events still pending, with their exact
+     * dispatch keys.  The FaultPlan itself is NOT here -- the restorer
+     * supplies the same plan (it is the scenario's configuration, like
+     * the topology) and armRestored() checks the two agree.
+     */
+    ///@{
+    /** One line tap's resumable state, matched by line id. */
+    struct TapSnap
+    {
+        uint32_t lineId = 0;
+        uint64_t rngState = 0;
+    };
+
+    /** One still-pending node-fault event. */
+    struct PlannedSnap
+    {
+        int node = 0;
+        uint8_t kind = 0; ///< 0: stall, 1: kill
+        Tick when = 0;
+        Tick until = 0;   ///< stall end (stall only)
+        uint64_t seq = 0; ///< key seq on chanFault
+    };
+
+    struct FaultSnap
+    {
+        uint64_t faultSeq = 0;
+        std::vector<TapSnap> taps;
+        std::vector<PlannedSnap> events;
+    };
+
+    /** Capture the armed injector (events already fired are absent). */
+    FaultSnap exportSnap() const;
+
+    /**
+     * Arm against a restored network: installs the plan's taps, then
+     * overwrites each tap's PRNG with the saved mid-sequence state and
+     * schedules only the saved still-pending node events under their
+     * original keys.  The plan must describe the same faults as the
+     * one the snapshot was taken under (mismatched taps are fatal).
+     */
+    void armRestored(net::Network &net, const FaultPlan &plan,
+                     const FaultSnap &snap);
+
+    /** Node-fault events still pending (save attributability). */
+    size_t pendingNodeEvents() const;
+    ///@}
+
   private:
     struct Tap;
 
+    /** A scheduled node-fault event and how to re-create it. */
+    struct Planned
+    {
+        sim::EventId id = sim::invalidEventId;
+        int node = 0;
+        uint8_t kind = 0; ///< 0: stall, 1: kill
+        Tick when = 0;
+        Tick until = 0;
+        uint64_t seq = 0;
+    };
+
+    void scheduleNodeEvent(net::Network &net, const Planned &p);
+
     net::Network *net_ = nullptr;
     std::vector<std::unique_ptr<Tap>> taps_;
-    std::vector<sim::EventId> nodeEvents_;
+    std::vector<Planned> nodeEvents_;
     uint64_t faultSeq_ = 0; ///< seq for chanFault event keys
 };
 

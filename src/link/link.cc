@@ -12,6 +12,14 @@ namespace transputer::link
 Tick
 Line::claim(Tick not_before, Tick duration)
 {
+    // retire in-flight records for callbacks that have certainly run:
+    // strictly-before-now only, because a delivery at exactly now may
+    // still be undispatched (same-tick events order by key).  This is
+    // the sender's thread, the only one allowed to touch the list.
+    const Tick fired_before = queue_->now();
+    std::erase_if(inFlight_, [fired_before](const InFlight &r) {
+        return r.when < fired_before;
+    });
     const Tick start = std::max({not_before, queue_->now(), busyUntil_});
     busyUntil_ = start + duration;
     busyTime_ += duration;
@@ -19,18 +27,81 @@ Line::claim(Tick not_before, Tick duration)
 }
 
 void
-Line::deliver(Tick when, std::function<void()> fn)
+Line::scheduleDelivery(const InFlight &rec)
 {
     // remote callbacks are keyed to the *receiving* endpoint: per-line
     // deliveries are FIFO (when is monotone in seq because the line is
     // serial), so the key order matches the wire order regardless of
     // which queue the event lands on
     const sim::EventKey key{remote_->actor(), sim::chanLine + lineId_,
-                            ++seq_};
+                            rec.seq};
+    LinkEndpoint *remote = remote_;
+    std::function<void()> fn;
+    switch (rec.kind) {
+    case kDataStart:
+        fn = [remote] { remote->onDataStart(); };
+        break;
+    case kDataEnd:
+        fn = [remote, byte = rec.byte] { remote->onDataEnd(byte); };
+        break;
+    default:
+        fn = [remote] { remote->onAckEnd(); };
+        break;
+    }
     if (route_)
-        route_(when, key, std::move(fn));
+        route_(rec.when, key, std::move(fn));
     else
-        queue_->schedule(when, key, std::move(fn));
+        queue_->schedule(rec.when, key, std::move(fn));
+}
+
+void
+Line::deliver(Tick when, uint8_t kind, uint8_t byte)
+{
+    const InFlight rec{kind, byte, when, ++seq_};
+    inFlight_.push_back(rec);
+    scheduleDelivery(rec);
+}
+
+// ----- checkpoint/restore (src/snap) ---------------------------------
+
+Line::LineSnap
+Line::exportSnap(Tick now)
+{
+    // at a snapshot point (after runUntil) every undispatched delivery
+    // is strictly in the future, so at-or-before now has fired
+    std::erase_if(inFlight_, [now](const InFlight &r) {
+        return r.when <= now;
+    });
+    LineSnap s;
+    s.seq = seq_;
+    s.busyUntil = busyUntil_;
+    s.busyTime = busyTime_;
+    s.dataPackets = dataPackets_;
+    s.ackPackets = ackPackets_;
+    s.dataDropped = dataDropped_;
+    s.acksDropped = acksDropped_;
+    s.dataCorrupted = dataCorrupted_;
+    s.faultJitter = faultJitter_;
+    s.inFlight = inFlight_;
+    return s;
+}
+
+void
+Line::importSnap(const LineSnap &s)
+{
+    TRANSPUTER_ASSERT(remote_, "restoring an unconnected line");
+    seq_ = s.seq;
+    busyUntil_ = s.busyUntil;
+    busyTime_ = s.busyTime;
+    dataPackets_ = s.dataPackets;
+    ackPackets_ = s.ackPackets;
+    dataDropped_ = s.dataDropped;
+    acksDropped_ = s.acksDropped;
+    dataCorrupted_ = s.dataCorrupted;
+    faultJitter_ = s.faultJitter;
+    inFlight_ = s.inFlight;
+    for (const InFlight &rec : inFlight_)
+        scheduleDelivery(rec);
 }
 
 void
@@ -62,13 +133,10 @@ Line::transmitData(Tick not_before, uint8_t byte)
         ++dataDropped_;
         return;
     }
-    LinkEndpoint *remote = remote_;
     // the receiver can classify the packet once the second bit (the
     // one following the start bit) has arrived
-    deliver(start + 2 * bit + cfg_.propagationDelay,
-            [remote] { remote->onDataStart(); });
-    deliver(start + 11 * bit + cfg_.propagationDelay,
-            [remote, byte] { remote->onDataEnd(byte); });
+    deliver(start + 2 * bit + cfg_.propagationDelay, kDataStart, 0);
+    deliver(start + 11 * bit + cfg_.propagationDelay, kDataEnd, byte);
 }
 
 void
@@ -91,9 +159,7 @@ Line::transmitAck(Tick not_before)
         ++acksDropped_;
         return;
     }
-    LinkEndpoint *remote = remote_;
-    deliver(start + 2 * bit + cfg_.propagationDelay,
-            [remote] { remote->onAckEnd(); });
+    deliver(start + 2 * bit + cfg_.propagationDelay, kAckEnd, 0);
 }
 
 // ---------------------------------------------------------------------
@@ -403,6 +469,96 @@ LinkEngine::inWatchdogFired()
     inActive_ = false;
     ackSentForCurrent_ = false;
     cpu_.completeInput(inWdesc_);
+}
+
+// ----- checkpoint/restore (src/snap) ---------------------------------
+
+LinkEngine::EngineSnap
+LinkEngine::exportSnap() const
+{
+    EngineSnap s;
+    s.outActive = outActive_;
+    s.awaitingAck = awaitingAck_;
+    s.outWdesc = outWdesc_;
+    s.outPtr = outPtr_;
+    s.outCount = outCount_;
+    s.outSent = outSent_;
+    s.inActive = inActive_;
+    s.inWdesc = inWdesc_;
+    s.inPtr = inPtr_;
+    s.inCount = inCount_;
+    s.inReceived = inReceived_;
+    s.bufferValid = bufferValid_;
+    s.buffer = buffer_;
+    s.ackSentForCurrent = ackSentForCurrent_;
+    s.altEnabled = altEnabled_;
+    s.altWdesc = altWdesc_;
+    s.bytesSent = bytesSent_;
+    s.bytesReceived = bytesReceived_;
+    s.watchdogTimeout = watchdogTimeout_;
+    s.dead = dead_;
+    s.outAborts = outAborts_;
+    s.inAborts = inAborts_;
+    s.staleAcks = staleAcks_;
+    s.overrunDrops = overrunDrops_;
+    s.deadDrops = deadDrops_;
+    s.selfSeq = selfSeq_;
+    if (outWdog_ != sim::invalidEventId) {
+        sim::EventKey key;
+        s.outWdogArmed =
+            queue_->pendingInfo(outWdog_, s.outWdogWhen, key);
+        s.outWdogSeq = key.seq;
+    }
+    if (inWdog_ != sim::invalidEventId) {
+        sim::EventKey key;
+        s.inWdogArmed =
+            queue_->pendingInfo(inWdog_, s.inWdogWhen, key);
+        s.inWdogSeq = key.seq;
+    }
+    return s;
+}
+
+void
+LinkEngine::importSnap(const EngineSnap &s)
+{
+    disarmOutWatchdog();
+    disarmInWatchdog();
+    outActive_ = s.outActive;
+    awaitingAck_ = s.awaitingAck;
+    outWdesc_ = s.outWdesc;
+    outPtr_ = s.outPtr;
+    outCount_ = s.outCount;
+    outSent_ = s.outSent;
+    inActive_ = s.inActive;
+    inWdesc_ = s.inWdesc;
+    inPtr_ = s.inPtr;
+    inCount_ = s.inCount;
+    inReceived_ = s.inReceived;
+    bufferValid_ = s.bufferValid;
+    buffer_ = s.buffer;
+    ackSentForCurrent_ = s.ackSentForCurrent;
+    altEnabled_ = s.altEnabled;
+    altWdesc_ = s.altWdesc;
+    bytesSent_ = s.bytesSent;
+    bytesReceived_ = s.bytesReceived;
+    watchdogTimeout_ = s.watchdogTimeout;
+    dead_ = s.dead;
+    outAborts_ = s.outAborts;
+    inAborts_ = s.inAborts;
+    staleAcks_ = s.staleAcks;
+    overrunDrops_ = s.overrunDrops;
+    deadDrops_ = s.deadDrops;
+    selfSeq_ = s.selfSeq;
+    if (s.outWdogArmed)
+        outWdog_ = queue_->schedule(
+            s.outWdogWhen,
+            sim::EventKey{actor_, sim::chanSelf, s.outWdogSeq},
+            [this] { outWatchdogFired(); });
+    if (s.inWdogArmed)
+        inWdog_ = queue_->schedule(
+            s.inWdogWhen,
+            sim::EventKey{actor_, sim::chanSelf, s.inWdogSeq},
+            [this] { inWatchdogFired(); });
 }
 
 bool

@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "base/logging.hh"
 #include "base/types.hh"
@@ -177,9 +178,66 @@ class Line
     Tick faultJitter() const { return faultJitter_; }
     ///@}
 
+    /** @name Checkpoint/restore (src/snap)
+     *
+     * Every queued remote callback is mirrored by an InFlight record
+     * (kind + payload + exact delivery tick and key sequence), so a
+     * snapshot can re-create the undelivered tail of the wire.  The
+     * records are pruned only from the sending side (claim, export):
+     * delivery callbacks run on the *receiving* endpoint's thread in a
+     * shard-parallel run, so they must never touch the list.
+     */
+    ///@{
+    /** Packet-arrival callback kinds, matching LinkEndpoint. */
+    static constexpr uint8_t kDataStart = 0;
+    static constexpr uint8_t kDataEnd = 1;
+    static constexpr uint8_t kAckEnd = 2;
+
+    /** One undelivered remote callback. */
+    struct InFlight
+    {
+        uint8_t kind = 0;  ///< kDataStart / kDataEnd / kAckEnd
+        uint8_t byte = 0;  ///< the data bits (kDataEnd only)
+        Tick when = 0;     ///< delivery tick
+        uint64_t seq = 0;  ///< key seq on channel chanLine + lineId
+    };
+
+    /** Resumable line state. */
+    struct LineSnap
+    {
+        uint64_t seq = 0;
+        Tick busyUntil = 0;
+        Tick busyTime = 0;
+        uint64_t dataPackets = 0;
+        uint64_t ackPackets = 0;
+        uint64_t dataDropped = 0;
+        uint64_t acksDropped = 0;
+        uint64_t dataCorrupted = 0;
+        Tick faultJitter = 0;
+        std::vector<InFlight> inFlight;
+    };
+
+    /**
+     * Capture the line, pruning records already delivered (everything
+     * at or before now: the caller snapshots after a runUntil, so any
+     * still-pending delivery is strictly in the future).
+     */
+    LineSnap exportSnap(Tick now);
+
+    /**
+     * Restore the line and re-schedule every in-flight callback with
+     * its exact original (tick, key).  The queue clock must already
+     * be reset to the snapshot tick and the line connected.
+     */
+    void importSnap(const LineSnap &s);
+
+    const WireConfig &config() const { return cfg_; }
+    ///@}
+
   private:
     Tick claim(Tick not_before, Tick duration);
-    void deliver(Tick when, std::function<void()> fn);
+    void deliver(Tick when, uint8_t kind, uint8_t byte);
+    void scheduleDelivery(const InFlight &rec);
 
     sim::EventQueue *queue_;
     const WireConfig cfg_;
@@ -191,6 +249,7 @@ class Line
     Tick busyTime_ = 0;
     uint64_t dataPackets_ = 0;
     uint64_t ackPackets_ = 0;
+    std::vector<InFlight> inFlight_; ///< undelivered remote callbacks
     LineFaultTap *fault_ = nullptr;
     uint64_t dataDropped_ = 0;
     uint64_t acksDropped_ = 0;
@@ -347,6 +406,45 @@ class LinkEngine : public LinkEndpoint, public core::ChannelPort
     uint64_t staleAcks() const { return staleAcks_; }
     uint64_t overrunDrops() const { return overrunDrops_; }
     uint64_t deadDrops() const { return deadDrops_; }
+    ///@}
+
+    AckMode ackMode() const { return ackMode_; }
+
+    /** @name Checkpoint/restore (src/snap) */
+    ///@{
+    /** Resumable engine state: both DMA state machines, the one-byte
+     *  receive buffer, byte totals, health counters, and the exact
+     *  (tick, seq) of any armed watchdog. */
+    struct EngineSnap
+    {
+        bool outActive = false;
+        bool awaitingAck = false;
+        Word outWdesc = 0, outPtr = 0, outCount = 0, outSent = 0;
+        bool inActive = false;
+        Word inWdesc = 0, inPtr = 0, inCount = 0, inReceived = 0;
+        bool bufferValid = false;
+        uint8_t buffer = 0;
+        bool ackSentForCurrent = false;
+        bool altEnabled = false;
+        Word altWdesc = 0;
+        uint64_t bytesSent = 0, bytesReceived = 0;
+        Tick watchdogTimeout = 0;
+        bool dead = false;
+        uint64_t outAborts = 0, inAborts = 0, staleAcks = 0;
+        uint64_t overrunDrops = 0, deadDrops = 0;
+        uint64_t selfSeq = 0;
+        bool outWdogArmed = false;
+        Tick outWdogWhen = 0;
+        uint64_t outWdogSeq = 0;
+        bool inWdogArmed = false;
+        Tick inWdogWhen = 0;
+        uint64_t inWdogSeq = 0;
+    };
+
+    EngineSnap exportSnap() const;
+    /** Re-arms any saved watchdog under its original key; the queue
+     *  clock must already be reset to the snapshot tick. */
+    void importSnap(const EngineSnap &s);
     ///@}
 
   private:

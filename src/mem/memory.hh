@@ -21,6 +21,7 @@
 #ifndef TRANSPUTER_MEM_MEMORY_HH
 #define TRANSPUTER_MEM_MEMORY_HH
 
+#include <algorithm>
 #include <bit>
 #include <cstdint>
 #include <cstring>
@@ -77,6 +78,7 @@ class Memory
             bytes_.size() >= (reserved::memStart + 1u) *
             static_cast<unsigned>(shape.bytes),
             "memory too small for the reserved map");
+        dirty_.assign((pageCount() + 63) / 64, 0);
     }
 
     const WordShape &shape() const { return shape_; }
@@ -185,6 +187,88 @@ class Memory
     }
     ///@}
 
+    /** @name Dirty-page tracking (src/snap)
+     *
+     * A snapshot stores only pages that have ever been written, so a
+     * mostly-idle transputer costs a handful of pages instead of its
+     * whole address space.  The bitmap is set on the same store paths
+     * that bump the icache write generations; restore clears it and
+     * re-marks exactly the restored pages, which makes the dirty set
+     * itself part of the reproducible state (a second snapshot after a
+     * restore selects the same pages).
+     */
+    ///@{
+    /** log2 of the snapshot page size (256-byte pages). */
+    static constexpr int pageShift = 8;
+
+    /** Number of snapshot pages covering populated memory. */
+    size_t
+    pageCount() const
+    {
+        return (bytes_.size() + (size_t{1} << pageShift) - 1)
+               >> pageShift;
+    }
+
+    /** Bytes in page p (the last page may be a short tail). */
+    size_t
+    pageBytes(size_t p) const
+    {
+        const size_t start = p << pageShift;
+        const size_t full = size_t{1} << pageShift;
+        return std::min(full, bytes_.size() - start);
+    }
+
+    /** True if page p has been written since construction/restore. */
+    bool
+    pageDirty(size_t p) const
+    {
+        return (dirty_[p >> 6] >> (p & 63)) & 1;
+    }
+
+    /** Raw bytes of page p. */
+    const uint8_t *
+    pageData(size_t p) const
+    {
+        return bytes_.data() + (p << pageShift);
+    }
+
+    /**
+     * Overwrite page p (marks it dirty and bumps the write
+     * generations of every icache block it covers, so predecoded code
+     * from before the write cannot be reused).
+     */
+    void
+    writePage(size_t p, const uint8_t *data, size_t n)
+    {
+        TRANSPUTER_ASSERT(p < pageCount() && n == pageBytes(p),
+                          "writePage size mismatch");
+        const size_t start = p << pageShift;
+        std::memcpy(bytes_.data() + start, data, n);
+        dirty_[p >> 6] |= uint64_t{1} << (p & 63);
+        if (writeGens_) {
+            for (size_t b = start >> invalBlockShift;
+                 b <= (start + n - 1) >> invalBlockShift; ++b)
+                ++writeGens_[b];
+        }
+    }
+
+    /**
+     * Zero all memory and clear the dirty bitmap, bumping every write
+     * generation: the clean slate a restore rebuilds onto.
+     */
+    void
+    resetForRestore()
+    {
+        std::fill(bytes_.begin(), bytes_.end(), 0);
+        std::fill(dirty_.begin(), dirty_.end(), 0);
+        lastDirtyPage_ = SIZE_MAX;
+        if (writeGens_) {
+            for (size_t b = 0; b < invalBlocks(); ++b)
+                ++writeGens_[b];
+        }
+    }
+    ///@}
+
     /** Extra cycles the CPU must charge for touching this address. */
     int
     accessWaits(Word addr) const
@@ -204,6 +288,7 @@ class Memory
         const size_t off = checkedOffset(addr);
         if (writeGens_)
             ++writeGens_[off >> invalBlockShift];
+        markDirty(off);
         bytes_[off] = v;
     }
 
@@ -238,6 +323,7 @@ class Memory
         const size_t off = checkedOffset(a);
         if (writeGens_)
             ++writeGens_[off >> invalBlockShift];
+        markDirty(off);
         if constexpr (std::endian::native == std::endian::little) {
             if (shape_.bytes == 4) {
                 const uint32_t u = static_cast<uint32_t>(v);
@@ -269,6 +355,22 @@ class Memory
     }
 
   private:
+    /** Mark the snapshot page containing byte offset off as written.
+     *  Word stores are word-aligned and pages are word multiples, so
+     *  marking the page of the first byte covers the whole store.
+     *  Stores cluster (a loop hammers its workspace page), so a
+     *  last-page memo turns the common case into one predicted
+     *  compare instead of a read-modify-write of the bitmap. */
+    void
+    markDirty(size_t off)
+    {
+        const size_t p = off >> pageShift;
+        if (p == lastDirtyPage_)
+            return;
+        lastDirtyPage_ = p;
+        dirty_[p >> 6] |= uint64_t{1} << (p & 63);
+    }
+
     /** Distance of addr above MostNeg, wrapped to the word width. */
     Word
     offset(Word addr) const
@@ -293,6 +395,8 @@ class Memory
     const Word onchipBytes_;
     const int externalWaits_;
     std::vector<uint8_t> bytes_;
+    std::vector<uint64_t> dirty_;   ///< per-page written-since bitmap
+    size_t lastDirtyPage_ = SIZE_MAX; ///< markDirty fast-path memo
     uint32_t *writeGens_ = nullptr; ///< per-block write generations
 };
 

@@ -232,6 +232,16 @@ class Network
     {
         return endpoints_;
     }
+
+    /** Link engines in creation order (src/snap serializes them by
+     *  this index; the order is a function of the wiring calls, so a
+     *  rebuilt identical topology indexes identically). */
+    size_t engineCount() const { return engines_.size(); }
+    link::LinkEngine &engine(size_t i) { return *engines_.at(i); }
+    const link::LinkEngine &engine(size_t i) const
+    {
+        return *engines_.at(i);
+    }
     ///@}
 
     /**

@@ -29,6 +29,72 @@
 namespace transputer::net
 {
 
+/** @name Little-endian blob helpers (peripheral snapshots, src/snap)
+ *
+ * Peripherals serialize themselves into opaque byte blobs that the
+ * snapshot container carries verbatim; these keep the encoding in one
+ * place without making net depend on snap.  The getters bound-check
+ * and return false instead of reading past the blob, so a corrupted
+ * snapshot is rejected rather than crashing the loader.
+ */
+///@{
+namespace snapio
+{
+
+inline void
+putU64(std::vector<uint8_t> &out, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i) {
+        out.push_back(static_cast<uint8_t>(v & 0xFF));
+        v >>= 8;
+    }
+}
+
+inline bool
+getU64(const uint8_t *&p, const uint8_t *end, uint64_t &v)
+{
+    if (end - p < 8)
+        return false;
+    v = 0;
+    for (int i = 7; i >= 0; --i)
+        v = (v << 8) | p[i];
+    p += 8;
+    return true;
+}
+
+inline bool
+getU8(const uint8_t *&p, const uint8_t *end, uint8_t &v)
+{
+    if (p == end)
+        return false;
+    v = *p++;
+    return true;
+}
+
+/** A length-prefixed byte string; the length may not exceed the
+ *  remaining blob (the cheap cap that defeats hostile lengths). */
+inline void
+putBlob(std::vector<uint8_t> &out, const uint8_t *data, size_t n)
+{
+    putU64(out, n);
+    out.insert(out.end(), data, data + n);
+}
+
+inline bool
+getBlob(const uint8_t *&p, const uint8_t *end, std::vector<uint8_t> &v)
+{
+    uint64_t n;
+    if (!getU64(p, end, n) ||
+        n > static_cast<uint64_t>(end - p))
+        return false;
+    v.assign(p, p + n);
+    p += n;
+    return true;
+}
+
+} // namespace snapio
+///@}
+
 /** Base class: byte-stream endpoint with host-side buffering. */
 class Peripheral : public link::LinkEndpoint
 {
@@ -91,6 +157,43 @@ class Peripheral : public link::LinkEndpoint
     }
     ///@}
 
+    /** @name Checkpoint/restore (src/snap)
+     *
+     * Each peripheral round-trips through an opaque byte blob the
+     * snapshot container carries verbatim.  snapLoad parses the whole
+     * blob into temporaries and commits only if every field (and the
+     * exact blob length) checks out, so a corrupted snapshot can never
+     * leave a peripheral half-restored.
+     */
+    ///@{
+    /** True when the peripheral holds no unserializable state (e.g.
+     *  a BlockDevice access-latency event in flight). */
+    virtual bool snapReady() const { return true; }
+
+    /** Append this peripheral's resumable state to out. */
+    virtual void
+    snapSave(std::vector<uint8_t> &out) const
+    {
+        snapio::putU64(out, selfSeq_);
+        out.push_back(awaitingAck_ ? 1 : 0);
+        snapio::putU64(out, txQueue_.size());
+        out.insert(out.end(), txQueue_.begin(), txQueue_.end());
+    }
+
+    /** Restore from a blob produced by snapSave on the same subclass.
+     *  @return false (with no state change) if the blob is invalid. */
+    virtual bool
+    snapLoad(const uint8_t *data, size_t n)
+    {
+        const uint8_t *p = data, *end = data + n;
+        BaseSnap b;
+        if (!parseBase(p, end, b) || p != end)
+            return false;
+        commitBase(std::move(b));
+        return true;
+    }
+    ///@}
+
   protected:
     /** A byte arrived from the transputer. */
     virtual void receiveByte(uint8_t byte) = 0;
@@ -103,6 +206,40 @@ class Peripheral : public link::LinkEndpoint
         awaitingAck_ = true;
         tx_.transmitData(queue_->now(), txQueue_.front());
     }
+
+    /** @name Base-state parse/commit halves for subclass snapLoads */
+    ///@{
+    struct BaseSnap
+    {
+        uint64_t selfSeq = 0;
+        bool awaitingAck = false;
+        std::vector<uint8_t> txQueue;
+    };
+
+    bool
+    parseBase(const uint8_t *&p, const uint8_t *end, BaseSnap &b)
+    {
+        uint8_t ack;
+        uint64_t n;
+        if (!snapio::getU64(p, end, b.selfSeq) ||
+            !snapio::getU8(p, end, ack) ||
+            !snapio::getU64(p, end, n) ||
+            n > static_cast<uint64_t>(end - p))
+            return false;
+        b.awaitingAck = ack != 0;
+        b.txQueue.assign(p, p + n);
+        p += n;
+        return true;
+    }
+
+    void
+    commitBase(BaseSnap &&b)
+    {
+        selfSeq_ = b.selfSeq;
+        awaitingAck_ = b.awaitingAck;
+        txQueue_.assign(b.txQueue.begin(), b.txQueue.end());
+    }
+    ///@}
 
   private:
     std::deque<uint8_t> txQueue_;
@@ -142,6 +279,27 @@ class ConsoleSink : public Peripheral
 
     /** Optional callback invoked on every received byte. */
     std::function<void(uint8_t)> onByte;
+
+    void
+    snapSave(std::vector<uint8_t> &out) const override
+    {
+        Peripheral::snapSave(out);
+        snapio::putBlob(out, bytes_.data(), bytes_.size());
+    }
+
+    bool
+    snapLoad(const uint8_t *data, size_t n) override
+    {
+        const uint8_t *p = data, *end = data + n;
+        BaseSnap b;
+        std::vector<uint8_t> bytes;
+        if (!parseBase(p, end, b) ||
+            !snapio::getBlob(p, end, bytes) || p != end)
+            return false;
+        commitBase(std::move(b));
+        bytes_ = std::move(bytes);
+        return true;
+    }
 
   protected:
     void
@@ -188,6 +346,58 @@ class BlockDevice : public Peripheral
     uint64_t reads() const { return reads_; }
     uint64_t writes() const { return writes_; }
 
+    /** A read's access-latency event is a pending closure no snapshot
+     *  can re-create; snapshot between the request and the data. */
+    bool snapReady() const override { return pendingOps_ == 0; }
+
+    void
+    snapSave(std::vector<uint8_t> &out) const override
+    {
+        Peripheral::snapSave(out);
+        snapio::putBlob(out, cmd_.data(), cmd_.size());
+        snapio::putU64(out, reads_);
+        snapio::putU64(out, writes_);
+        snapio::putU64(out, blocks_.size());
+        for (const auto &[n, b] : blocks_) {
+            snapio::putU64(out, n);
+            snapio::putBlob(out, b.data(), b.size());
+        }
+    }
+
+    bool
+    snapLoad(const uint8_t *data, size_t n) override
+    {
+        const uint8_t *p = data, *end = data + n;
+        BaseSnap b;
+        std::vector<uint8_t> cmd;
+        uint64_t reads, writes, count;
+        std::map<uint32_t, std::vector<uint8_t>> blocks;
+        if (!parseBase(p, end, b) ||
+            !snapio::getBlob(p, end, cmd) ||
+            !snapio::getU64(p, end, reads) ||
+            !snapio::getU64(p, end, writes) ||
+            !snapio::getU64(p, end, count))
+            return false;
+        for (uint64_t i = 0; i < count; ++i) {
+            uint64_t num;
+            std::vector<uint8_t> blk;
+            if (!snapio::getU64(p, end, num) || num > UINT32_MAX ||
+                !snapio::getBlob(p, end, blk) ||
+                blk.size() != blockSize)
+                return false;
+            blocks.emplace(static_cast<uint32_t>(num),
+                           std::move(blk));
+        }
+        if (p != end)
+            return false;
+        commitBase(std::move(b));
+        cmd_ = std::move(cmd);
+        reads_ = reads;
+        writes_ = writes;
+        blocks_ = std::move(blocks);
+        return true;
+    }
+
   protected:
     void
     receiveByte(uint8_t byte) override
@@ -200,7 +410,9 @@ class BlockDevice : public Peripheral
             const uint32_t n = word(4);
             ++reads_;
             cmd_.clear();
+            ++pendingOps_;
             schedSelfIn(latency_, [this, n] {
+                --pendingOps_;
                 sendBytes(block(n));
             });
         } else if (op == 1 && cmd_.size() == 8 + blockSize) {
@@ -227,6 +439,7 @@ class BlockDevice : public Peripheral
     std::vector<uint8_t> cmd_;
     uint64_t reads_ = 0;
     uint64_t writes_ = 0;
+    int pendingOps_ = 0; ///< latency events in flight (gates snapReady)
 };
 
 /**
@@ -253,6 +466,35 @@ class FrameBuffer : public Peripheral
     uint64_t plots() const { return plots_; }
     int width() const { return w_; }
     int height() const { return h_; }
+
+    void
+    snapSave(std::vector<uint8_t> &out) const override
+    {
+        Peripheral::snapSave(out);
+        snapio::putBlob(out, pixels_.data(), pixels_.size());
+        snapio::putBlob(out, cmd_.data(), cmd_.size());
+        snapio::putU64(out, plots_);
+    }
+
+    bool
+    snapLoad(const uint8_t *data, size_t n) override
+    {
+        const uint8_t *p = data, *end = data + n;
+        BaseSnap b;
+        std::vector<uint8_t> pixels, cmd;
+        uint64_t plots;
+        if (!parseBase(p, end, b) ||
+            !snapio::getBlob(p, end, pixels) ||
+            pixels.size() != pixels_.size() ||
+            !snapio::getBlob(p, end, cmd) ||
+            !snapio::getU64(p, end, plots) || p != end)
+            return false;
+        commitBase(std::move(b));
+        pixels_ = std::move(pixels);
+        cmd_ = std::move(cmd);
+        plots_ = plots;
+        return true;
+    }
 
   protected:
     void

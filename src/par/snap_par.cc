@@ -1,0 +1,49 @@
+#include "par/snap_par.hh"
+
+#include <thread>
+#include <vector>
+
+#include "par/parallel_engine.hh"
+
+namespace transputer::par
+{
+
+snap::Snapshot
+captureAtBarrier(net::Network &net, const net::RunOptions &opts,
+                 const snap::SaveOptions &save)
+{
+    // The global, cheap part (topology, wires, peripherals, fault
+    // streams) on the calling thread; it also sizes `states`.
+    snap::Snapshot s = snap::captureShell(net, save);
+
+    const std::vector<int> part =
+        computePartition(net.size(), opts);
+    int shards = 0;
+    for (int p : part)
+        shards = std::max(shards, p + 1);
+
+    if (shards <= 1) {
+        for (size_t i = 0; i < net.size(); ++i)
+            snap::captureNode(net, i, s);
+    } else {
+        // One thread per shard scans exactly the nodes that shard
+        // owns.  Workers only read the network and write disjoint
+        // states[i] slots, so no synchronization beyond join().
+        std::vector<std::thread> workers;
+        workers.reserve(static_cast<size_t>(shards));
+        for (int sh = 0; sh < shards; ++sh) {
+            workers.emplace_back([&net, &part, &s, sh] {
+                for (size_t i = 0; i < part.size(); ++i)
+                    if (part[i] == sh)
+                        snap::captureNode(net, i, s);
+            });
+        }
+        for (auto &w : workers)
+            w.join();
+    }
+
+    snap::verifyCaptured(net, s, save);
+    return s;
+}
+
+} // namespace transputer::par

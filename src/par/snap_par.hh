@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Shard-parallel snapshot capture (src/snap x src/par).
+ *
+ * Between runs every pending event lives on the master queue and no
+ * worker thread is executing, so capture is a read-only scan -- the
+ * expensive part of which is walking each node's memory for dirty
+ * pages.  captureAtBarrier() does that scan with one thread per
+ * shard, using the same node partition the parallel run itself would,
+ * and produces a Snapshot byte-identical to the serial
+ * snap::capture() (tests/test_snap.cc asserts the encodings match).
+ */
+
+#ifndef TRANSPUTER_PAR_SNAP_PAR_HH
+#define TRANSPUTER_PAR_SNAP_PAR_HH
+
+#include "net/network.hh"
+#include "snap/snapshot.hh"
+
+namespace transputer::par
+{
+
+/**
+ * Capture `net` with one worker thread per shard of the partition
+ * opts describes.  Must be called between runs (the same barrier at
+ * which Network::run(limit, opts) returns): no thread may be mutating
+ * the network.
+ */
+snap::Snapshot captureAtBarrier(net::Network &net,
+                                const net::RunOptions &opts,
+                                const snap::SaveOptions &save = {});
+
+} // namespace transputer::par
+
+#endif // TRANSPUTER_PAR_SNAP_PAR_HH

@@ -98,6 +98,24 @@ class StaticEvent
     /** True while armed on some queue. */
     bool pending() const { return armed_; }
 
+    /** @name Scheduling introspection (src/snap)
+     *  Valid only while pending(): the tick and key of the current
+     *  arming, so a checkpoint can re-schedule the event exactly.
+     */
+    ///@{
+    Tick scheduledAt() const { return when_; }
+    const EventKey &scheduledKey() const { return key_; }
+    ///@}
+
+    /**
+     * Dispatch id of the latest arming.  Kept by the ordinary event a
+     * migration (EventQueue::extractPending) wraps this one into, so
+     * when the owner sees its arming flag set but pending() false the
+     * migrated event can still be queried (EventQueue::pendingInfo)
+     * and cancelled (EventQueue::cancel) through this id.
+     */
+    EventId id() const { return id_; }
+
   private:
     friend class EventQueue;
 
@@ -249,6 +267,41 @@ class EventQueue
     cancel(EventId id)
     {
         return live_.erase(id) != 0;
+    }
+
+    /**
+     * Look up the tick and key of a live closure event (src/snap):
+     * lets a component that only kept the cancellation handle record
+     * exactly how its pending event was scheduled.
+     * @return false if the id is not live on this queue.
+     */
+    bool
+    pendingInfo(EventId id, Tick &when, EventKey &key) const
+    {
+        auto it = live_.find(id);
+        if (it == live_.end())
+            return false;
+        when = it->second.when;
+        key = it->second.key;
+        return true;
+    }
+
+    /**
+     * Reposition the clock in either direction (src/snap restore).
+     * Legal only while the queue holds no live events -- restore first
+     * drains the queue (extractPending, discarding the result), resets
+     * the clock to the snapshot's tick, then re-schedules every saved
+     * event with its exact original (tick, key).  This is the one
+     * sanctioned way time may move backwards: onto an empty queue,
+     * where no dispatch order can be violated.
+     */
+    void
+    resetTime(Tick t)
+    {
+        TRANSPUTER_ASSERT(live_.empty() && staticLive_ == 0,
+                          "resetTime with events pending");
+        heap_ = {};
+        now_ = t;
     }
 
     /** Time of the earliest pending event, or maxTick if none. */

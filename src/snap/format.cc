@@ -1,0 +1,132 @@
+#include "snap/format.hh"
+
+#include <array>
+
+namespace transputer::snap
+{
+
+namespace
+{
+
+std::array<uint32_t, 256>
+makeCrcTable()
+{
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+        uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+        t[i] = c;
+    }
+    return t;
+}
+
+void
+putU32le(std::vector<uint8_t> &out, uint32_t v)
+{
+    for (int i = 0; i < 4; ++i) {
+        out.push_back(static_cast<uint8_t>(v & 0xFF));
+        v >>= 8;
+    }
+}
+
+void
+putU64le(std::vector<uint8_t> &out, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i) {
+        out.push_back(static_cast<uint8_t>(v & 0xFF));
+        v >>= 8;
+    }
+}
+
+uint32_t
+getU32le(const uint8_t *p)
+{
+    return static_cast<uint32_t>(p[0]) |
+           (static_cast<uint32_t>(p[1]) << 8) |
+           (static_cast<uint32_t>(p[2]) << 16) |
+           (static_cast<uint32_t>(p[3]) << 24);
+}
+
+uint64_t
+getU64le(const uint8_t *p)
+{
+    uint64_t v = 0;
+    for (int i = 7; i >= 0; --i)
+        v = (v << 8) | p[i];
+    return v;
+}
+
+} // namespace
+
+uint32_t
+crc32(const uint8_t *data, size_t n)
+{
+    static const std::array<uint32_t, 256> table = makeCrcTable();
+    uint32_t c = 0xFFFFFFFFu;
+    for (size_t i = 0; i < n; ++i)
+        c = table[(c ^ data[i]) & 0xFF] ^ (c >> 8);
+    return c ^ 0xFFFFFFFFu;
+}
+
+std::vector<uint8_t>
+frame(const std::vector<Section> &sections)
+{
+    Writer payload;
+    for (const Section &s : sections) {
+        payload.u32(s.tag);
+        payload.blob(s.body);
+    }
+    std::vector<uint8_t> out;
+    out.reserve(headerBytes + payload.size());
+    putU32le(out, magic);
+    putU32le(out, formatVersion);
+    putU64le(out, payload.size());
+    putU32le(out, crc32(payload.bytes().data(), payload.size()));
+    putU32le(out, static_cast<uint32_t>(sections.size()));
+    out.insert(out.end(), payload.bytes().begin(),
+               payload.bytes().end());
+    return out;
+}
+
+std::vector<Section>
+unframe(const uint8_t *data, size_t n)
+{
+    if (n < headerBytes)
+        throw SnapError(fmt("file too short for a snapshot header "
+                            "({} bytes, need {})", n, headerBytes));
+    if (getU32le(data) != magic)
+        throw SnapError("bad magic: not a TSNP snapshot");
+    const uint32_t version = getU32le(data + 4);
+    if (version != formatVersion)
+        throw SnapError(fmt("unsupported snapshot version {} (this "
+                            "build reads version {})", version,
+                            formatVersion));
+    const uint64_t payload_len = getU64le(data + 8);
+    if (payload_len != n - headerBytes)
+        throw SnapError(fmt("payload length field says {} bytes but "
+                            "{} follow the header", payload_len,
+                            n - headerBytes));
+    const uint8_t *payload = data + headerBytes;
+    const uint32_t want_crc = getU32le(data + 16);
+    const uint32_t got_crc = crc32(payload, payload_len);
+    if (want_crc != got_crc)
+        throw SnapError(fmt("payload CRC mismatch: header says {}, "
+                            "payload hashes to {} (corrupted or "
+                            "bit-flipped snapshot)", hexWord(want_crc),
+                            hexWord(got_crc)));
+    const uint32_t section_count = getU32le(data + 20);
+
+    Reader r(payload, payload_len);
+    std::vector<Section> out;
+    for (uint32_t i = 0; i < section_count; ++i) {
+        Section s;
+        s.tag = r.u32();
+        s.body = r.blob();
+        out.push_back(std::move(s));
+    }
+    r.expectEnd("payload");
+    return out;
+}
+
+} // namespace transputer::snap

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Snapshot decoder robustness (src/snap): truncated, bit-flipped and
+ * structurally hostile snapshot files must be rejected with SnapError
+ * -- never a crash, an out-of-bounds read (the sanitizer presets
+ * catch those) or a silent partial restore.  Style follows
+ * test_fuzz_decode.cc: exactly-sized buffers, seeded Random.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/random.hh"
+#include "snap/format.hh"
+#include "snap/snapshot.hh"
+#include "tasm/assembler.hh"
+
+using namespace transputer;
+
+namespace
+{
+
+/** A small but fully featured snapshot: one node mid-loop. */
+std::vector<uint8_t>
+validSnapshotBytes()
+{
+    net::Network n;
+    core::Config cfg;
+    const int id = n.addTransputer(cfg, "fuzz");
+    core::Transputer &t = n.node(id);
+    const tasm::Image img = tasm::assemble(
+        "start:\n"
+        "  ldc 30000\n stl 1\n"
+        "loop:\n"
+        "  ldl 1\n adc -1\n stl 1\n"
+        "  ldl 1\n cj done\n j loop\n"
+        "done: stopp\n",
+        t.memory().memStart(), t.shape());
+    n.bootImage(id, img);
+    n.run(500'000);
+    return snap::encode(snap::capture(n));
+}
+
+/** Little-endian u32 store (header surgery). */
+void
+putU32le(std::vector<uint8_t> &b, size_t at, uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        b[at + static_cast<size_t>(i)] =
+            static_cast<uint8_t>(v >> (8 * i));
+}
+
+constexpr size_t kHeaderBytes = 24;
+constexpr size_t kCrcOffset = 16;
+
+/** Recompute the header CRC over the (possibly mutated) payload, so
+ *  the decode exercises the section parsers, not the CRC gate. */
+void
+fixupCrc(std::vector<uint8_t> &b)
+{
+    putU32le(b, kCrcOffset,
+             snap::crc32(b.data() + kHeaderBytes,
+                         b.size() - kHeaderBytes));
+}
+
+} // namespace
+
+TEST(FuzzSnap, TheUncorruptedBytesDecode)
+{
+    const auto bytes = validSnapshotBytes();
+    const snap::Snapshot s = snap::decode(bytes);
+    EXPECT_EQ(s.nodes.size(), 1u);
+    EXPECT_FALSE(snap::firstDivergence(s, s).has_value());
+}
+
+TEST(FuzzSnap, EveryTruncationIsRejected)
+{
+    const auto bytes = validSnapshotBytes();
+    ASSERT_GT(bytes.size(), kHeaderBytes);
+    // exactly-sized copies: any overread past the truncation point is
+    // a sanitizer finding, not just a wrong answer
+    const size_t stride = bytes.size() > 8192 ? 7 : 1;
+    for (size_t n = 0; n < bytes.size(); n += stride) {
+        std::vector<uint8_t> cut(bytes.begin(),
+                                 bytes.begin() +
+                                     static_cast<ptrdiff_t>(n));
+        EXPECT_THROW(snap::decode(cut.data(), cut.size()),
+                     snap::SnapError)
+            << "truncation to " << n << " bytes";
+    }
+    // trailing garbage is no better than missing bytes
+    std::vector<uint8_t> longer = bytes;
+    longer.push_back(0);
+    EXPECT_THROW(snap::decode(longer), snap::SnapError);
+}
+
+TEST(FuzzSnap, EverySingleBitFlipIsRejected)
+{
+    const auto bytes = validSnapshotBytes();
+    Random rng(0xC0FFEE);
+    for (int round = 0; round < 600; ++round) {
+        std::vector<uint8_t> b = bytes;
+        const size_t byte = rng.below(b.size());
+        b[byte] ^= static_cast<uint8_t>(1u << rng.below(8));
+        // a flip in the payload fails the CRC; a flip in the header
+        // fails magic/version/length/CRC validation -- either way the
+        // file must be rejected whole
+        EXPECT_THROW(snap::decode(b), snap::SnapError)
+            << "flip at byte " << byte;
+    }
+}
+
+TEST(FuzzSnap, HostileStructureWithValidCrcNeverCrashes)
+{
+    // an adversary can recompute the CRC, so the section parsers see
+    // arbitrary payload bytes: random mutations must either decode or
+    // throw SnapError -- anything else (crash, overread, huge
+    // allocation) is the bug this test hunts
+    const auto bytes = validSnapshotBytes();
+    Random rng(0xBADF00D);
+    for (int round = 0; round < 600; ++round) {
+        std::vector<uint8_t> b = bytes;
+        const int edits = 1 + static_cast<int>(rng.below(8));
+        for (int e = 0; e < edits; ++e) {
+            const size_t at =
+                kHeaderBytes + rng.below(b.size() - kHeaderBytes);
+            b[at] = static_cast<uint8_t>(rng.below(256));
+        }
+        fixupCrc(b);
+        try {
+            const snap::Snapshot s = snap::decode(b);
+            (void)snap::info(s); // decoded: summaries must work too
+        } catch (const snap::SnapError &) {
+            // rejected cleanly: fine
+        }
+    }
+}
+
+TEST(FuzzSnap, HostileSectionCountsAreRejected)
+{
+    auto b = validSnapshotBytes();
+    // section count far beyond what the payload could hold: the
+    // reader must bound its loops by the remaining bytes, not trust
+    // the count (no multi-gigabyte reserve, no overread)
+    putU32le(b, 20, 0x7FFFFFFF);
+    fixupCrc(b);
+    EXPECT_THROW(snap::decode(b), snap::SnapError);
+}
+
+TEST(FuzzSnap, FailedRestoreLeavesTheTargetUntouched)
+{
+    const auto bytes = validSnapshotBytes();
+    snap::Snapshot bad = snap::decode(bytes);
+    ASSERT_FALSE(bad.states.empty());
+    bad.states[0].cpu.pri = 7; // fails verifyCompatible
+
+    auto net = snap::buildNetwork(bad);
+    net->run(200'000);
+    const snap::Snapshot before = snap::capture(*net);
+
+    EXPECT_THROW(snap::restore(*net, bad), snap::SnapError);
+
+    // verification runs before any mutation: the network still holds
+    // exactly its pre-restore state and keeps running
+    EXPECT_FALSE(
+        snap::firstDivergence(before, snap::capture(*net)));
+    net->run(400'000);
+}

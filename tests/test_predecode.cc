@@ -251,3 +251,93 @@ TEST(PredecodeSelfMod, RuntimeToggleMidProgramStaysCorrect)
     t.runAsm(kSelfModSrc);
     EXPECT_EQ(t.local(1), 12u);
 }
+
+// ---------------------------------------------------------------------
+// checkpoint/restore coherence (src/snap)
+// ---------------------------------------------------------------------
+
+#include <memory>
+
+#include "net/network.hh"
+#include "snap/snapshot.hh"
+
+namespace
+{
+
+/** kSelfModSrc, but parking the sum at a data word so the result is
+ *  readable by label from any network-booted instance. */
+const char *kSnapSelfModSrc =
+    "start:\n"
+    "  ldc 0\n stl 1\n"
+    "  ldc 2\n stl 2\n"
+    "loop:\n"
+    "patch:\n"
+    "  ldc 5\n"                   // byte 0x45, patched to 0x47
+    "  ldl 1\n add\n stl 1\n"
+    "  ldc #47\n"
+    "  ldc patch - n1\n ldpi\n"
+    "n1:\n"
+    "  sb\n"                      // rewrite our own code
+    "  ldl 2\n adc -1\n stl 2\n"
+    "  ldl 2\n cj done\n"
+    "  j loop\n"
+    "done:\n"
+    "  ldl 1\n"
+    "  ldc result - n2\n ldpi\n"
+    "n2:\n"
+    "  stnl 0\n"
+    "  stopp\n"
+    ".align\n"
+    "result: .word 0\n";
+
+struct SelfModNet
+{
+    std::unique_ptr<net::Network> net;
+    tasm::Image img;
+
+    SelfModNet()
+    {
+        net = std::make_unique<net::Network>();
+        const int id = net->addTransputer(core::Config{}, "sm");
+        core::Transputer &t = net->node(id);
+        img = tasm::assemble(kSnapSelfModSrc,
+                             t.memory().memStart(), t.shape());
+        net->bootImage(id, img);
+    }
+
+    Word
+    result() const
+    {
+        return net->node(0).memory().readWord(img.symbol("result"));
+    }
+};
+
+} // namespace
+
+TEST(PredecodeSnap, RestoreInvalidatesStalePredecodedBlocks)
+{
+    // B is captured right after boot: memory still holds the original
+    // 0x45 at `patch`, nothing predecoded yet
+    SelfModNet b;
+    const snap::Snapshot s0 = snap::capture(*b.net);
+
+    // A runs to completion: it patched its own code and its icache
+    // now holds blocks predecoded from the PATCHED bytes
+    SelfModNet a;
+    a.net->run(500'000'000);
+    EXPECT_EQ(a.result(), 12u); // 5 on pass 1, 7 on pass 2
+
+    // restoring the boot-time state onto the completed net rewinds
+    // memory to the unpatched bytes; any predecoded block surviving
+    // the restore would execute ldc 7 on the first pass (sum 14)
+    snap::restore(*a.net, s0);
+    a.net->run(500'000'000);
+    EXPECT_EQ(a.result(), 12u);
+
+    // and a fresh network built from the snapshot agrees
+    auto c = snap::buildNetwork(s0);
+    snap::restore(*c, s0);
+    c->run(500'000'000);
+    EXPECT_EQ(c->node(0).memory().readWord(a.img.symbol("result")),
+              12u);
+}

@@ -47,13 +47,35 @@ python3 -m json.tool "$obs_dir/dbsearch.trace.json" > /dev/null
 python3 -m json.tool "$obs_dir/dbsearch.metrics.json" > /dev/null
 echo "trace + metrics JSON validate"
 
+# checkpoint/restore smoke: snapshot round-trips through tsnap for
+# the serial engine, the parallel engine (capture at a window barrier)
+# and a fault-injected run; --verify replays the whole history
+# uninterrupted and fails on any architectural divergence
+echo "== tsnap: snapshot round-trips (serial, parallel, faulty) =="
+snap_dir=build/snap-smoke
+mkdir -p "$snap_dir"
+./build/tools/tsnap save --scenario e7 --iters 50000 \
+    --run-for 5000000 --out "$snap_dir/e7.tsnap" > /dev/null
+./build/tools/tsnap restore "$snap_dir/e7.tsnap" \
+    --run-for 5000000 --verify | tail -1
+./build/tools/tsnap save --scenario dbsearch --queries 4 --threads 4 \
+    --run-for 2000000 --out "$snap_dir/db-par.tsnap" > /dev/null
+./build/tools/tsnap restore "$snap_dir/db-par.tsnap" \
+    --run-for 3000000 --threads 4 --verify | tail -1
+./build/tools/tsnap save --scenario dbsearch --queries 4 \
+    --loss 0.02 --seed 9 --watchdog 200000 \
+    --run-for 2000000 --out "$snap_dir/db-fault.tsnap" > /dev/null
+./build/tools/tsnap restore "$snap_dir/db-fault.tsnap" \
+    --run-for 3000000 --verify | tail -1
+
 if want --no-tsan; then
     run_preset tsan --target test_par --target test_obs \
-        --target test_fault
+        --target test_fault --target test_snap
 fi
 
 if want --no-asan; then
-    run_preset asan --target test_fault --target test_fuzz_decode
+    run_preset asan --target test_fault --target test_fuzz_decode \
+        --target test_snap --target test_fuzz_snap
 fi
 
 echo "== all checks passed =="
