@@ -1,21 +1,37 @@
 /**
  * @file
- * Host-side interpreter throughput: simulated instructions per
- * wall-clock second with the predecoded instruction cache on vs off
- * (see DESIGN.md "Interpreter fast path").
+ * Host-side interpreter throughput across the three execution tiers
+ * (see DESIGN.md "Interpreter fast path" and "Block compiler"):
+ *
+ *   plain   -- byte-at-a-time interpreter (predecode off);
+ *   fused   -- predecoded chains + the fused inner loop;
+ *   blockc  -- the block-compiler tier (threaded superblocks) on top.
  *
  * Two workloads:
- *   - the E7 MIPS loop (straight-line single-cycle code, the fast
- *     path's best case and the acceptance bar: >= 2x);
+ *   - the E7 MIPS loop (straight-line single-cycle code, the block
+ *     tier's best case; acceptance: blockc >= 3.5x plain);
  *   - the database-search kernel on a small grid (channels, links and
- *     scheduling in the mix), toggled through RunOptions::predecode.
+ *     scheduling in the mix; acceptance: blockc >= 1.8x plain),
+ *     toggled through RunOptions.
  *
- * Results go to stdout and BENCH_interp.json.  Simulated results
- * (instructions, cycles, answers) must be identical in both modes --
- * the cache is architecturally invisible; this harness checks that
- * too and fails loudly if it ever drifts.
+ * Pass/fail uses the MEDIAN of per-repetition speedup RATIOS: each
+ * timed repetition runs all three tiers back to back, so a noise
+ * burst on a shared host (CPU steal, frequency ramp) lands on the
+ * whole triple and mostly cancels in the ratio, where per-tier
+ * medians taken from separate batches would let one burst skew a
+ * single tier.  The spread ((max-min)/median) of both the raw rates
+ * and the ratios is reported so a noisy run is visible in the
+ * artifact.  Simulated results (instructions, cycles) must be
+ * identical across all three tiers -- both caches are architecturally
+ * invisible; this harness checks that too and fails loudly if it
+ * ever drifts.
+ *
+ * Results go to stdout plus BENCH_interp.json (the historical
+ * fused-vs-plain artifact) and BENCH_blockc.json (the three-way
+ * comparison).
  */
 
+#include <algorithm>
 #include <chrono>
 #include <ctime>
 #include <fstream>
@@ -36,7 +52,25 @@ namespace
 
 constexpr int warmup = 2; ///< discarded priming runs (cold caches,
                           ///< allocator growth, CPU frequency ramp)
-constexpr int reps = 7;   ///< take the best time of these
+constexpr int reps = 7;   ///< timed repetitions (median decides)
+
+/** The three execution tiers under comparison. */
+enum class Tier
+{
+    Plain,  ///< predecode off (blockc needs predecode: off too)
+    Fused,  ///< predecode on, block compiler off
+    Blockc, ///< predecode on, block compiler on
+};
+
+const char *
+tierName(Tier t)
+{
+    switch (t) {
+      case Tier::Plain:  return "plain";
+      case Tier::Fused:  return "fused";
+      default:           return "blockc";
+    }
+}
 
 /** Process CPU time (all threads -- the dbsearch run dispatches on a
  *  worker): immune to the container's scheduling noise. */
@@ -58,6 +92,7 @@ struct Measure
     uint64_t icacheMisses = 0;
     uint64_t fusedRuns = 0;
     uint64_t fusedInstructions = 0;
+    obs::BlockStats blockc;
 
     double
     hitRate() const
@@ -85,6 +120,55 @@ struct Measure
         icacheMisses = c.icacheMisses;
         fusedRuns = c.fused.runs;
         fusedInstructions = c.fused.instructions;
+        blockc = c.blockc;
+    }
+};
+
+double
+medianOf(std::vector<double> s)
+{
+    std::sort(s.begin(), s.end());
+    const size_t n = s.size();
+    return n == 0 ? 0.0
+                  : n % 2 ? s[n / 2]
+                          : (s[n / 2 - 1] + s[n / 2]) / 2.0;
+}
+
+/** Relative spread of a sample: (max - min) / median. */
+double
+spreadOf(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    const auto [lo, hi] = std::minmax_element(v.begin(), v.end());
+    const double med = medianOf(v);
+    return med ? (*hi - *lo) / med : 0.0;
+}
+
+/** All timed repetitions of one workload at one tier. */
+struct Result
+{
+    Measure best;             ///< rep with the highest instr/s
+    std::vector<double> ips;  ///< every timed rep's instr/s
+
+    double
+    median() const
+    {
+        return medianOf(ips);
+    }
+
+    double
+    spread() const
+    {
+        return spreadOf(ips);
+    }
+
+    void
+    add(const Measure &m)
+    {
+        ips.push_back(m.ips);
+        if (m.ips > best.ips)
+            best = m;
     }
 };
 
@@ -104,122 +188,240 @@ e7LoopSource(int iterations)
 }
 
 Measure
-runE7(bool predecode)
+runE7Once(Tier tier)
 {
-    Measure best;
-    for (int r = -warmup; r < reps; ++r) {
-        core::Config cfg;
-        cfg.predecode = predecode;
-        AsmRig rig(cfg);
-        const double t0 = cpuSeconds();
-        rig.run(e7LoopSource(200'000));
-        const double secs = cpuSeconds() - t0;
-        if (r < 0)
-            continue; // warmup: prime before timing counts
-        Measure m;
-        m.fill(rig.cpu.counters());
-        m.ips = static_cast<double>(m.instructions) / secs;
-        if (m.ips > best.ips)
-            best = m;
-    }
-    return best;
+    core::Config cfg;
+    cfg.predecode = tier != Tier::Plain;
+    cfg.blockCompile = tier == Tier::Blockc;
+    AsmRig rig(cfg);
+    const double t0 = cpuSeconds();
+    // long enough that a transient host-noise burst (~100 ms) cannot
+    // dominate any single tier's run
+    rig.run(e7LoopSource(500'000));
+    const double secs = cpuSeconds() - t0;
+    Measure m;
+    m.fill(rig.cpu.counters());
+    m.ips = static_cast<double>(m.instructions) / secs;
+    return m;
 }
 
 Measure
-runDbSearch(bool predecode)
+runDbSearchOnce(Tier tier)
 {
-    Measure best;
+    apps::DbSearchConfig cfg;
+    cfg.width = 4;
+    cfg.height = 4;
+    // the app's constructor runs the boot phase already, so the
+    // node config must agree with the RunOptions toggles below
+    cfg.node.predecode = tier != Tier::Plain;
+    cfg.node.blockCompile = tier == Tier::Blockc;
+    auto db = std::make_unique<apps::DbSearch>(cfg);
+    for (int q = 0; q < 12; ++q)
+        db->inject(static_cast<Word>(7 * q + 3));
+    const Tick limit = db->network().queue().now() + 6'000'000;
+    net::RunOptions opts;
+    opts.threads = 1;
+    opts.predecode = tier != Tier::Plain;
+    opts.blockCompile = tier == Tier::Blockc;
+    const double t0 = cpuSeconds();
+    db->network().run(limit, opts);
+    const double secs = cpuSeconds() - t0;
+    Measure m;
+    m.fill(db->network().counters());
+    m.ips = static_cast<double>(m.instructions) / secs;
+    return m;
+}
+
+/** One workload measured across all tiers, tiers paired per rep. */
+struct Samples
+{
+    Result plain, fused, blockc;
+    std::vector<double> fusedRatio;  ///< per-rep fused/plain
+    std::vector<double> blockcRatio; ///< per-rep blockc/plain
+};
+
+template <typename RunOnce>
+Samples
+measure(RunOnce once)
+{
+    Samples s;
     for (int r = -warmup; r < reps; ++r) {
-        apps::DbSearchConfig cfg;
-        cfg.width = 4;
-        cfg.height = 4;
-        auto db = std::make_unique<apps::DbSearch>(cfg);
-        for (int q = 0; q < 4; ++q)
-            db->inject(static_cast<Word>(7 * q + 3));
-        const Tick limit = db->network().queue().now() + 2'000'000;
-        net::RunOptions opts;
-        opts.threads = 1;
-        opts.predecode = predecode; // the RunOptions toggle
-        const double t0 = cpuSeconds();
-        db->network().run(limit, opts);
-        const double secs = cpuSeconds() - t0;
+        const Measure mp = once(Tier::Plain);
+        const Measure mf = once(Tier::Fused);
+        const Measure mb = once(Tier::Blockc);
         if (r < 0)
             continue; // warmup: prime before timing counts
-        Measure m;
-        m.fill(db->network().counters());
-        m.ips = static_cast<double>(m.instructions) / secs;
-        if (m.ips > best.ips)
-            best = m;
+        s.plain.add(mp);
+        s.fused.add(mf);
+        s.blockc.add(mb);
+        if (mp.ips > 0) {
+            s.fusedRatio.push_back(mf.ips / mp.ips);
+            s.blockcRatio.push_back(mb.ips / mp.ips);
+        }
     }
-    return best;
+    return s;
 }
 
 struct Workload
 {
     const char *name;
-    Measure on, off;
-    double speedup() const { return on.ips / off.ips; }
-    /** The simulated outcome must not depend on the cache. */
+    Samples s;
+    double bar = 0; ///< acceptance: median per-rep blockc/plain ratio
+
+    double
+    fusedSpeedup() const
+    {
+        return medianOf(s.fusedRatio);
+    }
+
+    double
+    blockcSpeedup() const
+    {
+        return medianOf(s.blockcRatio);
+    }
+
+    /** The simulated outcome must not depend on either cache. */
     bool
     identical() const
     {
-        return on.instructions == off.instructions &&
-               on.cycles == off.cycles;
+        const Result &plain = s.plain, &fused = s.fused,
+                     &blockc = s.blockc;
+        return plain.best.instructions == fused.best.instructions &&
+               plain.best.cycles == fused.best.cycles &&
+               plain.best.instructions == blockc.best.instructions &&
+               plain.best.cycles == blockc.best.cycles;
     }
 };
+
+void
+workloadJson(std::ostream &os, const Workload &w)
+{
+    auto tier = [&](const char *name, const Result &r) {
+        os << "      \"" << name << "\": {\"ips_median\": "
+           << r.median() << ", \"ips_best\": " << r.best.ips
+           << ", \"spread\": " << r.spread() << "}";
+    };
+    os << "    {\"name\": \"" << w.name << "\",\n";
+    tier("plain", w.s.plain);
+    os << ",\n";
+    tier("fused", w.s.fused);
+    os << ",\n";
+    tier("blockc", w.s.blockc);
+    os << ",\n      \"speedup_fused\": " << w.fusedSpeedup()
+       << ", \"speedup_blockc\": " << w.blockcSpeedup()
+       << ", \"ratio_spread\": " << spreadOf(w.s.blockcRatio)
+       << ", \"bar\": " << w.bar
+       << ", \"identical\": " << (w.identical() ? "true" : "false")
+       << ",\n      \"instructions\": "
+       << w.s.blockc.best.instructions
+       << ", \"icache_hit_rate\": " << w.s.blockc.best.hitRate()
+       << ", \"blockc_enters\": " << w.s.blockc.best.blockc.enters
+       << ", \"blockc_chains\": " << w.s.blockc.best.blockc.chains
+       << ", \"blockc_mean_run\": "
+       << w.s.blockc.best.blockc.meanRunLength()
+       << ", \"blockc_compiles\": "
+       << w.s.blockc.best.blockc.compiles
+       << ",\n      \"blockc_deopts\": {";
+    for (size_t d = 0; d < obs::kBlockDeopts; ++d)
+        os << (d ? ", " : "") << "\"" << obs::kBlockDeoptNames[d]
+           << "\": " << w.s.blockc.best.blockc.deopts[d];
+    os << "}}";
+}
 
 } // namespace
 
 int
 main()
 {
-    heading("interpreter fast path: instructions/second, "
-            "predecode cache on vs off");
+    heading("execution tiers: instructions/second, "
+            "plain vs fused vs block-compiled");
+
+    const bool tier_usable = core::Transputer::blockBackendUsable();
 
     std::vector<Workload> loads;
-    loads.push_back({"e7_mips_loop", runE7(true), runE7(false)});
     loads.push_back(
-        {"dbsearch_4x4", runDbSearch(true), runDbSearch(false)});
+        {"e7_mips_loop", measure([](Tier t) { return runE7Once(t); }),
+         3.5});
+    loads.push_back({"dbsearch_4x4",
+                     measure([](Tier t) { return runDbSearchOnce(t); }),
+                     1.8});
 
-    Table t({16, 14, 14, 10, 12, 11, 12});
-    t.row("workload", "on (instr/s)", "off (instr/s)", "speedup",
-          "hit rate", "fused run", "identical");
+    Table t({16, 13, 13, 13, 9, 9, 9, 10});
+    t.row("workload", "plain i/s", "fused i/s", "blockc i/s",
+          "fusedx", "blockx", "rspread", "identical");
     t.rule();
     bool all_identical = true;
     for (const auto &w : loads) {
-        t.row(w.name, w.on.ips, w.off.ips, w.speedup(),
-              w.on.hitRate(), w.on.fusedMeanRun(),
+        t.row(w.name, w.s.plain.median(), w.s.fused.median(),
+              w.s.blockc.median(), w.fusedSpeedup(),
+              w.blockcSpeedup(), spreadOf(w.s.blockcRatio),
               w.identical() ? "yes" : "NO");
         all_identical = all_identical && w.identical();
     }
     t.rule();
 
-    const double e7_speedup = loads[0].speedup();
-    const bool pass = e7_speedup >= 2.0 && all_identical;
-    std::cout << "\ne7 loop speedup: " << e7_speedup
-              << " (acceptance: >= 2x)\n";
+    // the pass bar is a median of per-rep ratios: best-of-N let one
+    // lucky rep decide, and per-tier medians from separate batches
+    // let one noise burst sink a single tier.  Only a real
+    // regression -- the typical paired ratio below the bar -- fails.
+    const double e7_fused = loads[0].fusedSpeedup();
+    bool bars_met = e7_fused >= 2.0;
+    for (const auto &w : loads) {
+        const double s = w.blockcSpeedup();
+        const bool met = !tier_usable || s >= w.bar;
+        std::cout << w.name << ": blockc " << s << "x plain"
+                  << " (bar " << w.bar << "x"
+                  << (tier_usable ? "" : ", tier unavailable: waived")
+                  << (met ? ", met" : ", MISSED") << "), ratio spread "
+                  << spreadOf(w.s.blockcRatio) << "\n";
+        bars_met = bars_met && met;
+    }
+    const bool pass = bars_met && all_identical;
 
     std::ofstream json("BENCH_interp.json");
     json << "{\n  \"bench\": \"interp_fast_path\",\n"
-         << "  \"e7_speedup\": " << e7_speedup << ",\n"
-         << "  \"pass_2x\": " << (pass ? "true" : "false") << ",\n"
+         << "  \"e7_speedup\": " << e7_fused << ",\n"
+         << "  \"pass_2x\": "
+         << (e7_fused >= 2.0 && all_identical ? "true" : "false")
+         << ",\n"
+         << "  \"median_of\": " << reps << ",\n"
          << "  \"identical\": " << (all_identical ? "true" : "false")
          << ",\n  \"workloads\": [\n";
     for (size_t i = 0; i < loads.size(); ++i) {
         const auto &w = loads[i];
         json << "    {\"name\": \"" << w.name << "\""
-             << ", \"ips_on\": " << w.on.ips
-             << ", \"ips_off\": " << w.off.ips
-             << ", \"speedup\": " << w.speedup()
-             << ", \"instructions\": " << w.on.instructions
-             << ", \"icache_hits\": " << w.on.icacheHits
-             << ", \"icache_misses\": " << w.on.icacheMisses
-             << ", \"icache_hit_rate\": " << w.on.hitRate()
-             << ", \"fused_runs\": " << w.on.fusedRuns
-             << ", \"fused_mean_run\": " << w.on.fusedMeanRun() << "}"
-             << (i + 1 < loads.size() ? "," : "") << "\n";
+             << ", \"ips_on\": " << w.s.fused.median()
+             << ", \"ips_off\": " << w.s.plain.median()
+             << ", \"speedup\": " << w.fusedSpeedup()
+             << ", \"spread_on\": " << w.s.fused.spread()
+             << ", \"spread_off\": " << w.s.plain.spread()
+             << ", \"instructions\": " << w.s.fused.best.instructions
+             << ", \"icache_hits\": " << w.s.fused.best.icacheHits
+             << ", \"icache_misses\": "
+             << w.s.fused.best.icacheMisses
+             << ", \"icache_hit_rate\": " << w.s.fused.best.hitRate()
+             << ", \"fused_runs\": " << w.s.fused.best.fusedRuns
+             << ", \"fused_mean_run\": "
+             << w.s.fused.best.fusedMeanRun()
+             << "}" << (i + 1 < loads.size() ? "," : "") << "\n";
     }
     json << "  ]\n}\n";
     std::cout << "wrote BENCH_interp.json\n";
+
+    std::ofstream bjson("BENCH_blockc.json");
+    bjson << "{\n  \"bench\": \"block_compiler_tier\",\n"
+          << "  \"tier_usable\": " << (tier_usable ? "true" : "false")
+          << ",\n  \"median_of\": " << reps << ",\n"
+          << "  \"pass\": " << (pass ? "true" : "false") << ",\n"
+          << "  \"identical\": "
+          << (all_identical ? "true" : "false")
+          << ",\n  \"workloads\": [\n";
+    for (size_t i = 0; i < loads.size(); ++i) {
+        workloadJson(bjson, loads[i]);
+        bjson << (i + 1 < loads.size() ? "," : "") << "\n";
+    }
+    bjson << "  ]\n}\n";
+    std::cout << "wrote BENCH_blockc.json\n";
+
     return pass ? 0 : 1;
 }

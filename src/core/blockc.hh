@@ -1,0 +1,338 @@
+/**
+ * @file
+ * The block-compiler execution tier (see DESIGN.md "Block compiler").
+ *
+ * Sits above core/exec.cc's fused loop in the tier ladder:
+ *
+ *   executeOneSlow  ->  executePredecoded/runFused  ->  superblocks
+ *
+ * Hot predecoded regions (heat is sampled where the dispatch loop and
+ * the fused loop's back-edges land) are compiled into superblocks:
+ * arrays of superop steps (isa/superop.hh), each binding one chain --
+ * prefix chain folded into the operand at compile time -- to a
+ * specialized handler, with adjacent chains fused where a peephole
+ * rule matches.  The ThreadedBackend dispatches the steps with
+ * computed gotos, so the per-instruction decode/branch cost of the
+ * interpreter disappears.
+ *
+ * Bit-faithfulness contract (obs::sameArchitectural is the oracle):
+ *   - every step retires its chain's exact counters and cycle charges
+ *     in the interpreter's order;
+ *   - every chain emulates the predecode cache's lookup: the global
+ *     hit/miss/invalidation counters are architectural, so the block
+ *     tier performs (and counts) the same slot transitions the
+ *     interpreter would -- a refill is taken from the compiled step
+ *     image, which is valid precisely when the chain's write
+ *     generations still match their compile-time values;
+ *   - a superblock only runs chains the interpreter would run: the
+ *     event/horizon bound and the dispatch budget are checked before
+ *     every chain (fused heads pre-check a conservative worst case
+ *     and fall back to per-chain solo execution near a boundary);
+ *   - anything the block cannot prove -- a stale write generation
+ *     (self-modifying store, link DMA), a timeslice rotation, an
+ *     error halt, a dynamic branch out -- deopts: the block exits at
+ *     a chain boundary with all state spilled, and the interpreter
+ *     continues exactly where the tier-off run would be.
+ *
+ * Nothing architectural lives in a superblock; dropping any block (or
+ * the whole cache) at any moment is always correct.  Snapshots never
+ * serialize compiled blocks: restore invalidates the cache wholesale
+ * and lets execution re-heat from the restored memory image (only the
+ * obs::BlockStats counters round-trip, like the predecode cache's).
+ */
+
+#ifndef TRANSPUTER_CORE_BLOCKC_HH
+#define TRANSPUTER_CORE_BLOCKC_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "base/types.hh"
+#include "core/icache.hh"
+#include "isa/superop.hh"
+#include "mem/memory.hh"
+#include "obs/counters.hh"
+
+namespace transputer::core
+{
+
+class Transputer;
+
+namespace blockc
+{
+
+/** Why a superblock execution ended.  Mirrors obs::kBlockDeoptNames. */
+enum class Deopt : uint8_t
+{
+    Bound = 0,  ///< local time reached the event/horizon bound
+    Budget,     ///< per-dispatch instruction budget exhausted
+    GuardStale, ///< code bytes changed under the block
+    Deschedule, ///< timeslice rotation / deschedule left the block
+    Halt,       ///< error flag with halt-on-error set
+    BranchOut,  ///< dynamic branch left the compiled region
+    End,        ///< ran off the compiled tail
+    Entry,      ///< stale at entry; nothing executed
+    kCount
+};
+
+static_assert(static_cast<size_t>(Deopt::kCount) == obs::kBlockDeopts,
+              "Deopt enum and obs deopt histogram must match");
+
+/**
+ * One superop step: a predecoded chain (an icache entry image taken
+ * at compile time) bound to a handler kind.  Member steps of a fused
+ * group keep their solo kind in `kind == solo`; only the head step's
+ * `kind` is the fused superop, and a backend near a bound/budget
+ * boundary re-dispatches the members through `solo`.
+ */
+struct Step
+{
+    Word tag = 0;       ///< chain start address
+    Word next = 0;      ///< tag + length, truncated (fall-through)
+    Word operand = 0;   ///< folded operand
+    Word aux = 0;       ///< kind-specific (folded constant, binop op)
+    int64_t sop = 0;    ///< operand, sign-extended at compile time
+    uint32_t slot = 0;  ///< icache slot: tag & kIndexMask
+    uint32_t gidx = 0;  ///< generation slot of the first byte
+    uint32_t gidx2 = 0; ///< generation slot of the last byte
+    uint32_t gen = 0;   ///< write generation at compile time
+    uint32_t gen2 = 0;
+    uint8_t length = 0; ///< bytes, including prefixes
+    uint8_t pfixes = 0;
+    uint8_t nfixes = 0;
+    uint8_t fn = 0;     ///< final isa::Fn
+    uint8_t flags = 0;  ///< isa::pflag:: bits
+    bool offChip = false;
+    isa::superop::Kind kind = isa::superop::Kind::kCount;
+    isa::superop::Kind solo = isa::superop::Kind::kCount;
+    /** Worst-case cycles of the fused group minus its last chain
+     *  (prefixes, base costs, memory waits, off-chip fetches): the
+     *  fused head runs only when the bound admits this much. */
+    uint8_t groupPreCost = 0;
+};
+
+/** A compiled superblock. */
+struct Superblock
+{
+    Word entry = 0;
+    bool valid = false;
+    /**
+     * Every step's icache slot held that step's chain on the last
+     * full pass and no fill anywhere has happened since (missFence):
+     * slot checks are provably hits, so the backend banks them
+     * without touching the entry array.
+     */
+    bool primed = false;
+    /** All step slots are distinct, so a full pass can prove every
+     *  slot holds its step's chain (aliasing steps thrash one slot
+     *  and can never all be resident at once). */
+    bool primeable = false;
+    bool loops = false; ///< has a back-edge to entry
+    uint16_t nsteps = 0;
+    uint64_t missFence = 0; ///< icache miss count when primed was set
+    /** Steps whose slot held their chain during recent executions
+     *  (bit per step), valid while no foreign fill intervened
+     *  (visitFence).  Full coverage upgrades the block to primed. */
+    uint64_t visited = 0;
+    uint64_t visitFence = 0;
+    std::vector<Step> steps;
+
+    /** Per-step cumulative retire accounting: row k holds the sums
+     *  over steps [0, k) of each chain's function counts (prefixes
+     *  under PFIX/NFIX) and byte lengths.  The interpreter charges
+     *  these per instruction; the block tier adds the difference of
+     *  two rows when a linear sweep [first, past-last) ends, so the
+     *  per-chain counter traffic in the hot loop collapses to one
+     *  flush per lap or exit. */
+    struct CumRow
+    {
+        std::array<uint16_t, 16> fn{};
+        uint16_t len = 0;
+    };
+    std::vector<CumRow> cum; ///< nsteps + 1 rows
+
+    /** Write generations of every 64-byte block holding code of this
+     *  superblock, at compile time.  All current <=> no byte of the
+     *  compiled region has been stored to since compilation. */
+    struct Guard
+    {
+        uint32_t gidx = 0;
+        uint32_t gen = 0;
+    };
+    static constexpr size_t kMaxGuards = 8;
+    uint8_t nguards = 0;
+    std::array<Guard, kMaxGuards> guards{};
+
+    bool
+    guardsOk(const uint32_t *gens) const
+    {
+        for (size_t i = 0; i < nguards; ++i)
+            if (gens[guards[i].gidx] != guards[i].gen)
+                return false;
+        return true;
+    }
+};
+
+/**
+ * Backend interface: turns a compiled Superblock into something
+ * executable.  The threaded backend interprets the step array with
+ * computed gotos; a native template-splat backend (ROADMAP's 10x
+ * target) would bind `Superblock` to emitted host code in prepare()
+ * and jump to it in run() -- the compiler, cache, deopt contract and
+ * statistics are backend-independent.
+ */
+class BlockBackend
+{
+  public:
+    virtual ~BlockBackend() = default;
+    virtual const char *name() const = 0;
+
+    /** Bind backend state to a freshly compiled block (e.g. emit
+     *  native code).  Called once per compile, before any run(). */
+    virtual void prepare(Superblock &sb) = 0;
+
+    /**
+     * Execute `sb` from its entry (the CPU's iptr must equal
+     * sb.entry, state Running, oreg 0).  Retires at most `budget`
+     * chains and never starts a chain with the local clock past
+     * `bound`.  Returns the chains retired, with `why` set to the
+     * exit reason; on return all CPU state is spilled and consistent
+     * at a chain boundary.
+     */
+    virtual int run(Transputer &cpu, Superblock &sb, Tick bound,
+                    int budget, Deopt &why) = 0;
+};
+
+/** The computed-goto step interpreter (the default backend). */
+class ThreadedBackend final : public BlockBackend
+{
+  public:
+    const char *name() const override { return "threaded"; }
+    void prepare(Superblock &) override {}
+    int run(Transputer &cpu, Superblock &sb, Tick bound, int budget,
+            Deopt &why) override;
+
+  private:
+    template <bool Primed>
+    static int exec(Transputer &cpu, Superblock &sb, Tick bound,
+                    int budget, Deopt &why);
+};
+
+/**
+ * Per-transputer superblock cache: a direct-mapped block table plus a
+ * heat table that promotes entry points once they have been reached
+ * often enough.  Compilation failures are negatively cached so cold
+ * or uncompilable addresses are not re-walked on every visit.
+ */
+class BlockCache
+{
+  public:
+    static constexpr size_t kBlocks = 256;      ///< block table slots
+    static constexpr size_t kHeatSlots = 1024;  ///< heat table slots
+    static constexpr uint16_t kHotThreshold = 12; ///< visits to compile
+    static constexpr uint16_t kNoCompile = 0xFFFF; ///< negative cache
+    static constexpr size_t kMaxSteps = 64;     ///< per superblock
+    static constexpr size_t kMinSteps = 3;      ///< else not worth it
+
+    /** The valid superblock entered at iptr, or nullptr. */
+    Superblock *
+    find(Word iptr)
+    {
+        Superblock &sb = blocks_[blockIndex(iptr)];
+        return (sb.valid && sb.entry == iptr) ? &sb : nullptr;
+    }
+
+    /**
+     * Count a visit to a potential entry point.  @return true when
+     * the address just crossed the promotion threshold and the caller
+     * should compile it now.
+     */
+    bool
+    heat(Word iptr)
+    {
+        const size_t i = heatIndex(iptr);
+        if (heatTag_[i] != iptr) {
+            heatTag_[i] = iptr;
+            heatCount_[i] = 1;
+            return false;
+        }
+        if (heatCount_[i] >= kHotThreshold)
+            return false; // compiled already, or negatively cached
+        return ++heatCount_[i] >= kHotThreshold;
+    }
+
+    /** True if a valid block exists here or the address just became
+     *  hot (used by the fused loop to hand back-edges to this tier). */
+    bool
+    wantsEntry(Word iptr)
+    {
+        return find(iptr) != nullptr || heat(iptr);
+    }
+
+    /**
+     * Compile a superblock starting at `entry` and install it (also
+     * evicting whatever aliased its table slot).  @return the block,
+     * or nullptr when the region is not worth compiling (the address
+     * is then negatively cached until its heat slot is recycled).
+     */
+    Superblock *compile(mem::Memory &mem, const uint32_t *gens,
+                        const WordShape &s, int external_waits,
+                        Word entry, BlockBackend &backend);
+
+    /** Demote one block (stale guards, self-modifying code). */
+    void
+    invalidate(Superblock &sb)
+    {
+        sb.valid = false;
+        sb.primed = false;
+        ++stats_.invalidations;
+        // let the region re-heat: a recompile picks up the new bytes
+        const size_t i = heatIndex(sb.entry);
+        if (heatTag_[i] == sb.entry)
+            heatCount_[i] = 0;
+    }
+
+    /** Drop every compiled block and all heat (snapshot restore). */
+    void
+    invalidateAll()
+    {
+        for (Superblock &sb : blocks_) {
+            sb.valid = false;
+            sb.primed = false;
+        }
+        heatTag_.fill(~Word{0});
+        heatCount_.fill(0);
+    }
+
+    obs::BlockStats &stats() { return stats_; }
+    const obs::BlockStats &stats() const { return stats_; }
+
+    /** Overwrite the statistics with snapshotted values (src/snap). */
+    void restoreStats(const obs::BlockStats &s) { stats_ = s; }
+
+  private:
+    static size_t
+    blockIndex(Word iptr)
+    {
+        return static_cast<size_t>(iptr ^ (iptr >> 8)) & (kBlocks - 1);
+    }
+
+    static size_t
+    heatIndex(Word iptr)
+    {
+        return static_cast<size_t>(iptr ^ (iptr >> 10)) &
+               (kHeatSlots - 1);
+    }
+
+    std::array<Superblock, kBlocks> blocks_{};
+    std::array<Word, kHeatSlots> heatTag_{};
+    std::array<uint16_t, kHeatSlots> heatCount_{};
+    obs::BlockStats stats_;
+};
+
+} // namespace blockc
+
+} // namespace transputer::core
+
+#endif // TRANSPUTER_CORE_BLOCKC_HH

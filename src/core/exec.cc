@@ -172,10 +172,12 @@ Transputer::runFused(Tick bound, int budget)
     const bool halt_on_err = haltOnError_;
     const WordShape s = shape_;
     Word iptr = iptr_, a = areg_, b = breg_, c = creg_, wp = wptr_;
-    Tick t = time_;
+    Tick t = time_, lis = lastInstrStart_;
     uint64_t cyc = cycles_, icount = instructions_;
+    const uint64_t cyc0 = cyc; // per-tier cycle attribution (tprof)
     bool err = errorFlag_;
     int n = 0;
+    bool bail = false; // a back-edge reached a compiled superblock
     const auto spill = [&] {
         iptr_ = iptr;
         areg_ = a;
@@ -183,6 +185,7 @@ Transputer::runFused(Tick bound, int budget)
         creg_ = c;
         wptr_ = wp;
         time_ = t;
+        lastInstrStart_ = lis;
         cycles_ = cyc;
         instructions_ = icount;
     };
@@ -193,6 +196,7 @@ Transputer::runFused(Tick bound, int budget)
         c = creg_;
         wp = wptr_;
         t = time_;
+        lis = lastInstrStart_;
         cyc = cycles_;
     };
     const PredecodeCache::Entry *const entries =
@@ -201,7 +205,7 @@ Transputer::runFused(Tick bound, int budget)
     uint64_t hits = 0;
     bool running = state_ == CpuState::Running;
     try {
-        while (n < budget && t <= bound && running) {
+        while (n < budget && t <= bound && running && !bail) {
             const auto &e = entries[static_cast<size_t>(iptr) &
                                     PredecodeCache::kIndexMask];
             if (!(e.length && e.tag == iptr &&
@@ -228,6 +232,11 @@ Transputer::runFused(Tick bound, int budget)
                 t += pf * period;
             }
             ++ctrs_.fn[e.fn];
+            // post-prefix start, as executePredecoded records it:
+            // never read on this path (nothing inlined here is
+            // interruptible), but the field is snapshot state, so
+            // every tier must stamp every chain identically
+            lis = t;
             iptr = s.truncate(iptr + e.length);
             const Word operand = e.operand;
             switch (fn) {
@@ -240,6 +249,12 @@ Transputer::runFused(Tick bound, int budget)
                 timesliceCheck(); // a descheduling point
                 reload();
                 running = state_ == CpuState::Running;
+                // hand hot loop heads to the block tier: back-edges
+                // are where superblocks begin, and entering one
+                // mid-fused-run would skip its entry protocol
+                if (running && blockCompileEnabled_ &&
+                    wantsBlockEntry(iptr))
+                    bail = true;
                 break;
 
               case Fn::LDLP:
@@ -311,6 +326,8 @@ Transputer::runFused(Tick bound, int budget)
                     t += 4 * period;
                     iptr = s.truncate(iptr + operand);
                     flushFetchBuffer();
+                    if (blockCompileEnabled_ && wantsBlockEntry(iptr))
+                        bail = true; // taken back-edge onto a block
                 } else {
                     cyc += 2;
                     t += 2 * period;
@@ -383,6 +400,7 @@ Transputer::runFused(Tick bound, int budget)
     // by bit_width, so bucket 0 is the empty run)
     ++ctrs_.fused.runs;
     ctrs_.fused.instructions += static_cast<uint64_t>(n);
+    ctrs_.fused.cycles += cyc - cyc0;
     ++ctrs_.fused.lenLog2[std::bit_width(static_cast<uint32_t>(n))];
     inExec_ = false;
     return n;

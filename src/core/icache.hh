@@ -132,6 +132,29 @@ class PredecodeCache
     void addHits(uint64_t n) { hits_ += n; }
     ///@}
 
+    /** @name Raw access for the block-compiler tier (core/blockc.cc)
+     *
+     * A superblock execution emulates this cache's lookup per chain
+     * so the hit/miss/invalidation counters -- which are architectural
+     * observables -- stay bit-identical with the tier off.  A miss
+     * whose code bytes are provably unchanged since compile time
+     * (write generations match) refills the slot from the compiled
+     * step image via entriesMut() and records it with noteMiss();
+     * anything else deopts before executing.
+     */
+    ///@{
+    Entry *entriesMut() { return entries_.data(); }
+    /** Count one emulated fill (stale_tag: the displaced entry was
+     *  the same chain, i.e. an invalidation). */
+    void
+    noteMiss(bool stale_tag)
+    {
+        ++misses_;
+        if (stale_tag)
+            ++invalidations_;
+    }
+    ///@}
+
   private:
     static constexpr size_t kEntries = kIndexMask + 1; ///< slots
 

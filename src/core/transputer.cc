@@ -4,6 +4,7 @@
 #include <ostream>
 
 #include "base/format.hh"
+#include "core/blockc.hh"
 #include "isa/cycles.hh"
 
 namespace transputer::core
@@ -35,6 +36,8 @@ Transputer::Transputer(sim::EventQueue &queue, const Config &cfg,
     mem_.writeWord(mem_.tptrLocAddr(1), notProcess());
     if (cfg.trace)
         setTraceEnabled(true);
+    if (cfg.blockCompile)
+        setBlockCompileEnabled(true); // no-op when the build can't
 }
 
 Word
@@ -308,6 +311,7 @@ Transputer::importSnap(const CpuSnap &s)
     icache_.invalidateAll();
     icache_.restoreStats(s.ctrs.icacheHits, s.ctrs.icacheMisses,
                          s.ctrs.icacheInvalidations);
+    restoreBlockTier(s.ctrs.blockc);
     // re-arm the pending events with their exact original keys: the
     // continuation dispatches them in the same total order as the
     // uninterrupted run
@@ -353,13 +357,16 @@ Transputer::stepHandler()
             serviceInterrupt();
         if (state_ != CpuState::Running)
             break;
-        // yield once local time passes the next pending event -- or
-        // the queue's horizon, beyond which events from other shards
-        // may still arrive -- so the co-simulation stays exact;
-        // equality still executes (other agents' step events at the
-        // same tick would livelock us)
+        // yield once local time passes the earliest pending event
+        // that can reach this CPU -- its own events bound it exactly,
+        // while another node's can only act on it through a link,
+        // whose delivery lead the queue's topology map credits
+        // (EventQueue::nextTimeFor) -- or the queue's horizon, beyond
+        // which events from other shards may still arrive; equality
+        // still executes (other agents' step events at the same tick
+        // would livelock us)
         const Tick bound =
-            std::min(queue_->nextTime(), queue_->horizon());
+            std::min(queue_->nextTimeFor(actorId_), queue_->horizon());
         if (time_ > bound)
             break;
         // fused run: a kFast instruction can neither schedule nor
@@ -371,13 +378,22 @@ Transputer::stepHandler()
         while (fast && state_ == CpuState::Running &&
                !preemptPending_ && batch < cfg_.maxBatch &&
                time_ <= bound) {
-            // bulk of the run: the inlined fused loop; it stops at
-            // instructions it does not inline, which the generic
-            // executeOne then handles before re-entering
+            // top tier: superblocks, entered whenever iptr lands on a
+            // compiled entry (heating and compiling cold ones)
+            batch += runBlocks(bound, cfg_.maxBatch - batch);
+            if (state_ != CpuState::Running || preemptPending_ ||
+                batch >= cfg_.maxBatch || time_ > bound)
+                break;
+            // bulk of the rest: the inlined fused loop; it stops at
+            // instructions it does not inline -- or at a back-edge
+            // onto a compiled block -- which the paths below handle
+            // before re-entering
             batch += runFused(bound, cfg_.maxBatch - batch);
             if (state_ != CpuState::Running || preemptPending_ ||
                 batch >= cfg_.maxBatch || time_ > bound)
                 break;
+            if (hasBlockAt(iptr_))
+                continue; // enter the block; don't interpret its head
             fast = executeOne();
             ++batch;
         }

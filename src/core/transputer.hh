@@ -42,6 +42,14 @@
 namespace transputer::core
 {
 
+namespace blockc
+{
+class BlockBackend;
+class BlockCache;
+class ThreadedBackend;
+struct Superblock;
+} // namespace blockc
+
 /** Workspace slot offsets below Wptr (section 3.2.4). */
 namespace ws
 {
@@ -63,6 +71,11 @@ struct Config
     int64_t timesliceCycles = 20480; ///< ~1 ms low-priority timeslice
     int maxBatch = 8192;           ///< instructions per event-loop turn
     bool predecode = true;         ///< use the predecoded instruction cache
+    /** Compile hot predecoded regions into superblocks (core/blockc).
+     *  Requires predecode; architecturally invisible, like the
+     *  predecode cache itself.  Ignored (forced off) when the build
+     *  disables the tier (TRANSPUTER_BLOCKC=OFF or no computed goto). */
+    bool blockCompile = true;
     bool trace = false;            ///< record scheduler/channel/link events
     unsigned traceDepth = 16;      ///< log2 of the trace ring capacity
 };
@@ -148,6 +161,7 @@ class Transputer
   public:
     Transputer(sim::EventQueue &queue, const Config &cfg,
                std::string name = "tp");
+    ~Transputer(); // out of line: unique_ptr to forward-declared blockc
 
     const std::string &name() const { return name_; }
     const WordShape &shape() const { return shape_; }
@@ -250,19 +264,10 @@ class Transputer
     /**
      * Snapshot of this node's performance counters (src/obs).  Link
      * byte totals live in the link engines; Network::counters adds
-     * them in for whole-node views.
+     * them in for whole-node views.  Defined in blockc.cc (it folds
+     * the block-compiler statistics in).
      */
-    obs::Counters
-    counters() const
-    {
-        obs::Counters c = ctrs_;
-        c.instructions = instructions_;
-        c.cycles = cycles_;
-        c.icacheHits = icache_.hits();
-        c.icacheMisses = icache_.misses();
-        c.icacheInvalidations = icache_.invalidations();
-        return c;
-    }
+    obs::Counters counters() const;
 
     /**
      * Toggle event tracing at runtime.  The ring buffer is allocated
@@ -313,6 +318,17 @@ class Transputer
     void setPredecodeEnabled(bool on) { predecodeEnabled_ = on; }
     bool predecodeEnabled() const { return predecodeEnabled_; }
     const PredecodeCache &icache() const { return icache_; }
+
+    /**
+     * Toggle the block-compiler tier at runtime (architecturally
+     * invisible; the equivalence tests run both ways).  A no-op when
+     * the build cannot back the tier (see blockBackendUsable).
+     */
+    void setBlockCompileEnabled(bool on);
+    bool blockCompileEnabled() const { return blockCompileEnabled_; }
+    /** True when this build can execute superblocks (TRANSPUTER_BLOCKC
+     *  and a computed-goto compiler). */
+    static bool blockBackendUsable();
     ///@}
 
     /** @name Checkpoint/restore (src/snap) */
@@ -351,6 +367,9 @@ class Transputer
 
   private:
     friend class ExecContext;
+    /** The threaded block backend mirrors runFused's hoisted-local
+     *  discipline over the private hot state (core/blockc.cc). */
+    friend class blockc::ThreadedBackend;
 
     /** Record a trace event at an explicit timestamp.  Compiles to
      *  nothing without TRANSPUTER_OBS; otherwise one branch on a
@@ -392,6 +411,23 @@ class Transputer
      *  number executed.  Stops at the bound, the budget, a cache
      *  miss, or any instruction it does not inline. */
     int runFused(Tick bound, int budget);
+    /** @name Block-compiler tier (core/blockc.cc) */
+    ///@{
+    /** Execute superblocks at iptr_ while possible; returns chains
+     *  retired.  Heats (and compiles) cold entry points as a side
+     *  effect.  Safe no-op when the tier is off. */
+    int runBlocks(Tick bound, int budget);
+    /** runFused's bail probe at jump back-edges: true when a block
+     *  exists (compiling it right now if the target just crossed the
+     *  heat threshold), so the fused loop hands over. */
+    bool wantsBlockEntry(Word iptr);
+    /** A compiled block exists at iptr (no heating, no compiling). */
+    bool hasBlockAt(Word iptr) const;
+    /** importSnap's block-tier leg: drop every compiled block (they
+     *  describe the pre-restore memory image) and overwrite the
+     *  statistics with the snapshotted values. */
+    void restoreBlockTier(const obs::BlockStats &s);
+    ///@}
     /** Off-chip fetch-wait charges for a whole predecoded chain. */
     void chargeFetchSpan(Word start, int length);
     bool fetchBufferHolds(Word word_addr) const;
@@ -479,6 +515,10 @@ class Transputer
     mem::Memory mem_;
     PredecodeCache icache_;
     bool predecodeEnabled_;
+    // block-compiler tier (allocated only when enabled and usable)
+    std::unique_ptr<blockc::BlockCache> bcache_;
+    std::unique_ptr<blockc::BlockBackend> backend_;
+    bool blockCompileEnabled_ = false;
     sim::StaticEvent stepEvent_; ///< allocation-free CPU-step event
 
     // register file (Figure 2)

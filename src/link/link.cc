@@ -185,6 +185,12 @@ LinkEngine::connect(LinkEngine &a, LinkEngine &b)
 }
 
 // ----- CPU side -------------------------------------------------------
+//
+// Wire claims made from CPU context are stamped with the CPU's
+// architectural clock, into which channelOut/channelIn have already
+// charged cyc::commSuspend.  EventQueue's foreign-step lead credit
+// (net::Network::refreshTopology) relies on no CPU-context claim
+// landing earlier than that charge after the step event's dispatch.
 
 void
 LinkEngine::requestOutput(Word wdesc, Word pointer, Word count)

@@ -1,8 +1,11 @@
 #include "net/network.hh"
 
+#include <algorithm>
+
 #include <sstream>
 
 #include "base/format.hh"
+#include "isa/cycles.hh"
 #include "net/peripherals.hh"
 
 namespace transputer::net
@@ -78,7 +81,73 @@ Network::attachPeripheral(int n, int l, Peripheral &p,
     endpoints_.push_back(EndpointRec{&p, n});
     link::LinkEngine &ref = *engine;
     engines_.push_back(std::move(engine));
+    topologyDirty_ = true;
     return ref;
+}
+
+void
+Network::refreshTopology()
+{
+    topologyDirty_ = false;
+    const int n = static_cast<int>(nodes_.size());
+    if (n == 0) {
+        queue_.clearTopology();
+        return;
+    }
+    uint32_t max_actor = 0;
+    for (const auto &nd : nodes_)
+        max_actor = std::max(max_actor, nd->actor());
+    for (const auto &er : endpoints_)
+        max_actor = std::max(max_actor, er.ep->actor());
+    std::vector<int32_t> group(max_actor + 1, -1);
+    for (int i = 0; i < n; ++i)
+        group[nodes_[i]->actor()] = i;
+    // link engines share their node's actor; peripherals fold into
+    // their host node's group, so their events bound the host exactly
+    for (const auto &er : endpoints_)
+        group[er.ep->actor()] = er.homeNode;
+    // all-pairs minimum link delivery lead (Floyd-Warshall; networks
+    // are small and the wiring only changes between runs).  A pair
+    // with no connecting path keeps maxTick: those nodes can never
+    // influence each other.
+    const auto at = [n](std::vector<Tick> &m, int i,
+                        int j) -> Tick & {
+        return m[static_cast<size_t>(i) * n + j];
+    };
+    std::vector<Tick> dist(static_cast<size_t>(n) * n, maxTick);
+    for (int i = 0; i < n; ++i)
+        at(dist, i, i) = 0;
+    for (const auto &lr : lines_) {
+        Tick &d = at(dist, lr.srcNode, lr.dstNode);
+        d = std::min(d, lr.line->minDeliveryLead());
+    }
+    for (int k = 0; k < n; ++k)
+        for (int i = 0; i < n; ++i) {
+            const Tick ik = at(dist, i, k);
+            if (ik == maxTick)
+                continue;
+            for (int j = 0; j < n; ++j) {
+                const Tick kj = at(dist, k, j);
+                if (kj == maxTick)
+                    continue;
+                Tick &ij = at(dist, i, j);
+                ij = std::min(ij, ik + kj);
+            }
+        }
+    // a CPU batch (chanStep) event only executes instructions, and
+    // every instruction path to a wire claim charges the suspending
+    // side's communication cost to the architectural clock before
+    // the link engine sees the request (channelOut/channelIn charge
+    // cyc::commSuspend, then requestOutput/requestInput stamp the
+    // claim with cpu.localTime()), so a foreign step gets that much
+    // extra lead on top of the wire's
+    Tick step_extra = maxTick;
+    for (const auto &nd : nodes_)
+        step_extra = std::min(
+            step_extra,
+            isa::cycles::commSuspend * nd->config().cyclePeriod);
+    queue_.setTopology(std::move(group), n, std::move(dist),
+                       step_extra);
 }
 
 std::vector<int>

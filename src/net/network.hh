@@ -59,6 +59,12 @@ struct RunOptions
      */
     std::optional<bool> predecode;
     /**
+     * Force the block-compiler execution tier on/off on every node
+     * for this run; unset leaves each node's own setting alone.
+     * Enabling is a no-op in builds that cannot back the tier.
+     */
+    std::optional<bool> blockCompile;
+    /**
      * Force event tracing on/off on every node for this run; unset
      * leaves each node's own setting alone.  Tracing never perturbs
      * the simulation (src/obs).
@@ -85,6 +91,7 @@ class Network
         nodes_.push_back(std::make_unique<core::Transputer>(
             queue_, cfg, std::move(name)));
         nodes_.back()->setActor(++nextActor_);
+        topologyDirty_ = true;
         return static_cast<int>(nodes_.size() - 1);
     }
 
@@ -112,6 +119,7 @@ class Network
         endpoints_.push_back(EndpointRec{eb.get(), b});
         engines_.push_back(std::move(ea));
         engines_.push_back(std::move(eb));
+        topologyDirty_ = true;
     }
 
     /**
@@ -164,6 +172,8 @@ class Network
     Tick
     run(Tick limit = maxTick)
     {
+        if (topologyDirty_)
+            refreshTopology();
         if (limit == maxTick) {
             queue_.runToQuiescence();
         } else {
@@ -312,6 +322,16 @@ class Network
     ///@}
 
   private:
+    /**
+     * Register the wiring with the master queue's per-actor lookahead
+     * map (sim::EventQueue::setTopology): every actor is grouped under
+     * its node (peripherals under their host node) and the group
+     * distance matrix is the all-pairs minimum link delivery lead, so
+     * a serial run can batch each CPU past other nodes' events by the
+     * lead of the wires between them.
+     */
+    void refreshTopology();
+
     void
     registerLine(link::Line &line, int src, int dst)
     {
@@ -330,6 +350,7 @@ class Network
     std::vector<EndpointRec> endpoints_;
     uint32_t nextActor_ = 0;  ///< 0 reserved for unkeyed events
     uint32_t nextLineId_ = 0; ///< 0 reserved (no line)
+    bool topologyDirty_ = true; ///< wiring changed since last run
 };
 
 /** @name Topology builders

@@ -40,6 +40,7 @@ struct FusedStats
 {
     uint64_t runs = 0;         ///< entries into the fused inner loop
     uint64_t instructions = 0; ///< instructions those entries inlined
+    uint64_t cycles = 0;       ///< simulated cycles retired in the loop
     /** Histogram of run lengths: bucket i counts runs of length n
      *  with bit_width(n) == i (bucket 0: runs that inlined nothing). */
     std::array<uint64_t, 17> lenLog2{};
@@ -57,8 +58,64 @@ struct FusedStats
     {
         runs += o.runs;
         instructions += o.instructions;
+        cycles += o.cycles;
         for (size_t i = 0; i < lenLog2.size(); ++i)
             lenLog2[i] += o.lenLog2[i];
+        return *this;
+    }
+};
+
+/**
+ * Why a superblock execution handed control back to the interpreter
+ * (core/blockc.hh's Deopt enum mirrors this order; a static_assert
+ * there keeps the two in lock step).
+ */
+constexpr size_t kBlockDeopts = 8;
+
+/** Names for the deopt histogram slots, in enum order. */
+constexpr const char *kBlockDeoptNames[kBlockDeopts] = {
+    "bound",      ///< local time reached the event/horizon bound
+    "budget",     ///< per-dispatch instruction budget exhausted
+    "guard",      ///< code bytes changed (self-modifying store / DMA)
+    "deschedule", ///< timeslice rotation or deschedule left the block
+    "halt",       ///< error flag with halt-on-error set
+    "branch",     ///< dynamic branch left the compiled region
+    "end",        ///< ran off the compiled tail (next chain not fast)
+    "entry",      ///< stale at entry: invalidated before executing
+};
+
+/** Block-compiler tier statistics (host-side, not architectural). */
+struct BlockStats
+{
+    uint64_t compiles = 0;      ///< superblocks compiled
+    uint64_t steps = 0;         ///< superop steps those compiles emitted
+    uint64_t invalidations = 0; ///< superblocks demoted (stale guards)
+    uint64_t enters = 0;        ///< superblock executions started
+    uint64_t chains = 0;        ///< predecoded chains retired in blocks
+    uint64_t instructions = 0;  ///< instruction bytes those chains held
+    uint64_t cycles = 0;        ///< simulated cycles retired in blocks
+    std::array<uint64_t, kBlockDeopts> deopts{};
+
+    double
+    meanRunLength() const
+    {
+        return enters ? static_cast<double>(chains) /
+                            static_cast<double>(enters)
+                      : 0.0;
+    }
+
+    BlockStats &
+    operator+=(const BlockStats &o)
+    {
+        compiles += o.compiles;
+        steps += o.steps;
+        invalidations += o.invalidations;
+        enters += o.enters;
+        chains += o.chains;
+        instructions += o.instructions;
+        cycles += o.cycles;
+        for (size_t i = 0; i < deopts.size(); ++i)
+            deopts[i] += o.deopts[i];
         return *this;
     }
 };
@@ -116,6 +173,7 @@ struct Counters
 
     // host-side interpreter statistics (excluded from arch equality)
     FusedStats fused;
+    BlockStats blockc;
 
     uint64_t
     icacheLookups() const
@@ -166,14 +224,16 @@ struct Counters
         linkOverrunDrops += o.linkOverrunDrops;
         linkDeadDrops += o.linkDeadDrops;
         fused += o.fused;
+        blockc += o.blockc;
         return *this;
     }
 };
 
 /**
  * Equality over the architectural fields only: everything except
- * `fused`, which depends on host-side batching (the parallel engine's
- * window horizon clips fused runs differently than a serial run).
+ * `fused` and `blockc`, which depend on host-side batching (the
+ * parallel engine's window horizon clips fused runs and superblock
+ * executions differently than a serial run).
  */
 inline bool
 sameArchitectural(const Counters &a, const Counters &b)
@@ -232,8 +292,24 @@ countersJson(const Counters &c)
            std::to_string(c.icacheHitRate()) + ", ";
     num("fused_runs", c.fused.runs);
     num("fused_instructions", c.fused.instructions);
+    num("fused_cycles", c.fused.cycles);
     out += "\"fused_mean_run\": " +
            std::to_string(c.fused.meanRunLength()) + ", ";
+    num("blockc_compiles", c.blockc.compiles);
+    num("blockc_invalidations", c.blockc.invalidations);
+    num("blockc_enters", c.blockc.enters);
+    num("blockc_chains", c.blockc.chains);
+    num("blockc_instructions", c.blockc.instructions);
+    num("blockc_cycles", c.blockc.cycles);
+    out += "\"blockc_deopts\": {";
+    for (size_t i = 0; i < kBlockDeopts; ++i) {
+        if (i)
+            out += ", ";
+        out += '"';
+        out += kBlockDeoptNames[i];
+        out += "\": " + std::to_string(c.blockc.deopts[i]);
+    }
+    out += "}, ";
     num("process_starts", c.processStarts);
     num("timeslices", c.timeslices);
     num("priority_interrupts", c.priorityInterrupts);

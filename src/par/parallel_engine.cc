@@ -131,6 +131,9 @@ runParallel(net::Network &net, Tick limit, const net::RunOptions &opts,
     if (opts.predecode)
         for (size_t i = 0; i < n; ++i)
             net.node(i).setPredecodeEnabled(*opts.predecode);
+    if (opts.blockCompile)
+        for (size_t i = 0; i < n; ++i)
+            net.node(i).setBlockCompileEnabled(*opts.blockCompile);
     if (opts.trace)
         for (size_t i = 0; i < n; ++i)
             net.node(i).setTraceEnabled(*opts.trace);
@@ -142,6 +145,22 @@ runParallel(net::Network &net, Tick limit, const net::RunOptions &opts,
         opts.partition == net::Partition::Custom
             ? std::max(opts.threads, 1)
             : *std::max_element(shard_of.begin(), shard_of.end()) + 1;
+
+    if (nshards == 1) {
+        // one shard is just the serial simulation: run it on the
+        // master queue, where the network's per-actor lookahead
+        // topology lets CPUs batch past other nodes' events
+        const uint64_t before = master.dispatched();
+        const Tick reached = net.run(limit);
+        if (stats) {
+            stats->rounds = 0;
+            stats->lookahead = maxTick;
+            stats->shards = {ShardStats{static_cast<int>(n),
+                                        master.dispatched() - before,
+                                        0, 0}};
+        }
+        return reached;
+    }
 
     std::vector<std::unique_ptr<Shard>> shards;
     for (int s = 0; s < nshards; ++s) {

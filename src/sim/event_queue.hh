@@ -24,10 +24,10 @@
 #ifndef TRANSPUTER_SIM_EVENT_QUEUE_HH
 #define TRANSPUTER_SIM_EVENT_QUEUE_HH
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -173,6 +173,105 @@ class EventQueue
     Tick horizon() const { return horizon_; }
     void setHorizon(Tick h) { horizon_ = h; }
 
+    /** @name Topology-aware per-actor lookahead (net::Network)
+     *
+     * The co-simulation bounds every CPU's instruction run-ahead at
+     * the earliest pending event that could affect it.  The global
+     * nextTime() is a correct such bound, but tighter than physics
+     * requires: an event acting on *another* node can only influence
+     * this one through a link, whose delivery arrives at least the
+     * wire's minimum lead after its cause -- the same lookahead
+     * argument the shard-parallel engine applies across a cut
+     * (src/par), here applied per node inside one queue.  The network
+     * registers each actor's group (its node) and the minimum
+     * link-lead distance between groups; nextTimeFor(actor) then
+     * credits another group's events with the connecting distance
+     * while counting the actor's own group's events at face value.
+     * Without a registered topology it degrades to nextTime(), the
+     * exact legacy bound.
+     */
+    ///@{
+    /**
+     * Register the actor->group map (indexed by actor id; -1 or out
+     * of range: a global actor whose events reach every group
+     * immediately) and the ngroups x ngroups matrix of minimum
+     * link-lead distances in ticks (row-major, dist[from][to];
+     * dist[g][g] must be 0).
+     *
+     * step_extra is an additional credit for another group's
+     * chanStep events on top of the wire lead: a CPU batch event
+     * only executes instructions, and every instruction path from
+     * execution to a wire claim charges the architectural clock
+     * first (channelOut/channelIn charge cyc::commSuspend before
+     * the engine sees the request -- see link::LinkEngine), so a
+     * foreign step at T cannot make its first claim before
+     * T + step_extra.  Engine, timer, and fault events keep the
+     * bare wire lead.
+     */
+    void
+    setTopology(std::vector<int32_t> group_of_actor, int ngroups,
+                std::vector<Tick> dist, Tick step_extra = 0)
+    {
+        TRANSPUTER_ASSERT(dist.size() ==
+                              static_cast<size_t>(ngroups) * ngroups,
+                          "topology distance matrix size mismatch");
+        groupOf_ = std::move(group_of_actor);
+        ngroups_ = ngroups;
+        dist_ = std::move(dist);
+        stepExtra_ = step_extra;
+    }
+
+    /** Drop the topology map: nextTimeFor reverts to nextTime(). */
+    void
+    clearTopology()
+    {
+        groupOf_.clear();
+        dist_.clear();
+        ngroups_ = 0;
+        stepExtra_ = 0;
+    }
+
+    /**
+     * Earliest tick at which any pending event could act on the given
+     * actor's group.  Never earlier than now(), never later than the
+     * earliest pending event of the actor's own group.  Cancelled
+     * entries still in the heap are ignored: the bound must be a
+     * function of the live event set alone, which a restored snapshot
+     * reproduces exactly -- counting dead entries would make batch
+     * boundaries (and the step-event seq counters) depend on lazily
+     * cancelled garbage a restored run does not have.
+     */
+    Tick
+    nextTimeFor(uint32_t actor)
+    {
+        skipDead();
+        const int32_t me = ngroups_ == 0 ? -1 : groupOf(actor);
+        if (me < 0)
+            return heap_.empty() ? maxTick : heap_.front().when;
+        Tick best = maxTick;
+        for (const HeapEntry &e : heap_) {
+            Tick t = e.when;
+            const int32_t g = groupOf(e.key.actor);
+            if (g >= 0 && g != me) {
+                Tick d = dist_[static_cast<size_t>(g) * ngroups_ + me];
+                if (e.key.channel == chanStep)
+                    d += stepExtra_; // see setTopology
+                t = d >= maxTick - t ? maxTick : t + d;
+            }
+            // liveness is checked only when the entry would lower the
+            // bound, so the common far-future entries cost no lookup
+            if (t >= best)
+                continue;
+            const bool alive = e.sev
+                                   ? (e.sev->armed_ && e.sev->id_ == e.id)
+                                   : live_.count(e.id) != 0;
+            if (alive)
+                best = t;
+        }
+        return best;
+    }
+    ///@}
+
     /** Number of live (non-cancelled) pending events. */
     size_t pending() const { return live_.size() + staticLive_; }
 
@@ -204,7 +303,7 @@ class EventQueue
         ev.armed_ = true;
         linkStatic(ev);
         ++staticLive_;
-        heap_.push(HeapEntry{when, key, id, &ev});
+        pushHeap(HeapEntry{when, key, id, &ev});
         noteHighWater();
         return id;
     }
@@ -236,7 +335,7 @@ class EventQueue
                           "event scheduled in the past");
         const EventId id = ++nextId_;
         live_.emplace(id, Live{std::move(fn), when, key});
-        heap_.push(HeapEntry{when, key, id});
+        pushHeap(HeapEntry{when, key, id});
         noteHighWater();
         return id;
     }
@@ -300,7 +399,7 @@ class EventQueue
     {
         TRANSPUTER_ASSERT(live_.empty() && staticLive_ == 0,
                           "resetTime with events pending");
-        heap_ = {};
+        heap_.clear();
         now_ = t;
     }
 
@@ -309,7 +408,7 @@ class EventQueue
     nextTime()
     {
         skipDead();
-        return heap_.empty() ? maxTick : heap_.top().when;
+        return heap_.empty() ? maxTick : heap_.front().when;
     }
 
     /** True if no live events remain. */
@@ -330,8 +429,8 @@ class EventQueue
         skipDead();
         if (heap_.empty())
             return false;
-        const HeapEntry e = heap_.top();
-        heap_.pop();
+        const HeapEntry e = heap_.front();
+        popHeap();
         TRANSPUTER_ASSERT(e.when >= now_, "time went backwards");
         if (e.sev) {
             StaticEvent &ev = *e.sev;
@@ -414,7 +513,7 @@ class EventQueue
                 [fire = ev.fire_, ctx = ev.ctx_] { fire(ctx); }});
         }
         live_.clear();
-        heap_ = {};
+        heap_.clear();
         return out;
     }
 
@@ -428,7 +527,7 @@ class EventQueue
     {
         TRANSPUTER_ASSERT(p.when >= now_,
                           "migrated event in the past");
-        heap_.push(HeapEntry{p.when, p.key, p.id});
+        pushHeap(HeapEntry{p.when, p.key, p.id});
         live_.emplace(p.id, Live{std::move(p.fn), p.when, p.key});
         noteHighWater();
     }
@@ -472,18 +571,46 @@ class EventQueue
             highWater_ = n;
     }
 
+    /** @name Binary heap over heap_ (front = earliest pending);
+     *  HeapEntry::operator< is inverted, so the std max-heap
+     *  algorithms keep the earliest entry at the front.  A plain
+     *  vector (rather than std::priority_queue) so nextTimeFor can
+     *  scan the pending set. */
+    ///@{
+    void
+    pushHeap(HeapEntry e)
+    {
+        heap_.push_back(e);
+        std::push_heap(heap_.begin(), heap_.end());
+    }
+
+    void
+    popHeap()
+    {
+        std::pop_heap(heap_.begin(), heap_.end());
+        heap_.pop_back();
+    }
+    ///@}
+
+    /** Group of an actor, -1 when unmapped (a global actor). */
+    int32_t
+    groupOf(uint32_t actor) const
+    {
+        return actor < groupOf_.size() ? groupOf_[actor] : -1;
+    }
+
     /** Drop cancelled entries from the top of the heap. */
     void
     skipDead()
     {
         while (!heap_.empty()) {
-            const HeapEntry &t = heap_.top();
+            const HeapEntry &t = heap_.front();
             const bool alive =
                 t.sev ? (t.sev->armed_ && t.sev->id_ == t.id)
                       : live_.count(t.id) != 0;
             if (alive)
                 break;
-            heap_.pop();
+            popHeap();
         }
     }
 
@@ -522,8 +649,12 @@ class EventQueue
     size_t highWater_ = 0;
     EventId nextId_;
     uint64_t defaultSeq_ = 0;
-    std::priority_queue<HeapEntry> heap_;
+    std::vector<HeapEntry> heap_;
     std::unordered_map<EventId, Live> live_;
+    std::vector<int32_t> groupOf_; ///< actor -> group (topology)
+    std::vector<Tick> dist_;       ///< group-to-group min link lead
+    Tick stepExtra_ = 0;           ///< extra lead for foreign steps
+    int ngroups_ = 0;              ///< 0: no topology registered
     StaticEvent *staticHead_ = nullptr; ///< armed static events
     size_t staticLive_ = 0;
 };

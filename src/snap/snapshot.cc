@@ -131,9 +131,20 @@ visitCounters(V &v, C &c)
     v.f("ctrs.linkDeadDrops", c.linkDeadDrops);
     v.f("ctrs.fusedRuns", c.fused.runs);
     v.f("ctrs.fusedInstructions", c.fused.instructions);
+    v.f("ctrs.fusedCycles", c.fused.cycles);
     for (size_t i = 0; i < c.fused.lenLog2.size(); ++i)
         v.f(("ctrs.fusedLenLog2_" + std::to_string(i)).c_str(),
             c.fused.lenLog2[i]);
+    v.f("ctrs.blockcCompiles", c.blockc.compiles);
+    v.f("ctrs.blockcSteps", c.blockc.steps);
+    v.f("ctrs.blockcInvalidations", c.blockc.invalidations);
+    v.f("ctrs.blockcEnters", c.blockc.enters);
+    v.f("ctrs.blockcChains", c.blockc.chains);
+    v.f("ctrs.blockcInstructions", c.blockc.instructions);
+    v.f("ctrs.blockcCycles", c.blockc.cycles);
+    for (size_t i = 0; i < c.blockc.deopts.size(); ++i)
+        v.f(("ctrs.blockcDeopts_" + std::to_string(i)).c_str(),
+            c.blockc.deopts[i]);
 }
 
 template <typename V, typename C>
@@ -1027,7 +1038,8 @@ bool
 isCacheStat(const std::string &path)
 {
     return path.find("ctrs.icache") != std::string::npos ||
-           path.find("ctrs.fused") != std::string::npos;
+           path.find("ctrs.fused") != std::string::npos ||
+           path.find("ctrs.blockc") != std::string::npos;
 }
 
 bool

@@ -1,0 +1,711 @@
+/**
+ * @file
+ * The block-compiler execution tier (src/core/blockc, src/isa
+ * superop): the pure classification/fusion rules, the acceptance
+ * bar -- tier on/off bit-identity on hot loops, self-modifying code,
+ * off-chip code, snapshots, the dbsearch array and a fault-injected
+ * pipeline -- and the demotion/invalidation lifecycle counters.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness.hh"
+#include "isa/superop.hh"
+#include "obs/counters.hh"
+
+using namespace transputer;
+using transputer::test::SingleCpu;
+namespace superop = transputer::isa::superop;
+using superop::Kind;
+
+// ---------------------------------------------------------------------
+// superop classification: one chain -> one solo kind
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** Predecode a byte run into its sequence of chains. */
+std::vector<isa::Predecoded>
+decodeRun(const uint8_t *bytes, size_t len)
+{
+    std::vector<isa::Predecoded> out;
+    size_t off = 0;
+    while (off < len) {
+        auto d = isa::predecode(bytes + off, len - off, word32);
+        EXPECT_TRUE(d.complete());
+        if (!d.complete())
+            break;
+        out.push_back(d);
+        off += static_cast<size_t>(d.length);
+    }
+    return out;
+}
+
+/** classify() of every chain in the run. */
+std::vector<Kind>
+classifyRun(const std::vector<isa::Predecoded> &chains)
+{
+    std::vector<Kind> solo;
+    for (const auto &d : chains)
+        solo.push_back(superop::classify(d));
+    return solo;
+}
+
+Kind
+fuseAt(const uint8_t *bytes, size_t len, size_t i,
+       bool cj_j_backedge = false)
+{
+    const auto chains = decodeRun(bytes, len);
+    const auto solo = classifyRun(chains);
+    return superop::fuse(chains.data(), solo.data(), i, chains.size(),
+                         cj_j_backedge);
+}
+
+} // namespace
+
+TEST(SuperopClassify, SoloKinds)
+{
+    const uint8_t ldc5[] = {0x45};
+    EXPECT_EQ(superop::classify(
+                  isa::predecode(ldc5, sizeof(ldc5), word32)),
+              Kind::Ldc);
+
+    const uint8_t stl1[] = {0xD1};
+    EXPECT_EQ(superop::classify(
+                  isa::predecode(stl1, sizeof(stl1), word32)),
+              Kind::Stl);
+
+    // pfix-extended operand still classifies by the final function
+    const uint8_t ldc20[] = {0x21, 0x44};
+    EXPECT_EQ(superop::classify(
+                  isa::predecode(ldc20, sizeof(ldc20), word32)),
+              Kind::Ldc);
+
+    // fast operations get their inlined kinds
+    const uint8_t add_op[] = {0xF5};
+    EXPECT_EQ(superop::classify(
+                  isa::predecode(add_op, sizeof(add_op), word32)),
+              Kind::OpAdd);
+    const uint8_t rev_op[] = {0xF0};
+    EXPECT_EQ(superop::classify(
+                  isa::predecode(rev_op, sizeof(rev_op), word32)),
+              Kind::OpRev);
+    // a fast operation with no dedicated handler spills generically
+    // (prod = opr 8 is fast but not inlined)
+    const uint8_t prod_op[] = {0xF8};
+    EXPECT_EQ(superop::classify(
+                  isa::predecode(prod_op, sizeof(prod_op), word32)),
+              Kind::OpGeneric);
+}
+
+TEST(SuperopClassify, RejectsNonFastAndIncomplete)
+{
+    // in (opr 7) is interruptible: never inside a superblock
+    const uint8_t in_op[] = {0xF7};
+    EXPECT_EQ(superop::classify(
+                  isa::predecode(in_op, sizeof(in_op), word32)),
+              Kind::kCount);
+
+    // a chain cut short cannot be classified
+    const uint8_t cut[] = {0x21};
+    EXPECT_EQ(superop::classify(
+                  isa::predecode(cut, sizeof(cut), word32)),
+              Kind::kCount);
+}
+
+// ---------------------------------------------------------------------
+// superop fusion: the peephole rules
+// ---------------------------------------------------------------------
+
+TEST(SuperopFuse, StorePairs)
+{
+    const uint8_t ldc_stl[] = {0x45, 0xD1};
+    EXPECT_EQ(fuseAt(ldc_stl, sizeof(ldc_stl), 0), Kind::LdcStl);
+
+    const uint8_t ldlp_stl[] = {0x14, 0xD4};
+    EXPECT_EQ(fuseAt(ldlp_stl, sizeof(ldlp_stl), 0), Kind::LdlpStl);
+
+    const uint8_t ldl_stl[] = {0x71, 0xD2};
+    EXPECT_EQ(fuseAt(ldl_stl, sizeof(ldl_stl), 0), Kind::LdlStl);
+
+    const uint8_t adc_stl[] = {0x83, 0xD1};
+    EXPECT_EQ(fuseAt(adc_stl, sizeof(adc_stl), 0), Kind::AdcStl);
+
+    // no stl follows: stays solo
+    const uint8_t ldc_ldc[] = {0x45, 0x46};
+    EXPECT_EQ(fuseAt(ldc_ldc, sizeof(ldc_ldc), 0), Kind::Ldc);
+}
+
+TEST(SuperopFuse, TriplesWinOverPairs)
+{
+    // ldc 5; adc 3; stl 1: the folded-constant triple, not LdcStl...
+    const uint8_t las[] = {0x45, 0x83, 0xD1};
+    EXPECT_EQ(fuseAt(las, sizeof(las), 0), Kind::LdcAdcStl);
+    // ...and from position 1 the adc;stl pair still matches
+    EXPECT_EQ(fuseAt(las, sizeof(las), 1), Kind::AdcStl);
+
+    // ldl 1; adc -1 (nfix 0; adc 15); stl 1: the memory increment
+    const uint8_t dec[] = {0x71, 0x60, 0x8F, 0xD1};
+    EXPECT_EQ(fuseAt(dec, sizeof(dec), 0), Kind::LdlAdcStl);
+
+    // ldl 1; ldl 2; add
+    const uint8_t lla[] = {0x71, 0x72, 0xF5};
+    EXPECT_EQ(fuseAt(lla, sizeof(lla), 0), Kind::LdlLdlBinop);
+    // rev is not a fusable binop: the run stays solo loads
+    const uint8_t llr[] = {0x71, 0x72, 0xF0};
+    EXPECT_EQ(fuseAt(llr, sizeof(llr), 0), Kind::Ldl);
+
+    EXPECT_TRUE(superop::binopFusable(isa::Op::ADD));
+    EXPECT_TRUE(superop::binopFusable(isa::Op::XOR));
+    EXPECT_FALSE(superop::binopFusable(isa::Op::REV));
+    EXPECT_FALSE(superop::binopFusable(isa::Op::DUP));
+}
+
+TEST(SuperopFuse, LoopBackedgeNeedsTheCallerGate)
+{
+    // cj 2; j 0: only the caller knows j targets the block entry
+    const uint8_t cj_j[] = {0xA2, 0x00};
+    EXPECT_EQ(fuseAt(cj_j, sizeof(cj_j), 0, true), Kind::CjLoop);
+    EXPECT_EQ(fuseAt(cj_j, sizeof(cj_j), 0, false), Kind::Cj);
+}
+
+// ---------------------------------------------------------------------
+// the tier itself: hot loops compile, execute bit-identically, and
+// demote on self-modifying stores
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** An e7-style straight-line body repeated inside a countdown loop:
+ *  all of the superblock's fusion rules fire on it. */
+std::string
+hotLoopSource(int iterations)
+{
+    std::string body;
+    for (int i = 0; i < 4; ++i)
+        body += "  ldc 5\n  stl 1\n"                     // LdcStl
+                "  ldc 1\n  adc 3\n  stl 2\n"            // LdcAdcStl
+                "  ldl 1\n  adc 1\n  stl 3\n"            // LdlAdcStl
+                "  ldlp 4\n  stl 4\n"                    // LdlpStl
+                "  ldl 1\n  ldl 2\n  add\n  stl 5\n"     // LdlLdlBinop
+                "  ldl 5\n  adc 1\n  stl 6\n";           // LdlAdcStl
+    return "start:\n"
+           "  ldc " + std::to_string(iterations) + "\n  stl 30\n"
+           "outer:\n" + body +
+           "  ldl 30\n adc -1\n stl 30\n"
+           "  ldl 30\n cj done\n  j outer\n"
+           "done: stopp\n";
+}
+
+/**
+ * A HOT self-modifying program: phase 0 runs the loop 30 times (well
+ * past the compile threshold), then patches the loop's own "ldc 5"
+ * byte to "ldc 7" and runs another 30 iterations.  A compiled
+ * superblock surviving the store would keep adding 5: the sum comes
+ * out 30*5 + 30*7 = 360 only if the tier demotes.
+ */
+const char *kHotSelfModSrc =
+    "start:\n"
+    "  ldc 0\n stl 1\n"            // sum
+    "  ldc 0\n stl 3\n"            // phase
+    "again:\n"
+    "  ldc 30\n stl 2\n"           // loop counter
+    "loop:\n"
+    "patch:\n"
+    "  ldc 5\n"                    // byte 0x45, patched to 0x47
+    "  ldl 1\n add\n stl 1\n"
+    "  ldl 2\n adc -1\n stl 2\n"
+    "  ldl 2\n cj fin\n"
+    "  j loop\n"
+    "fin:\n"
+    "  ldl 3\n cj dopatch\n"       // phase 0: go patch and rerun
+    "  stopp\n"                    // phase 1: done
+    "dopatch:\n"
+    "  ldc #47\n"                  // the replacement byte: ldc 7
+    "  ldc patch - n1\n ldpi\n"
+    "n1:\n"
+    "  sb\n"                       // rewrite our own code
+    "  ldc 1\n stl 3\n"
+    "  j again\n";
+
+/** FNV-1a over the full memory image. */
+uint64_t
+memHash(core::Transputer &t)
+{
+    const auto &m = t.memory();
+    uint64_t h = 1469598103934665603ull;
+    for (Word i = 0; i < m.size(); ++i) {
+        h ^= m.readByte(t.shape().truncate(m.base() + i));
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+void
+expectSameCpu(core::Transputer &on, core::Transputer &off)
+{
+    EXPECT_EQ(on.instructions(), off.instructions());
+    EXPECT_EQ(on.cycles(), off.cycles());
+    EXPECT_EQ(on.localTime(), off.localTime());
+    EXPECT_EQ(static_cast<int>(on.state()),
+              static_cast<int>(off.state()));
+    EXPECT_EQ(on.iptr(), off.iptr());
+    EXPECT_EQ(on.wptr(), off.wptr());
+    EXPECT_EQ(on.areg(), off.areg());
+    EXPECT_EQ(on.breg(), off.breg());
+    EXPECT_EQ(on.creg(), off.creg());
+    EXPECT_EQ(on.errorFlag(), off.errorFlag());
+    EXPECT_EQ(on.fnCounts(), off.fnCounts());
+    EXPECT_EQ(memHash(on), memHash(off));
+    EXPECT_TRUE(obs::sameArchitectural(on.counters(), off.counters()));
+}
+
+/** Whether this build can actually back the tier (GNU computed goto
+ *  and TRANSPUTER_BLOCKC): the equality tests hold either way, the
+ *  counter expectations only when the tier runs. */
+const bool kTierUsable = core::Transputer::blockBackendUsable();
+
+} // namespace
+
+TEST(BlockTier, HotLoopCompilesAndRetiresChains)
+{
+    core::Config cfg; // blockCompile defaults on
+    SingleCpu t(cfg);
+    t.runAsm(hotLoopSource(300));
+    EXPECT_EQ(t.local(30), 0u);
+    EXPECT_EQ(t.local(1), 5u);
+    EXPECT_EQ(t.local(2), 4u);
+    EXPECT_EQ(t.local(3), 6u);
+    EXPECT_EQ(t.local(5), 9u);
+    EXPECT_EQ(t.local(6), 10u);
+    if (!kTierUsable)
+        GTEST_SKIP() << "no block backend in this build";
+    EXPECT_TRUE(t.cpu.blockCompileEnabled());
+    const obs::BlockStats bc = t.cpu.counters().blockc;
+    EXPECT_GT(bc.compiles, 0u);
+    EXPECT_GT(bc.enters, 0u);
+    EXPECT_GT(bc.chains, 0u);
+    EXPECT_GT(bc.instructions, 0u);
+    EXPECT_GT(bc.cycles, 0u);
+    // the loop dominates execution: most chains retire in the tier
+    EXPECT_GT(bc.meanRunLength(), 4.0);
+}
+
+TEST(BlockTier, TierOnOffBitIdenticalOnChip)
+{
+    core::Config on_cfg, off_cfg;
+    on_cfg.blockCompile = true;
+    off_cfg.blockCompile = false;
+    SingleCpu on(on_cfg), off(off_cfg);
+    on.runAsm(hotLoopSource(500));
+    off.runAsm(hotLoopSource(500));
+    expectSameCpu(on.cpu, off.cpu);
+    if (kTierUsable) {
+        EXPECT_GT(on.cpu.counters().blockc.enters, 0u);
+    }
+    EXPECT_EQ(off.cpu.counters().blockc.enters, 0u);
+}
+
+namespace
+{
+
+/** Run src assembled into EXTERNAL memory (code pays wait states). */
+void
+runOffChip(SingleCpu &t, const std::string &src)
+{
+    const auto &s = t.cpu.shape();
+    const Word org =
+        s.truncate(s.mostNeg + t.cpu.config().onchipBytes);
+    t.img = tasm::assemble(src, org, s);
+    t.cpu.memory().load(t.img.origin, t.img.bytes.data(),
+                        t.img.bytes.size());
+    t.wptr0 = s.index(t.cpu.memory().memStart(), 128);
+    t.cpu.boot(t.img.symbol("start"), t.wptr0);
+    t.queue.runUntil(500'000'000);
+}
+
+core::Config
+offChipConfig(bool block_compile)
+{
+    core::Config cfg;
+    cfg.externalBytes = 4096;
+    cfg.externalWaits = 3;
+    cfg.blockCompile = block_compile;
+    return cfg;
+}
+
+} // namespace
+
+TEST(BlockTier, TierOnOffBitIdenticalOffChip)
+{
+    SingleCpu on(offChipConfig(true)), off(offChipConfig(false));
+    runOffChip(on, hotLoopSource(200));
+    runOffChip(off, hotLoopSource(200));
+    EXPECT_EQ(on.local(30), 0u);
+    expectSameCpu(on.cpu, off.cpu);
+}
+
+TEST(BlockTier, SelfModifyingStoreDemotesOnChip)
+{
+    core::Config on_cfg, off_cfg;
+    on_cfg.blockCompile = true;
+    off_cfg.blockCompile = false;
+    SingleCpu on(on_cfg), off(off_cfg);
+    on.runAsm(kHotSelfModSrc);
+    off.runAsm(kHotSelfModSrc);
+    EXPECT_EQ(on.local(1), 360u); // 30*5 + 30*7
+    EXPECT_EQ(off.local(1), 360u);
+    expectSameCpu(on.cpu, off.cpu);
+    if (!kTierUsable)
+        GTEST_SKIP() << "no block backend in this build";
+    // the loop got hot enough to compile, and the sb demoted it
+    const obs::BlockStats bc = on.cpu.counters().blockc;
+    EXPECT_GT(bc.compiles, 0u);
+    EXPECT_GT(bc.invalidations, 0u);
+}
+
+TEST(BlockTier, SelfModifyingStoreDemotesOffChip)
+{
+    SingleCpu on(offChipConfig(true)), off(offChipConfig(false));
+    runOffChip(on, kHotSelfModSrc);
+    runOffChip(off, kHotSelfModSrc);
+    EXPECT_EQ(on.local(1), 360u);
+    EXPECT_EQ(off.local(1), 360u);
+    expectSameCpu(on.cpu, off.cpu);
+}
+
+TEST(BlockTier, RuntimeToggleMidProgramStaysCorrect)
+{
+    // the tier holds no architecture: flipping it between runs of the
+    // same CPU must not change results
+    core::Config cfg;
+    SingleCpu t(cfg);
+    t.cpu.setBlockCompileEnabled(false);
+    EXPECT_FALSE(t.cpu.blockCompileEnabled());
+    t.cpu.setBlockCompileEnabled(true);
+    EXPECT_EQ(t.cpu.blockCompileEnabled(), kTierUsable);
+    t.runAsm(kHotSelfModSrc);
+    EXPECT_EQ(t.local(1), 360u);
+}
+
+// ---------------------------------------------------------------------
+// checkpoint/restore coherence (src/snap): compiled blocks are pure
+// cache and must not survive a restore
+// ---------------------------------------------------------------------
+
+#include "net/network.hh"
+#include "snap/snapshot.hh"
+
+namespace
+{
+
+/** kHotSelfModSrc with the sum parked at a data word, network-booted
+ *  (200 iterations per phase so a mid-run capture lands inside a
+ *  compiled region): 200*5 + 200*7 = 2400. */
+std::string
+snapSelfModSource()
+{
+    return
+        "start:\n"
+        "  ldc 0\n stl 1\n"
+        "  ldc 0\n stl 3\n"
+        "again:\n"
+        "  ldc 200\n stl 2\n"
+        "loop:\n"
+        "patch:\n"
+        "  ldc 5\n"
+        "  ldl 1\n add\n stl 1\n"
+        "  ldl 2\n adc -1\n stl 2\n"
+        "  ldl 2\n cj fin\n"
+        "  j loop\n"
+        "fin:\n"
+        "  ldl 3\n cj dopatch\n"
+        "  ldl 1\n"
+        "  ldc result - n2\n ldpi\n"
+        "n2:\n"
+        "  stnl 0\n"
+        "  stopp\n"
+        "dopatch:\n"
+        "  ldc #47\n"
+        "  ldc patch - n1\n ldpi\n"
+        "n1:\n"
+        "  sb\n"
+        "  ldc 1\n stl 3\n"
+        "  j again\n"
+        ".align\n"
+        "result: .word 0\n";
+}
+
+struct SelfModNet
+{
+    std::unique_ptr<net::Network> net;
+    tasm::Image img;
+
+    SelfModNet()
+    {
+        net = std::make_unique<net::Network>();
+        const int id = net->addTransputer(core::Config{}, "sm");
+        core::Transputer &t = net->node(id);
+        img = tasm::assemble(snapSelfModSource(),
+                             t.memory().memStart(), t.shape());
+        net->bootImage(id, img);
+    }
+
+    Word
+    result() const
+    {
+        return net->node(0).memory().readWord(img.symbol("result"));
+    }
+};
+
+} // namespace
+
+TEST(BlockSnap, RestoreInvalidatesCompiledBlocks)
+{
+    // B is captured right after boot: memory still holds the original
+    // 0x45 at `patch`, nothing compiled yet
+    SelfModNet b;
+    const snap::Snapshot s0 = snap::capture(*b.net);
+
+    // A runs to completion: its loop compiled from PATCHED bytes
+    SelfModNet a;
+    a.net->run(500'000'000);
+    EXPECT_EQ(a.result(), 2400u);
+
+    // restoring boot-time state rewinds memory to the unpatched
+    // bytes; a superblock surviving the restore would run ldc 7 on
+    // the first phase (sum 2800)
+    snap::restore(*a.net, s0);
+    a.net->run(500'000'000);
+    EXPECT_EQ(a.result(), 2400u);
+
+    // and a fresh network built from the snapshot agrees
+    auto c = snap::buildNetwork(s0);
+    snap::restore(*c, s0);
+    c->run(500'000'000);
+    EXPECT_EQ(c->node(0).memory().readWord(a.img.symbol("result")),
+              2400u);
+}
+
+TEST(BlockSnap, MidRunCaptureReplaysBitIdentical)
+{
+    // capture while the loop is hot (compiled blocks live), replay
+    // from the snapshot on a fresh net: identical result and counters
+    SelfModNet a;
+    a.net->run(100'000);
+    const snap::Snapshot s1 = snap::capture(*a.net);
+    if (kTierUsable) {
+        EXPECT_GT(s1.states.at(0).cpu.ctrs.blockc.enters, 0u);
+    }
+    a.net->run(500'000'000);
+    EXPECT_EQ(a.result(), 2400u);
+
+    auto c = snap::buildNetwork(s1);
+    snap::restore(*c, s1);
+    c->run(500'000'000);
+    EXPECT_EQ(c->node(0).memory().readWord(a.img.symbol("result")),
+              2400u);
+    // the replay agrees with the uninterrupted run on everything
+    // architectural (cache/tier stats may differ: restore starts the
+    // caches cold, the uninterrupted run kept them warm)
+    EXPECT_EQ(a.net->node(0).instructions(),
+              c->node(0).instructions());
+    EXPECT_EQ(a.net->node(0).cycles(), c->node(0).cycles());
+    EXPECT_EQ(a.net->node(0).localTime(), c->node(0).localTime());
+    EXPECT_EQ(a.net->node(0).fnCounts(), c->node(0).fnCounts());
+    EXPECT_EQ(memHash(a.net->node(0)), memHash(c->node(0)));
+
+    // and two replays of the same snapshot are bit-exact in every
+    // counter, cache and tier statistics included
+    auto d = snap::buildNetwork(s1);
+    snap::restore(*d, s1);
+    d->run(500'000'000);
+    EXPECT_TRUE(obs::sameArchitectural(c->nodeCounters(0),
+                                       d->nodeCounters(0)));
+    const obs::Counters cc = c->node(0).counters();
+    const obs::Counters dc = d->node(0).counters();
+    EXPECT_EQ(cc.icacheHits, dc.icacheHits);
+    EXPECT_EQ(cc.icacheMisses, dc.icacheMisses);
+    EXPECT_EQ(cc.blockc.compiles, dc.blockc.compiles);
+    EXPECT_EQ(cc.blockc.enters, dc.blockc.enters);
+    EXPECT_EQ(cc.blockc.chains, dc.blockc.chains);
+}
+
+// ---------------------------------------------------------------------
+// the tier on real workloads: dbsearch (serial and sharded) and a
+// fault-injected pipeline
+// ---------------------------------------------------------------------
+
+#include "apps/dbsearch.hh"
+#include "par/parallel_engine.hh"
+
+namespace
+{
+
+/** Run a 3x3 search array to a fixed horizon and return the network
+ *  (3 queries pipelined through the spanning tree). */
+std::unique_ptr<apps::DbSearch>
+runDbSearch(bool block_compile, int threads)
+{
+    apps::DbSearchConfig cfg;
+    cfg.width = 3;
+    cfg.height = 3;
+    cfg.recordsPerNode = 80;
+    // the app's constructor already runs the boot phase, so the node
+    // config must agree with the RunOptions toggle below
+    cfg.node.blockCompile = block_compile;
+    auto db = std::make_unique<apps::DbSearch>(cfg);
+    for (int q = 0; q < 3; ++q)
+        db->inject(static_cast<Word>(11 * q + 3));
+    const Tick limit = db->network().queue().now() + 6'000'000;
+    net::RunOptions opts;
+    opts.threads = threads;
+    opts.blockCompile = block_compile;
+    db->network().run(limit, opts);
+    return db;
+}
+
+void
+expectSameDbSearch(apps::DbSearch &a, apps::DbSearch &b,
+                   const std::string &what)
+{
+    SCOPED_TRACE(what);
+    net::Network &na = a.network(), &nb = b.network();
+    EXPECT_EQ(na.queue().now(), nb.queue().now());
+    ASSERT_EQ(na.size(), nb.size());
+    for (size_t i = 0; i < na.size(); ++i) {
+        SCOPED_TRACE("node " + std::to_string(i));
+        EXPECT_TRUE(obs::sameArchitectural(
+            na.nodeCounters(static_cast<int>(i)),
+            nb.nodeCounters(static_cast<int>(i))));
+        EXPECT_EQ(memHash(na.node(static_cast<int>(i))),
+                  memHash(nb.node(static_cast<int>(i))));
+    }
+    // the host saw the very same answer bytes
+    EXPECT_EQ(a.host().bytes(), b.host().bytes());
+    EXPECT_GT(a.host().bytes().size(), 0u);
+}
+
+} // namespace
+
+TEST(BlockTierWorkloads, DbSearchTierOnOffBitIdentical)
+{
+    auto on = runDbSearch(true, 1);
+    auto off = runDbSearch(false, 1);
+    expectSameDbSearch(*on, *off, "3x3 dbsearch serial");
+    if (kTierUsable) {
+        // the record-scan loops are hot: the tier really ran
+        EXPECT_GT(on->network().counters().blockc.enters, 0u);
+    }
+    EXPECT_EQ(off->network().counters().blockc.enters, 0u);
+}
+
+TEST(BlockTierWorkloads, DbSearchTierShardedBitIdentical)
+{
+    auto serial = runDbSearch(true, 1);
+    auto sharded = runDbSearch(true, 3);
+    expectSameDbSearch(*serial, *sharded, "3x3 dbsearch x3 shards");
+}
+
+#ifdef TRANSPUTER_FAULT
+
+#include "fault/fault.hh"
+#include "net/occam_boot.hh"
+#include "net/peripherals.hh"
+
+namespace
+{
+
+struct FaultRig
+{
+    net::Network net;
+    std::unique_ptr<net::ConsoleSink> console;
+    fault::FaultInjector injector;
+};
+
+/** A 6-node pipeline streaming words through a lossy middle link;
+ *  watchdogs keep aborted transfers from deadlocking it. */
+void
+buildFaultyPipeline(FaultRig &r)
+{
+    constexpr int n = 6, words = 6;
+    auto ids = net::buildPipeline(r.net, n);
+    r.console = std::make_unique<net::ConsoleSink>(
+        r.net.queue(), link::WireConfig{});
+    r.net.attachPeripheral(ids.back(), 0, *r.console);
+    r.net.setLinkWatchdogs(100'000);
+    net::bootOccamSource(r.net, ids[0],
+                         "CHAN out:\nPLACE out AT LINK1OUT:\n"
+                         "SEQ i = [1 FOR " + std::to_string(words) +
+                         "]\n  out ! i * 100\n");
+    const std::string fwd =
+        "CHAN in, out:\n"
+        "PLACE in AT LINK3IN:\nPLACE out AT LINK1OUT:\n"
+        "VAR x:\n"
+        "SEQ i = [1 FOR " + std::to_string(words) + "]\n"
+        "  SEQ\n"
+        "    in ? x\n"
+        "    out ! x + 1\n";
+    for (int i = 1; i < n - 1; ++i)
+        net::bootOccamSource(r.net, ids[i], fwd);
+    net::bootOccamSource(r.net, ids[n - 1],
+                         "CHAN in, out:\n"
+                         "PLACE in AT LINK3IN:\n"
+                         "PLACE out AT LINK0OUT:\n"
+                         "VAR x:\n"
+                         "SEQ i = [1 FOR " + std::to_string(words) +
+                         "]\n  SEQ\n    in ? x\n    out ! x\n");
+    fault::FaultPlan plan;
+    plan.seed = 42;
+    plan.line(2, 3).dataLoss = 0.10;
+    plan.line(2, 3).corrupt = 0.05;
+    plan.line(3, 2).ackLoss = 0.10;
+    plan.line(3, 4).jitterChance = 0.25;
+    plan.line(3, 4).jitterMax = 5'000;
+    r.injector.arm(r.net, plan);
+}
+
+} // namespace
+
+TEST(BlockTierWorkloads, FaultInjectedRunTierOnOffBitIdentical)
+{
+    FaultRig on, off;
+    buildFaultyPipeline(on);
+    buildFaultyPipeline(off);
+    const Tick limit = 20'000'000;
+    net::RunOptions on_opts, off_opts;
+    on_opts.blockCompile = true;
+    off_opts.blockCompile = false;
+    // the tier-on leg also runs sharded: tier + faults + parallel
+    // engine together must still match the plain serial interpreter
+    on_opts.threads = 2;
+    on.net.run(limit, on_opts);
+    off.net.run(limit, off_opts);
+    EXPECT_EQ(on.net.queue().now(), off.net.queue().now());
+    ASSERT_EQ(on.net.size(), off.net.size());
+    for (size_t i = 0; i < on.net.size(); ++i) {
+        SCOPED_TRACE("node " + std::to_string(i));
+        auto &na = on.net.node(static_cast<int>(i));
+        auto &nb = off.net.node(static_cast<int>(i));
+        EXPECT_EQ(na.instructions(), nb.instructions());
+        EXPECT_EQ(na.localTime(), nb.localTime());
+        EXPECT_EQ(memHash(na), memHash(nb));
+        EXPECT_TRUE(obs::sameArchitectural(
+            on.net.nodeCounters(static_cast<int>(i)),
+            off.net.nodeCounters(static_cast<int>(i))));
+    }
+    EXPECT_EQ(on.console->bytes(), off.console->bytes());
+    // the plan actually did something
+    const auto stats = on.injector.stats();
+    EXPECT_GT(stats.dataDropped + stats.acksDropped +
+                  stats.dataCorrupted,
+              0u);
+}
+
+#endif // TRANSPUTER_FAULT

@@ -7,7 +7,9 @@
 # counter/tracer tests), asan+ubsan runs the fault-injection and
 # decoder-fuzz suite (the "fault" label, the tests that feed hostile
 # input -- random byte streams, corrupted packets, dead nodes -- into
-# the simulator).
+# the simulator).  The block-compiler suite (test_blockc) carries both
+# labels, so the tier's guard/invalidation paths run under both
+# sanitizers.
 #
 # Usage: tools/check.sh [--no-tsan] [--no-asan]
 set -eu
@@ -70,12 +72,13 @@ mkdir -p "$snap_dir"
 
 if want --no-tsan; then
     run_preset tsan --target test_par --target test_obs \
-        --target test_fault --target test_snap
+        --target test_fault --target test_snap --target test_blockc
 fi
 
 if want --no-asan; then
     run_preset asan --target test_fault --target test_fuzz_decode \
-        --target test_snap --target test_fuzz_snap
+        --target test_snap --target test_fuzz_snap \
+        --target test_blockc
 fi
 
 echo "== all checks passed =="

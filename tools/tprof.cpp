@@ -17,6 +17,7 @@
  * bit-identical either way -- that is a tested invariant).
  */
 
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -41,6 +42,7 @@ usage(const char *argv0)
         << "  --queries N    number of pipelined queries (default 8)\n"
         << "  --threads N    shard-parallel run with N threads\n"
         << "                 (default 1: serial)\n"
+        << "  --no-blockc    disable the block-compiler tier\n"
         << "  --depth N      trace ring depth log2 (default 18)\n"
         << "  --trace PATH   Chrome trace output\n"
         << "                 (default tprof.trace.json)\n"
@@ -76,6 +78,8 @@ main(int argc, char **argv)
             queries = std::atoi(value());
         else if (arg == "--threads")
             threads = std::atoi(value());
+        else if (arg == "--no-blockc")
+            cfg.node.blockCompile = false;
         else if (arg == "--depth")
             cfg.node.traceDepth =
                 static_cast<unsigned>(std::atoi(value()));
@@ -128,6 +132,44 @@ main(int argc, char **argv)
               << "  process starts   " << total.processStarts << "\n"
               << "  answers          " << db.answers().size() << "/"
               << queries << (ok ? " correct" : " WRONG") << "\n";
+
+    // Per-tier breakdown: the fused and block tiers record the cycles
+    // they retire, so the slow/predecoded remainder is total minus
+    // both.  (Tier attribution is host-side bookkeeping; the sums are
+    // the architectural totals either way.)
+    {
+        const uint64_t fusedCyc = total.fused.cycles;
+        const uint64_t blockCyc = total.blockc.cycles;
+        const uint64_t interpCyc =
+            total.cycles - std::min(total.cycles, fusedCyc + blockCyc);
+        const auto pct = [&](uint64_t c) {
+            return total.cycles
+                       ? 100.0 * static_cast<double>(c) /
+                             static_cast<double>(total.cycles)
+                       : 0.0;
+        };
+        std::cout << "  tier cycles      interp " << interpCyc << " ("
+                  << pct(interpCyc) << "%), fused " << fusedCyc << " ("
+                  << pct(fusedCyc) << "%), blockc " << blockCyc << " ("
+                  << pct(blockCyc) << "%)\n";
+        if (total.blockc.enters) {
+            std::cout << "  blockc           " << total.blockc.compiles
+                      << " compiles, " << total.blockc.enters
+                      << " enters, mean run "
+                      << total.blockc.meanRunLength() << " chains\n"
+                      << "  blockc deopts    ";
+            bool first = true;
+            for (size_t i = 0; i < obs::kBlockDeopts; ++i) {
+                if (!total.blockc.deopts[i])
+                    continue;
+                std::cout << (first ? "" : ", ")
+                          << obs::kBlockDeoptNames[i] << " "
+                          << total.blockc.deopts[i];
+                first = false;
+            }
+            std::cout << (first ? "none\n" : "\n");
+        }
+    }
 
     if (!obs::writeChromeTrace(net, trace_path)) {
         std::cerr << "tprof: cannot write " << trace_path << "\n";
