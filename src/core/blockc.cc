@@ -365,6 +365,34 @@ ThreadedBackend::exec(Transputer &cpu, Superblock &sb, Tick bound,
     const Step *const steps = sb.steps.data();
     const size_t nsteps = sb.nsteps;
     uint64_t hits = 0;
+    // The observation thresholds fold into the time bound: inside the
+    // block, cycles and time advance in lockstep (every charge pairs
+    // cyc += k with t += k*period), so the profiler's cycle threshold
+    // maps exactly onto a tick and the per-chain bound check in
+    // NEXT() already exits at the sampling boundary (Deopt::Bound) --
+    // the outer tier loop fires the sample at that same chain
+    // boundary before the next chain executes.  With observation
+    // disabled both sentinels leave the bound untouched, so sampling
+    // costs the hot loop nothing.  Recomputed after every reload:
+    // mid-block calls into the core may move the clock.
+    Tick xbound = bound;
+    const auto foldObsBound = [&] {
+        xbound = bound;
+        if (cpu.tsNextTick_ != maxTick &&
+            cpu.tsNextTick_ - 1 < xbound)
+            xbound = cpu.tsNextTick_ - 1;
+        if (cpu.profNextCycle_ != ~uint64_t{0}) {
+            const Tick tProf =
+                cpu.profNextCycle_ > cyc
+                    ? t + static_cast<Tick>(
+                              cpu.profNextCycle_ - cyc) *
+                          period
+                    : t;
+            if (tProf - 1 < xbound)
+                xbound = tProf - 1;
+        }
+    };
+    foldObsBound();
     uint64_t visited =
         (!Primed && cpu.icache_.misses() == sb.visitFence)
             ? sb.visited
@@ -480,7 +508,7 @@ ThreadedBackend::exec(Transputer &cpu, Superblock &sb, Tick bound,
             why = Deopt::Budget;                                       \
             goto out;                                                  \
         }                                                              \
-        if (t > bound) {                                               \
+        if (t > xbound) {                                              \
             why = Deopt::Bound;                                        \
             goto out;                                                  \
         }                                                              \
@@ -505,6 +533,7 @@ ThreadedBackend::exec(Transputer &cpu, Superblock &sb, Tick bound,
         spill();
         cpu.timesliceCheck(); // a descheduling point
         reload();
+        foldObsBound();
         if (cpu.state_ != CpuState::Running) {
             why = Deopt::Deschedule;
             goto out;
@@ -855,6 +884,7 @@ ThreadedBackend::exec(Transputer &cpu, Superblock &sb, Tick bound,
         spill();
         cpu.execOp(st->operand);
         reload();
+        foldObsBound();
         ++n;
         if (err && halt_on_err) {
             cpu.state_ = CpuState::Halted;
@@ -887,7 +917,7 @@ ThreadedBackend::exec(Transputer &cpu, Superblock &sb, Tick bound,
         // a boundary the head re-enters through its solo handler
   L_LdcStl: {
         if (n + 2 > budget ||
-            t + st->groupPreCost * period > bound)
+            t + st->groupPreCost * period > xbound)
             goto *tbl[static_cast<size_t>(st->solo)];
         const Step *s1 = st + 1;
         RETIRE(st, 0);
@@ -906,7 +936,7 @@ ThreadedBackend::exec(Transputer &cpu, Superblock &sb, Tick bound,
 
   L_LdlpStl: {
         if (n + 2 > budget ||
-            t + st->groupPreCost * period > bound)
+            t + st->groupPreCost * period > xbound)
             goto *tbl[static_cast<size_t>(st->solo)];
         const Step *s1 = st + 1;
         RETIRE(st, 0);
@@ -925,7 +955,7 @@ ThreadedBackend::exec(Transputer &cpu, Superblock &sb, Tick bound,
 
   L_LdlStl: {
         if (n + 2 > budget ||
-            t + st->groupPreCost * period > bound)
+            t + st->groupPreCost * period > xbound)
             goto *tbl[static_cast<size_t>(st->solo)];
         const Step *s1 = st + 1;
         RETIRE(st, 0);
@@ -947,7 +977,7 @@ ThreadedBackend::exec(Transputer &cpu, Superblock &sb, Tick bound,
 
   L_AdcStl: {
         if (n + 2 > budget ||
-            t + st->groupPreCost * period > bound)
+            t + st->groupPreCost * period > xbound)
             goto *tbl[static_cast<size_t>(st->solo)];
         const Step *s1 = st + 1;
         RETIRE(st, 0);
@@ -977,7 +1007,7 @@ ThreadedBackend::exec(Transputer &cpu, Superblock &sb, Tick bound,
 
   L_LdcAdcStl: {
         if (n + 3 > budget ||
-            t + st->groupPreCost * period > bound)
+            t + st->groupPreCost * period > xbound)
             goto *tbl[static_cast<size_t>(st->solo)];
         const Step *s1 = st + 1, *s2 = st + 2;
         RETIRE(st, 0);
@@ -1000,7 +1030,7 @@ ThreadedBackend::exec(Transputer &cpu, Superblock &sb, Tick bound,
 
   L_LdlAdcStl: {
         if (n + 3 > budget ||
-            t + st->groupPreCost * period > bound)
+            t + st->groupPreCost * period > xbound)
             goto *tbl[static_cast<size_t>(st->solo)];
         const Step *s1 = st + 1, *s2 = st + 2;
         RETIRE(st, 0);
@@ -1052,7 +1082,7 @@ ThreadedBackend::exec(Transputer &cpu, Superblock &sb, Tick bound,
 
   L_LdlLdlBinop: {
         if (n + 3 > budget ||
-            t + st->groupPreCost * period > bound)
+            t + st->groupPreCost * period > xbound)
             goto *tbl[static_cast<size_t>(st->solo)];
         const Step *s1 = st + 1, *s2 = st + 2;
         RETIRE(st, 0);
@@ -1126,7 +1156,7 @@ ThreadedBackend::exec(Transputer &cpu, Superblock &sb, Tick bound,
 
   L_CjLoop: {
         if (n + 2 > budget ||
-            t + st->groupPreCost * period > bound)
+            t + st->groupPreCost * period > xbound)
             goto *tbl[static_cast<size_t>(st->solo)];
         const Step *s1 = st + 1;
         RETIRE(st, 0);
@@ -1158,6 +1188,7 @@ ThreadedBackend::exec(Transputer &cpu, Superblock &sb, Tick bound,
         spill();
         cpu.timesliceCheck(); // a descheduling point
         reload();
+        foldObsBound();
         if (cpu.state_ != CpuState::Running) {
             why = Deopt::Deschedule;
             goto out;
@@ -1295,6 +1326,18 @@ Transputer::runBlocks(Tick bound, int budget)
     blockc::Deopt why = blockc::Deopt::End;
     const int n = backend_->run(*this, *sb, bound, budget, why);
     ++bc.stats().deopts[static_cast<size_t>(why)];
+#ifdef TRANSPUTER_OBS
+    // flight ring only (not the trace ring), and only the abnormal
+    // reasons: Bound/Budget/End are how every batched dispatch ends,
+    // and recording them would evict the scheduler history a
+    // post-mortem actually needs.  A GuardStale streak before a hang
+    // is exactly what this is for.
+    if (obsFlight_ && why != blockc::Deopt::Bound &&
+        why != blockc::Deopt::Budget && why != blockc::Deopt::End)
+        obsFlight_->record(time_, obs::Ev::Deopt,
+                           static_cast<uint64_t>(why),
+                           static_cast<uint64_t>(n), 0);
+#endif
     if (why == blockc::Deopt::GuardStale)
         bc.invalidate(*sb); // self-modified: re-heat and recompile
     return n;

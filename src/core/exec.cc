@@ -204,8 +204,23 @@ Transputer::runFused(Tick bound, int budget)
     const uint32_t *const gens = icache_.gensData();
     uint64_t hits = 0;
     bool running = state_ == CpuState::Running;
+    // observation thresholds, hoisted like the rest of the hot state
+    // (memory stores may alias any member); ~0/maxTick sentinels keep
+    // the disabled path at two compares per chain
+    uint64_t profNext = profNextCycle_;
+    Tick tsNext = tsNextTick_;
     try {
         while (n < budget && t <= bound && running && !bail) {
+            if (cyc >= profNext || t >= tsNext) {
+                // chain boundary crossed a sampling threshold: fire
+                // with the architectural state spilled (oreg_ is 0
+                // throughout the fused loop)
+                spill();
+                obsBoundaryFire(obs::kTierFused);
+                reload();
+                profNext = profNextCycle_;
+                tsNext = tsNextTick_;
+            }
             const auto &e = entries[static_cast<size_t>(iptr) &
                                     PredecodeCache::kIndexMask];
             if (!(e.length && e.tag == iptr &&

@@ -38,6 +38,12 @@ Transputer::Transputer(sim::EventQueue &queue, const Config &cfg,
         setTraceEnabled(true);
     if (cfg.blockCompile)
         setBlockCompileEnabled(true); // no-op when the build can't
+    if (cfg.flight)
+        setFlightEnabled(true);
+    if (cfg.profile)
+        setProfileEnabled(true);
+    if (cfg.timeseries)
+        setTimeseriesEnabled(true);
 }
 
 Word
@@ -369,6 +375,12 @@ Transputer::stepHandler()
             std::min(queue_->nextTimeFor(actorId_), queue_->horizon());
         if (time_ > bound)
             break;
+        // chain-boundary observation point (see obsBoundaryFire):
+        // oreg_ == 0 makes slow-path byte boundaries coincide with
+        // the fast tiers' chain boundaries
+        if (oreg_ == 0 &&
+            (cycles_ >= profNextCycle_ || time_ >= tsNextTick_))
+            obsBoundaryFire(obs::kTierPlain);
         // fused run: a kFast instruction can neither schedule nor
         // cancel an event nor raise a preemption, so the bound stays
         // valid and straight-line code executes back to back inside
@@ -394,6 +406,9 @@ Transputer::stepHandler()
                 break;
             if (hasBlockAt(iptr_))
                 continue; // enter the block; don't interpret its head
+            if (oreg_ == 0 &&
+                (cycles_ >= profNextCycle_ || time_ >= tsNextTick_))
+                obsBoundaryFire(obs::kTierPlain);
             fast = executeOne();
             ++batch;
         }
@@ -417,6 +432,81 @@ Transputer::wakeIfIdle()
     pickNext();
     if (state_ == CpuState::Running)
         scheduleStep();
+}
+
+// ---------------------------------------------------------------------
+// chain-boundary observation (src/obs: profiler + time-series)
+// ---------------------------------------------------------------------
+
+uint32_t
+Transputer::runListDepth(int pri) const
+{
+    // raw reads (no cycle charges): observation must not perturb the
+    // clock.  The walk is bounded so a corrupted link chain cannot
+    // hang the sampler; depths past the cap saturate.
+    constexpr uint32_t kMaxWalk = 256;
+    uint32_t n = 0;
+    Word w = fptr_[pri];
+    if (w == notProcess())
+        return 0;
+    while (n < kMaxWalk) {
+        ++n;
+        if (w == bptr_[pri])
+            break;
+        w = mem_.readWord(shape_.index(w, ws::link));
+    }
+    return n;
+}
+
+obs::TsPoint
+Transputer::tsCapture(Tick nominal)
+{
+    obs::TsPoint p;
+    p.tick = nominal;
+    p.instructions = instructions_;
+    p.cycles = cycles_;
+    p.icacheHits = icache_.hits();
+    p.icacheMisses = icache_.misses();
+    p.linkBytesOut = linkBytesOutLive_;
+    p.linkBytesIn = linkBytesInLive_;
+    p.processStarts = ctrs_.processStarts;
+    p.timeslices = ctrs_.timeslices;
+    p.idleTicks = ctrs_.idleTicks;
+    p.qlo = runListDepth(1);
+    p.qhi = runListDepth(0);
+    // host-side block-tier fields (archOnly exports omit them)
+    const obs::Counters c = counters();
+    p.blockChains = c.blockc.chains;
+    uint64_t deopts = 0;
+    for (const uint64_t d : c.blockc.deopts)
+        deopts += d;
+    p.blockDeopts = deopts;
+    return p;
+}
+
+void
+Transputer::obsBoundaryFire(int tier)
+{
+    // Samples land on the boundary state: (wdesc, iptr) of the chain
+    // about to execute, at the cycle count retired so far.  Catch-up
+    // (a long chain or an idle span crossing several thresholds)
+    // attributes every elapsed interval to the current boundary --
+    // the deterministic analogue of a timer interrupt pinning all
+    // missed ticks on the instruction that disabled it.
+    if (profileOn_ && cycles_ >= profNextCycle_) {
+        const uint64_t iv = prof_->interval();
+        const uint64_t k = (cycles_ - profNextCycle_) / iv + 1;
+        prof_->sample(wdesc(), iptr_, tier, k);
+        profNextCycle_ += k * iv;
+    }
+    if (timeseriesOn_ && time_ >= tsNextTick_) {
+        // one snapshot per crossing, stamped with the nominal tick it
+        // is for; the skipped multiples (no boundary fell inside
+        // them) are represented by the jump in nominal ticks
+        tseries_->push(tsCapture(tsNextTick_));
+        const Tick iv = tseries_->interval();
+        tsNextTick_ += ((time_ - tsNextTick_) / iv + 1) * iv;
+    }
 }
 
 void

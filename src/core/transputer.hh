@@ -36,6 +36,8 @@
 #include "core/icache.hh"
 #include "core/ports.hh"
 #include "obs/counters.hh"
+#include "obs/profile.hh"
+#include "obs/timeseries.hh"
 #include "obs/trace.hh"
 #include "sim/event_queue.hh"
 
@@ -78,6 +80,23 @@ struct Config
     bool blockCompile = true;
     bool trace = false;            ///< record scheduler/channel/link events
     unsigned traceDepth = 16;      ///< log2 of the trace ring capacity
+    /** Guest sampling profiler (src/obs/profile.hh): attribute one
+     *  sample per profileInterval simulated cycles to the (Wdesc,
+     *  Iptr) current at the next chain boundary.  Architecturally
+     *  invisible and serial/parallel deterministic. */
+    bool profile = false;
+    uint64_t profileInterval = 4096; ///< cycles between samples
+    /** Metrics time-series (src/obs/timeseries.hh): one cumulative
+     *  counter snapshot per timeseriesInterval simulated ticks. */
+    bool timeseries = false;
+    Tick timeseriesInterval = 1'000'000; ///< ticks between snapshots
+    unsigned timeseriesDepth = 8;  ///< log2 of the time-series ring
+    /** Always-on flight recorder (src/obs/flight.hh): a small ring of
+     *  recent scheduler/link/fault/deopt events kept for post-mortem
+     *  dumps.  On by default; costs one filtered ring store per
+     *  (already rare) traced event. */
+    bool flight = true;
+    unsigned flightDepth = 10;     ///< log2 of the flight ring
 };
 
 /** Execution state of the whole part. */
@@ -295,10 +314,94 @@ class Transputer
 #ifdef TRANSPUTER_OBS
         if (obsTrace_)
             obsTrace_->record(queue_->now(), ev, a, b, c);
+        if (obsFlight_ && obs::flightWorthy(ev))
+            obsFlight_->record(queue_->now(), ev, a, b, c);
 #else
         (void)ev; (void)a; (void)b; (void)c;
 #endif
     }
+
+    /** One link byte moved through an attached engine (called by the
+     *  engines, on the owning thread).  Feeds the time-series' link
+     *  utilisation; architectural relative to chain boundaries, since
+     *  engine events share this node's actor and dispatch in the
+     *  deterministic total event order. */
+    void noteLinkByteOut() { ++linkBytesOutLive_; }
+    void noteLinkByteIn() { ++linkBytesInLive_; }
+    uint64_t linkBytesOutLive() const { return linkBytesOutLive_; }
+    uint64_t linkBytesInLive() const { return linkBytesInLive_; }
+
+    /**
+     * Toggle the guest sampling profiler at runtime.  Like the
+     * tracer: the histogram is allocated on first enable and kept
+     * across disables so exporters can read it after a run.  Sampling
+     * is keyed off the simulated cycle counter, so it never perturbs
+     * architectural state (tests/test_profile.cc).
+     */
+    void
+    setProfileEnabled(bool on)
+    {
+        if (on && !prof_)
+            prof_ = std::make_unique<obs::Profiler>(
+                cfg_.profileInterval);
+        if (on) {
+            // next boundary at or after the next interval multiple
+            const uint64_t iv = prof_->interval();
+            profNextCycle_ = (cycles_ / iv + 1) * iv;
+        } else {
+            profNextCycle_ = ~uint64_t{0};
+        }
+        profileOn_ = on;
+    }
+    bool profileEnabled() const { return profileOn_; }
+    /** The PC histogram, or nullptr if profiling was never enabled. */
+    const obs::Profiler *profiler() const { return prof_.get(); }
+
+    /** Toggle the metrics time-series at runtime (same lifetime rules
+     *  as the profiler). */
+    void
+    setTimeseriesEnabled(bool on)
+    {
+        if (on && !tseries_)
+            tseries_ = std::make_unique<obs::TimeSeries>(
+                cfg_.timeseriesInterval, cfg_.timeseriesDepth);
+        if (on) {
+            const Tick iv = tseries_->interval();
+            tsNextTick_ = (time_ / iv + 1) * iv;
+        } else {
+            tsNextTick_ = maxTick;
+        }
+        timeseriesOn_ = on;
+    }
+    bool timeseriesEnabled() const { return timeseriesOn_; }
+    /** The ring, or nullptr if the series was never enabled. */
+    const obs::TimeSeries *timeSeries() const { return tseries_.get(); }
+
+    /** Capture a cumulative time-series point right now, stamped with
+     *  `nominal`.  Used by obsBoundaryFire and by the exporters'
+     *  final live point (so deltas sum to the final counters). */
+    obs::TsPoint tsCapture(Tick nominal);
+
+    /** Toggle the flight recorder at runtime (on by default via
+     *  Config::flight; same lifetime rules as the tracer). */
+    void
+    setFlightEnabled(bool on)
+    {
+        if (on && !flightBuf_)
+            flightBuf_ =
+                std::make_unique<obs::TraceBuffer>(cfg_.flightDepth);
+        obsFlight_ = on ? flightBuf_.get() : nullptr;
+    }
+    bool flightEnabled() const { return obsFlight_ != nullptr; }
+    /** The flight ring, or nullptr if never enabled. */
+    const obs::TraceBuffer *flightBuffer() const
+    {
+        return flightBuf_.get();
+    }
+
+    /** Run-list depth of priority `pri` (0 high, 1 low), bounded walk
+     *  over raw memory -- no cycle charges, safe at chain boundaries. */
+    uint32_t runListDepth(int pri) const;
 
     /**
      * Latency samples, in cycles, from a high-priority process
@@ -381,10 +484,23 @@ class Transputer
 #ifdef TRANSPUTER_OBS
         if (obsTrace_)
             obsTrace_->record(when, ev, a, b, c);
+        if (obsFlight_ && obs::flightWorthy(ev))
+            obsFlight_->record(when, ev, a, b, c);
 #else
         (void)when; (void)ev; (void)a; (void)b; (void)c;
 #endif
     }
+
+    /**
+     * The chain-boundary observation point (profiler + time-series).
+     * Called with the architectural state spilled (oreg_ == 0, the
+     * hot locals written back) whenever cycles_ crossed profNextCycle_
+     * or time_ crossed tsNextTick_; attributes the catch-up samples
+     * and captures the due snapshots, then advances the thresholds
+     * past the current clocks.  Reads architectural state only, so
+     * the spill/fire/reload dance in the fast tiers is safe.
+     */
+    void obsBoundaryFire(int tier);
 
     /** Record a CPU-side trace event at the local clock. */
     void
@@ -589,6 +705,25 @@ class Transputer
     // raw pointer is the single runtime gate (null = disabled)
     std::unique_ptr<obs::TraceBuffer> traceBuf_;
     obs::TraceBuffer *obsTrace_ = nullptr;
+
+    // flight recorder: same lazy-ring + raw-pointer-gate discipline
+    std::unique_ptr<obs::TraceBuffer> flightBuf_;
+    obs::TraceBuffer *obsFlight_ = nullptr;
+
+    // sampling profiler and metrics time-series: the thresholds are
+    // the only state the execution tiers test (one compare each per
+    // chain); ~0 / maxTick are the disabled sentinels, so the
+    // disabled fast path never branches into obsBoundaryFire
+    uint64_t profNextCycle_ = ~uint64_t{0};
+    Tick tsNextTick_ = maxTick;
+    bool profileOn_ = false;
+    bool timeseriesOn_ = false;
+    std::unique_ptr<obs::Profiler> prof_;
+    std::unique_ptr<obs::TimeSeries> tseries_;
+    // live per-node link byte tallies (the engines' own counters are
+    // aggregated per run, not sampled mid-run)
+    uint64_t linkBytesOutLive_ = 0;
+    uint64_t linkBytesInLive_ = 0;
 
     std::ostream *trace_ = nullptr;
 };

@@ -307,6 +307,7 @@ LinkEngine::onDataEnd(uint8_t byte)
         return;
     }
     ++bytesReceived_;
+    cpu_.noteLinkByteIn(); // time-series link utilisation (src/obs)
     if (inActive_) {
         cpu_.memory().writeByte(
             cpu_.shape().truncate(inPtr_ + inReceived_), byte);
@@ -385,6 +386,7 @@ LinkEngine::sendNextByte(Tick not_before)
         cpu_.shape().truncate(outPtr_ + outSent_));
     ++outSent_;
     ++bytesSent_;
+    cpu_.noteLinkByteOut(); // time-series link utilisation (src/obs)
     awaitingAck_ = true;
     cpu_.traceLink(obs::Ev::LinkByte, byte, flowOut(),
                    static_cast<uint32_t>(linkIndex_));

@@ -14,6 +14,7 @@
 #ifndef TRANSPUTER_NET_NETWORK_HH
 #define TRANSPUTER_NET_NETWORK_HH
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -70,6 +71,17 @@ struct RunOptions
      * the simulation (src/obs).
      */
     std::optional<bool> trace;
+    /**
+     * Force the guest sampling profiler on/off on every node for this
+     * run; unset leaves each node's own setting alone.  Sampling is
+     * keyed off the simulated clock, so profiles are bit-identical
+     * between serial and parallel runs and the simulation itself is
+     * unperturbed (src/obs/profile.hh).
+     */
+    std::optional<bool> profile;
+    /** Force the metrics time-series on/off on every node for this
+     *  run; unset leaves each node's own setting alone. */
+    std::optional<bool> timeseries;
 };
 
 /** A collection of transputers wired by links, with one time base. */
@@ -185,6 +197,8 @@ class Network
             queue_.runUntil(limit);
             queue_.setHorizon(maxTick);
         }
+        if (postRun_)
+            postRun_(*this);
         return queue_.now();
     }
 
@@ -272,6 +286,43 @@ class Network
             n->setTraceEnabled(on);
     }
 
+    /** Enable/disable the guest sampling profiler on every node. */
+    void
+    setProfileEnabled(bool on)
+    {
+        for (auto &n : nodes_)
+            n->setProfileEnabled(on);
+    }
+
+    /** Enable/disable the metrics time-series on every node. */
+    void
+    setTimeseriesEnabled(bool on)
+    {
+        for (auto &n : nodes_)
+            n->setTimeseriesEnabled(on);
+    }
+
+    /** Enable/disable the flight recorder on every node. */
+    void
+    setFlightEnabled(bool on)
+    {
+        for (auto &n : nodes_)
+            n->setFlightEnabled(on);
+    }
+
+    /**
+     * Install a hook that runs after every run() (serial or
+     * parallel) with the network quiescent -- the layering seam that
+     * lets src/obs arm post-mortem evaluation (flight-recorder
+     * auto-dump, obs::armFlightDump) without net depending on obs.
+     * One hook; installing replaces the previous one, empty clears.
+     */
+    void
+    setPostRunHook(std::function<void(Network &)> hook)
+    {
+        postRun_ = std::move(hook);
+    }
+
     /**
      * Counter snapshot of node i, including the byte totals of the
      * link engines attached to it.
@@ -351,6 +402,7 @@ class Network
     uint32_t nextActor_ = 0;  ///< 0 reserved for unkeyed events
     uint32_t nextLineId_ = 0; ///< 0 reserved (no line)
     bool topologyDirty_ = true; ///< wiring changed since last run
+    std::function<void(Network &)> postRun_; ///< see setPostRunHook
 };
 
 /** @name Topology builders

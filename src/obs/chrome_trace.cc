@@ -35,6 +35,26 @@ putWdesc(std::ostream &os, uint64_t wdesc)
     os << buf;
 }
 
+/** Emit a JSON string body: quotes, backslashes, control characters
+ *  and non-ASCII bytes escaped (byte-wise \\u00xx, so the output is
+ *  pure ASCII whatever encoding the name arrived in). */
+void
+putEscaped(std::ostream &os, const std::string &s)
+{
+    for (const char ch : s) {
+        const auto b = static_cast<unsigned char>(ch);
+        if (b == '"' || b == '\\') {
+            os << '\\' << ch;
+        } else if (b < 0x20 || b >= 0x7f) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", b);
+            os << buf;
+        } else {
+            os << ch;
+        }
+    }
+}
+
 /** An emitter for one node's track (pid 1, tid = node index + 1). */
 class Track
 {
@@ -47,8 +67,9 @@ class Track
     meta(const std::string &name)
     {
         open("M", 0);
-        os_ << ", \"name\": \"thread_name\", \"args\": {\"name\": \""
-            << name << "\"}}";
+        os_ << ", \"name\": \"thread_name\", \"args\": {\"name\": \"";
+        putEscaped(os_, name);
+        os_ << "\"}}";
     }
 
     void
@@ -101,17 +122,18 @@ class Track
 
 } // namespace
 
-std::string
-chromeTrace(net::Network &net)
+void
+chromeTrace(net::Network &net, std::ostream &os, RingSource src)
 {
-    std::ostringstream os;
     os << "{\"traceEvents\": [\n";
     bool first = true;
     for (size_t i = 0; i < net.size(); ++i) {
         auto &node = net.node(static_cast<int>(i));
         Track track(os, first, static_cast<int>(i) + 1);
         track.meta(node.name());
-        const TraceBuffer *buf = node.traceBuffer();
+        const TraceBuffer *buf = src == RingSource::Flight
+                                     ? node.flightBuffer()
+                                     : node.traceBuffer();
         if (!buf)
             continue;
         // replay scheduler boundaries into occupancy slices; a Run
@@ -187,6 +209,9 @@ chromeTrace(net::Network &net)
               case Ev::FaultKill:
                 track.instant(r.when, "fault.kill");
                 break;
+              case Ev::Deopt:
+                track.instant(r.when, "deopt");
+                break;
               default:
                 break; // Ready/WaitChan/WaitTimer/LinkByte/LinkAck:
                        // recorded for programmatic analysis, too noisy
@@ -199,16 +224,24 @@ chromeTrace(net::Network &net)
                         sliceWdesc);
     }
     os << "\n], \"displayTimeUnit\": \"ns\"}\n";
+}
+
+std::string
+chromeTrace(net::Network &net)
+{
+    std::ostringstream os;
+    chromeTrace(net, os, RingSource::Trace);
     return os.str();
 }
 
 bool
-writeChromeTrace(net::Network &net, const std::string &path)
+writeChromeTrace(net::Network &net, const std::string &path,
+                 RingSource src)
 {
     std::ofstream out(path);
     if (!out)
         return false;
-    out << chromeTrace(net);
+    chromeTrace(net, out, src);
     return static_cast<bool>(out);
 }
 

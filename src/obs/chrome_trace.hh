@@ -2,26 +2,32 @@
  * @file
  * Chrome trace-event JSON exporter (see DESIGN.md "Observability").
  *
- * Converts the per-node TraceBuffers of a simulated network into the
+ * Converts the per-node event rings of a simulated network into the
  * Chrome trace-event format that Perfetto (https://ui.perfetto.dev)
  * and chrome://tracing load directly:
  *
  *   - one thread track per transputer, named after the node;
  *   - "X" occupancy slices from each Run record to the next scheduler
  *     boundary (Run/Idle/Halt), labelled with the running Wdesc;
- *   - "i" instants for rendezvous, timeslices and interrupts;
+ *   - "i" instants for rendezvous, timeslices, interrupts, faults and
+ *     block-tier deopts;
  *   - "s"/"f" flow arrows from a link message's completion on the
  *     sending node to its completion on the receiving node, paired by
  *     the (line id, cumulative byte count) flow id both ends record.
  *
- * Export runs after the simulation has stopped, so reading the rings
- * is race-free.  Perfetto does not require events sorted by timestamp,
- * so records are emitted in ring order.
+ * The writer streams: events are emitted to the ostream as the rings
+ * are walked, so a large network's trace never materialises as one
+ * string (the std::string overload remains for small consumers).
+ * Name strings are JSON-escaped, including control and non-ASCII
+ * bytes.  Export runs after the simulation has stopped, so reading
+ * the rings is race-free.  Perfetto does not require events sorted by
+ * timestamp, so records are emitted in ring order.
  */
 
 #ifndef TRANSPUTER_OBS_CHROME_TRACE_HH
 #define TRANSPUTER_OBS_CHROME_TRACE_HH
 
+#include <iosfwd>
 #include <string>
 
 namespace transputer::net
@@ -32,14 +38,27 @@ class Network;
 namespace transputer::obs
 {
 
+/** Which per-node ring to export. */
+enum class RingSource
+{
+    Trace,  ///< the big opt-in trace ring (Config::trace)
+    Flight, ///< the small always-on flight ring (Config::flight)
+};
+
+/** Stream the selected rings as Chrome trace JSON (see file
+ *  comment).  Writes nothing but JSON; check os for I/O errors. */
+void chromeTrace(net::Network &net, std::ostream &os,
+                 RingSource src = RingSource::Trace);
+
 /** Render the network's trace buffers as a Chrome trace JSON string. */
 std::string chromeTrace(net::Network &net);
 
 /**
- * Write chromeTrace(net) to a file.
- * @return false when the file could not be opened.
+ * Write chromeTrace(net, os, src) to a file.
+ * @return false when the file could not be opened or written.
  */
-bool writeChromeTrace(net::Network &net, const std::string &path);
+bool writeChromeTrace(net::Network &net, const std::string &path,
+                      RingSource src = RingSource::Trace);
 
 } // namespace transputer::obs
 

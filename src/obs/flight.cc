@@ -1,0 +1,197 @@
+#include "obs/flight.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <ostream>
+
+#include "net/network.hh"
+#include "obs/chrome_trace.hh"
+#include "obs/trace.hh"
+
+namespace transputer::obs
+{
+
+namespace
+{
+
+std::string
+hex(uint64_t v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "0x%llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+std::string
+wdescStr(uint64_t wdesc)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "W#%06llx %s",
+                  static_cast<unsigned long long>(wdesc & ~1ull),
+                  (wdesc & 1) ? "lo" : "hi");
+    return buf;
+}
+
+/** The ring the detector replays: flight if on, else the trace ring
+ *  (same record format, bigger and opt-in), else nothing. */
+const TraceBuffer *
+ringFor(core::Transputer &node)
+{
+    if (const TraceBuffer *f = node.flightBuffer())
+        return f;
+    return node.traceBuffer();
+}
+
+} // namespace
+
+std::vector<BlockedProc>
+findBlockedProcesses(net::Network &net)
+{
+    std::vector<BlockedProc> out;
+    for (size_t i = 0; i < net.size(); ++i) {
+        auto &node = net.node(static_cast<int>(i));
+        const TraceBuffer *buf = ringFor(node);
+        if (!buf)
+            continue;
+        // last-state replay: a WaitChan/WaitTimer record marks the
+        // process blocked; a later Ready/Run for the same wdesc
+        // clears it.  Processes whose blocking record wrapped out of
+        // the ring are not found (documented caveat).
+        std::map<uint64_t, Record> blocked;
+        buf->forEach([&](const Record &r) {
+            switch (r.ev) {
+              case Ev::WaitChan:
+              case Ev::WaitTimer:
+                blocked[r.a] = r;
+                break;
+              case Ev::Ready:
+              case Ev::Run:
+                blocked.erase(r.a);
+                break;
+              default:
+                break;
+            }
+        });
+        for (const auto &kv : blocked)
+            out.push_back(BlockedProc{
+                static_cast<int>(i), kv.first,
+                kv.second.ev == Ev::WaitTimer, kv.second.b,
+                kv.second.when});
+    }
+    return out;
+}
+
+FlightReport
+evaluateFlightTriggers(net::Network &net)
+{
+    FlightReport r;
+    for (size_t i = 0; i < net.size(); ++i) {
+        if (net.node(static_cast<int>(i)).errorFlag()) {
+            r.errorFlag = true;
+            r.errorNodes.push_back(static_cast<int>(i));
+        }
+    }
+    net.forEachEngine([&](link::LinkEngine &e) {
+        r.outAborts += e.outAborts();
+        r.inAborts += e.inAborts();
+    });
+    r.watchdogAbort = r.outAborts + r.inAborts > 0;
+    // deadlock: the queue drained (nothing will ever happen again)
+    // with processes still blocked on channels or timers
+    if (net.queue().pending() == 0) {
+        r.blocked = findBlockedProcesses(net);
+        r.deadlock = !r.blocked.empty();
+    }
+    return r;
+}
+
+void
+dumpFlightText(net::Network &net, const FlightReport &report,
+               std::ostream &os)
+{
+    os << "flight recorder dump\n"
+       << "triggers: error-flag="
+       << (report.errorFlag ? "yes" : "no");
+    if (!report.errorNodes.empty()) {
+        os << " (nodes";
+        for (const int n : report.errorNodes)
+            os << " " << n;
+        os << ")";
+    }
+    os << " watchdog-aborts=" << report.outAborts << " out / "
+       << report.inAborts << " in"
+       << " deadlock=" << (report.deadlock ? "yes" : "no") << "\n";
+    if (!report.blocked.empty()) {
+        os << "blocked processes (queue drained):\n";
+        for (const BlockedProc &b : report.blocked) {
+            os << "  " << net.node(b.node).name() << " "
+               << wdescStr(b.wdesc);
+            if (b.onTimer)
+                os << "  waiting on timer, wake time " << b.chan;
+            else
+                os << "  waiting on channel " << hex(b.chan);
+            os << " since " << b.since << " ns\n";
+        }
+    }
+    for (size_t i = 0; i < net.size(); ++i) {
+        auto &node = net.node(static_cast<int>(i));
+        const TraceBuffer *buf = node.flightBuffer()
+                                     ? node.flightBuffer()
+                                     : node.traceBuffer();
+        if (!buf) {
+            os << "node " << node.name() << ": no ring\n";
+            continue;
+        }
+        os << "node " << node.name() << " ring (" << buf->size()
+           << " records, " << buf->dropped() << " dropped):\n";
+        buf->forEach([&](const Record &r) {
+            os << "  [" << r.when << "] " << evName(r.ev) << " a="
+               << hex(r.a) << " b=" << hex(r.b) << " c=" << r.c
+               << "\n";
+        });
+    }
+}
+
+bool
+writeFlightDump(net::Network &net, const FlightReport &report,
+                const std::string &prefix)
+{
+    std::ofstream txt(prefix + ".txt");
+    if (!txt)
+        return false;
+    dumpFlightText(net, report, txt);
+    if (!txt)
+        return false;
+    return writeChromeTrace(net, prefix + ".trace.json",
+                            RingSource::Flight);
+}
+
+void
+armFlightDump(net::Network &net, std::string prefix)
+{
+    auto dumped = std::make_shared<bool>(false);
+    net.setPostRunHook(
+        [prefix = std::move(prefix), dumped](net::Network &n) {
+            if (*dumped)
+                return;
+            const FlightReport r = evaluateFlightTriggers(n);
+            if (!r.triggered())
+                return;
+            *dumped = true;
+            if (writeFlightDump(n, r, prefix))
+                std::cerr << "flight recorder: trigger fired ("
+                          << (r.errorFlag ? "error-flag " : "")
+                          << (r.watchdogAbort ? "watchdog-abort " : "")
+                          << (r.deadlock ? "deadlock " : "")
+                          << "); wrote " << prefix << ".txt and "
+                          << prefix << ".trace.json\n";
+            else
+                std::cerr << "flight recorder: trigger fired but "
+                          << "could not write " << prefix << ".*\n";
+        });
+}
+
+} // namespace transputer::obs

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Always-on flight recorder (see DESIGN.md "Second-generation
+ * observability").
+ *
+ * Every node keeps a small second ring of recent scheduler / link /
+ * fault / deopt events (the flight ring, fed by the same trcAt hooks
+ * as the big trace ring but filtered by obs::flightWorthy and on by
+ * default).  Nothing is evaluated while the simulation runs; after a
+ * run, evaluateFlightTriggers inspects the network for the three
+ * post-mortem conditions worth a dump:
+ *
+ *   - a node's error flag is set;
+ *   - a link watchdog abandoned a transfer (out/in aborts > 0);
+ *   - the event queue drained with processes still blocked -- the
+ *     deadlock detector, which replays each node's flight ring to
+ *     name the blocked processes and the channel (or timer) each one
+ *     waits on.
+ *
+ * armFlightDump installs a post-run hook on the network that runs the
+ * evaluation after every run() and, the first time a trigger fires,
+ * writes <prefix>.txt (human-readable ring dump + blocked-process
+ * table) and <prefix>.trace.json (the flight rings as a Perfetto
+ * trace).  The dump is one-shot so a run() that delegates to another
+ * run() (the parallel engine's single-shard path) cannot dump twice.
+ *
+ * Caveats, by design: a process that blocked longer ago than the ring
+ * remembers (ring wrapped) is not named, and a process legitimately
+ * waiting for external input (a peripheral that will never send) is
+ * indistinguishable from deadlock at this level -- the detector
+ * reports what is knowable from the rings.
+ */
+
+#ifndef TRANSPUTER_OBS_FLIGHT_HH
+#define TRANSPUTER_OBS_FLIGHT_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace transputer::net
+{
+class Network;
+} // namespace transputer::net
+
+namespace transputer::obs
+{
+
+/** A process found blocked when the event queue drained. */
+struct BlockedProc
+{
+    int node = 0;         ///< network node index
+    uint64_t wdesc = 0;   ///< process descriptor (Wptr | priority)
+    bool onTimer = false; ///< blocked on a timer, not a channel
+    uint64_t chan = 0;    ///< channel address (or wake time if timer)
+    Tick since = 0;       ///< when the blocking record was written
+};
+
+/** What evaluateFlightTriggers found. */
+struct FlightReport
+{
+    bool errorFlag = false;     ///< some node's error flag is set
+    bool watchdogAbort = false; ///< some link watchdog abandoned I/O
+    bool deadlock = false;      ///< queue drained, processes blocked
+    std::vector<int> errorNodes;    ///< node indices with the flag set
+    uint64_t outAborts = 0, inAborts = 0; ///< network-wide totals
+    std::vector<BlockedProc> blocked;     ///< deadlock detail
+
+    bool
+    triggered() const
+    {
+        return errorFlag || watchdogAbort || deadlock;
+    }
+};
+
+/**
+ * Replay each node's flight ring (falling back to the trace ring when
+ * flight recording is off) and return the processes whose last
+ * recorded state is WaitChan/WaitTimer with no later Ready/Run.
+ * Meaningful when the queue has drained; cheap enough to call anytime.
+ */
+std::vector<BlockedProc> findBlockedProcesses(net::Network &net);
+
+/** Inspect the network for the three trigger conditions (see file
+ *  comment).  Runs entirely post-hoc; never perturbs the simulation. */
+FlightReport evaluateFlightTriggers(net::Network &net);
+
+/** Human-readable dump: the trigger summary, the blocked-process
+ *  table, and every node's flight ring in chronological order. */
+void dumpFlightText(net::Network &net, const FlightReport &report,
+                    std::ostream &os);
+
+/**
+ * Write <prefix>.txt (dumpFlightText) and <prefix>.trace.json (the
+ * flight rings as a Perfetto trace).
+ * @return false when either file could not be written.
+ */
+bool writeFlightDump(net::Network &net, const FlightReport &report,
+                     const std::string &prefix);
+
+/**
+ * Install a post-run hook on the network: after every run(),
+ * evaluate the triggers and -- the first time one fires -- write the
+ * dump pair under `prefix`.  Returns nothing; the dump announces
+ * itself on stderr so an unexpected abort leaves a visible trail.
+ */
+void armFlightDump(net::Network &net, std::string prefix);
+
+} // namespace transputer::obs
+
+#endif // TRANSPUTER_OBS_FLIGHT_HH

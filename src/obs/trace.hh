@@ -56,6 +56,8 @@ enum class Ev : uint8_t
     FaultJitter,  ///< injected latency on line c (b = extra ticks)
     FaultStall,   ///< injected transient stall (b = resume tick)
     FaultKill,    ///< injected permanent node death
+    Deopt,        ///< superblock handed back to the interpreter
+                  ///< (a = Deopt reason index, b = chains retired)
 };
 
 constexpr const char *
@@ -82,8 +84,23 @@ evName(Ev e)
       case Ev::FaultJitter: return "fault.jitter";
       case Ev::FaultStall: return "fault.stall";
       case Ev::FaultKill: return "fault.kill";
+      case Ev::Deopt: return "deopt";
     }
     return "?";
+}
+
+/**
+ * Which events the always-on flight recorder keeps (src/obs/flight).
+ * Everything except the per-byte link chatter: one LinkByte/LinkAck
+ * pair per wire byte would wrap the small post-mortem ring in
+ * microseconds and evict the scheduler history that makes a dump
+ * readable, while the message-level records (LinkMsgIn/Out, aborts)
+ * keep the communication story.
+ */
+constexpr bool
+flightWorthy(Ev e)
+{
+    return e != Ev::LinkByte && e != Ev::LinkAck;
 }
 
 /** One trace record; meaning of a/b/c depends on ev (see Ev). */

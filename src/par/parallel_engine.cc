@@ -137,6 +137,12 @@ runParallel(net::Network &net, Tick limit, const net::RunOptions &opts,
     if (opts.trace)
         for (size_t i = 0; i < n; ++i)
             net.node(i).setTraceEnabled(*opts.trace);
+    if (opts.profile)
+        for (size_t i = 0; i < n; ++i)
+            net.node(i).setProfileEnabled(*opts.profile);
+    if (opts.timeseries)
+        for (size_t i = 0; i < n; ++i)
+            net.node(i).setTimeseriesEnabled(*opts.timeseries);
     if (n == 0)
         return net.run(limit);
 
@@ -267,7 +273,13 @@ namespace transputer::net
 Tick
 Network::run(Tick limit, const RunOptions &opts)
 {
-    return par::runParallel(*this, limit, opts);
+    const Tick reached = par::runParallel(*this, limit, opts);
+    // the post-run hook (obs::armFlightDump) also fires inside the
+    // serial run() that single-shard configurations delegate to; a
+    // second evaluation here is cheap and the dump itself is one-shot
+    if (postRun_)
+        postRun_(*this);
+    return reached;
 }
 
 } // namespace transputer::net

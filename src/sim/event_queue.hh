@@ -281,6 +281,21 @@ class EventQueue
     uint64_t dispatched() const { return dispatched_; }
     /** Largest live pending-event count ever observed. */
     size_t highWater() const { return highWater_; }
+
+    /** One coherent snapshot of the statistics above, for exporters
+     *  that want the numbers as a value (tprof --json, time-series). */
+    struct Stats
+    {
+        Tick now = 0;
+        uint64_t dispatched = 0;
+        size_t pending = 0;
+        size_t highWater = 0;
+    };
+    Stats
+    stats() const
+    {
+        return Stats{now_, dispatched_, pending(), highWater_};
+    }
     ///@}
 
     /**

@@ -37,17 +37,42 @@ args="$*"
 
 run_preset default
 
-# observability smoke: a traced dbsearch run must produce Chrome trace
-# and metrics JSON that a strict parser accepts
-echo "== tprof: traced dbsearch -> Perfetto + metrics JSON =="
+# observability smoke: a profiled dbsearch run must produce Chrome
+# trace, metrics, time-series and profile outputs that strict parsers
+# accept, and the --json summary must itself be JSON
+echo "== tprof: profiled dbsearch -> Perfetto + metrics + profile =="
 obs_dir=build/obs-smoke
 mkdir -p "$obs_dir"
 ./build/tools/tprof --queries 4 \
     --trace "$obs_dir/dbsearch.trace.json" \
-    --metrics "$obs_dir/dbsearch.metrics.json"
+    --metrics "$obs_dir/dbsearch.metrics.json" \
+    --profile "$obs_dir/dbsearch.folded" \
+    --timeline "$obs_dir/dbsearch.timeseries.json"
 python3 -m json.tool "$obs_dir/dbsearch.trace.json" > /dev/null
 python3 -m json.tool "$obs_dir/dbsearch.metrics.json" > /dev/null
-echo "trace + metrics JSON validate"
+python3 -m json.tool "$obs_dir/dbsearch.timeseries.json" > /dev/null
+test -s "$obs_dir/dbsearch.folded" # folded stacks are not JSON
+./build/tools/tprof --scenario e7 --iters 20000 --json \
+    > "$obs_dir/e7.summary.json"
+python3 -m json.tool "$obs_dir/e7.summary.json" > /dev/null
+# CLI hardening: unknown flags and bad values must fail loudly
+if ./build/tools/tprof --bogus-flag 2> /dev/null; then
+    echo "tprof accepted an unknown flag" >&2
+    exit 1
+fi
+if ./build/tools/tprof --scenario nope 2> /dev/null; then
+    echo "tprof accepted an unknown scenario" >&2
+    exit 1
+fi
+echo "trace + metrics + time-series + profile outputs validate"
+
+# every committed benchmark artifact must stay parseable
+echo "== benchmark artifacts parse =="
+for f in BENCH_*.json; do
+    [ -e "$f" ] || continue
+    python3 -m json.tool "$f" > /dev/null
+    echo "  $f ok"
+done
 
 # checkpoint/restore smoke: snapshot round-trips through tsnap for
 # the serial engine, the parallel engine (capture at a window barrier)
@@ -72,13 +97,14 @@ mkdir -p "$snap_dir"
 
 if want --no-tsan; then
     run_preset tsan --target test_par --target test_obs \
-        --target test_fault --target test_snap --target test_blockc
+        --target test_profile --target test_fault --target test_snap \
+        --target test_blockc
 fi
 
 if want --no-asan; then
     run_preset asan --target test_fault --target test_fuzz_decode \
-        --target test_snap --target test_fuzz_snap \
-        --target test_blockc
+        --target test_profile --target test_snap \
+        --target test_fuzz_snap --target test_blockc
 fi
 
 echo "== all checks passed =="
