@@ -40,9 +40,11 @@ constexpr Tick sliceNs = 3'000'000; // 3 ms of simulated time
 struct Result
 {
     int threads; // 0: serial engine (no shards, no barriers)
+    bool epoch;  // per-shard-pair epoch windows (vs legacy global)
     double wall_ms;
     uint64_t events;
     uint64_t rounds;
+    uint64_t barriers;
     Tick simulated;
     std::vector<Word> counts;
     std::vector<par::ShardStats> shards;
@@ -61,10 +63,18 @@ struct Result
         return static_cast<double>(most) * shards.size() /
                static_cast<double>(events);
     }
+
+    std::string
+    label() const
+    {
+        if (threads == 0)
+            return "serial";
+        return fmt("{} shard", threads) + (epoch ? "" : " legacy");
+    }
 };
 
 Result
-runOnce(int threads)
+runOnce(int threads, bool epoch = true)
 {
     apps::DbSearchConfig cfg;
     cfg.width = gridW;
@@ -77,6 +87,7 @@ runOnce(int threads)
 
     Result r{};
     r.threads = threads;
+    r.epoch = epoch;
     const auto t0 = std::chrono::steady_clock::now();
     if (threads == 0) {
         db->network().run(limit);
@@ -85,10 +96,12 @@ runOnce(int threads)
         net::RunOptions opts;
         opts.threads = threads;
         opts.partition = net::Partition::Contiguous;
+        opts.epochWindows = epoch;
         par::RunStats stats;
         par::runParallel(db->network(), limit, opts, &stats);
         r.events = stats.totalEvents();
         r.rounds = stats.rounds;
+        r.barriers = stats.barriers;
         r.shards = stats.shards;
     }
     const auto t1 = std::chrono::steady_clock::now();
@@ -115,6 +128,10 @@ main()
     results.push_back(runOnce(0)); // serial baseline
     for (int threads : {1, 2, 4, 8})
         results.push_back(runOnce(threads));
+    // the legacy global-window engine, for the epoch-batching A/B:
+    // same simulation, narrower windows, more barrier rounds
+    for (int threads : {2, 4})
+        results.push_back(runOnce(threads, false));
 
     const double serial_ms = results.front().wall_ms;
     bool identical = true;
@@ -124,18 +141,13 @@ main()
                     obs::sameArchitectural(r.ctrs,
                                            results.front().ctrs);
 
-    Table t({10, 12, 12, 14, 10, 10, 10});
-    t.row("engine", "wall (ms)", "events", "events/s", "rounds",
+    Table t({14, 12, 12, 10, 10, 10, 10});
+    t.row("engine", "wall (ms)", "events", "rounds", "barriers",
           "balance", "speedup");
     t.rule();
-    for (const auto &r : results) {
-        const double eps =
-            r.events ? r.events / (r.wall_ms / 1000.0) : 0.0;
-        t.row(r.threads == 0 ? std::string("serial")
-                             : fmt("{} shard", r.threads),
-              r.wall_ms, r.events, eps, r.rounds, r.balance(),
-              serial_ms / r.wall_ms);
-    }
+    for (const auto &r : results)
+        t.row(r.label(), r.wall_ms, r.events, r.rounds, r.barriers,
+              r.balance(), serial_ms / r.wall_ms);
     t.rule();
     std::cout << "\nall runs bit-identical: "
               << (identical ? "yes" : "NO") << "\n";
@@ -153,9 +165,12 @@ main()
     for (size_t i = 0; i < results.size(); ++i) {
         const auto &r = results[i];
         json << "    {\"threads\": " << r.threads
+             << ", \"epoch_windows\": "
+             << (r.epoch && r.threads ? "true" : "false")
              << ", \"wall_ms\": " << r.wall_ms
              << ", \"events\": " << r.events
              << ", \"rounds\": " << r.rounds
+             << ", \"barriers\": " << r.barriers
              << ", \"balance\": " << r.balance()
              << ", \"speedup\": " << serial_ms / r.wall_ms
              << ", \"shards\": [";
@@ -164,7 +179,8 @@ main()
             json << (s ? ", " : "") << "{\"nodes\": " << sh.nodes
                  << ", \"events\": " << sh.events
                  << ", \"inbox_pushes\": " << sh.inboxPushes
-                 << ", \"stalls\": " << sh.stalls << "}";
+                 << ", \"stalls\": " << sh.stalls
+                 << ", \"epochs\": " << sh.epochs << "}";
         }
         json << "]}" << (i + 1 < results.size() ? "," : "") << "\n";
     }

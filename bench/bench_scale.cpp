@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Scale-out benchmark: how many transputers one host can simulate.
+ *
+ * Workload: the flood/reduce array (src/apps/flood.hh) -- the host
+ * injects a wave at the corner, every node forwards it down the
+ * spanning tree and the totals reduce back, so a run is correct
+ * exactly when the root reports w*h.  The measured phase covers node
+ * program start-up plus one complete wave under the shard-parallel
+ * engine (settle = false): that is the regime the epoch windows and
+ * the compact node state target, a sea of mostly-idle nodes with a
+ * travelling active front.
+ *
+ * Three result groups, written to BENCH_scale.json:
+ *  - weak scaling: 1k / 10k / 100k nodes under the epoch-window
+ *    engine with the compact node configuration (nodes/sec/core);
+ *  - bytes/node: mean and max Transputer::footprintBytes() after the
+ *    run, plus the cost of a node that never executed at all;
+ *  - A/B at 1k nodes, 4 threads: the pre-PR engine (legacy global
+ *    windows, default eager node configuration) against this PR
+ *    (epoch windows, compact configuration).  The acceptance bar is
+ *    a >= 2x throughput ratio.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "apps/flood.hh"
+#include "par/parallel_engine.hh"
+
+#include "util.hh"
+
+using namespace transputer;
+using namespace transputer::bench;
+
+namespace
+{
+
+constexpr int kThreads = 4;
+constexpr Tick kLimit = 60'000'000'000; // generous; runs quiesce
+
+struct Result
+{
+    std::string label;
+    int width, height;
+    bool epoch;
+    double build_s;   // construct + compile + boot
+    double run_s;     // start-up + one wave, parallel engine
+    uint64_t rounds;
+    uint64_t barriers;
+    uint64_t epochs;
+    size_t bytesMean; // footprintBytes() per node after the run
+    size_t bytesMax;
+    bool ok;          // the wave reduced to exactly width*height
+
+    int nodes() const { return width * height; }
+    double
+    nodesPerSecPerCore(unsigned cores) const
+    {
+        const double used =
+            std::max(1u, std::min<unsigned>(kThreads, cores));
+        return nodes() / run_s / used;
+    }
+};
+
+Result
+runOnce(const std::string &label, int w, int h, bool epoch,
+        const core::Config &node)
+{
+    apps::FloodConfig cfg;
+    cfg.width = w;
+    cfg.height = h;
+    cfg.settle = false;
+    cfg.node = node;
+
+    Result r{};
+    r.label = label;
+    r.width = w;
+    r.height = h;
+    r.epoch = epoch;
+
+    const auto t0 = std::chrono::steady_clock::now();
+    apps::Flood flood(cfg);
+    const auto t1 = std::chrono::steady_clock::now();
+    flood.inject(1);
+    net::RunOptions opts;
+    opts.threads = kThreads;
+    opts.partition = net::Partition::Contiguous;
+    opts.epochWindows = epoch;
+    par::RunStats stats;
+    par::runParallel(flood.network(), kLimit, opts, &stats);
+    const auto t2 = std::chrono::steady_clock::now();
+
+    r.build_s = std::chrono::duration<double>(t1 - t0).count();
+    r.run_s = std::chrono::duration<double>(t2 - t1).count();
+    r.rounds = stats.rounds;
+    r.barriers = stats.barriers;
+    for (const auto &s : stats.shards)
+        r.epochs += s.epochs;
+    r.ok = flood.answers().size() == 1 &&
+           flood.answers().back().count == flood.expectedCount();
+
+    size_t sum = 0, most = 0;
+    net::Network &net = flood.network();
+    for (size_t i = 0; i < net.size(); ++i) {
+        const size_t b = net.node(static_cast<int>(i)).footprintBytes();
+        sum += b;
+        most = std::max(most, b);
+    }
+    r.bytesMean = sum / net.size();
+    r.bytesMax = most;
+    return r;
+}
+
+/** footprintBytes() of a node that was wired but never booted: the
+ *  true cost of an idle transputer in a big array. */
+size_t
+idleNodeBytes()
+{
+    net::Network net;
+    net::buildGrid(net, 8, 8, apps::FloodConfig::scaleNodeConfig());
+    size_t most = 0;
+    for (size_t i = 0; i < net.size(); ++i)
+        most = std::max(most,
+                        net.node(static_cast<int>(i)).footprintBytes());
+    return most;
+}
+
+void
+emitRun(std::ofstream &json, const Result &r, unsigned cores,
+        bool last)
+{
+    json << "    {\"label\": \"" << r.label << "\""
+         << ", \"nodes\": " << r.nodes() << ", \"width\": " << r.width
+         << ", \"height\": " << r.height
+         << ", \"epoch_windows\": " << (r.epoch ? "true" : "false")
+         << ", \"build_s\": " << r.build_s
+         << ", \"run_s\": " << r.run_s
+         << ", \"nodes_per_sec_per_core\": "
+         << r.nodesPerSecPerCore(cores) << ", \"rounds\": " << r.rounds
+         << ", \"barriers\": " << r.barriers
+         << ", \"epochs\": " << r.epochs
+         << ", \"bytes_per_node_mean\": " << r.bytesMean
+         << ", \"bytes_per_node_max\": " << r.bytesMax
+         << ", \"ok\": " << (r.ok ? "true" : "false") << "}"
+         << (last ? "" : ",") << "\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // --quick: skip the 100k point (tools/check.sh smoke mode)
+    const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+    const unsigned cores = std::thread::hardware_concurrency();
+    heading("scale-out: flood/reduce waves, " +
+            std::to_string(kThreads) + " shards");
+    std::cout << "host hardware_concurrency: " << cores << "\n\n";
+
+    const core::Config compact = apps::FloodConfig::scaleNodeConfig();
+    const core::Config eager; // the pre-PR per-node defaults
+
+    // weak scaling under the new engine + compact state
+    std::vector<Result> scaling;
+    scaling.push_back(runOnce("1k", 32, 32, true, compact));
+    scaling.push_back(runOnce("10k", 100, 100, true, compact));
+    if (!quick)
+        scaling.push_back(runOnce("100k", 320, 313, true, compact));
+
+    // the pre-PR engine at 1k nodes (legacy global windows, default
+    // node configuration) against this PR's engine.  Wall time of a
+    // 60 ms phase on a loaded host is noisy, so each side takes the
+    // best of several runs -- the standard way to measure the code
+    // rather than the scheduler.
+    constexpr int kAbRuns = 5;
+    Result pre = runOnce("1k_pre", 32, 32, false, eager);
+    Result post = runOnce("1k_post", 32, 32, true, compact);
+    for (int i = 1; i < kAbRuns; ++i) {
+        const Result a = runOnce("1k_pre", 32, 32, false, eager);
+        if (a.run_s < pre.run_s)
+            pre = a;
+        const Result b = runOnce("1k_post", 32, 32, true, compact);
+        if (b.run_s < post.run_s)
+            post = b;
+    }
+    const double ratio = pre.run_s / post.run_s;
+
+    const size_t idle = idleNodeBytes();
+
+    Table t({10, 10, 12, 12, 10, 12, 12, 12});
+    t.row("run", "nodes", "build (s)", "run (s)", "rounds",
+          "nodes/s/core", "B/node mean", "ok");
+    t.rule();
+    for (const auto &r : scaling)
+        t.row(r.label, r.nodes(), r.build_s, r.run_s, r.rounds,
+              r.nodesPerSecPerCore(cores), r.bytesMean,
+              r.ok ? "yes" : "NO");
+    t.row(pre.label, pre.nodes(), pre.build_s, pre.run_s, pre.rounds,
+          pre.nodesPerSecPerCore(cores), pre.bytesMean,
+          pre.ok ? "yes" : "NO");
+    t.rule();
+    std::cout << "\nidle (never-executed) node: " << idle
+              << " bytes of side structures\n";
+    std::cout << "1k-node throughput vs pre-PR engine: " << ratio
+              << "x\n";
+
+    bool ok = pre.ok && idle <= 1024 && ratio >= 2.0;
+    for (const auto &r : scaling)
+        ok = ok && r.ok;
+
+    std::ofstream json("BENCH_scale.json");
+    json << "{\n  \"workload\": \"flood_reduce\",\n"
+         << "  \"threads\": " << kThreads << ",\n"
+         << "  \"hardware_concurrency\": " << cores << ",\n"
+         << "  \"idle_bytes_per_node\": " << idle << ",\n"
+         << "  \"weak_scaling\": [\n";
+    for (size_t i = 0; i < scaling.size(); ++i)
+        emitRun(json, scaling[i], cores, i + 1 == scaling.size());
+    json << "  ],\n  \"ab_1k\": {\n   \"pre\": [\n";
+    emitRun(json, pre, cores, true);
+    json << "   ],\n   \"post\": [\n";
+    emitRun(json, post, cores, true);
+    json << "   ],\n   \"throughput_ratio\": " << ratio
+         << "\n  },\n  \"pass\": " << (ok ? "true" : "false")
+         << "\n}\n";
+    std::cout << "wrote BENCH_scale.json\n";
+    return ok ? 0 : 1;
+}

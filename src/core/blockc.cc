@@ -77,7 +77,8 @@ chainWorstCost(Kind k, const isa::Predecoded &d, int external_waits)
 
 Superblock *
 BlockCache::compile(mem::Memory &mem, const uint32_t *gens,
-                    const WordShape &s, int external_waits, Word entry,
+                    size_t icache_mask, const WordShape &s,
+                    int external_waits, Word entry,
                     BlockBackend &backend)
 {
     std::array<isa::Predecoded, kMaxSteps> dec;
@@ -173,7 +174,7 @@ BlockCache::compile(mem::Memory &mem, const uint32_t *gens,
         st.operand = d.operand;
         st.sop = s.toSigned(d.operand);
         st.slot = static_cast<uint32_t>(tag) &
-                  static_cast<uint32_t>(PredecodeCache::kIndexMask);
+                  static_cast<uint32_t>(icache_mask);
         st.gidx = static_cast<uint32_t>(mem.blockIndex(tag));
         st.gidx2 = static_cast<uint32_t>(mem.blockIndex(last));
         st.gen = gens[st.gidx];
@@ -1299,6 +1300,48 @@ Transputer::blockBackendUsable()
 #endif
 }
 
+/**
+ * Whether compiling a superblock can pay off here: the tier's entry
+ * and deopt overhead only amortizes over long chain runs, and the
+ * fused tier's observed mean run length is the best predictor we
+ * have.  Short-run workloads (branchy code, communication-bound
+ * loops: dbsearch averages under five chains) run faster staying in
+ * the fused tier, so promotion waits until the evidence says
+ * otherwise.  With too small a sample the classic behavior (compile
+ * at the heat threshold) is kept.  The decision reads only counters
+ * that snapshots round-trip, so replays repeat it exactly.
+ */
+bool
+Transputer::blockPromotionAllowed() const
+{
+    constexpr uint64_t kMinRuns = 32;     ///< sample size to trust
+    constexpr uint64_t kMinMeanRun = 6;   ///< chains per fused run
+    const auto &f = ctrs_.fused;
+    return f.runs < kMinRuns ||
+           f.instructions >= kMinMeanRun * f.runs;
+}
+
+void
+Transputer::ensureBlockTier()
+{
+    if (!bcache_) {
+        bcache_ = std::make_unique<blockc::BlockCache>();
+        // stats accumulated (or snapshot-restored) while the tier had
+        // no live cache were carried in ctrs_.blockc; counters()
+        // reads the live cache once one exists
+        bcache_->restoreStats(ctrs_.blockc);
+        backend_ = std::make_unique<blockc::ThreadedBackend>();
+    }
+}
+
+size_t
+Transputer::blockTierFootprint() const
+{
+    return bcache_ ? bcache_->footprintBytes() +
+                         sizeof(blockc::ThreadedBackend)
+                   : 0;
+}
+
 int
 Transputer::runBlocks(Tick bound, int budget)
 {
@@ -1306,12 +1349,18 @@ Transputer::runBlocks(Tick bound, int budget)
         trace_ || budget <= 0 || state_ != CpuState::Running ||
         time_ > bound)
         return 0;
+    ensureBlockTier();
     blockc::BlockCache &bc = *bcache_;
     blockc::Superblock *sb = bc.find(iptr_);
     if (!sb) {
         if (!bc.heat(iptr_))
             return 0;
-        sb = bc.compile(mem_, icache_.gensData(), shape_,
+        if (!blockPromotionAllowed()) {
+            bc.cool(iptr_); // re-heats; run length may change
+            return 0;
+        }
+        sb = bc.compile(mem_, icache_.gensData(),
+                        icache_.indexMask(), shape_,
                         cfg_.externalWaits, iptr_, *backend_);
         if (!sb)
             return 0;
@@ -1332,11 +1381,11 @@ Transputer::runBlocks(Tick bound, int budget)
     // and recording them would evict the scheduler history a
     // post-mortem actually needs.  A GuardStale streak before a hang
     // is exactly what this is for.
-    if (obsFlight_ && why != blockc::Deopt::Bound &&
+    if (flightOn_ && why != blockc::Deopt::Bound &&
         why != blockc::Deopt::Budget && why != blockc::Deopt::End)
-        obsFlight_->record(time_, obs::Ev::Deopt,
-                           static_cast<uint64_t>(why),
-                           static_cast<uint64_t>(n), 0);
+        recordFlight(time_, obs::Ev::Deopt,
+                     static_cast<uint64_t>(why),
+                     static_cast<uint64_t>(n), 0);
 #endif
     if (why == blockc::Deopt::GuardStale)
         bc.invalidate(*sb); // self-modified: re-heat and recompile
@@ -1349,11 +1398,18 @@ Transputer::wantsBlockEntry(Word iptr)
     // called from runFused at jump back-edges: a compiled (or
     // compilable-right-now) block at the target makes the fused loop
     // bail so the next dispatch enters the block at its proper head
+    ensureBlockTier();
     blockc::BlockCache &bc = *bcache_;
     blockc::Superblock *sb = bc.find(iptr);
-    if (!sb && bc.heat(iptr))
-        sb = bc.compile(mem_, icache_.gensData(), shape_,
+    if (!sb && bc.heat(iptr)) {
+        if (!blockPromotionAllowed()) {
+            bc.cool(iptr);
+            return false;
+        }
+        sb = bc.compile(mem_, icache_.gensData(),
+                        icache_.indexMask(), shape_,
                         cfg_.externalWaits, iptr, *backend_);
+    }
     return sb != nullptr;
 }
 
@@ -1369,10 +1425,8 @@ Transputer::setBlockCompileEnabled(bool on)
 {
     if (on && !blockBackendUsable())
         return;
-    if (on && !bcache_) {
-        bcache_ = std::make_unique<blockc::BlockCache>();
-        backend_ = std::make_unique<blockc::ThreadedBackend>();
-    }
+    // the cache and backend (~75 KiB) appear on first use, so merely
+    // enabling the tier keeps an idle node small
     blockCompileEnabled_ = on;
 }
 

@@ -93,7 +93,7 @@ struct Step
     Word operand = 0;   ///< folded operand
     Word aux = 0;       ///< kind-specific (folded constant, binop op)
     int64_t sop = 0;    ///< operand, sign-extended at compile time
-    uint32_t slot = 0;  ///< icache slot: tag & kIndexMask
+    uint32_t slot = 0;  ///< icache slot: tag & the icache index mask
     uint32_t gidx = 0;  ///< generation slot of the first byte
     uint32_t gidx2 = 0; ///< generation slot of the last byte
     uint32_t gen = 0;   ///< write generation at compile time
@@ -277,8 +277,20 @@ class BlockCache
      * is then negatively cached until its heat slot is recycled).
      */
     Superblock *compile(mem::Memory &mem, const uint32_t *gens,
-                        const WordShape &s, int external_waits,
-                        Word entry, BlockBackend &backend);
+                        size_t icache_mask, const WordShape &s,
+                        int external_waits, Word entry,
+                        BlockBackend &backend);
+
+    /** Reset an address's heat without compiling (promotion was
+     *  declined): it must cross the threshold again before the next
+     *  attempt, by which time the evidence may have changed. */
+    void
+    cool(Word iptr)
+    {
+        const size_t i = heatIndex(iptr);
+        if (heatTag_[i] == iptr)
+            heatCount_[i] = 0;
+    }
 
     /** Demote one block (stale guards, self-modifying code). */
     void
@@ -307,6 +319,19 @@ class BlockCache
 
     obs::BlockStats &stats() { return stats_; }
     const obs::BlockStats &stats() const { return stats_; }
+
+    /** Host bytes of the cache itself plus every compiled block's
+     *  step and cumulative-count arrays (scale accounting). */
+    size_t
+    footprintBytes() const
+    {
+        size_t n = sizeof(*this);
+        for (const Superblock &sb : blocks_) {
+            n += sb.steps.capacity() * sizeof(Step);
+            n += sb.cum.capacity() * sizeof(Superblock::CumRow);
+        }
+        return n;
+    }
 
     /** Overwrite the statistics with snapshotted values (src/snap). */
     void restoreStats(const obs::BlockStats &s) { stats_ = s; }

@@ -201,6 +201,13 @@ Transputer::runFused(Tick bound, int budget)
     };
     const PredecodeCache::Entry *const entries =
         icache_.entriesData();
+    if (!entries) {
+        // never filled: one generic-path instruction makes lookup()
+        // allocate the entry array, then we re-enter with it live
+        inExec_ = false;
+        return 0;
+    }
+    const size_t imask = icache_.indexMask();
     const uint32_t *const gens = icache_.gensData();
     uint64_t hits = 0;
     bool running = state_ == CpuState::Running;
@@ -221,8 +228,8 @@ Transputer::runFused(Tick bound, int budget)
                 profNext = profNextCycle_;
                 tsNext = tsNextTick_;
             }
-            const auto &e = entries[static_cast<size_t>(iptr) &
-                                    PredecodeCache::kIndexMask];
+            const auto &e =
+                entries[static_cast<size_t>(iptr) & imask];
             if (!(e.length && e.tag == iptr &&
                   gens[e.gidx] == e.gen && gens[e.gidx2] == e.gen2))
                 break; // miss: the generic path fills and executes

@@ -49,9 +49,24 @@ class PredecodeCache
         bool offChip = false; ///< any byte outside on-chip RAM
     };
 
-    explicit PredecodeCache(mem::Memory &mem)
-        : mem_(&mem), gens_(mem.invalBlocks(), 1), entries_(kEntries)
+    /** Default slot count (the T424-era sweet spot, ~80 KiB). */
+    static constexpr size_t kDefaultEntries = 2048;
+
+    /**
+     * @param entries direct-mapped slot count, a power of two.  Large
+     * networks of mostly-idle nodes use a small cache
+     * (core::Config::icacheEntries); the entry array itself is only
+     * allocated on the first fill, so a node that never executes
+     * costs just the generation array.
+     */
+    explicit PredecodeCache(mem::Memory &mem,
+                            size_t entries = kDefaultEntries)
+        : mem_(&mem), nEntries_(entries), mask_(entries - 1),
+          gens_(mem.invalBlocks(), 1)
     {
+        TRANSPUTER_ASSERT(entries >= 2 &&
+                              (entries & (entries - 1)) == 0,
+                          "icache entry count must be a power of two");
         mem_->attachWriteGens(gens_.data());
     }
 
@@ -69,6 +84,8 @@ class PredecodeCache
     const Entry *
     lookup(Word iptr)
     {
+        if (entries_.empty()) [[unlikely]]
+            entries_.resize(nEntries_);
         // hot: the per-instruction hit check is two direct loads into
         // the generation array (the slots were resolved at fill time)
         Entry &e = entries_[indexOf(iptr)];
@@ -84,6 +101,13 @@ class PredecodeCache
     ///@{
     uint64_t hits() const { return hits_; }
     uint64_t misses() const { return misses_; }
+    /** Host bytes of the side structures (scale accounting). */
+    size_t
+    footprintBytes() const
+    {
+        return entries_.capacity() * sizeof(Entry) +
+               gens_.capacity() * sizeof(uint32_t);
+    }
     /** Refills of an entry whose tag matched but whose generations
      *  were stale: a store landed in the cached chain's blocks
      *  (self-modifying code, link DMA, boot loads). */
@@ -123,11 +147,19 @@ class PredecodeCache
      * core/exec.cc's runFused keeps these in locals so the hot hit
      * check does not re-load vector data pointers after every store
      * (uint8_t stores into the memory image may alias anything).  A
-     * miss there simply falls back to lookup(), which fills.
+     * miss there simply falls back to lookup(), which fills (and
+     * allocates the entry array if this node never executed before).
      */
     ///@{
-    static constexpr size_t kIndexMask = 2047;
-    const Entry *entriesData() const { return entries_.data(); }
+    /** Index mask for this cache's slot count (entry count - 1). */
+    size_t indexMask() const { return mask_; }
+    /** The entry array, or nullptr before the first fill: callers
+     *  take the slow path once and lookup() allocates. */
+    const Entry *
+    entriesData() const
+    {
+        return entries_.empty() ? nullptr : entries_.data();
+    }
     const uint32_t *gensData() const { return gens_.data(); }
     void addHits(uint64_t n) { hits_ += n; }
     ///@}
@@ -143,7 +175,13 @@ class PredecodeCache
      * anything else deopts before executing.
      */
     ///@{
-    Entry *entriesMut() { return entries_.data(); }
+    Entry *
+    entriesMut()
+    {
+        if (entries_.empty()) [[unlikely]]
+            entries_.resize(nEntries_);
+        return entries_.data();
+    }
     /** Count one emulated fill (stale_tag: the displaced entry was
      *  the same chain, i.e. an invalidation). */
     void
@@ -156,12 +194,10 @@ class PredecodeCache
     ///@}
 
   private:
-    static constexpr size_t kEntries = kIndexMask + 1; ///< slots
-
-    static size_t
-    indexOf(Word iptr)
+    size_t
+    indexOf(Word iptr) const
     {
-        return static_cast<size_t>(iptr) & (kEntries - 1);
+        return static_cast<size_t>(iptr) & mask_;
     }
 
     Word
@@ -208,8 +244,10 @@ class PredecodeCache
     }
 
     mem::Memory *mem_;
+    const size_t nEntries_;      ///< slot count (power of two)
+    const size_t mask_;          ///< nEntries_ - 1
     std::vector<uint32_t> gens_; ///< per-block write generations
-    std::vector<Entry> entries_;
+    std::vector<Entry> entries_; ///< lazily sized to nEntries_
     uint64_t hits_ = 0;
     uint64_t misses_ = 0;
     uint64_t invalidations_ = 0;

@@ -16,7 +16,8 @@ Transputer::Transputer(sim::EventQueue &queue, const Config &cfg,
       queue_(&queue),
       mem_(cfg.shape, cfg.onchipBytes, cfg.externalBytes,
            cfg.externalWaits),
-      icache_(mem_), predecodeEnabled_(cfg.predecode),
+      icache_(mem_, cfg.icacheEntries),
+      predecodeEnabled_(cfg.predecode),
       stepEvent_([](void *ctx) {
           static_cast<Transputer *>(ctx)->stepHandler();
       }, this)
@@ -44,6 +45,39 @@ Transputer::Transputer(sim::EventQueue &queue, const Config &cfg,
         setProfileEnabled(true);
     if (cfg.timeseries)
         setTimeseriesEnabled(true);
+}
+
+void
+Transputer::recordFlight(Tick when, obs::Ev ev, uint64_t a,
+                         uint64_t b, uint32_t c)
+{
+    if (!obsFlight_) {
+        flightBuf_ =
+            std::make_unique<obs::TraceBuffer>(cfg_.flightDepth);
+        obsFlight_ = flightBuf_.get();
+    }
+    obsFlight_->record(when, ev, a, b, c);
+}
+
+size_t
+Transputer::footprintBytes() const
+{
+    // the dynamic side structures of one node: what actually scales
+    // with the network size (the Transputer object itself is a fixed
+    // ~2 KiB of registers, scheduler state and counters)
+    size_t n = mem_.allocatedBytes();
+    n += (mem_.pageCount() + 63) / 64 * sizeof(uint64_t); // dirty map
+    n += icache_.footprintBytes();
+    n += blockTierFootprint();
+    if (traceBuf_)
+        n += traceBuf_->footprintBytes();
+    if (flightBuf_)
+        n += flightBuf_->footprintBytes();
+    if (prof_)
+        n += prof_->footprintBytes();
+    if (tseries_)
+        n += tseries_->footprintBytes();
+    return n;
 }
 
 Word

@@ -97,6 +97,14 @@ struct Config
      *  (already rare) traced event. */
     bool flight = true;
     unsigned flightDepth = 10;     ///< log2 of the flight ring
+    /**
+     * Slots in the predecoded-instruction cache (a power of two).
+     * The default suits a busy standalone part; huge networks of
+     * mostly-idle nodes shrink it (64 slots still covers a typical
+     * occam inner loop) so 100k nodes fit in host RAM.  Purely an
+     * acceleration structure: any size executes identically.
+     */
+    size_t icacheEntries = PredecodeCache::kDefaultEntries;
 };
 
 /** Execution state of the whole part. */
@@ -289,6 +297,15 @@ class Transputer
     obs::Counters counters() const;
 
     /**
+     * Host bytes this node currently occupies in side structures:
+     * backed memory pages, dirty bitmap, icache, block tier, and any
+     * observability rings that were actually enabled.  Purely an
+     * accounting view for the scale bench (bytes/node); never affects
+     * simulation.  Defined in transputer.cc.
+     */
+    size_t footprintBytes() const;
+
+    /**
      * Toggle event tracing at runtime.  The ring buffer is allocated
      * on first enable and kept (with its records) across disables so
      * exporters can read it after a run.  Tracing never perturbs
@@ -314,8 +331,8 @@ class Transputer
 #ifdef TRANSPUTER_OBS
         if (obsTrace_)
             obsTrace_->record(queue_->now(), ev, a, b, c);
-        if (obsFlight_ && obs::flightWorthy(ev))
-            obsFlight_->record(queue_->now(), ev, a, b, c);
+        if (flightOn_ && obs::flightWorthy(ev))
+            recordFlight(queue_->now(), ev, a, b, c);
 #else
         (void)ev; (void)a; (void)b; (void)c;
 #endif
@@ -383,17 +400,17 @@ class Transputer
     obs::TsPoint tsCapture(Tick nominal);
 
     /** Toggle the flight recorder at runtime (on by default via
-     *  Config::flight; same lifetime rules as the tracer). */
+     *  Config::flight; same lifetime rules as the tracer).  The ring
+     *  itself only appears on the first flight-worthy record, so the
+     *  default-on recorder costs an idle node nothing. */
     void
     setFlightEnabled(bool on)
     {
-        if (on && !flightBuf_)
-            flightBuf_ =
-                std::make_unique<obs::TraceBuffer>(cfg_.flightDepth);
+        flightOn_ = on;
         obsFlight_ = on ? flightBuf_.get() : nullptr;
     }
-    bool flightEnabled() const { return obsFlight_ != nullptr; }
-    /** The flight ring, or nullptr if never enabled. */
+    bool flightEnabled() const { return flightOn_; }
+    /** The flight ring, or nullptr if nothing was ever recorded. */
     const obs::TraceBuffer *flightBuffer() const
     {
         return flightBuf_.get();
@@ -484,8 +501,8 @@ class Transputer
 #ifdef TRANSPUTER_OBS
         if (obsTrace_)
             obsTrace_->record(when, ev, a, b, c);
-        if (obsFlight_ && obs::flightWorthy(ev))
-            obsFlight_->record(when, ev, a, b, c);
+        if (flightOn_ && obs::flightWorthy(ev))
+            recordFlight(when, ev, a, b, c);
 #else
         (void)when; (void)ev; (void)a; (void)b; (void)c;
 #endif
@@ -533,6 +550,12 @@ class Transputer
      *  retired.  Heats (and compiles) cold entry points as a side
      *  effect.  Safe no-op when the tier is off. */
     int runBlocks(Tick bound, int budget);
+    /** Promotion gate: compile only where the fused tier's observed
+     *  mean run length says a superblock can win (blockc.cc). */
+    bool blockPromotionAllowed() const;
+    /** Allocate the block cache and backend on first use (enabling
+     *  the tier alone keeps an idle node small). */
+    void ensureBlockTier();
     /** runFused's bail probe at jump back-edges: true when a block
      *  exists (compiling it right now if the target just crossed the
      *  heat threshold), so the fused loop hands over. */
@@ -543,6 +566,8 @@ class Transputer
      *  describe the pre-restore memory image) and overwrite the
      *  statistics with the snapshotted values. */
     void restoreBlockTier(const obs::BlockStats &s);
+    /** Host bytes of the block cache and backend, 0 while deferred. */
+    size_t blockTierFootprint() const;
     ///@}
     /** Off-chip fetch-wait charges for a whole predecoded chain. */
     void chargeFetchSpan(Word start, int length);
@@ -706,9 +731,16 @@ class Transputer
     std::unique_ptr<obs::TraceBuffer> traceBuf_;
     obs::TraceBuffer *obsTrace_ = nullptr;
 
-    // flight recorder: same lazy-ring + raw-pointer-gate discipline
+    // flight recorder: enabled by a plain bool so 100k default-on
+    // idle nodes pay no ring; the ring appears on the first
+    // flight-worthy record (recordFlight, transputer.cc)
+    bool flightOn_ = false;
     std::unique_ptr<obs::TraceBuffer> flightBuf_;
     obs::TraceBuffer *obsFlight_ = nullptr;
+
+    /** Allocate-on-first-use slow path behind the flightOn_ gate. */
+    void recordFlight(Tick when, obs::Ev ev, uint64_t a, uint64_t b,
+                      uint32_t c);
 
     // sampling profiler and metrics time-series: the thresholds are
     // the only state the execution tiers test (one compare each per

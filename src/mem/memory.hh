@@ -16,6 +16,15 @@
  * area used on a low-to-high priority switch.  MemStart is the first
  * word available to programs (0x80000048 on a 32-bit part, matching
  * the historical T414 map).
+ *
+ * Storage is allocated lazily (DESIGN.md section 4.8): the logical
+ * size is fixed at construction but the backing bytes grow on demand,
+ * in snapshot-page multiples, only as high as the program actually
+ * writes.  Reads above the high-water mark return zero -- exactly
+ * what an eager zero-filled image would hold -- so the laziness is
+ * invisible to programs, and a mostly-idle transputer in a
+ * 100k-node network costs one 256-byte page (the reserved map)
+ * instead of its whole address space.
  */
 
 #ifndef TRANSPUTER_MEM_MEMORY_HH
@@ -70,12 +79,12 @@ class Memory
            Word external_bytes = 0, int external_waits = 0)
         : shape_(shape), onchipBytes_(onchip_bytes),
           externalWaits_(external_waits),
-          bytes_(onchip_bytes + external_bytes, 0)
+          sizeBytes_(onchip_bytes + external_bytes)
     {
         TRANSPUTER_ASSERT(onchip_bytes % shape.bytes == 0);
         TRANSPUTER_ASSERT(external_bytes % shape.bytes == 0);
         TRANSPUTER_ASSERT(
-            bytes_.size() >= (reserved::memStart + 1u) *
+            sizeBytes_ >= (reserved::memStart + 1u) *
             static_cast<unsigned>(shape.bytes),
             "memory too small for the reserved map");
         dirty_.assign((pageCount() + 63) / 64, 0);
@@ -84,7 +93,11 @@ class Memory
     const WordShape &shape() const { return shape_; }
 
     /** Total populated bytes (on-chip + external). */
-    Word size() const { return static_cast<Word>(bytes_.size()); }
+    Word size() const { return static_cast<Word>(sizeBytes_); }
+
+    /** Bytes actually backed by host storage (the lazy high-water
+     *  mark, a page multiple; at most size()). */
+    size_t allocatedBytes() const { return bytes_.capacity(); }
 
     /** Lowest populated address. */
     Word base() const { return shape_.mostNeg; }
@@ -144,7 +157,7 @@ class Memory
     bool
     contains(Word addr) const
     {
-        return offset(addr) < bytes_.size();
+        return offset(addr) < sizeBytes_;
     }
 
     /** @name Write-invalidation hook (core/icache.hh)
@@ -164,7 +177,7 @@ class Memory
     size_t
     invalBlocks() const
     {
-        return (bytes_.size() >> invalBlockShift) + 1;
+        return (sizeBytes_ >> invalBlockShift) + 1;
     }
 
     /** Attach (or detach, with nullptr) the generation array. */
@@ -205,7 +218,7 @@ class Memory
     size_t
     pageCount() const
     {
-        return (bytes_.size() + (size_t{1} << pageShift) - 1)
+        return (sizeBytes_ + (size_t{1} << pageShift) - 1)
                >> pageShift;
     }
 
@@ -215,7 +228,7 @@ class Memory
     {
         const size_t start = p << pageShift;
         const size_t full = size_t{1} << pageShift;
-        return std::min(full, bytes_.size() - start);
+        return std::min(full, sizeBytes_ - start);
     }
 
     /** True if page p has been written since construction/restore. */
@@ -225,10 +238,13 @@ class Memory
         return (dirty_[p >> 6] >> (p & 63)) & 1;
     }
 
-    /** Raw bytes of page p. */
+    /** Raw bytes of page p (only valid for dirty pages: a page can
+     *  only be dirty once its storage exists). */
     const uint8_t *
     pageData(size_t p) const
     {
+        TRANSPUTER_ASSERT((p << pageShift) < bytes_.size(),
+                          "pageData on an unallocated page");
         return bytes_.data() + (p << pageShift);
     }
 
@@ -243,6 +259,7 @@ class Memory
         TRANSPUTER_ASSERT(p < pageCount() && n == pageBytes(p),
                           "writePage size mismatch");
         const size_t start = p << pageShift;
+        ensureBacked(start + n - 1);
         std::memcpy(bytes_.data() + start, data, n);
         dirty_[p >> 6] |= uint64_t{1} << (p & 63);
         if (writeGens_) {
@@ -254,7 +271,9 @@ class Memory
 
     /**
      * Zero all memory and clear the dirty bitmap, bumping every write
-     * generation: the clean slate a restore rebuilds onto.
+     * generation: the clean slate a restore rebuilds onto.  Backing
+     * storage is kept (zeroed), so a restore never re-grows pages it
+     * already had.
      */
     void
     resetForRestore()
@@ -279,13 +298,17 @@ class Memory
     uint8_t
     readByte(Word addr) const
     {
-        return bytes_[checkedOffset(addr)];
+        const size_t off = checkedOffset(addr);
+        // above the lazy high-water mark: never written, still zero
+        return off < bytes_.size() ? bytes_[off] : 0;
     }
 
     void
     writeByte(Word addr, uint8_t v)
     {
         const size_t off = checkedOffset(addr);
+        if (off >= bytes_.size())
+            ensureBacked(off);
         if (writeGens_)
             ++writeGens_[off >> invalBlockShift];
         markDirty(off);
@@ -298,6 +321,10 @@ class Memory
     {
         const Word a = shape_.wordAlign(addr);
         const size_t off = checkedOffset(a);
+        // backing grows in page multiples and words never straddle a
+        // page, so a word is either fully backed or fully unwritten
+        if (off >= bytes_.size())
+            return 0;
         // the byte fold below is a little-endian load; take it in one
         // step for the common 32-bit shape on little-endian hosts
         // (the loop's trip count is a runtime value, so the compiler
@@ -321,6 +348,8 @@ class Memory
     {
         const Word a = shape_.wordAlign(addr);
         const size_t off = checkedOffset(a);
+        if (off + static_cast<size_t>(shape_.bytes) > bytes_.size())
+            ensureBacked(off + static_cast<size_t>(shape_.bytes) - 1);
         if (writeGens_)
             ++writeGens_[off >> invalBlockShift];
         markDirty(off);
@@ -355,6 +384,23 @@ class Memory
     }
 
   private:
+    /**
+     * Grow the backing storage to cover byte offset off: to the next
+     * page boundary at least, doubling for amortized O(1) growth,
+     * never past the logical size.  Keeping the high-water mark
+     * page-aligned (or equal to the logical size) means words and
+     * snapshot pages are always either fully backed or fully
+     * unwritten.
+     */
+    void
+    ensureBacked(size_t off)
+    {
+        const size_t page = size_t{1} << pageShift;
+        const size_t want = (off + page) & ~(page - 1);
+        const size_t grown = std::max(want, 2 * bytes_.size());
+        bytes_.resize(std::min(grown, sizeBytes_), 0);
+    }
+
     /** Mark the snapshot page containing byte offset off as written.
      *  Word stores are word-aligned and pages are word multiples, so
      *  marking the page of the first byte covers the whole store.
@@ -382,7 +428,7 @@ class Memory
     checkedOffset(Word addr) const
     {
         const Word off = offset(addr);
-        if (off >= bytes_.size())
+        if (off >= sizeBytes_)
             throw MemFault(fmt("access at {} outside populated memory "
                                "([{}, {}))", hexWord(addr),
                                hexWord(shape_.mostNeg),
@@ -394,7 +440,8 @@ class Memory
     const WordShape shape_;
     const Word onchipBytes_;
     const int externalWaits_;
-    std::vector<uint8_t> bytes_;
+    const size_t sizeBytes_;        ///< logical (populated) size
+    std::vector<uint8_t> bytes_;    ///< lazy backing, page multiples
     std::vector<uint64_t> dirty_;   ///< per-page written-since bitmap
     size_t lastDirtyPage_ = SIZE_MAX; ///< markDirty fast-path memo
     uint32_t *writeGens_ = nullptr; ///< per-block write generations

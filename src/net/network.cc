@@ -80,6 +80,7 @@ Network::attachPeripheral(int n, int l, Peripheral &p,
     endpoints_.push_back(EndpointRec{engine.get(), n});
     endpoints_.push_back(EndpointRec{&p, n});
     link::LinkEngine &ref = *engine;
+    indexEngine(n, engines_.size());
     engines_.push_back(std::move(engine));
     topologyDirty_ = true;
     return ref;
@@ -90,7 +91,14 @@ Network::refreshTopology()
 {
     topologyDirty_ = false;
     const int n = static_cast<int>(nodes_.size());
-    if (n == 0) {
+    // The node-pair lead matrix is the serial queue's batching
+    // accelerator, not architectural state: above this size its
+    // quadratic memory and cubic closure cost more than they save, so
+    // large networks run the master queue untopologized (the
+    // shard-parallel engine computes its own shard-level matrix from
+    // the same wiring, and event order is identical either way).
+    constexpr int kTopologyNodeCap = 256;
+    if (n == 0 || n > kTopologyNodeCap) {
         queue_.clearTopology();
         return;
     }

@@ -82,6 +82,18 @@ struct RunOptions
     /** Force the metrics time-series on/off on every node for this
      *  run; unset leaves each node's own setting alone. */
     std::optional<bool> timeseries;
+    /**
+     * Per-shard-pair epoch windows (the conservative-DES lookahead
+     * bound, src/par/parallel_engine.hh): each shard's window end is
+     * computed from the other shards' published next-event times plus
+     * the all-pairs shortest link lead between the shards, so shards
+     * that are far apart in the topology (or idle) batch whole epochs
+     * of events per barrier round.  Off: every shard uses the legacy
+     * global window [globalNext, globalNext + minimum cut lead).
+     * Both modes are bit-identical to the serial engine; this switch
+     * exists so benchmarks can compare them.
+     */
+    bool epochWindows = true;
 };
 
 /** A collection of transputers wired by links, with one time base. */
@@ -103,6 +115,7 @@ class Network
         nodes_.push_back(std::make_unique<core::Transputer>(
             queue_, cfg, std::move(name)));
         nodes_.back()->setActor(++nextActor_);
+        nodeEngines_.emplace_back();
         topologyDirty_ = true;
         return static_cast<int>(nodes_.size() - 1);
     }
@@ -129,7 +142,9 @@ class Network
         registerLine(eb->tx(), b, a);
         endpoints_.push_back(EndpointRec{ea.get(), a});
         endpoints_.push_back(EndpointRec{eb.get(), b});
+        indexEngine(a, engines_.size());
         engines_.push_back(std::move(ea));
+        indexEngine(b, engines_.size());
         engines_.push_back(std::move(eb));
         topologyDirty_ = true;
     }
@@ -331,9 +346,11 @@ class Network
     nodeCounters(int i) const
     {
         obs::Counters c = nodes_.at(i)->counters();
-        for (const auto &e : engines_) {
-            if (&e->cpu() != nodes_[i].get())
-                continue;
+        // per-node engine index: whole-network sweeps (counters(),
+        // dumpMetrics) stay linear in the engine count instead of
+        // quadratic, which matters at 100k nodes
+        for (const uint32_t ei : nodeEngines_.at(i)) {
+            link::LinkEngine *const e = engines_[ei].get();
             c.linkBytesOut += e->bytesSent();
             c.linkBytesIn += e->bytesReceived();
             c.linkOutAborts += e->outAborts();
@@ -394,9 +411,21 @@ class Network
         lines_.push_back(LineRec{&line, src, dst});
     }
 
+    /** Record that engines_[engine_idx] is attached to node home. */
+    void
+    indexEngine(int home, size_t engine_idx)
+    {
+        if (nodeEngines_.size() <= static_cast<size_t>(home))
+            nodeEngines_.resize(static_cast<size_t>(home) + 1);
+        nodeEngines_[static_cast<size_t>(home)].push_back(
+            static_cast<uint32_t>(engine_idx));
+    }
+
     sim::EventQueue queue_;
     std::vector<std::unique_ptr<core::Transputer>> nodes_;
     std::vector<std::unique_ptr<link::LinkEngine>> engines_;
+    /** Indices into engines_ of each node's attached engines. */
+    std::vector<std::vector<uint32_t>> nodeEngines_;
     std::vector<LineRec> lines_;
     std::vector<EndpointRec> endpoints_;
     uint32_t nextActor_ = 0;  ///< 0 reserved for unkeyed events

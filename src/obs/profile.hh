@@ -78,6 +78,14 @@ class Profiler
 
     uint64_t totalSamples() const { return total_; }
     const std::map<Key, ProfCell> &cells() const { return cells_; }
+    /** Approximate host bytes of the histogram (scale accounting):
+     *  per-cell payload plus typical red-black node overhead. */
+    size_t
+    footprintBytes() const
+    {
+        return cells_.size() *
+               (sizeof(Key) + sizeof(ProfCell) + 4 * sizeof(void *));
+    }
     void
     clear()
     {

@@ -81,6 +81,12 @@ class TimeSeries
     }
 
     size_t capacity() const { return mask_ + 1; }
+    /** Host bytes of the ring (scale accounting). */
+    size_t
+    footprintBytes() const
+    {
+        return ring_.capacity() * sizeof(TsPoint);
+    }
     uint64_t total() const { return total_; }
     size_t
     size() const

@@ -141,6 +141,12 @@ class TraceBuffer
     }
 
     size_t capacity() const { return mask_ + 1; }
+    /** Host bytes of the ring (scale accounting). */
+    size_t
+    footprintBytes() const
+    {
+        return ring_.capacity() * sizeof(Record);
+    }
     /** Records ever written (>= size()). */
     uint64_t total() const { return total_; }
     /** Records currently held. */

@@ -9,17 +9,38 @@
  *                 is in the destination inbox;
  *   (each shard drains its inbox and publishes its next event time)
  *   barrier B  -- every shard has published;
- *   (every shard independently computes the same global next time and
- *    window end, then dispatches its events inside the window)
+ *   (every shard independently computes its window end from the
+ *    published times, then dispatches its events inside the window)
  *
- * Safety.  Every event a shard dispatches in a round has
- * when >= globalNext.  A cross-shard delivery it produces is timed at
- * least Line::minDeliveryLead() after its cause, so it lands at
- * when >= globalNext + lookahead = windowEnd: nothing a shard
- * dispatches inside the window can be affected by a delivery that has
- * not yet been drained.  Determinism then follows from the
- * (tick, actor, channel, seq) dispatch order, which is the same total
- * order the serial queue uses.
+ * Safety, legacy global window (epochWindows = false).  Every event a
+ * shard dispatches in a round has when >= globalNext.  A cross-shard
+ * delivery it produces is timed at least Line::minDeliveryLead()
+ * after its cause, so it lands at when >= globalNext + lookahead =
+ * windowEnd: nothing a shard dispatches inside the window can be
+ * affected by a delivery that has not yet been drained.
+ *
+ * Safety, per-shard epoch windows (the default).  Let d(t, s) be the
+ * narrowest lead of the cut lines from shard t to shard s, and D the
+ * all-pairs shortest-path closure of d under addition (with
+ * D[s][s] = the shortest cycle through s, never zero).  Inboxes drain
+ * only at barrier A, so the earliest event shard s can ever receive
+ * that is not already in its queue is the head of a causal chain
+ * starting from some shard t's next undispatched event: it arrives at
+ *
+ *   EIT(s) = min over all t of (localNext(t) + D[t][s])
+ *
+ * -- the t = s term covers responses bounced back by a neighbour
+ * (e.g. a link acknowledge claims the reverse wire with no process
+ * wakeup in between, so the round trip is d(s,t) + d(t,s) with no
+ * slack).  Each shard dispatches strictly below its own EIT; a shard
+ * with no incoming cut paths (or whose peers are idle) runs an
+ * arbitrarily long epoch per round.  EIT(s) >= globalNext + narrowest
+ * lead always, so epoch windows strictly contain the legacy windows
+ * and a run never takes more rounds than the legacy mode.
+ *
+ * Determinism in both modes follows from the (tick, actor, channel,
+ * seq) dispatch order, which is the same total order the serial
+ * queue uses.
  */
 
 #include "par/parallel_engine.hh"
@@ -54,7 +75,13 @@ struct Coord
     Barrier barrier;
     Tick limit = maxTick;
     Tick limitCap = maxTick;  ///< satAdd(limit, 1): dispatch bound
-    Tick lookahead = maxTick; ///< window width (maxTick: uncut)
+    Tick lookahead = maxTick; ///< legacy window width (maxTick: uncut)
+    bool epoch = true;        ///< per-shard-pair epoch windows
+    int nshards = 1;
+    /** All-pairs shortest cut-link lead, row-major [from][to]; the
+     *  diagonal holds the shortest cycle through the shard (maxTick
+     *  where no cut path exists). */
+    std::vector<Tick> dist;
 };
 
 /**
@@ -63,26 +90,47 @@ struct Coord
  * is needed and all workers exit the loop on the same round.
  */
 void
-workerLoop(Shard &self, std::vector<std::unique_ptr<Shard>> &shards,
-           Coord &c, uint64_t *rounds)
+workerLoop(Shard &self, int sidx,
+           std::vector<std::unique_ptr<Shard>> &shards, Coord &c,
+           uint64_t *rounds, uint64_t *barriers)
 {
+    std::vector<Tick> next(static_cast<size_t>(c.nshards), maxTick);
     while (true) {
         c.barrier.arriveAndWait(); // A: all deliveries posted
         self.inbox.drainTo(self.queue);
         self.localNext.store(self.queue.nextTime(),
                              std::memory_order_release);
         c.barrier.arriveAndWait(); // B: all next times published
+        if (barriers)
+            *barriers += 2;
         Tick global_next = maxTick;
-        for (auto &s : shards)
+        for (int t = 0; t < c.nshards; ++t) {
+            next[static_cast<size_t>(t)] =
+                shards[static_cast<size_t>(t)]->localNext.load(
+                    std::memory_order_acquire);
             global_next =
-                std::min(global_next,
-                         s->localNext.load(std::memory_order_acquire));
+                std::min(global_next, next[static_cast<size_t>(t)]);
+        }
         if (global_next >= c.limitCap)
             return; // quiescent, or nothing left inside the limit
         if (rounds)
             ++*rounds;
-        const Tick window_end =
-            std::min(satAdd(global_next, c.lookahead), c.limitCap);
+        Tick window_end;
+        if (c.epoch) {
+            // earliest possible not-yet-drained arrival at this shard
+            Tick eit = maxTick;
+            for (int t = 0; t < c.nshards; ++t)
+                eit = std::min(
+                    eit,
+                    satAdd(next[static_cast<size_t>(t)],
+                           c.dist[static_cast<size_t>(t) *
+                                      static_cast<size_t>(c.nshards) +
+                                  static_cast<size_t>(sidx)]));
+            window_end = std::min(eit, c.limitCap);
+        } else {
+            window_end =
+                std::min(satAdd(global_next, c.lookahead), c.limitCap);
+        }
         // CPUs may batch instructions ahead of dispatched events, but
         // not into the next window (another shard's delivery may land
         // there) and not past the limit (so the final run-ahead
@@ -95,6 +143,8 @@ workerLoop(Shard &self, std::vector<std::unique_ptr<Shard>> &shards,
         }
         if (self.events == before)
             ++self.stalls;
+        else
+            ++self.epochs;
     }
 }
 
@@ -160,7 +210,9 @@ runParallel(net::Network &net, Tick limit, const net::RunOptions &opts,
         const Tick reached = net.run(limit);
         if (stats) {
             stats->rounds = 0;
+            stats->barriers = 0;
             stats->lookahead = maxTick;
+            stats->epochWindows = false;
             stats->shards = {ShardStats{static_cast<int>(n),
                                         master.dispatched() - before,
                                         0, 0}};
@@ -198,14 +250,21 @@ runParallel(net::Network &net, Tick limit, const net::RunOptions &opts,
     }
 
     // route cut lines into the destination shard's inbox; the
-    // narrowest cut line sets the lookahead
+    // narrowest cut line sets the legacy lookahead and the cut leads
+    // seed the per-shard-pair distance matrix
+    const size_t ns = static_cast<size_t>(nshards);
+    std::vector<Tick> dist(ns * ns, maxTick);
     Tick lookahead = maxTick;
     for (const auto &lr : net.lines()) {
         if (shard_of[lr.srcNode] == shard_of[lr.dstNode]) {
             lr.line->setRouter({});
             continue;
         }
-        lookahead = std::min(lookahead, lr.line->minDeliveryLead());
+        const Tick lead = lr.line->minDeliveryLead();
+        lookahead = std::min(lookahead, lead);
+        Tick &d = dist[static_cast<size_t>(shard_of[lr.srcNode]) * ns +
+                       static_cast<size_t>(shard_of[lr.dstNode])];
+        d = std::min(d, lead);
         Inbox *inbox = &shards[shard_of[lr.dstNode]]->inbox;
         lr.line->setRouter([inbox](Tick when, const sim::EventKey &key,
                                    std::function<void()> fn) {
@@ -214,18 +273,35 @@ runParallel(net::Network &net, Tick limit, const net::RunOptions &opts,
     }
     TRANSPUTER_ASSERT(lookahead > 0, "cut line with zero lookahead");
 
+    // Floyd-Warshall closure over the shards (nshards is the thread
+    // count, so this is tiny).  The diagonal starts at maxTick, not
+    // zero, so dist[s][s] converges to the shortest cycle through s:
+    // the earliest a shard's own output can bounce back at it.
+    for (size_t k = 0; k < ns; ++k)
+        for (size_t i = 0; i < ns; ++i) {
+            const Tick ik = dist[i * ns + k];
+            if (ik == maxTick)
+                continue;
+            for (size_t j = 0; j < ns; ++j)
+                dist[i * ns + j] = std::min(
+                    dist[i * ns + j], satAdd(ik, dist[k * ns + j]));
+        }
+
     Coord coord(nshards);
     coord.limit = limit;
     coord.limitCap = satAdd(limit, 1);
     coord.lookahead = lookahead;
+    coord.epoch = opts.epochWindows;
+    coord.nshards = nshards;
+    coord.dist = std::move(dist);
 
-    uint64_t rounds = 0;
+    uint64_t rounds = 0, barriers = 0;
     std::vector<std::thread> workers;
     for (int s = 1; s < nshards; ++s)
         workers.emplace_back([&shards, &coord, s] {
-            workerLoop(*shards[s], shards, coord, nullptr);
+            workerLoop(*shards[s], s, shards, coord, nullptr, nullptr);
         });
-    workerLoop(*shards[0], shards, coord, &rounds);
+    workerLoop(*shards[0], 0, shards, coord, &rounds, &barriers);
     for (auto &w : workers)
         w.join();
 
@@ -252,12 +328,14 @@ runParallel(net::Network &net, Tick limit, const net::RunOptions &opts,
 
     if (stats) {
         stats->rounds = rounds;
+        stats->barriers = barriers;
         stats->lookahead = lookahead;
+        stats->epochWindows = opts.epochWindows;
         stats->shards.clear();
         for (const auto &sh : shards)
             stats->shards.push_back(ShardStats{
                 static_cast<int>(sh->nodes.size()), sh->events,
-                sh->inbox.pushes(), sh->stalls});
+                sh->inbox.pushes(), sh->stalls, sh->epochs});
     }
     return master.now();
 }

@@ -4,20 +4,25 @@
  *
  * The network's nodes are partitioned into shards, one worker thread
  * each, and the simulation advances in barrier-synchronized window
- * rounds.  The window width is the link lookahead: a link's earliest
- * remote effect trails its local cause by at least
- * Line::minDeliveryLead() (two bit times plus the propagation delay),
- * so every shard can dispatch events up to globalNext + lookahead
- * without waiting for the others.  Cross-shard deliveries travel
- * through lock-free inboxes and carry their (tick, actor, channel,
- * seq) dispatch keys, so each shard's queue dispatches exactly the
- * event sequence the single serial queue would: an N-thread run is
- * bit-identical to the serial run.  There is no rollback.
+ * rounds.  A link's earliest remote effect trails its local cause by
+ * at least Line::minDeliveryLead() (two bit times plus the
+ * propagation delay), which bounds how far each shard can dispatch
+ * without waiting for the others.  By default each shard gets its own
+ * epoch window from the per-shard-pair lookahead bound (the all-pairs
+ * shortest cut-link lead between shards, DESIGN.md section 4.8);
+ * RunOptions::epochWindows = false falls back to the legacy global
+ * window [globalNext, globalNext + narrowest cut lead).  Cross-shard
+ * deliveries travel through lock-free inboxes and carry their
+ * (tick, actor, channel, seq) dispatch keys, so each shard's queue
+ * dispatches exactly the event sequence the single serial queue
+ * would: an N-thread run is bit-identical to the serial run.  There
+ * is no rollback.
  */
 
 #ifndef TRANSPUTER_PAR_PARALLEL_ENGINE_HH
 #define TRANSPUTER_PAR_PARALLEL_ENGINE_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -34,12 +39,15 @@ struct ShardStats
     uint64_t events = 0;      ///< events the shard dispatched
     uint64_t inboxPushes = 0; ///< cross-shard events posted to it
     uint64_t stalls = 0;      ///< rounds where it dispatched nothing
+    uint64_t epochs = 0;      ///< rounds where it dispatched events
 };
 
 struct RunStats
 {
-    uint64_t rounds = 0;  ///< synchronization windows executed
-    Tick lookahead = 0;   ///< window width (maxTick: uncut network)
+    uint64_t rounds = 0;   ///< synchronization windows executed
+    uint64_t barriers = 0; ///< barrier crossings (2 per round + exit)
+    Tick lookahead = 0;    ///< narrowest cut lead (maxTick: uncut)
+    bool epochWindows = false; ///< per-shard-pair windows were used
     std::vector<ShardStats> shards;
 
     uint64_t
@@ -49,6 +57,21 @@ struct RunStats
         for (const auto &s : shards)
             n += s.events;
         return n;
+    }
+
+    /** Busiest shard's share of events over the mean (1.0: perfectly
+     *  balanced; only meaningful when totalEvents() > 0). */
+    double
+    imbalance() const
+    {
+        const uint64_t total = totalEvents();
+        if (shards.empty() || !total)
+            return 1.0;
+        uint64_t most = 0;
+        for (const auto &s : shards)
+            most = std::max<uint64_t>(most, s.events);
+        return static_cast<double>(most) * shards.size() /
+               static_cast<double>(total);
     }
 };
 

@@ -78,6 +78,9 @@ struct Shard
     /** Window rounds in which this shard had nothing to dispatch:
      *  barrier overhead paid for no work (horizon stalls). */
     uint64_t stalls = 0;
+    /** Window rounds in which this shard dispatched at least one
+     *  event (its active epochs). */
+    uint64_t epochs = 0;
 };
 
 } // namespace transputer::par

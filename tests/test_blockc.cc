@@ -600,8 +600,12 @@ TEST(BlockTierWorkloads, DbSearchTierOnOffBitIdentical)
     auto off = runDbSearch(false, 1);
     expectSameDbSearch(*on, *off, "3x3 dbsearch serial");
     if (kTierUsable) {
-        // the record-scan loops are hot: the tier really ran
-        EXPECT_GT(on->network().counters().blockc.enters, 0u);
+        // dbsearch is branchy and communication-bound: the fused
+        // tier's observed mean run length stays under the promotion
+        // gate (Transputer::blockPromotionAllowed), so the tier
+        // declines every entry point and the workload keeps the
+        // faster fused-loop profile (see BENCH_blockc.json)
+        EXPECT_EQ(on->network().counters().blockc.enters, 0u);
     }
     EXPECT_EQ(off->network().counters().blockc.enters, 0u);
 }

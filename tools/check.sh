@@ -9,7 +9,8 @@
 # input -- random byte streams, corrupted packets, dead nodes -- into
 # the simulator).  The block-compiler suite (test_blockc) carries both
 # labels, so the tier's guard/invalidation paths run under both
-# sanitizers.
+# sanitizers, and so does the scale suite (test_scale): the 1k-node
+# epoch-window equality runs under tsan, the lossy variant under asan.
 #
 # Usage: tools/check.sh [--no-tsan] [--no-asan]
 set -eu
@@ -95,16 +96,30 @@ mkdir -p "$snap_dir"
 ./build/tools/tsnap restore "$snap_dir/db-fault.tsnap" \
     --run-for 3000000 --verify | tail -1
 
+# scale-out smoke: a 10k-node flood under the epoch-window parallel
+# engine must reduce to exactly width*height (the example exits
+# nonzero otherwise), and the quick scale bench -- weak scaling minus
+# the 100k point, bytes/node, the A/B ratio gate -- must pass and
+# emit JSON that a strict parser accepts
+echo "== scale-out: 10k-node flood + bench_scale --quick =="
+./build/examples/flood 100 100 4 1
+scale_dir=build/scale-smoke
+mkdir -p "$scale_dir"
+(cd "$scale_dir" && ../bench/bench_scale --quick)
+python3 -m json.tool "$scale_dir/BENCH_scale.json" > /dev/null
+echo "BENCH_scale.json validates"
+
 if want --no-tsan; then
     run_preset tsan --target test_par --target test_obs \
         --target test_profile --target test_fault --target test_snap \
-        --target test_blockc
+        --target test_blockc --target test_scale
 fi
 
 if want --no-asan; then
     run_preset asan --target test_fault --target test_fuzz_decode \
         --target test_profile --target test_snap \
-        --target test_fuzz_snap --target test_blockc
+        --target test_fuzz_snap --target test_blockc \
+        --target test_scale
 fi
 
 echo "== all checks passed =="
