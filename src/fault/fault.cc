@@ -148,18 +148,25 @@ FaultInjector::scheduleNodeEvent(net::Network &net, const Planned &p)
             node.stall(until);
         });
     } else {
-        // silence the node's link engines along with the CPU so
-        // neighbours see stuck links, not a polite peer
-        std::vector<link::LinkEngine *> engines;
-        net.forEachEngine([&](link::LinkEngine &e) {
-            if (&e.cpu() == &node)
-                engines.push_back(&e);
-        });
+        // a kill silences the whole station: the CPU, every endpoint
+        // co-located with it (link engines and peripherals such as
+        // routing switch ports), and both directions of every attached
+        // line.  Each outgoing line first carries a peer-death
+        // notification -- delivered through the normal routed path, so
+        // neighbours observe the death promptly and deterministically
+        // instead of timing out message by message -- and is then
+        // latched dead.
+        std::vector<link::LinkEndpoint *> eps;
+        for (const auto &er : net.endpoints())
+            if (er.homeNode == p.node)
+                eps.push_back(er.ep);
         rec.id = q.schedule(
-            p.when, key, [&node, engines = std::move(engines)] {
+            p.when, key, [&node, eps = std::move(eps)] {
                 node.kill();
-                for (auto *e : engines)
-                    e->setDead();
+                for (auto *ep : eps)
+                    ep->tx().transmitPeerDeath();
+                for (auto *ep : eps)
+                    ep->onHostKilled();
             });
     }
     nodeEvents_.push_back(rec);

@@ -44,6 +44,9 @@ Line::scheduleDelivery(const InFlight &rec)
     case kDataEnd:
         fn = [remote, byte = rec.byte] { remote->onDataEnd(byte); };
         break;
+    case kPeerDead:
+        fn = [remote] { remote->onPeerDead(); };
+        break;
     default:
         fn = [remote] { remote->onAckEnd(); };
         break;
@@ -82,6 +85,8 @@ Line::exportSnap(Tick now)
     s.acksDropped = acksDropped_;
     s.dataCorrupted = dataCorrupted_;
     s.faultJitter = faultJitter_;
+    s.dead = dead_;
+    s.deadSquelched = deadSquelched_;
     s.inFlight = inFlight_;
     return s;
 }
@@ -99,15 +104,33 @@ Line::importSnap(const LineSnap &s)
     acksDropped_ = s.acksDropped;
     dataCorrupted_ = s.dataCorrupted;
     faultJitter_ = s.faultJitter;
+    dead_ = s.dead;
+    deadSquelched_ = s.deadSquelched;
     inFlight_ = s.inFlight;
     for (const InFlight &rec : inFlight_)
         scheduleDelivery(rec);
 }
 
 void
+Line::transmitPeerDeath()
+{
+    if (!remote_ || dead_)
+        return;
+    // after anything already committed to the wire, and never closer
+    // than the lookahead bound the parallel engine relies on
+    const Tick when =
+        std::max(queue_->now(), busyUntil_) + minDeliveryLead();
+    deliver(when, kPeerDead, 0);
+}
+
+void
 Line::transmitData(Tick not_before, uint8_t byte)
 {
     TRANSPUTER_ASSERT(remote_, "line not connected");
+    if (dead_) {
+        ++deadSquelched_;
+        return;
+    }
     FaultAction fa;
 #ifdef TRANSPUTER_FAULT
     if (fault_)
@@ -143,6 +166,10 @@ void
 Line::transmitAck(Tick not_before)
 {
     TRANSPUTER_ASSERT(remote_, "line not connected");
+    if (dead_) {
+        ++deadSquelched_;
+        return;
+    }
     FaultAction fa;
 #ifdef TRANSPUTER_FAULT
     if (fault_)
@@ -198,6 +225,15 @@ LinkEngine::requestOutput(Word wdesc, Word pointer, Word count)
     TRANSPUTER_ASSERT(!outActive_, "link output already in use");
     if (dead_)
         return; // a dead chip never completes; the process stays put
+    if (peerDead_) {
+        // the remote host is known dead: abort instantly, exactly as
+        // a fired watchdog would, instead of timing out per message
+        ++outAborts_;
+        cpu_.traceLink(obs::Ev::LinkAbortOut, wdesc, flowOut(),
+                       static_cast<uint32_t>(linkIndex_));
+        cpu_.completeOutput(wdesc);
+        return;
+    }
     if (count == 0) {
         cpu_.completeOutput(wdesc);
         return;
@@ -245,6 +281,17 @@ LinkEngine::requestInput(Word wdesc, Word pointer, Word count)
 #ifdef TRANSPUTER_FAULT
         armInWatchdog(cpu_.localTime());
 #endif
+    }
+    if (inActive_ && peerDead_) {
+        // nothing further can ever arrive: complete the message short
+        // now (the frame checksum catches the stale tail), as the in
+        // watchdog eventually would
+        disarmInWatchdog();
+        ++inAborts_;
+        cpu_.traceLink(obs::Ev::LinkAbortIn, inWdesc_, flowIn(),
+                       static_cast<uint32_t>(linkIndex_));
+        inActive_ = false;
+        cpu_.completeInput(inWdesc_);
     }
 }
 
@@ -399,6 +446,49 @@ LinkEngine::sendNextByte(Tick not_before)
 // ----- link health (src/fault) ---------------------------------------
 
 void
+LinkEngine::onPeerDead()
+{
+    if (peerDead_)
+        return;
+    peerDead_ = true;
+    // quiesce our direction of the link too: nothing we transmit can
+    // ever be consumed, and a silent wire is cheaper to simulate than
+    // packets nobody acknowledges
+    tx_.setDead();
+    if (dead_)
+        return;
+    if (awaitingAck_ || outActive_) {
+        disarmOutWatchdog();
+        ++outAborts_;
+        cpu_.traceLink(obs::Ev::LinkAbortOut, outWdesc_, flowOut(),
+                       static_cast<uint32_t>(linkIndex_));
+        awaitingAck_ = false;
+        if (outActive_) {
+            outActive_ = false;
+            cpu_.completeOutput(outWdesc_);
+        }
+    }
+    if (inActive_) {
+        disarmInWatchdog();
+        ++inAborts_;
+        cpu_.traceLink(obs::Ev::LinkAbortIn, inWdesc_, flowIn(),
+                       static_cast<uint32_t>(linkIndex_));
+        inActive_ = false;
+        ackSentForCurrent_ = false;
+        cpu_.completeInput(inWdesc_);
+    }
+}
+
+void
+LinkEngine::onHostKilled()
+{
+    setDead();
+    tx_.setDead();
+    disarmOutWatchdog();
+    disarmInWatchdog();
+}
+
+void
 LinkEngine::armOutWatchdog(Tick from)
 {
     if (watchdogTimeout_ == 0 || dead_)
@@ -505,6 +595,7 @@ LinkEngine::exportSnap() const
     s.bytesReceived = bytesReceived_;
     s.watchdogTimeout = watchdogTimeout_;
     s.dead = dead_;
+    s.peerDead = peerDead_;
     s.outAborts = outAborts_;
     s.inAborts = inAborts_;
     s.staleAcks = staleAcks_;
@@ -551,6 +642,7 @@ LinkEngine::importSnap(const EngineSnap &s)
     bytesReceived_ = s.bytesReceived;
     watchdogTimeout_ = s.watchdogTimeout;
     dead_ = s.dead;
+    peerDead_ = s.peerDead;
     outAborts_ = s.outAborts;
     inAborts_ = s.inAborts;
     staleAcks_ = s.staleAcks;

@@ -121,6 +121,30 @@ class Line
     /** Queue an acknowledge packet (2 bit times). */
     void transmitAck(Tick not_before);
 
+    /** @name Line death (src/fault, src/route)
+     *
+     * A dead line transmits nothing: packets offered to it are counted
+     * and discarded, which models the wire of a killed node.  Death is
+     * a one-way latch -- a killed chip stays killed.
+     */
+    ///@{
+    void setDead() { dead_ = true; }
+    bool lineDead() const { return dead_; }
+    /** Packets squelched because the line was dead. */
+    uint64_t deadSquelched() const { return deadSquelched_; }
+
+    /**
+     * Notify the remote endpoint that this end's host is dead.  The
+     * notification rides the normal delivery path (it is an InFlight
+     * record with its own key sequence), so it is routed across shards
+     * and captured by snapshots exactly like a data packet.  It is
+     * delivered after any packet already committed to the wire, and
+     * never earlier than minDeliveryLead() from now, preserving the
+     * parallel engine's lookahead bound.
+     */
+    void transmitPeerDeath();
+    ///@}
+
     /** Total ticks the line has spent transmitting. */
     Tick busyTime() const { return busyTime_; }
     uint64_t dataPackets() const { return dataPackets_; }
@@ -192,6 +216,7 @@ class Line
     static constexpr uint8_t kDataStart = 0;
     static constexpr uint8_t kDataEnd = 1;
     static constexpr uint8_t kAckEnd = 2;
+    static constexpr uint8_t kPeerDead = 3;
 
     /** One undelivered remote callback. */
     struct InFlight
@@ -214,6 +239,8 @@ class Line
         uint64_t acksDropped = 0;
         uint64_t dataCorrupted = 0;
         Tick faultJitter = 0;
+        bool dead = false;
+        uint64_t deadSquelched = 0;
         std::vector<InFlight> inFlight;
     };
 
@@ -255,6 +282,8 @@ class Line
     uint64_t acksDropped_ = 0;
     uint64_t dataCorrupted_ = 0;
     Tick faultJitter_ = 0;
+    bool dead_ = false;
+    uint64_t deadSquelched_ = 0;
 };
 
 /**
@@ -286,7 +315,22 @@ class LinkEndpoint
     virtual void onDataEnd(uint8_t byte) = 0;
     /** An acknowledge has been received. */
     virtual void onAckEnd() = 0;
+    /**
+     * The endpoint at the far end of this link is attached to a host
+     * that has died (Line::transmitPeerDeath).  Default: ignore, which
+     * reproduces the pre-notification behaviour of waiting for
+     * per-message watchdog timeouts.
+     */
+    virtual void onPeerDead() {}
     ///@}
+
+    /**
+     * The host this endpoint is attached to has been killed by the
+     * fault layer.  Implementations should quiesce both directions:
+     * stop transmitting and acknowledging, and mark the outgoing line
+     * dead.  Called in the killed node's event context.
+     */
+    virtual void onHostKilled() { tx_.setDead(); }
 
     Line &tx() { return tx_; }
 
@@ -366,6 +410,17 @@ class LinkEngine : public LinkEndpoint, public core::ChannelPort
     void onDataStart() override;
     void onDataEnd(uint8_t byte) override;
     void onAckEnd() override;
+    /**
+     * Prompt death notification from the remote end (satellite of the
+     * kill path): abort any transfer blocked on the dead neighbour
+     * right now -- counted and traced exactly like a watchdog abort --
+     * and quiesce this engine's own line toward the corpse, so both
+     * directions of the link fall silent at a deterministic tick
+     * instead of timing out message by message.
+     */
+    void onPeerDead() override;
+    /** Kill from the fault layer: engine dead + outgoing line dead. */
+    void onHostKilled() override;
     ///@}
 
     uint64_t bytesSent() const { return bytesSent_; }
@@ -401,6 +456,9 @@ class LinkEngine : public LinkEndpoint, public core::ChannelPort
     void setDead() { dead_ = true; }
     bool dead() const { return dead_; }
 
+    /** The remote host is known dead (peer-death notification). */
+    bool peerDead() const { return peerDead_; }
+
     uint64_t outAborts() const { return outAborts_; }
     uint64_t inAborts() const { return inAborts_; }
     uint64_t staleAcks() const { return staleAcks_; }
@@ -430,6 +488,7 @@ class LinkEngine : public LinkEndpoint, public core::ChannelPort
         uint64_t bytesSent = 0, bytesReceived = 0;
         Tick watchdogTimeout = 0;
         bool dead = false;
+        bool peerDead = false;
         uint64_t outAborts = 0, inAborts = 0, staleAcks = 0;
         uint64_t overrunDrops = 0, deadDrops = 0;
         uint64_t selfSeq = 0;
@@ -511,6 +570,7 @@ class LinkEngine : public LinkEndpoint, public core::ChannelPort
     // link health (src/fault); timeout 0 = strict hardware model
     Tick watchdogTimeout_ = 0;
     bool dead_ = false;
+    bool peerDead_ = false;
     sim::EventId outWdog_ = sim::invalidEventId;
     sim::EventId inWdog_ = sim::invalidEventId;
     uint64_t outAborts_ = 0;

@@ -87,6 +87,22 @@ Network::attachPeripheral(int n, int l, Peripheral &p,
 }
 
 void
+Network::connectPeripherals(int a, Peripheral &pa, int b,
+                            Peripheral &pb,
+                            const link::WireConfig & /* endpoints
+                            carry their own wire config */)
+{
+    pa.setActor(++nextActor_);
+    pb.setActor(++nextActor_);
+    link::LinkEndpoint::join(pa, pb);
+    registerLine(pa.tx(), a, b);
+    registerLine(pb.tx(), b, a);
+    endpoints_.push_back(EndpointRec{&pa, a});
+    endpoints_.push_back(EndpointRec{&pb, b});
+    topologyDirty_ = true;
+}
+
+void
 Network::refreshTopology()
 {
     topologyDirty_ = false;

@@ -156,6 +156,20 @@ class Network
     link::LinkEngine &attachPeripheral(int n, int l, Peripheral &p,
                                        const link::WireConfig &wire = {});
 
+    /**
+     * Wire two peripheral endpoints directly to each other (a trunk
+     * line of the routing fabric, src/route: switch port to switch
+     * port, no transputer on either end).  Each endpoint is co-located
+     * with -- shares the shard, fault domain and kill fate of -- its
+     * given home node; the line pair is registered as (a, b)/(b, a),
+     * so per-pair fault plans and the parallel engine's cut detection
+     * see the same topology a transputer-to-transputer link would
+     * expose.
+     */
+    void connectPeripherals(int a, Peripheral &pa, int b,
+                            Peripheral &pb,
+                            const link::WireConfig &wire = {});
+
     /** Copy an assembled image into a node's memory. */
     void
     load(int n, const tasm::Image &img)

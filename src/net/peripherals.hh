@@ -150,12 +150,24 @@ class Peripheral : public link::LinkEndpoint
     void
     onAckEnd() override
     {
-        TRANSPUTER_ASSERT(awaitingAck_, "peripheral: unexpected ack");
+        if (!awaitingAck_) {
+            // on faulty wires a jittered ack can arrive after the
+            // sender has already abandoned the byte (abortCurrentTx);
+            // tolerated and counted there, a protocol violation on
+            // perfect wires
+            TRANSPUTER_ASSERT(tolerateStaleAcks_,
+                              "peripheral: unexpected ack");
+            ++staleAcks_;
+            return;
+        }
         awaitingAck_ = false;
         txQueue_.pop_front();
         pump();
     }
     ///@}
+
+    /** Acks that arrived for already-abandoned bytes (tolerant mode). */
+    uint64_t staleAcks() const { return staleAcks_; }
 
     /** @name Checkpoint/restore (src/snap)
      *
@@ -207,6 +219,44 @@ class Peripheral : public link::LinkEndpoint
         tx_.transmitData(queue_->now(), txQueue_.front());
     }
 
+    /** @name Fault-tolerant transmit hooks (src/route switch ports)
+     *
+     * The byte protocol has no retransmission: on a lossy wire a
+     * dropped data byte or acknowledge stalls the pump forever.  A
+     * supervised peripheral abandons the stuck byte and moves on
+     * (higher layers recover by checksum + retransmit), and must then
+     * tolerate the stale ack a merely-delayed acknowledge becomes.
+     */
+    ///@{
+    bool awaitingAck() const { return awaitingAck_; }
+
+    /** Abandon the byte awaiting its ack and transmit the next one.
+     *  @return true if a byte was actually abandoned. */
+    bool
+    abortCurrentTx()
+    {
+        if (!awaitingAck_)
+            return false;
+        awaitingAck_ = false;
+        txQueue_.pop_front();
+        pump();
+        return true;
+    }
+
+    /** Discard everything queued (dead port); the in-flight byte's
+     *  ack, if it ever comes, is treated as stale. */
+    size_t
+    clearTx()
+    {
+        const size_t n = txQueue_.size();
+        txQueue_.clear();
+        awaitingAck_ = false;
+        return n;
+    }
+
+    bool tolerateStaleAcks_ = false;
+    ///@}
+
     /** @name Base-state parse/commit halves for subclass snapLoads */
     ///@{
     struct BaseSnap
@@ -244,6 +294,7 @@ class Peripheral : public link::LinkEndpoint
   private:
     std::deque<uint8_t> txQueue_;
     bool awaitingAck_ = false;
+    uint64_t staleAcks_ = 0;
 };
 
 /**

@@ -103,6 +103,27 @@ class Track
             << "\", \"cat\": \"link\"}";
     }
 
+    /** A mid-path flow step: one routed hop through a switch, so a
+     *  virtual channel renders as an arrow chain across every relay
+     *  (cat "route" keeps it filterable from the link arrows). */
+    void
+    flowStep(Tick when, uint64_t id, uint32_t port)
+    {
+        open("t", when);
+        os_ << ", \"id\": " << id << ", \"name\": \"hop.port" << port
+            << "\", \"cat\": \"route\"}";
+    }
+
+    void
+    routeFlow(Tick when, bool start, uint64_t id)
+    {
+        open(start ? "s" : "f", when);
+        if (!start)
+            os_ << ", \"bp\": \"e\"";
+        os_ << ", \"id\": " << id
+            << ", \"name\": \"vchan\", \"cat\": \"route\"}";
+    }
+
   private:
     void
     open(const char *ph, Tick when)
@@ -211,6 +232,27 @@ chromeTrace(net::Network &net, std::ostream &os, RingSource src)
                 break;
               case Ev::Deopt:
                 track.instant(r.when, "deopt");
+                break;
+              case Ev::RouteSend:
+                track.routeFlow(r.when, true, r.a);
+                break;
+              case Ev::RouteFwd:
+                track.flowStep(r.when, r.a, r.c);
+                break;
+              case Ev::RouteDeliver:
+                track.routeFlow(r.when, false, r.a);
+                break;
+              case Ev::RouteRetransmit:
+                track.instant(r.when, "route.retransmit");
+                break;
+              case Ev::RouteReroute:
+                track.instant(r.when, "route.reroute");
+                break;
+              case Ev::RouteDrop:
+                track.instant(r.when, "route.drop");
+                break;
+              case Ev::RouteUndeliverable:
+                track.instant(r.when, "route.undeliverable");
                 break;
               default:
                 break; // Ready/WaitChan/WaitTimer/LinkByte/LinkAck:

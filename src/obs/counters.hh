@@ -171,6 +171,25 @@ struct Counters
     uint64_t linkOverrunDrops = 0; ///< bytes dropped on a full buffer
     uint64_t linkDeadDrops = 0;   ///< bytes that arrived at a dead node
 
+    // virtual-channel routing fabric (src/route; filled by
+    // route::Fabric::nodeCounters from this node's switch).  Switch
+    // state changes only inside keyed delivery/timer events and all
+    // retry/backoff arithmetic is integer, so these are
+    // serial/parallel bit-identical like the fault block above.
+    uint64_t routeForwards = 0;      ///< packets relayed port-to-port
+    uint64_t routeDelivered = 0;     ///< fresh payloads handed to a host
+    uint64_t routeHops = 0;          ///< hops summed over delivered packets
+    uint64_t routeReroutes = 0;      ///< forwards off the first-choice port
+    uint64_t routeRetransmits = 0;   ///< end-to-end ARQ retransmissions
+    uint64_t routeHopRetransmits = 0; ///< per-trunk hop ARQ retransmissions
+    uint64_t routeHopDrops = 0;      ///< packets a trunk gave up on
+    uint64_t routeLinkFloods = 0;    ///< link-down notices originated/relayed
+    uint64_t routeDupDrops = 0;      ///< duplicate deliveries suppressed
+    uint64_t routeMalformed = 0;     ///< bytes rejected by the decoder
+    uint64_t routeCongestionDrops = 0; ///< packets dropped on a full port
+    uint64_t routeTtlDrops = 0;      ///< packets past the hop limit
+    uint64_t routeUndeliverable = 0; ///< sends declared undeliverable
+
     // host-side interpreter statistics (excluded from arch equality)
     FusedStats fused;
     BlockStats blockc;
@@ -223,6 +242,19 @@ struct Counters
         linkStaleAcks += o.linkStaleAcks;
         linkOverrunDrops += o.linkOverrunDrops;
         linkDeadDrops += o.linkDeadDrops;
+        routeForwards += o.routeForwards;
+        routeDelivered += o.routeDelivered;
+        routeHops += o.routeHops;
+        routeReroutes += o.routeReroutes;
+        routeRetransmits += o.routeRetransmits;
+        routeHopRetransmits += o.routeHopRetransmits;
+        routeHopDrops += o.routeHopDrops;
+        routeLinkFloods += o.routeLinkFloods;
+        routeDupDrops += o.routeDupDrops;
+        routeMalformed += o.routeMalformed;
+        routeCongestionDrops += o.routeCongestionDrops;
+        routeTtlDrops += o.routeTtlDrops;
+        routeUndeliverable += o.routeUndeliverable;
         fused += o.fused;
         blockc += o.blockc;
         return *this;
@@ -263,7 +295,20 @@ sameArchitectural(const Counters &a, const Counters &b)
            a.linkInAborts == b.linkInAborts &&
            a.linkStaleAcks == b.linkStaleAcks &&
            a.linkOverrunDrops == b.linkOverrunDrops &&
-           a.linkDeadDrops == b.linkDeadDrops;
+           a.linkDeadDrops == b.linkDeadDrops &&
+           a.routeForwards == b.routeForwards &&
+           a.routeDelivered == b.routeDelivered &&
+           a.routeHops == b.routeHops &&
+           a.routeReroutes == b.routeReroutes &&
+           a.routeRetransmits == b.routeRetransmits &&
+           a.routeHopRetransmits == b.routeHopRetransmits &&
+           a.routeHopDrops == b.routeHopDrops &&
+           a.routeLinkFloods == b.routeLinkFloods &&
+           a.routeDupDrops == b.routeDupDrops &&
+           a.routeMalformed == b.routeMalformed &&
+           a.routeCongestionDrops == b.routeCongestionDrops &&
+           a.routeTtlDrops == b.routeTtlDrops &&
+           a.routeUndeliverable == b.routeUndeliverable;
 }
 
 /**
@@ -331,6 +376,19 @@ countersJson(const Counters &c)
     num("link_stale_acks", c.linkStaleAcks);
     num("link_overrun_drops", c.linkOverrunDrops);
     num("link_dead_drops", c.linkDeadDrops);
+    num("route_forwards", c.routeForwards);
+    num("route_delivered", c.routeDelivered);
+    num("route_hops", c.routeHops);
+    num("route_reroutes", c.routeReroutes);
+    num("route_retransmits", c.routeRetransmits);
+    num("route_hop_retransmits", c.routeHopRetransmits);
+    num("route_hop_drops", c.routeHopDrops);
+    num("route_link_floods", c.routeLinkFloods);
+    num("route_dup_drops", c.routeDupDrops);
+    num("route_malformed", c.routeMalformed);
+    num("route_congestion_drops", c.routeCongestionDrops);
+    num("route_ttl_drops", c.routeTtlDrops);
+    num("route_undeliverable", c.routeUndeliverable);
     out += "\"fn\": {";
     bool first = true;
     for (size_t i = 0; i < c.fn.size(); ++i) {

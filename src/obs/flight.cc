@@ -99,6 +99,35 @@ evaluateFlightTriggers(net::Network &net)
         r.inAborts += e.inAborts();
     });
     r.watchdogAbort = r.outAborts + r.inAborts > 0;
+    // switch-port watchdogs (src/route) have no engine counter; their
+    // aborts reach the report through the ring records named below
+    // name the aborts and kills the rings still remember: counters say
+    // how many, the records say which node, which link, which process
+    // and when
+    for (size_t i = 0; i < net.size(); ++i) {
+        auto &node = net.node(static_cast<int>(i));
+        const TraceBuffer *buf = ringFor(node);
+        if (!buf)
+            continue;
+        buf->forEach([&](const Record &rec) {
+            switch (rec.ev) {
+              case Ev::LinkAbortOut:
+              case Ev::LinkAbortIn:
+                r.aborts.push_back(
+                    AbortRec{static_cast<int>(i), rec.when, rec.c,
+                             rec.ev == Ev::LinkAbortOut, rec.a});
+                break;
+              case Ev::FaultKill:
+                r.kills.push_back(
+                    KillRec{static_cast<int>(i), rec.when});
+                break;
+              default:
+                break;
+            }
+        });
+    }
+    if (!r.aborts.empty())
+        r.watchdogAbort = true;
     // deadlock: the queue drained (nothing will ever happen again)
     // with processes still blocked on channels or timers
     if (net.queue().pending() == 0) {
@@ -124,6 +153,22 @@ dumpFlightText(net::Network &net, const FlightReport &report,
     os << " watchdog-aborts=" << report.outAborts << " out / "
        << report.inAborts << " in"
        << " deadlock=" << (report.deadlock ? "yes" : "no") << "\n";
+    if (!report.kills.empty()) {
+        os << "node kills:\n";
+        for (const KillRec &k : report.kills)
+            os << "  " << net.node(k.node).name() << " killed at "
+               << k.when << " ns\n";
+    }
+    if (!report.aborts.empty()) {
+        os << "watchdog aborts (named; ring-surviving "
+           << report.aborts.size() << " of "
+           << report.outAborts + report.inAborts << "):\n";
+        for (const AbortRec &a : report.aborts)
+            os << "  " << net.node(a.node).name() << " link "
+               << a.link << " " << (a.out ? "output" : "input")
+               << " abandoned, process " << wdescStr(a.wdesc)
+               << " at " << a.when << " ns\n";
+    }
     if (!report.blocked.empty()) {
         os << "blocked processes (queue drained):\n";
         for (const BlockedProc &b : report.blocked) {

@@ -59,6 +59,23 @@ struct BlockedProc
     Tick since = 0;       ///< when the blocking record was written
 };
 
+/** One link-watchdog abort, named from the flight rings. */
+struct AbortRec
+{
+    int node = 0;       ///< network node index
+    Tick when = 0;      ///< when the watchdog fired
+    uint32_t link = 0;  ///< link index on that node
+    bool out = false;   ///< output (true) or input (false) side
+    uint64_t wdesc = 0; ///< the process whose transfer was abandoned
+};
+
+/** One injected node kill, named from the flight rings. */
+struct KillRec
+{
+    int node = 0;
+    Tick when = 0;
+};
+
 /** What evaluateFlightTriggers found. */
 struct FlightReport
 {
@@ -68,6 +85,11 @@ struct FlightReport
     std::vector<int> errorNodes;    ///< node indices with the flag set
     uint64_t outAborts = 0, inAborts = 0; ///< network-wide totals
     std::vector<BlockedProc> blocked;     ///< deadlock detail
+    /** Watchdog aborts surviving in the rings, named per node/link.
+     *  Counter totals above still cover aborts whose records wrapped. */
+    std::vector<AbortRec> aborts;
+    /** Node kills surviving in the rings (also named in the dump). */
+    std::vector<KillRec> kills;
 
     bool
     triggered() const

@@ -58,6 +58,15 @@ enum class Ev : uint8_t
     FaultKill,    ///< injected permanent node death
     Deopt,        ///< superblock handed back to the interpreter
                   ///< (a = Deopt reason index, b = chains retired)
+    RouteSend,    ///< VCP accepted a send (a = flow id, b = seq)
+    RouteFwd,     ///< switch relayed a packet (a = flow, c = out port)
+    RouteDeliver, ///< fresh payload reached its host (a = flow id)
+    RouteRetransmit, ///< end-to-end ARQ retransmit (a = flow, b = try)
+    RouteReroute, ///< forwarded off the first-choice port (a = flow)
+    RouteDrop,    ///< packet dropped (a = flow, b = reason code)
+    RouteUndeliverable, ///< flow declared undeliverable (a = flow)
+    RouteLinkDown, ///< dead edge learned (a = edge lo node, b = hi,
+                   ///< c = 1 when locally detected, 0 when flooded)
 };
 
 constexpr const char *
@@ -85,6 +94,14 @@ evName(Ev e)
       case Ev::FaultStall: return "fault.stall";
       case Ev::FaultKill: return "fault.kill";
       case Ev::Deopt: return "deopt";
+      case Ev::RouteSend: return "route.send";
+      case Ev::RouteFwd: return "route.fwd";
+      case Ev::RouteDeliver: return "route.deliver";
+      case Ev::RouteRetransmit: return "route.retransmit";
+      case Ev::RouteReroute: return "route.reroute";
+      case Ev::RouteDrop: return "route.drop";
+      case Ev::RouteUndeliverable: return "route.undeliverable";
+      case Ev::RouteLinkDown: return "route.link.down";
     }
     return "?";
 }

@@ -1,0 +1,81 @@
+#include "route/fabric.hh"
+
+#include "base/logging.hh"
+#include "obs/counters.hh"
+
+namespace transputer::route
+{
+
+Fabric::Fabric(net::Network &net, const Topology &topo,
+               const FabricConfig &cfg)
+    : net_(net), topo_(topo)
+{
+    const int n = topo_.size();
+    TRANSPUTER_ASSERT(n > 0, "route: empty fabric");
+    nodeIdx_.reserve(n);
+    switches_.reserve(n);
+    for (int i = 0; i < n; ++i) {
+        nodeIdx_.push_back(net_.addTransputer(cfg.node));
+        switches_.push_back(std::make_unique<Switch>(
+            net_.node(nodeIdx_[i]), RouteTable(topo_, i), cfg.sw));
+        Switch &sw = *switches_[i];
+        net_.attachPeripheral(nodeIdx_[i], cfg.hostLink,
+                              sw.makeHostPort(net_.queue(), cfg.wire),
+                              cfg.wire);
+        for (size_t p = 0; p < topo_.ports[i].size(); ++p)
+            sw.makeTrunkPort(net_.queue(), cfg.wire);
+    }
+    // wire each undirected edge once; parallel edges pair up by
+    // occurrence order on both sides
+    for (int a = 0; a < n; ++a) {
+        std::vector<int> occ(n, 0); // per-neighbour occurrence count
+        for (size_t i = 0; i < topo_.ports[a].size(); ++i) {
+            const int b = topo_.ports[a][i];
+            const int k = occ[b]++;
+            if (b < a)
+                continue;
+            TRANSPUTER_ASSERT(b != a, "route: self loop");
+            // find the (k+1)-th occurrence of a among b's ports
+            int found = -1, c = 0;
+            for (size_t j = 0; j < topo_.ports[b].size(); ++j)
+                if (topo_.ports[b][j] == a && c++ == k) {
+                    found = static_cast<int>(j);
+                    break;
+                }
+            TRANSPUTER_ASSERT(found >= 0, "route: asymmetric edge");
+            net_.connectPeripherals(
+                nodeIdx_[a],
+                switches_[a]->trunkPort(static_cast<int>(i)),
+                nodeIdx_[b], switches_[b]->trunkPort(found),
+                cfg.wire);
+        }
+    }
+}
+
+bool
+Fabric::quiescent() const
+{
+    for (const auto &sw : switches_)
+        if (!sw->quiescent())
+            return false;
+    return true;
+}
+
+obs::Counters
+Fabric::nodeCounters(int i) const
+{
+    obs::Counters c = net_.nodeCounters(netNode(i));
+    switches_.at(i)->fillCounters(c);
+    return c;
+}
+
+obs::Counters
+Fabric::counters() const
+{
+    obs::Counters total;
+    for (int i = 0; i < nodes(); ++i)
+        total += nodeCounters(i);
+    return total;
+}
+
+} // namespace transputer::route

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Fabric builder: one transputer + one switch per topology node,
+ * wired into a net::Network (see DESIGN.md section 4.9).
+ *
+ * The fabric realises the paper's "concurrent machine built from a
+ * collection of transputers" at topologies the four physical links
+ * cannot reach directly: each node's transputer talks to its local
+ * switch over link `hostLink`, and the switches form the multi-hop
+ * network over peripheral-to-peripheral trunk lines
+ * (net::Network::connectPeripherals).  Every switch port is homed at
+ * its node, so it shares the node's shard in parallel runs and its
+ * fate under fault injection -- killing a node kills its whole switch
+ * and fires the peer-death notification down every attached line.
+ */
+
+#ifndef TRANSPUTER_ROUTE_FABRIC_HH
+#define TRANSPUTER_ROUTE_FABRIC_HH
+
+#include <memory>
+#include <vector>
+
+#include "core/transputer.hh"
+#include "net/network.hh"
+#include "route/switch.hh"
+#include "route/table.hh"
+
+namespace transputer::route
+{
+
+struct FabricConfig
+{
+    core::Config node;      ///< per-transputer configuration
+    link::WireConfig wire;  ///< every host and trunk line
+    SwitchConfig sw;        ///< per-switch tuning
+    int hostLink = 0;       ///< transputer link wired to the switch
+};
+
+class Fabric
+{
+  public:
+    Fabric(net::Network &net, const Topology &topo,
+           const FabricConfig &cfg = {});
+
+    int nodes() const { return static_cast<int>(switches_.size()); }
+    /** Network node index of fabric node i. */
+    int netNode(int i) const { return nodeIdx_.at(i); }
+    core::Transputer &cpu(int i) { return net_.node(netNode(i)); }
+    Switch &sw(int i) { return *switches_.at(i); }
+    const Topology &topo() const { return topo_; }
+
+    /** True when every switch's ARQ machinery has gone idle. */
+    bool quiescent() const;
+
+    /** Node counters including the node's switch statistics. */
+    obs::Counters nodeCounters(int i) const;
+    /** Whole-fabric counter total (CPU + link + route). */
+    obs::Counters counters() const;
+
+  private:
+    net::Network &net_;
+    Topology topo_;
+    std::vector<int> nodeIdx_;
+    std::vector<std::unique_ptr<Switch>> switches_;
+};
+
+} // namespace transputer::route
+
+#endif // TRANSPUTER_ROUTE_FABRIC_HH

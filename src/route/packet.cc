@@ -1,0 +1,145 @@
+#include "route/packet.hh"
+
+#include "base/logging.hh"
+
+namespace transputer::route
+{
+
+namespace
+{
+
+/** Fletcher-16 over a byte range: sum1 never wraps to the same value
+ *  for any single-byte change (mod-255 arithmetic), so every one-byte
+ *  corruption -- the dominant fault::corrupt product -- is caught,
+ *  and position-weighted sum2 catches reorderings and most multi-byte
+ *  damage.  The seed binds the payload sum to its header. */
+uint16_t
+fletcher16(uint16_t seed, const uint8_t *p, size_t n)
+{
+    uint32_t sum1 = seed & 0xFF, sum2 = seed >> 8;
+    for (size_t i = 0; i < n; ++i) {
+        sum1 = (sum1 + p[i]) % 255;
+        sum2 = (sum2 + sum1) % 255;
+    }
+    return static_cast<uint16_t>((sum2 << 8) | sum1);
+}
+
+uint16_t
+headerChecksum(const uint8_t *h)
+{
+    return fletcher16(0x5A, h, kHeaderBytes - 2);
+}
+
+uint16_t
+payloadChecksum(uint16_t seed, const uint8_t *p, size_t n)
+{
+    return fletcher16(static_cast<uint16_t>(seed ^ 0xC3C3), p, n);
+}
+
+} // namespace
+
+std::vector<uint8_t>
+encode(const Packet &p)
+{
+    TRANSPUTER_ASSERT(p.payload.size() <= kMaxPayload,
+                      "route: oversized payload");
+    std::vector<uint8_t> out;
+    out.reserve(kHeaderBytes + p.payload.size() + 1);
+    out.push_back(kSync);
+    out.push_back(static_cast<uint8_t>(p.kind));
+    out.push_back(static_cast<uint8_t>(p.dest & 0xFF));
+    out.push_back(static_cast<uint8_t>(p.dest >> 8));
+    out.push_back(static_cast<uint8_t>(p.src & 0xFF));
+    out.push_back(static_cast<uint8_t>(p.src >> 8));
+    out.push_back(p.vchan);
+    out.push_back(static_cast<uint8_t>(p.seq & 0xFF));
+    out.push_back(static_cast<uint8_t>(p.seq >> 8));
+    out.push_back(p.hops);
+    out.push_back(p.hopSeq);
+    out.push_back(static_cast<uint8_t>(p.payload.size()));
+    const uint16_t hcs = headerChecksum(out.data());
+    out.push_back(static_cast<uint8_t>(hcs & 0xFF));
+    out.push_back(static_cast<uint8_t>(hcs >> 8));
+    if (!p.payload.empty()) {
+        out.insert(out.end(), p.payload.begin(), p.payload.end());
+        const uint16_t pcs = payloadChecksum(hcs, p.payload.data(),
+                                             p.payload.size());
+        out.push_back(static_cast<uint8_t>(pcs & 0xFF));
+        out.push_back(static_cast<uint8_t>(pcs >> 8));
+    }
+    return out;
+}
+
+bool
+Decoder::feed(uint8_t b)
+{
+    buf_.push_back(b);
+    return tryParse();
+}
+
+/**
+ * Scan the buffer for one complete valid packet.  Invariants that
+ * bound everything: each loop iteration either consumes at least one
+ * byte or returns, and the buffer can never exceed kMaxWire bytes --
+ * a full frame either validates (consumed whole) or its sync byte is
+ * discarded before the buffer grows past one frame.
+ */
+bool
+Decoder::tryParse()
+{
+    while (!buf_.empty()) {
+        if (buf_[0] != kSync) {
+            buf_.erase(buf_.begin());
+            ++stats_.resyncBytes;
+            continue;
+        }
+        if (buf_.size() < kHeaderBytes)
+            return false; // need more header bytes
+        const uint8_t kind = buf_[1];
+        const uint8_t len = buf_[11];
+        const uint16_t hcs = static_cast<uint16_t>(
+            buf_[12] | (uint16_t{buf_[13]} << 8));
+        if (hcs != headerChecksum(buf_.data()) || kind > kMaxKind ||
+            len > kMaxPayload) {
+            // corrupted or fake header: drop the sync byte and rescan
+            // from the next byte -- a real packet boundary downstream
+            // will line up again
+            buf_.erase(buf_.begin());
+            ++stats_.badHeader;
+            continue;
+        }
+        const size_t total = kHeaderBytes + (len ? len + 2u : 0u);
+        if (buf_.size() < total)
+            return false; // need the payload + its checksum
+        if (len) {
+            const uint16_t pcs = static_cast<uint16_t>(
+                buf_[total - 2] | (uint16_t{buf_[total - 1]} << 8));
+            if (pcs != payloadChecksum(hcs,
+                                       buf_.data() + kHeaderBytes,
+                                       len)) {
+                buf_.erase(buf_.begin());
+                ++stats_.badPayload;
+                continue;
+            }
+        }
+        pkt_.kind = static_cast<Kind>(kind);
+        pkt_.dest = static_cast<uint16_t>(buf_[2] |
+                                          (uint16_t{buf_[3]} << 8));
+        pkt_.src = static_cast<uint16_t>(buf_[4] |
+                                         (uint16_t{buf_[5]} << 8));
+        pkt_.vchan = buf_[6];
+        pkt_.seq = static_cast<uint16_t>(buf_[7] |
+                                         (uint16_t{buf_[8]} << 8));
+        pkt_.hops = buf_[9];
+        pkt_.hopSeq = buf_[10];
+        pkt_.payload.assign(buf_.begin() + kHeaderBytes,
+                            buf_.begin() + kHeaderBytes + len);
+        buf_.erase(buf_.begin(),
+                   buf_.begin() + static_cast<long>(total));
+        ++stats_.packets;
+        return true;
+    }
+    return false;
+}
+
+} // namespace transputer::route

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * VCP-style packet format and the incremental wire decoder
+ * (see DESIGN.md section 4.9).
+ *
+ * The T414's links carry unbounded messages between exactly two
+ * neighbours; the follow-on VCP/C104 generation multiplexed many
+ * virtual channels over one wire by chopping messages into bounded
+ * packets, each carrying its destination in a header the switches
+ * read.  This is that packet layer: a fixed 14-byte header (sync,
+ * kind, dest, src, virtual channel, sequence number, hop count,
+ * per-trunk hop sequence, length, Fletcher-16 header checksum)
+ * followed by at most kMaxPayload payload bytes and a Fletcher-16
+ * payload checksum.  Fletcher-16 catches every single-byte corruption
+ * -- with tens of thousands of frames crossing 1%-per-byte corrupting
+ * wires in one run, an 8-bit sum would pass several corrupted frames
+ * per run; Fletcher passes none of the single-byte ones and ~2^-16 of
+ * the rest.
+ *
+ * The decoder is written for hostile input: it consumes the wire one
+ * byte at a time, resynchronises on the sync byte after corruption,
+ * rejects bad checksums and impossible lengths without ever reading
+ * past its bounded buffer, and counts everything it throws away.  It
+ * is the fuzz target of tests/test_fuzz_route.cc.
+ */
+
+#ifndef TRANSPUTER_ROUTE_PACKET_HH
+#define TRANSPUTER_ROUTE_PACKET_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace transputer::route
+{
+
+/** First byte of every packet; the decoder hunts for it to resync. */
+constexpr uint8_t kSync = 0xA5;
+
+/** Header bytes: sync, kind, dest.lo, dest.hi, src.lo, src.hi,
+ *  vchan, seq.lo, seq.hi, hops, hopSeq, len, cksum.lo, cksum.hi. */
+constexpr size_t kHeaderBytes = 14;
+
+/** Bounded packet size is what makes wormhole-style switching fair:
+ *  no message can hog a trunk for longer than one packet time. */
+constexpr size_t kMaxPayload = 32;
+
+/** Largest on-wire packet: header + payload + payload checksum. */
+constexpr size_t kMaxWire = kHeaderBytes + kMaxPayload + 2;
+
+/** The control virtual channel (undeliverable notices to hosts). */
+constexpr uint8_t kCtrlVchan = 255;
+
+enum class Kind : uint8_t
+{
+    Data = 0,        ///< payload-bearing message fragment
+    Ack = 1,         ///< end-to-end acknowledge (dest = original src)
+    Unreachable = 2, ///< a switch had no live route; payload names the
+                     ///< original destination
+    HopAck = 3,      ///< single-trunk acknowledge of hopSeq (never
+                     ///< forwarded; the hop-level ARQ's return signal)
+    LinkDown = 4,    ///< link-state flood: payload names a dead edge
+                     ///< (a.lo, a.hi, b.lo, b.hi); src = announcer
+};
+
+constexpr uint8_t kMaxKind = 4;
+
+/** One decoded packet. */
+struct Packet
+{
+    Kind kind = Kind::Data;
+    uint16_t dest = 0; ///< destination switch id
+    uint16_t src = 0;  ///< originating switch id
+    uint8_t vchan = 0; ///< virtual channel within the (src,dest) pair
+    uint16_t seq = 0;  ///< per-flow sequence number (dedup + ARQ)
+    uint8_t hops = 0;  ///< trunk traversals so far (TTL guard)
+    uint8_t hopSeq = 0; ///< per-trunk stop-and-wait sequence number
+    std::vector<uint8_t> payload;
+};
+
+/** Serialize; payload must be <= kMaxPayload (asserted). */
+std::vector<uint8_t> encode(const Packet &p);
+
+/**
+ * Incremental decoder: feed the wire a byte at a time; when feed()
+ * returns true, packet() holds a fully validated packet.  Corrupt or
+ * truncated input never produces a packet and never desynchronises
+ * the stream for good -- the decoder slides forward one byte at a
+ * time until a valid header lines up again.  Internal buffering is
+ * bounded by kMaxWire.
+ */
+class Decoder
+{
+  public:
+    struct Stats
+    {
+        uint64_t packets = 0;     ///< valid packets produced
+        uint64_t badHeader = 0;   ///< header checksum / field rejects
+        uint64_t badPayload = 0;  ///< payload checksum rejects
+        uint64_t resyncBytes = 0; ///< bytes discarded hunting for sync
+    };
+
+    /** @return true when a complete valid packet is available. */
+    bool feed(uint8_t b);
+
+    /** The packet completed by the last feed() that returned true. */
+    const Packet &packet() const { return pkt_; }
+
+    const Stats &stats() const { return stats_; }
+
+    /** Bytes of a possibly-partial packet currently buffered. */
+    const std::vector<uint8_t> &buffered() const { return buf_; }
+
+    /** Restore buffered bytes (snapshot load); stats are separate. */
+    void
+    setBuffered(std::vector<uint8_t> b)
+    {
+        buf_ = std::move(b);
+    }
+
+    void setStats(const Stats &s) { stats_ = s; }
+
+  private:
+    bool tryParse();
+
+    std::vector<uint8_t> buf_;
+    Packet pkt_;
+    Stats stats_;
+};
+
+} // namespace transputer::route
+
+#endif // TRANSPUTER_ROUTE_PACKET_HH

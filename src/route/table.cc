@@ -1,0 +1,154 @@
+#include "route/table.hh"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+#include "base/logging.hh"
+
+namespace transputer::route
+{
+
+namespace
+{
+
+constexpr int kInf = std::numeric_limits<int>::max() / 2;
+
+/** Unit-weight BFS distances from `from` over the port graph minus
+ *  the dead edges. */
+std::vector<int>
+bfs(const Topology &topo, int from, const std::set<Edge> &dead)
+{
+    std::vector<int> dist(topo.size(), kInf);
+    std::deque<int> q;
+    dist[from] = 0;
+    q.push_back(from);
+    while (!q.empty()) {
+        const int n = q.front();
+        q.pop_front();
+        for (const int m : topo.ports[n]) {
+            if (dead.count(makeEdge(n, m)))
+                continue;
+            if (dist[m] == kInf) {
+                dist[m] = dist[n] + 1;
+                q.push_back(m);
+            }
+        }
+    }
+    return dist;
+}
+
+} // namespace
+
+Topology
+Topology::grid(int w, int h)
+{
+    TRANSPUTER_ASSERT(w > 0 && h > 0, "route: empty grid");
+    Topology t;
+    for (int i = 0; i < w * h; ++i)
+        t.addNode();
+    for (int y = 0; y < h; ++y)
+        for (int x = 0; x < w; ++x) {
+            if (x + 1 < w)
+                t.link(y * w + x, y * w + x + 1);
+            if (y + 1 < h)
+                t.link(y * w + x, (y + 1) * w + x);
+        }
+    return t;
+}
+
+Topology
+Topology::torus(int w, int h)
+{
+    Topology t = grid(w, h);
+    // wrap links only where they add a new edge (a 2-wide ring is
+    // already fully linked by the grid)
+    for (int y = 0; y < h; ++y)
+        if (w > 2)
+            t.link(y * w, y * w + w - 1);
+    for (int x = 0; x < w; ++x)
+        if (h > 2)
+            t.link(x, (h - 1) * w + x);
+    return t;
+}
+
+Topology
+Topology::hypercube(int dim)
+{
+    TRANSPUTER_ASSERT(dim >= 0 && dim <= 8, "route: hypercube dim");
+    Topology t;
+    const int n = 1 << dim;
+    for (int i = 0; i < n; ++i)
+        t.addNode();
+    for (int i = 0; i < n; ++i)
+        for (int b = 0; b < dim; ++b)
+            if (i < (i ^ (1 << b)))
+                t.link(i, i ^ (1 << b));
+    return t;
+}
+
+RouteTable::RouteTable(const Topology &topo, int self)
+    : topo_(topo), self_(self),
+      degree_(static_cast<int>(topo.ports.at(self).size()))
+{
+    TRANSPUTER_ASSERT(degree_ <= 255, "route: degree > 255");
+    rebuild({}, base_);
+    prefs_ = base_;
+}
+
+void
+RouteTable::rebuild(const std::set<Edge> &dead,
+                    std::vector<std::vector<uint8_t>> &out) const
+{
+    // distance from every neighbour to everywhere over the surviving
+    // graph; N is capped at 256 nodes so the dense matrices stay
+    // trivial
+    std::vector<std::vector<int>> nbrDist;
+    nbrDist.reserve(topo_.ports[self_].size());
+    for (const int m : topo_.ports[self_])
+        nbrDist.push_back(bfs(topo_, m, dead));
+
+    out.assign(topo_.size(), {});
+    for (int d = 0; d < topo_.size(); ++d) {
+        if (d == self_)
+            continue;
+        // order ports by the neighbour's distance to d; port index
+        // breaks ties so the order is a pure function of the graph
+        std::vector<std::pair<int, uint8_t>> cand;
+        for (int p = 0; p < degree_; ++p) {
+            if (dead.count(makeEdge(self_, topo_.ports[self_][p])))
+                continue; // the first hop itself is gone
+            if (nbrDist[p][d] < kInf)
+                cand.emplace_back(nbrDist[p][d],
+                                  static_cast<uint8_t>(p));
+        }
+        std::sort(cand.begin(), cand.end());
+        for (const auto &[dist, p] : cand)
+            out[d].push_back(p);
+    }
+}
+
+void
+RouteTable::applyDeadEdges(const std::set<Edge> &dead)
+{
+    rebuild(dead, prefs_);
+}
+
+std::vector<RouteTable::Interval>
+RouteTable::intervals(int port) const
+{
+    std::vector<Interval> out;
+    for (int d = 0; d < nodes(); ++d) {
+        const bool mine =
+            d != self_ && !prefs_[d].empty() && prefs_[d][0] == port;
+        if (!mine)
+            continue;
+        if (!out.empty() && out.back().hi == d)
+            ++out.back().hi;
+        else
+            out.push_back(Interval{d, d + 1});
+    }
+    return out;
+}
+
+} // namespace transputer::route

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Fabric topology description and per-node routing tables
+ * (see DESIGN.md section 4.9).
+ *
+ * A Topology is the undirected port graph of the switch fabric:
+ * ports[n][i] names the neighbour reached through port i of switch n
+ * (the builders produce the paper-era regular shapes -- grid, torus,
+ * hypercube).  From it each switch precomputes a RouteTable: for
+ * every destination, the complete preference-ordered list of output
+ * ports (shortest path first, port index as the deterministic tie
+ * break).  These are the "precomputed k-shortest alternates" of the
+ * reroute scheme -- at forward time a switch walks the list and takes
+ * the first port that is still alive, so rerouting around a dead
+ * neighbour is a table lookup, not a recomputation, and is therefore
+ * bit-deterministic across serial and parallel runs.
+ *
+ * The table also exposes the C104-style interval view: the set of
+ * destination ranges whose first-choice exit is a given port.  The
+ * C104 routed by comparing the header label against one interval
+ * register per port; we keep the per-dest array as the operational
+ * form (N <= 256 makes it tiny) and derive the intervals from it, so
+ * tests can check the classic invariant -- the per-port intervals
+ * partition the destination space.
+ */
+
+#ifndef TRANSPUTER_ROUTE_TABLE_HH
+#define TRANSPUTER_ROUTE_TABLE_HH
+
+#include <cstdint>
+#include <set>
+#include <utility>
+#include <vector>
+
+namespace transputer::route
+{
+
+/** Undirected switch-port graph. */
+struct Topology
+{
+    /** ports[n][i] = neighbour switch reached through port i of n. */
+    std::vector<std::vector<int>> ports;
+
+    int
+    size() const
+    {
+        return static_cast<int>(ports.size());
+    }
+
+    int
+    addNode()
+    {
+        ports.emplace_back();
+        return size() - 1;
+    }
+
+    /** Add the undirected edge a<->b (one new port on each side). */
+    void
+    link(int a, int b)
+    {
+        ports.at(a).push_back(b);
+        ports.at(b).push_back(a);
+    }
+
+    static Topology grid(int w, int h);
+    static Topology torus(int w, int h);
+    static Topology hypercube(int dim);
+};
+
+/** An undirected edge in canonical (min, max) order. */
+using Edge = std::pair<int, int>;
+
+inline Edge
+makeEdge(int a, int b)
+{
+    return a < b ? Edge{a, b} : Edge{b, a};
+}
+
+/**
+ * One node's preference lists: the pristine set precomputed from the
+ * full topology, plus a current set recomputed whenever the link-state
+ * flood reports dead edges (the "fault-adaptive" half of the scheme).
+ */
+class RouteTable
+{
+  public:
+    RouteTable(const Topology &topo, int self);
+
+    int self() const { return self_; }
+    int nodes() const { return static_cast<int>(base_.size()); }
+    int degree() const { return degree_; }
+
+    /** The neighbour on the far side of local port `port`. */
+    int
+    neighborAt(int port) const
+    {
+        return topo_.ports.at(self_).at(port);
+    }
+
+    /** Current output ports for dest, best first over the surviving
+     *  graph; empty when dest is self or unreachable. */
+    const std::vector<uint8_t> &
+    prefs(int dest) const
+    {
+        return prefs_.at(dest);
+    }
+
+    /** Pristine (fault-free) preference list for dest. */
+    const std::vector<uint8_t> &
+    basePrefs(int dest) const
+    {
+        return base_.at(dest);
+    }
+
+    /** Recompute the current preference lists over the topology minus
+     *  the given dead edges.  Pure integer BFS: same input set gives
+     *  the same tables on every node and engine. */
+    void applyDeadEdges(const std::set<Edge> &dead);
+
+    /** A half-open destination range [lo, hi). */
+    struct Interval
+    {
+        int lo = 0;
+        int hi = 0;
+    };
+
+    /** The destination ranges whose first choice is `port`. */
+    std::vector<Interval> intervals(int port) const;
+
+  private:
+    void rebuild(const std::set<Edge> &dead,
+                 std::vector<std::vector<uint8_t>> &out) const;
+
+    Topology topo_;
+    int self_;
+    int degree_;
+    std::vector<std::vector<uint8_t>> base_;  ///< fault-free lists
+    std::vector<std::vector<uint8_t>> prefs_; ///< current lists
+};
+
+} // namespace transputer::route
+
+#endif // TRANSPUTER_ROUTE_TABLE_HH

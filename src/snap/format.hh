@@ -47,7 +47,7 @@ constexpr uint32_t magic = 0x504E5354;  ///< "TSNP" little-endian
 /** v2: counters gained the fused-cycle and block-compiler tier
  *  statistics (ctrs.fusedCycles, ctrs.blockc*).  Snapshots are
  *  exact-version: a v1 reader rejects v2 images and vice versa. */
-constexpr uint32_t formatVersion = 2;
+constexpr uint32_t formatVersion = 3;
 constexpr size_t headerBytes = 24;
 ///@}
 

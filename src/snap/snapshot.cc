@@ -220,6 +220,7 @@ visitEngine(V &v, C &e)
     v.f("bytesReceived", e.bytesReceived);
     v.f("watchdogTimeout", e.watchdogTimeout);
     v.f("dead", e.dead);
+    v.f("peerDead", e.peerDead);
     v.f("outAborts", e.outAborts);
     v.f("inAborts", e.inAborts);
     v.f("staleAcks", e.staleAcks);
@@ -247,6 +248,8 @@ visitLine(V &v, C &l)
     v.f("acksDropped", l.acksDropped);
     v.f("dataCorrupted", l.dataCorrupted);
     v.f("faultJitter", l.faultJitter);
+    v.f("dead", l.dead);
+    v.f("deadSquelched", l.deadSquelched);
 }
 
 template <typename V, typename C>
@@ -335,29 +338,36 @@ captureTopo(net::Network &net, std::vector<NodeTopo> &nodes,
         nodes.push_back(std::move(nt));
     }
     // Endpoints come in pairs per wiring call: connect() pushes its
-    // two engines, attachPeripheral() the engine then the peripheral.
+    // two engines, attachPeripheral() the engine then the peripheral,
+    // connectPeripherals() (src/route trunks) two peripherals.
     const auto &eps = net.endpoints();
     if (eps.size() % 2 != 0)
         throw SnapError("wiring has an odd endpoint count");
     for (size_t i = 0; i + 1 < eps.size(); i += 2) {
         auto *ea = dynamic_cast<link::LinkEngine *>(eps[i].ep);
-        if (!ea)
-            throw SnapError(
-                fmt("endpoint {} is not a link engine", i));
         auto *eb = dynamic_cast<link::LinkEngine *>(eps[i + 1].ep);
-        const link::WireConfig &wc = ea->tx().config();
+        const link::WireConfig &wc = eps[i].ep->tx().config();
         ConnTopo ct;
         ct.a = eps[i].homeNode;
-        ct.la = ea->linkIndex();
         ct.bitsPerSecond = wc.bitsPerSecond;
         ct.propagationDelay = wc.propagationDelay;
-        ct.ackMode = static_cast<uint8_t>(ea->ackMode());
-        if (eb) {
+        if (ea && eb) {
             ct.kind = 0;
+            ct.la = ea->linkIndex();
             ct.b = eps[i + 1].homeNode;
             ct.lb = eb->linkIndex();
-        } else {
+            ct.ackMode = static_cast<uint8_t>(ea->ackMode());
+        } else if (ea) {
             ct.kind = 1;
+            ct.la = ea->linkIndex();
+            ct.ackMode = static_cast<uint8_t>(ea->ackMode());
+        } else if (!eb) {
+            ct.kind = 2; // peripheral-to-peripheral trunk
+            ct.b = eps[i + 1].homeNode;
+        } else {
+            throw SnapError(
+                fmt("endpoint {}: a peripheral precedes its link "
+                    "engine, which no wiring call produces", i));
         }
         conns.push_back(ct);
     }
@@ -387,12 +397,15 @@ sameConn(const ConnTopo &a, const ConnTopo &b)
            a.ackMode == b.ackMode;
 }
 
+/** Peripheral endpoints in wiring order: one per attachPeripheral
+ *  call (kind 1), two per peripheral trunk (kind 2).  SaveOptions
+ *  must list exactly this many blob providers, in the same order. */
 size_t
 peripheralConns(const std::vector<ConnTopo> &conns)
 {
     size_t n = 0;
     for (const ConnTopo &c : conns)
-        n += c.kind == 1;
+        n += c.kind == 1 ? 1 : c.kind == 2 ? 2 : 0;
     return n;
 }
 
@@ -598,7 +611,7 @@ verifyCompatible(net::Network &net, const Snapshot &s,
     }
     for (size_t i = 0; i < s.lines.size(); ++i)
         for (const auto &r : s.lines[i].line.inFlight)
-            if (r.when < s.now || r.kind > link::Line::kAckEnd)
+            if (r.when < s.now || r.kind > link::Line::kPeerDead)
                 throw SnapError(
                     fmt("line {} has an invalid in-flight record", i));
     if (s.fault)

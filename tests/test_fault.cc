@@ -466,6 +466,94 @@ TEST(ReliableChannel, DeclaresTheLinkDeadAfterMaxRetries)
               (std::vector<Word>{Word{1000}}));
 }
 
+TEST(ReliableChannel, SurvivesJitterLossAndCorruptionAtBackoffCap)
+{
+    // all three fault modes at once, with the backoff ceiling set low
+    // enough that long retry runs actually hit it (timeout ladder
+    // 2, 4, 8, 8, 8, ... ticks): the capped sender must keep probing
+    // instead of sleeping its budget away, and delivery must stay
+    // exact and in order
+    constexpr int words = 20;
+    Rig r;
+    fault::FaultPlan plan;
+    plan.seed = 4242;
+    plan.line(0, 1).dataLoss = 0.08;
+    plan.line(0, 1).corrupt = 0.05;
+    plan.line(0, 1).jitterChance = 0.25;
+    plan.line(0, 1).jitterMax = 5'000;
+    plan.line(1, 0).ackLoss = 0.10;
+    plan.line(1, 0).dataLoss = 0.05;
+    plan.line(1, 0).jitterChance = 0.25;
+    plan.line(1, 0).jitterMax = 5'000;
+    auto ids = buildPipeline(r.net, 2);
+    r.console = std::make_unique<ConsoleSink>(r.net.queue(),
+                                              link::WireConfig{});
+    r.net.attachPeripheral(ids.back(), 0, *r.console);
+    r.net.setLinkWatchdogs(100'000);
+    fault::ReliableConfig cfg;
+    cfg.timeoutTicks = 2;
+    cfg.maxTimeoutTicks = 8; // the cap binds from the third retry on
+    cfg.maxRetries = 40;     // capped probing, not a death sentence
+    bootOccamSource(r.net, ids[0], reliableSender(words, cfg));
+    bootOccamSource(r.net, ids[1], reliableReceiver(words, cfg));
+    r.injector.arm(r.net, plan);
+    r.net.run(r.net.queue().now() + 4'000'000'000);
+
+    std::vector<Word> expect;
+    for (int i = 0; i < words; ++i)
+        expect.push_back(static_cast<Word>(100 + i * 3));
+    EXPECT_EQ(consoleWords(*r.console), expect);
+    // every fault mode actually fired
+    const auto stats = r.injector.stats();
+    EXPECT_GT(stats.dataDropped, 0u);
+    EXPECT_GT(stats.dataCorrupted, 0u);
+    EXPECT_GT(stats.jitter, 0);
+}
+
+TEST(ReliableChannel, DeadLinkDeclarationRespectsTheBackoffLadder)
+{
+    // on a totally dead wire the sender's verdict cannot appear
+    // before the full capped ladder has been waited out: with
+    // timeoutTicks=2, maxTimeoutTicks=8, maxRetries=5 the timer waits
+    // alone are (2+4+8+8+8) ticks = 30 x 64 us = 1.92 ms, on top of
+    // the per-attempt watchdog-abandoned sends
+    Rig r;
+    fault::FaultPlan plan;
+    plan.line(0, 1).dataLoss = 1.0;
+    auto ids = buildPipeline(r.net, 2);
+    r.console = std::make_unique<ConsoleSink>(r.net.queue(),
+                                              link::WireConfig{});
+    r.net.attachPeripheral(ids[0], 0, *r.console);
+    r.net.setLinkWatchdogs(100'000);
+    fault::ReliableConfig cfg;
+    cfg.timeoutTicks = 2;
+    cfg.maxTimeoutTicks = 8;
+    cfg.maxRetries = 5;
+    std::string p = "CHAN r.out, r.ack, con:\n"
+                    "PLACE r.out AT LINK1OUT:\n"
+                    "PLACE r.ack AT LINK1IN:\n"
+                    "PLACE con AT LINK0OUT:\n"
+                    "VAR sq, ok:\n"
+                    "SEQ\n"
+                    "  sq := 0\n"
+                    "  ok := 1\n";
+    p += fault::reliableSendBlock(2, "r.out", "r.ack", "777", "sq",
+                                  "ok", cfg);
+    p += "  con ! 1000 + ok\n";
+    bootOccamSource(r.net, ids[0], p);
+    bootOccamSource(r.net, ids[1],
+                    reliableReceiver(1, fault::ReliableConfig{}));
+    r.injector.arm(r.net, plan);
+    // run only to the ladder's lower bound: no verdict may exist yet
+    r.net.run(r.net.queue().now() + 1'920'000);
+    EXPECT_TRUE(r.console->bytes().empty())
+        << "link declared dead before the backoff ladder ran out";
+    // a generous budget later the dead-link verdict must be out
+    r.net.run(r.net.queue().now() + 1'000'000'000);
+    EXPECT_EQ(consoleWords(*r.console),
+              (std::vector<Word>{Word{1000}}));
+}
+
 // ---------------------------------------------------------------------
 // degraded-mode dbsearch
 // ---------------------------------------------------------------------

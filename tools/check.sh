@@ -11,6 +11,9 @@
 # labels, so the tier's guard/invalidation paths run under both
 # sanitizers, and so does the scale suite (test_scale): the 1k-node
 # epoch-window equality runs under tsan, the lossy variant under asan.
+# The routing suite (test_route) also carries both: serial-vs-parallel
+# routed-fabric identity under tsan, kill/reroute/partition under
+# asan; its decoder/switch fuzzers (test_fuzz_route) run under asan.
 #
 # Usage: tools/check.sh [--no-tsan] [--no-asan]
 set -eu
@@ -109,17 +112,32 @@ mkdir -p "$scale_dir"
 python3 -m json.tool "$scale_dir/BENCH_scale.json" > /dev/null
 echo "BENCH_scale.json validates"
 
+# routing smoke: the 8x8-torus routed flood must deliver exactly once
+# per live terminal while trunks lose 10% of their bytes and three
+# interior nodes die mid-run (the example exits nonzero otherwise),
+# and the route bench -- delivery, reroute latency, hop-stretch, with
+# the same robustness bar -- must pass and emit JSON that a strict
+# parser accepts
+echo "== routing: killed-node routed flood + bench_route =="
+./build/examples/routed_flood
+route_dir=build/route-smoke
+mkdir -p "$route_dir"
+(cd "$route_dir" && ../bench/bench_route)
+python3 -m json.tool "$route_dir/BENCH_route.json" > /dev/null
+echo "BENCH_route.json validates"
+
 if want --no-tsan; then
     run_preset tsan --target test_par --target test_obs \
         --target test_profile --target test_fault --target test_snap \
-        --target test_blockc --target test_scale
+        --target test_blockc --target test_scale --target test_route
 fi
 
 if want --no-asan; then
     run_preset asan --target test_fault --target test_fuzz_decode \
         --target test_profile --target test_snap \
         --target test_fuzz_snap --target test_blockc \
-        --target test_scale
+        --target test_scale --target test_route \
+        --target test_fuzz_route
 fi
 
 echo "== all checks passed =="
